@@ -1,0 +1,23 @@
+// Table IV reproduction: utility-loss ratio of full protection on
+// Arenas-email(-like) with |T| = 50 — the larger-target-set companion of
+// Table III.
+//
+// Paper shape to check: every entry is larger than its Table III
+// counterpart (more targets -> more protectors -> more loss), with
+// Rectangle still the most expensive motif (paper: up to ~8.6%).
+
+#include "graph/datasets.h"
+#include "utility_table.h"
+
+int main() {
+  tpp::Result<tpp::graph::Graph> graph = tpp::graph::MakeArenasEmailLike(1);
+  if (!graph.ok()) return 1;
+  tpp::bench::UtilityTableSpec spec;
+  spec.title =
+      "Table IV: utility loss ratio, Arenas-email-like, full protection";
+  spec.csv_name = "table4_utility_arenas_t50";
+  spec.num_targets = 50;
+  spec.samples = tpp::bench::BenchSamples(3);
+  spec.fixed_budget = 0;
+  return tpp::bench::RunUtilityLossTable(*graph, spec);
+}

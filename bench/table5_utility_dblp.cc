@@ -1,0 +1,32 @@
+// Table V reproduction: utility-loss ratio on the DBLP(-like) graph with
+// |T| = 52 and a limited budget k = 25, reporting only the clustering
+// coefficient and core number (the paper skips path length and the
+// eigenvalue on DBLP because they cannot be computed efficiently there).
+//
+// Paper shape to check: all losses are tiny (full-scale paper values are
+// ~0.01-0.02%; at reduced TPP_BENCH_SCALE the same deletions touch a
+// proportionally larger share of the graph, so expect values scaled up by
+// roughly 1/scale while remaining far below the Arenas losses).
+
+#include "graph/datasets.h"
+#include "utility_table.h"
+
+int main() {
+  const double scale = tpp::bench::BenchScale(0.1);
+  tpp::Result<tpp::graph::Graph> graph = tpp::graph::MakeDblpLike(1, scale);
+  if (!graph.ok()) return 1;
+  tpp::bench::UtilityTableSpec spec;
+  spec.title = "Table V: utility loss ratio, DBLP-like (scale " +
+               tpp::bench::Fmt(scale, 2) + "), k=25";
+  spec.csv_name = "table5_utility_dblp";
+  spec.num_targets = 52;
+  spec.samples = tpp::bench::BenchSamples(2);
+  spec.fixed_budget = 25;
+  spec.utility_options = {};
+  spec.utility_options.apl = false;
+  spec.utility_options.assortativity = false;
+  spec.utility_options.mu = false;
+  spec.utility_options.modularity = false;
+  // clustering + core number remain, matching the paper's Table V.
+  return tpp::bench::RunUtilityLossTable(*graph, spec);
+}

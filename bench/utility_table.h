@@ -1,0 +1,36 @@
+// Shared driver for the utility-loss tables (paper Tables III-V).
+
+#ifndef TPP_BENCH_UTILITY_TABLE_H_
+#define TPP_BENCH_UTILITY_TABLE_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "harness_common.h"
+#include "metrics/utility.h"
+
+namespace tpp::bench {
+
+/// Configuration of one utility-loss experiment.
+struct UtilityTableSpec {
+  std::string title;          ///< printed heading
+  std::string csv_name;       ///< results/<csv_name>.csv
+  size_t num_targets = 20;    ///< |T|
+  size_t samples = 3;         ///< independent target samplings averaged
+  /// 0 = run every greedy method to full protection (Tables III/IV);
+  /// otherwise delete exactly this budget (Table V uses k=25).
+  size_t fixed_budget = 0;
+  /// Metric selection; Tables III/IV use all six, Table V only clustering
+  /// and core number (the paper skips l and mu on DBLP for cost).
+  metrics::UtilityOptions utility_options;
+};
+
+/// Runs the experiment on `graph` and prints one row per motif with the
+/// average utility-loss ratio of each greedy method, paper-style.
+/// Returns non-zero on failure.
+int RunUtilityLossTable(const graph::Graph& graph,
+                        const UtilityTableSpec& spec);
+
+}  // namespace tpp::bench
+
+#endif  // TPP_BENCH_UTILITY_TABLE_H_

@@ -1,0 +1,77 @@
+// The paper's motivating scenario: a patient wants the link to a cancer
+// doctor kept secret. Merely deleting the link is not enough — attackers
+// infer it from the structure around it. This example mounts the actual
+// attack (all nine similarity indices) before and after TPP protection.
+//
+//   $ ./build/examples/hide_sensitive_link
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/tpp.h"
+#include "graph/datasets.h"
+#include "linkpred/attack.h"
+
+using tpp::Rng;
+using tpp::core::IndexedEngine;
+using tpp::core::TppInstance;
+using tpp::graph::Edge;
+using tpp::graph::Graph;
+using tpp::motif::MotifKind;
+
+int main() {
+  // A realistic social graph (Arenas-email-like synthetic community).
+  Graph g = *tpp::graph::MakeArenasEmailLike(2024);
+  std::printf("community graph: %s\n\n", g.DebugString().c_str());
+
+  // The sensitive link: pick a well-embedded edge (many common contacts) —
+  // the hardest case to hide, like a patient and doctor sharing clinic
+  // staff, receptionists and mutual acquaintances.
+  Edge sensitive(0, 0);
+  size_t best_cn = 0;
+  for (const Edge& e : g.Edges()) {
+    size_t cn = g.CountCommonNeighbors(e.u, e.v);
+    if (cn > best_cn) {
+      best_cn = cn;
+      sensitive = e;
+    }
+  }
+  std::printf("sensitive link: (%u,%u) with %zu common contacts\n",
+              sensitive.u, sensitive.v, best_cn);
+
+  TppInstance instance =
+      *tpp::core::MakeInstance(g, {sensitive}, MotifKind::kTriangle);
+
+  // Attack the naive release (link deleted, nothing else done).
+  Rng attack_rng(1);
+  auto before = *tpp::linkpred::EvaluateAllAttacks(instance.released,
+                                                   {sensitive}, attack_rng);
+
+  // TPP phase 2: fully protect the link.
+  IndexedEngine engine = *IndexedEngine::Create(instance);
+  auto result = *tpp::core::FullProtection(engine);
+  std::printf("TPP deleted %zu protector links (of %zu total) to reach "
+              "full protection\n\n",
+              result.protectors.size(), g.NumEdges());
+
+  Rng attack_rng2(1);
+  auto after = *tpp::linkpred::EvaluateAllAttacks(engine.CurrentGraph(),
+                                                  {sensitive}, attack_rng2);
+
+  tpp::TextTable table;
+  table.SetHeader({"attacker index", "score before", "score after",
+                   "AUC before", "AUC after"});
+  for (size_t i = 0; i < before.size(); ++i) {
+    table.AddRow({std::string(tpp::linkpred::IndexName(before[i].index)),
+                  tpp::StrFormat("%.4f", before[i].target_scores[0]),
+                  tpp::StrFormat("%.4f", after[i].target_scores[0]),
+                  tpp::StrFormat("%.3f", before[i].auc),
+                  tpp::StrFormat("%.3f", after[i].auc)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("after protection, every index scores the hidden link 0: an "
+              "attacker sees\nno structural evidence the patient and doctor "
+              "ever met.\n");
+  return 0;
+}

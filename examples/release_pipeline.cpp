@@ -1,0 +1,100 @@
+// A graph-release pipeline, end to end: load an edge list from disk,
+// protect a target set, audit the release (attack + utility), and write
+// the releasable edge list back to disk — what a data-publishing team
+// would actually run before sharing a social graph.
+//
+//   $ ./build/examples/release_pipeline [input.edges]
+//
+// Without an argument, a demo graph is synthesized and saved first.
+
+#include <cstdio>
+#include <string>
+
+#include "core/tpp.h"
+#include "graph/datasets.h"
+#include "graph/io.h"
+#include "graph/relabel.h"
+#include "linkpred/attack.h"
+#include "metrics/utility.h"
+
+using tpp::Rng;
+using tpp::Status;
+using tpp::core::IndexedEngine;
+using tpp::core::TppInstance;
+using tpp::graph::Edge;
+using tpp::graph::Graph;
+using tpp::motif::MotifKind;
+
+int main(int argc, char** argv) {
+  std::string input = argc > 1 ? argv[1] : "";
+  if (input.empty()) {
+    input = "demo_social_graph.edges";
+    Graph demo = *tpp::graph::MakeArenasEmailLike(7);
+    Status s = tpp::graph::SaveEdgeList(demo, input);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot write demo graph: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("[1/5] synthesized demo graph -> %s\n", input.c_str());
+  }
+
+  tpp::Result<Graph> loaded = tpp::graph::LoadEdgeList(input);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", input.c_str(),
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  Graph g = std::move(*loaded);
+  std::printf("[2/5] loaded %s: %s\n", input.c_str(),
+              g.DebugString().c_str());
+
+  // The data owner's sensitive links: sampled here; in production this
+  // comes from user privacy settings.
+  Rng rng(20240610);
+  auto targets = *tpp::core::SampleTargets(g, 15, rng);
+  TppInstance instance =
+      *tpp::core::MakeInstance(g, targets, MotifKind::kTriangle);
+  IndexedEngine engine = *IndexedEngine::Create(instance);
+  std::printf("[3/5] %zu sensitive links; exposure s({},T) = %zu\n",
+              targets.size(), engine.TotalSimilarity());
+
+  auto protection = *tpp::core::FullProtection(engine);
+  std::printf("[4/5] full protection with %zu protector deletions "
+              "(%.2f%% of links)\n",
+              protection.protectors.size(),
+              100.0 * protection.protectors.size() / g.NumEdges());
+
+  // Release audit: strongest attacker score and utility loss.
+  Rng attack_rng(1);
+  auto attacks = *tpp::linkpred::EvaluateAllAttacks(engine.CurrentGraph(),
+                                                    targets, attack_rng);
+  double worst_auc = 0;
+  for (const auto& report : attacks) worst_auc = std::max(worst_auc,
+                                                          report.auc);
+  tpp::metrics::UtilityOptions uopts;
+  uopts.apl_sample_sources = 100;
+  uopts.mu = false;
+  auto before = tpp::metrics::ComputeUtilityMetrics(g, uopts);
+  auto after =
+      tpp::metrics::ComputeUtilityMetrics(engine.CurrentGraph(), uopts);
+  auto loss = tpp::metrics::UtilityLossRatio(before, after);
+
+  // A real release also permutes node ids so released ids carry no
+  // meaning; the secret mapping stays with the owner.
+  tpp::graph::RelabeledGraph relabeled =
+      tpp::graph::RandomRelabel(engine.CurrentGraph(), rng);
+
+  std::string output = input + ".released";
+  Status s = tpp::graph::SaveEdgeList(relabeled.graph, output);
+  if (!s.ok()) {
+    std::fprintf(stderr, "cannot write release: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("[5/5] audit: worst attacker AUC %.3f (chance=0.5), average "
+              "utility loss %.2f%%\n",
+              worst_auc, 100.0 * loss.average);
+  std::printf("      released graph (ids permuted) written to %s\n",
+              output.c_str());
+  return 0;
+}

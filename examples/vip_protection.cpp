@@ -1,0 +1,125 @@
+// VIP protection with per-target budgets: a graph owner must protect the
+// relationships of several high-profile users, each with its own budget
+// share (MLBT problem). Compares the CT/WT selections under TBD and DBD
+// budget divisions against the single-global-budget SGB, and reports the
+// utility cost of each choice.
+//
+//   $ ./build/examples/vip_protection
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/tpp.h"
+#include "graph/datasets.h"
+#include "metrics/utility.h"
+
+using tpp::Rng;
+using tpp::core::IndexedEngine;
+using tpp::core::ProtectionResult;
+using tpp::core::TppInstance;
+using tpp::graph::Edge;
+using tpp::graph::Graph;
+using tpp::motif::MotifKind;
+
+namespace {
+
+// Deletes targets+protectors from a copy of the original and measures the
+// utility loss.
+double UtilityLossOf(const Graph& original, const TppInstance& instance,
+                     const ProtectionResult& result) {
+  Graph released = instance.released;
+  released.RemoveEdges(result.protectors);
+  tpp::metrics::UtilityOptions opts;
+  opts.apl_sample_sources = 100;  // sampled APL is plenty for a demo
+  opts.mu = false;
+  tpp::metrics::UtilityMetrics before =
+      tpp::metrics::ComputeUtilityMetrics(original, opts);
+  tpp::metrics::UtilityMetrics after =
+      tpp::metrics::ComputeUtilityMetrics(released, opts);
+  return tpp::metrics::UtilityLossRatio(before, after).average;
+}
+
+}  // namespace
+
+int main() {
+  Graph g = *tpp::graph::MakeArenasEmailLike(99);
+  std::printf("social graph: %s\n", g.DebugString().c_str());
+
+  // The "VIPs": endpoints of the 12 highest-degree-product links. These
+  // are the visible, high-attention relationships that need protection.
+  std::vector<Edge> edges = g.Edges();
+  std::sort(edges.begin(), edges.end(), [&](const Edge& a, const Edge& b) {
+    return g.Degree(a.u) * g.Degree(a.v) > g.Degree(b.u) * g.Degree(b.v);
+  });
+  std::vector<Edge> targets(edges.begin(), edges.begin() + 12);
+  std::printf("protecting %zu VIP relationships (RecTri attack model)\n\n",
+              targets.size());
+
+  TppInstance instance =
+      *tpp::core::MakeInstance(g, targets, MotifKind::kRecTri);
+
+  IndexedEngine probe = *IndexedEngine::Create(instance);
+  std::printf("initial exposure s({},T) = %zu target subgraphs\n",
+              probe.TotalSimilarity());
+  const size_t budget = probe.TotalSimilarity() / 10;
+  std::vector<size_t> sims(probe.NumTargets());
+  for (size_t t = 0; t < sims.size(); ++t) sims[t] = probe.SimilarityOf(t);
+
+  struct Row {
+    const char* name;
+    ProtectionResult result;
+  };
+  std::vector<Row> rows;
+  {
+    IndexedEngine e = *IndexedEngine::Create(instance);
+    rows.push_back({"SGB (global budget)", *tpp::core::SgbGreedy(e, budget)});
+  }
+  {
+    IndexedEngine e = *IndexedEngine::Create(instance);
+    rows.push_back({"CT + TBD budgets",
+                    *tpp::core::CtGreedy(
+                        e, tpp::core::DivideBudgetTbd(sims, budget))});
+  }
+  {
+    IndexedEngine e = *IndexedEngine::Create(instance);
+    rows.push_back({"CT + DBD budgets",
+                    *tpp::core::CtGreedy(
+                        e, tpp::core::DivideBudgetDbd(instance, budget))});
+  }
+  {
+    IndexedEngine e = *IndexedEngine::Create(instance);
+    rows.push_back({"WT + TBD budgets",
+                    *tpp::core::WtGreedy(
+                        e, tpp::core::DivideBudgetTbd(sims, budget))});
+  }
+  {
+    IndexedEngine e = *IndexedEngine::Create(instance);
+    rows.push_back({"WT + DBD budgets",
+                    *tpp::core::WtGreedy(
+                        e, tpp::core::DivideBudgetDbd(instance, budget))});
+  }
+
+  tpp::TextTable table;
+  table.SetHeader({"method", "deleted", "exposure left", "protected",
+                   "avg utility loss"});
+  for (const Row& row : rows) {
+    double loss = UtilityLossOf(g, instance, row.result);
+    table.AddRow({row.name, std::to_string(row.result.protectors.size()),
+                  std::to_string(row.result.final_similarity),
+                  tpp::StrFormat("%.0f%%",
+                                 100.0 *
+                                     static_cast<double>(
+                                         row.result.TotalGain()) /
+                                     row.result.initial_similarity),
+                  tpp::StrFormat("%.2f%%", 100.0 * loss)});
+  }
+  std::printf("\nbudget k = %zu links:\n%s\n", budget,
+              table.ToString().c_str());
+  std::printf("The global budget (SGB) and cross-target picking (CT) "
+              "stretch the budget\nfurthest; within-target picking (WT) "
+              "strands budget on already-protected VIPs,\nand DBD "
+              "over-funds high-degree VIPs relative to their actual "
+              "exposure.\n");
+  return 0;
+}

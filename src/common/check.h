@@ -1,0 +1,39 @@
+// TPP_CHECK: fatal invariant checks, enabled in all build types.
+//
+// Use for programmer errors that must never occur (broken invariants,
+// out-of-contract calls on hot internal paths). Recoverable conditions go
+// through Status instead.
+
+#ifndef TPP_COMMON_CHECK_H_
+#define TPP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tpp::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "TPP_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace tpp::internal
+
+/// Aborts the process with a diagnostic when `cond` is false.
+#define TPP_CHECK(cond)                                          \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      ::tpp::internal::CheckFailed(__FILE__, __LINE__, #cond);   \
+    }                                                            \
+  } while (false)
+
+/// Convenience comparisons; evaluate operands once.
+#define TPP_CHECK_EQ(a, b) TPP_CHECK((a) == (b))
+#define TPP_CHECK_NE(a, b) TPP_CHECK((a) != (b))
+#define TPP_CHECK_LT(a, b) TPP_CHECK((a) < (b))
+#define TPP_CHECK_LE(a, b) TPP_CHECK((a) <= (b))
+#define TPP_CHECK_GT(a, b) TPP_CHECK((a) > (b))
+#define TPP_CHECK_GE(a, b) TPP_CHECK((a) >= (b))
+
+#endif  // TPP_COMMON_CHECK_H_

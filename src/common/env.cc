@@ -1,0 +1,28 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace tpp {
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  Result<int64_t> parsed = ParseInt64(v);
+  return parsed.ok() ? *parsed : fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  Result<double> parsed = ParseDouble(v);
+  return parsed.ok() ? *parsed : fallback;
+}
+
+std::string EnvString(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::string(v);
+}
+
+}  // namespace tpp

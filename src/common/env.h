@@ -1,0 +1,24 @@
+// Environment-variable knobs used by the benchmark harnesses.
+
+#ifndef TPP_COMMON_ENV_H_
+#define TPP_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tpp {
+
+/// Reads an integer environment variable; returns `fallback` when unset or
+/// unparsable.
+int64_t EnvInt(const char* name, int64_t fallback);
+
+/// Reads a double environment variable; returns `fallback` when unset or
+/// unparsable.
+double EnvDouble(const char* name, double fallback);
+
+/// Reads a string environment variable; returns `fallback` when unset.
+std::string EnvString(const char* name, const std::string& fallback);
+
+}  // namespace tpp
+
+#endif  // TPP_COMMON_ENV_H_

@@ -1,0 +1,83 @@
+// Result<T>: value-or-Status, the StatusOr idiom without exceptions.
+
+#ifndef TPP_COMMON_RESULT_H_
+#define TPP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace tpp {
+
+/// Holds either a `T` or a non-OK `Status`.
+///
+/// Like absl::StatusOr: construct implicitly from a value or from an error
+/// Status. Accessing `value()` on an error result aborts in debug builds
+/// (assert) and is undefined otherwise, so callers must check `ok()` first
+/// or use the TPP_ASSIGN_OR_RETURN macro.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. Constructing from an OK
+  /// status is a programming error and degrades to Internal.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is held, the error otherwise.
+  Status status() const { return ok() ? Status::Ok() : status_; }
+
+  /// Value accessors; require ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace tpp
+
+#define TPP_CONCAT_INNER_(a, b) a##b
+#define TPP_CONCAT_(a, b) TPP_CONCAT_INNER_(a, b)
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// Status from the enclosing function. Usage:
+///   TPP_ASSIGN_OR_RETURN(Graph g, LoadGraph(path));
+#define TPP_ASSIGN_OR_RETURN(lhs, rexpr)                           \
+  auto TPP_CONCAT_(tpp_result_, __LINE__) = (rexpr);               \
+  if (!TPP_CONCAT_(tpp_result_, __LINE__).ok())                    \
+    return TPP_CONCAT_(tpp_result_, __LINE__).status();            \
+  lhs = std::move(TPP_CONCAT_(tpp_result_, __LINE__)).value()
+
+#endif  // TPP_COMMON_RESULT_H_

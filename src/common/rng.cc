@@ -1,0 +1,50 @@
+#include "common/rng.h"
+
+#include <unordered_set>
+
+namespace tpp {
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  TPP_CHECK_LE(k, n);
+  std::vector<size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  // For dense samples, shuffle a full index vector; for sparse samples use
+  // rejection through a hash set (expected O(k) when k << n).
+  if (k * 3 >= n) {
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    Shuffle(idx);
+    idx.resize(k);
+    return idx;
+  }
+  std::unordered_set<size_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    size_t i = UniformIndex(n);
+    if (seen.insert(i).second) out.push_back(i);
+  }
+  return out;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    TPP_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  TPP_CHECK_GT(total, 0.0);
+  double r = UniformReal() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  // Floating-point slack: fall back to the last positive weight.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace tpp

@@ -1,0 +1,89 @@
+// Rng: the single source of randomness for the whole library.
+//
+// Every experiment, generator and baseline draws from an explicitly seeded
+// Rng so that all results are reproducible bit-for-bit across runs.
+
+#ifndef TPP_COMMON_RNG_H_
+#define TPP_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tpp {
+
+/// Deterministic pseudo-random generator (mt19937_64) with the sampling
+/// helpers the library needs. Not thread-safe; use one Rng per thread.
+class Rng {
+ public:
+  /// Seeds the generator. The same seed always yields the same stream.
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    TPP_CHECK_LE(lo, hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(gen_);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  size_t UniformIndex(size_t n) {
+    TPP_CHECK_GT(n, 0u);
+    return static_cast<size_t>(
+        std::uniform_int_distribution<uint64_t>(0, n - 1)(gen_));
+  }
+
+  /// Uniform real in [0, 1).
+  double UniformReal() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return UniformReal() < p;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = UniformIndex(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) without replacement.
+  /// Requires k <= n. Order of the returned indices is unspecified.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Samples `k` distinct elements from `pool` without replacement.
+  template <typename T>
+  std::vector<T> SampleK(const std::vector<T>& pool, size_t k) {
+    std::vector<size_t> idx = SampleWithoutReplacement(pool.size(), k);
+    std::vector<T> out;
+    out.reserve(k);
+    for (size_t i : idx) out.push_back(pool[i]);
+    return out;
+  }
+
+  /// Draws an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Requires at least one strictly positive weight.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Access to the underlying engine for std distributions.
+  std::mt19937_64& engine() { return gen_; }
+
+  /// Derives an independent child generator; useful for fanning a master
+  /// seed out to per-sample experiment seeds.
+  Rng Fork() { return Rng(gen_()); }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace tpp
+
+#endif  // TPP_COMMON_RNG_H_

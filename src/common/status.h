@@ -1,0 +1,113 @@
+// Status: lightweight error propagation without exceptions.
+//
+// Follows the RocksDB / Google idiom: every fallible operation returns a
+// Status (or a Result<T>, see result.h) and callers are expected to check it.
+// Library code never throws across the public API boundary.
+
+#ifndef TPP_COMMON_STATUS_H_
+#define TPP_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tpp {
+
+/// Canonical error categories, a deliberately small subset of the
+/// absl/gRPC canonical codes that matter for an analytics library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kUnimplemented = 7,
+  kIoError = 8,
+};
+
+/// Returns a stable human-readable name for a status code, e.g.
+/// "InvalidArgument".
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value-type carrying either success (`Ok`) or an error code plus message.
+///
+/// Cheap to move; the OK state allocates nothing. Statuses are annotated
+/// [[nodiscard]] so silently dropping an error is a compile-time warning.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. An empty message
+  /// is allowed; a code of kOk with a message is normalized to plain OK.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    if (code_ == StatusCode::kOk) message_.clear();
+  }
+
+  /// Factory helpers, mirroring the canonical codes.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// Renders "Ok" or "<CodeName>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace tpp
+
+/// Propagates a non-OK Status to the caller. Usage:
+///   TPP_RETURN_IF_ERROR(DoThing());
+#define TPP_RETURN_IF_ERROR(expr)                         \
+  do {                                                    \
+    ::tpp::Status tpp_status_tmp_ = (expr);               \
+    if (!tpp_status_tmp_.ok()) return tpp_status_tmp_;    \
+  } while (false)
+
+#endif  // TPP_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+// Small string helpers shared by I/O and the harnesses.
+
+#ifndef TPP_COMMON_STRINGS_H_
+#define TPP_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tpp {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Splits on any character in `delims`, dropping empty pieces.
+std::vector<std::string_view> SplitNonEmpty(std::string_view s,
+                                            std::string_view delims);
+
+/// Parses a base-10 signed integer; the whole string must be consumed.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Parses a double; the whole string must be consumed.
+Result<double> ParseDouble(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace tpp
+
+#endif  // TPP_COMMON_STRINGS_H_

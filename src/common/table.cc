@@ -1,0 +1,100 @@
+#include "common/table.h"
+
+#include <filesystem>
+#include <fstream>
+
+namespace tpp {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      width[i] = std::max(width[i], r[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      out += r[i];
+      if (i + 1 < r.size()) {
+        out.append(width[i] - r[i].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    size_t rule = 0;
+    for (size_t i = 0; i < cols; ++i) rule += width[i] + (i + 1 < cols ? 2 : 0);
+    out.append(rule, '-');
+    out += '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+void CsvWriter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::EscapeField(const std::string& field) {
+  bool needs_quote = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (i) out += ',';
+      out += EscapeField(r[i]);
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::error_code ec;
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+    if (ec) {
+      return Status::IoError("cannot create directory " +
+                             p.parent_path().string() + ": " + ec.message());
+    }
+  }
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Status::IoError("cannot open " + path + " for writing");
+  f << ToString();
+  if (!f.good()) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace tpp

@@ -1,0 +1,57 @@
+// TextTable / CsvWriter: aligned console tables and CSV files for the
+// benchmark harnesses that regenerate the paper's tables and figures.
+
+#ifndef TPP_COMMON_TABLE_H_
+#define TPP_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tpp {
+
+/// Builds a column-aligned plain-text table, the format the bench binaries
+/// print so their output reads like the paper's tables.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row. Rows may have fewer cells than the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with two-space column separation and a rule under the header.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Accumulates rows and writes RFC-4180-ish CSV (quotes fields containing
+/// commas, quotes or newlines). Used to dump machine-readable results next
+/// to the human-readable tables.
+class CsvWriter {
+ public:
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+
+  /// Serializes all rows to a CSV string.
+  std::string ToString() const;
+
+  /// Writes the CSV to `path`, creating parent directories if needed.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  static std::string EscapeField(const std::string& field);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tpp
+
+#endif  // TPP_COMMON_TABLE_H_

@@ -1,0 +1,33 @@
+// WallTimer: monotonic wall-clock stopwatch for the benchmark harnesses.
+
+#ifndef TPP_COMMON_TIMER_H_
+#define TPP_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace tpp {
+
+/// Simple stopwatch over std::chrono::steady_clock. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tpp
+
+#endif  // TPP_COMMON_TIMER_H_

@@ -1,0 +1,178 @@
+#include "community/louvain.h"
+
+#include <numeric>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "community/modularity.h"
+
+namespace tpp::community {
+
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+
+// Internal weighted graph for the aggregation levels. Self-loop weight is
+// the total weight of edges folded inside a super-node; node strength
+// k[u] = sum of incident weights + 2 * self_w[u].
+struct WGraph {
+  std::vector<std::vector<std::pair<uint32_t, double>>> adj;  // no self
+  std::vector<double> self_w;
+  std::vector<double> k;
+  double m2 = 0.0;  // total strength == 2 * total weight
+
+  size_t NumNodes() const { return adj.size(); }
+
+  void Finalize() {
+    k.assign(adj.size(), 0.0);
+    m2 = 0.0;
+    for (size_t u = 0; u < adj.size(); ++u) {
+      double s = 2.0 * self_w[u];
+      for (const auto& [v, w] : adj[u]) s += w;
+      k[u] = s;
+      m2 += s;
+    }
+  }
+};
+
+WGraph FromGraph(const Graph& g) {
+  WGraph wg;
+  wg.adj.resize(g.NumNodes());
+  wg.self_w.assign(g.NumNodes(), 0.0);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    wg.adj[u].reserve(g.Degree(u));
+    for (NodeId v : g.Neighbors(u)) {
+      wg.adj[u].emplace_back(v, 1.0);
+    }
+  }
+  wg.Finalize();
+  return wg;
+}
+
+// One Louvain level: local moving until stable. Returns the number of
+// communities and fills `comm` with dense community ids.
+size_t LocalMoving(const WGraph& wg, double min_gain,
+                   std::vector<int32_t>* comm) {
+  const size_t n = wg.NumNodes();
+  comm->resize(n);
+  std::iota(comm->begin(), comm->end(), 0);
+  std::vector<double> tot(wg.k);  // total strength per community
+
+  // Scratch: weight from the current node to each touched community.
+  std::vector<double> w_to(n, 0.0);
+  std::vector<int32_t> touched;
+
+  bool moved_any_pass = true;
+  while (moved_any_pass) {
+    moved_any_pass = false;
+    for (size_t u = 0; u < n; ++u) {
+      const int32_t cu = (*comm)[u];
+      touched.clear();
+      for (const auto& [v, w] : wg.adj[u]) {
+        int32_t cv = (*comm)[v];
+        if (w_to[cv] == 0.0) touched.push_back(cv);
+        w_to[cv] += w;
+      }
+      // Remove u from its community for the comparison.
+      tot[cu] -= wg.k[u];
+      // Baseline: staying in cu (after conceptual removal).
+      double base_gain = w_to[cu] - wg.k[u] * tot[cu] / wg.m2;
+      double best_gain = base_gain;
+      int32_t best_comm = cu;
+      for (int32_t c : touched) {
+        if (c == cu) continue;
+        double gain = w_to[c] - wg.k[u] * tot[c] / wg.m2;
+        if (gain > best_gain + min_gain ||
+            (gain > best_gain && c < best_comm)) {
+          best_gain = gain;
+          best_comm = c;
+        }
+      }
+      tot[best_comm] += wg.k[u];
+      if (best_comm != cu) {
+        (*comm)[u] = best_comm;
+        moved_any_pass = true;
+      }
+      for (int32_t c : touched) w_to[c] = 0.0;
+    }
+  }
+
+  // Renumber communities densely in order of first appearance.
+  std::unordered_map<int32_t, int32_t> dense;
+  dense.reserve(n);
+  for (size_t u = 0; u < n; ++u) {
+    auto [it, inserted] =
+        dense.try_emplace((*comm)[u], static_cast<int32_t>(dense.size()));
+    (void)inserted;
+    (*comm)[u] = it->second;
+  }
+  return dense.size();
+}
+
+// Builds the aggregated graph whose nodes are the communities of `comm`.
+WGraph Aggregate(const WGraph& wg, const std::vector<int32_t>& comm,
+                 size_t num_comms) {
+  WGraph out;
+  out.adj.resize(num_comms);
+  out.self_w.assign(num_comms, 0.0);
+  std::vector<std::unordered_map<uint32_t, double>> acc(num_comms);
+  for (size_t u = 0; u < wg.NumNodes(); ++u) {
+    uint32_t cu = static_cast<uint32_t>(comm[u]);
+    out.self_w[cu] += wg.self_w[u];
+    for (const auto& [v, w] : wg.adj[u]) {
+      uint32_t cv = static_cast<uint32_t>(comm[v]);
+      if (cu == cv) {
+        // Each undirected internal edge appears twice in adjacency; add
+        // half each time so the folded weight is counted once.
+        out.self_w[cu] += w / 2.0;
+      } else {
+        acc[cu][cv] += w;
+      }
+    }
+  }
+  for (size_t c = 0; c < num_comms; ++c) {
+    out.adj[c].assign(acc[c].begin(), acc[c].end());
+    // Sort for determinism across runs/platforms.
+    std::sort(out.adj[c].begin(), out.adj[c].end());
+  }
+  out.Finalize();
+  return out;
+}
+
+}  // namespace
+
+Result<LouvainResult> Louvain(const Graph& g, const LouvainOptions& options) {
+  if (g.NumEdges() == 0) {
+    return Status::InvalidArgument("Louvain requires at least one edge");
+  }
+  LouvainResult result;
+  result.labels.resize(g.NumNodes());
+  std::iota(result.labels.begin(), result.labels.end(), 0);
+
+  WGraph wg = FromGraph(g);
+  for (size_t level = 0; level < options.max_levels; ++level) {
+    std::vector<int32_t> comm;
+    size_t num_comms = LocalMoving(wg, options.min_gain, &comm);
+    ++result.num_levels;
+    // Compose into original-node labels.
+    for (size_t u = 0; u < result.labels.size(); ++u) {
+      result.labels[u] = comm[result.labels[u]];
+    }
+    if (num_comms == wg.NumNodes()) break;  // no merge happened: converged
+    wg = Aggregate(wg, comm, num_comms);
+  }
+
+  std::unordered_map<int32_t, int32_t> dense;
+  for (int32_t& l : result.labels) {
+    auto [it, inserted] =
+        dense.try_emplace(l, static_cast<int32_t>(dense.size()));
+    (void)inserted;
+    l = it->second;
+  }
+  result.num_communities = dense.size();
+  TPP_ASSIGN_OR_RETURN(result.modularity, Modularity(g, result.labels));
+  return result;
+}
+
+}  // namespace tpp::community

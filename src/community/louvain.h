@@ -1,0 +1,43 @@
+// Louvain community detection (Blondel et al. 2008).
+//
+// Needed because the paper's Mod utility metric requires a community
+// assignment; the paper does not fix a specific algorithm, and Louvain is
+// the de-facto standard modularity optimizer at these graph sizes.
+
+#ifndef TPP_COMMUNITY_LOUVAIN_H_
+#define TPP_COMMUNITY_LOUVAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace tpp::community {
+
+/// Result of a Louvain run.
+struct LouvainResult {
+  std::vector<int32_t> labels;  ///< final community per original node
+  double modularity = 0.0;      ///< modularity of the final partition
+  size_t num_communities = 0;
+  size_t num_levels = 0;        ///< aggregation rounds performed
+};
+
+/// Options for Louvain.
+struct LouvainOptions {
+  /// Stop a local-moving sweep once the modularity gain of a full pass
+  /// drops below this threshold.
+  double min_gain = 1e-7;
+  /// Hard cap on aggregation levels (safety valve).
+  size_t max_levels = 32;
+};
+
+/// Runs Louvain on `g`. Deterministic: nodes are visited in index order at
+/// every level, so the same graph always yields the same partition.
+/// Errors on graphs without edges (modularity undefined).
+Result<LouvainResult> Louvain(const graph::Graph& g,
+                              const LouvainOptions& options = {});
+
+}  // namespace tpp::community
+
+#endif  // TPP_COMMUNITY_LOUVAIN_H_

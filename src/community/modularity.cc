@@ -1,0 +1,41 @@
+#include "community/modularity.h"
+
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace tpp::community {
+
+using graph::Graph;
+using graph::NodeId;
+
+Result<double> Modularity(const Graph& g, const std::vector<int32_t>& labels) {
+  if (labels.size() != g.NumNodes()) {
+    return Status::InvalidArgument(
+        StrFormat("label vector size %zu != node count %zu", labels.size(),
+                  g.NumNodes()));
+  }
+  if (g.NumEdges() == 0) {
+    return Status::InvalidArgument("modularity undefined for empty graph");
+  }
+  const double two_m = static_cast<double>(2 * g.NumEdges());
+  // Q = sum_c [ internal_c / 2m - (degree_total_c / 2m)^2 ].
+  std::unordered_map<int32_t, double> internal;   // 2 * edges inside c
+  std::unordered_map<int32_t, double> deg_total;  // sum of degrees in c
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    deg_total[labels[u]] += static_cast<double>(g.Degree(u));
+    for (NodeId v : g.Neighbors(u)) {
+      if (labels[u] == labels[v]) internal[labels[u]] += 1.0;
+    }
+  }
+  double q = 0.0;
+  for (const auto& [c, deg] : deg_total) {
+    double in_c = 0.0;
+    auto it = internal.find(c);
+    if (it != internal.end()) in_c = it->second;
+    q += in_c / two_m - (deg / two_m) * (deg / two_m);
+  }
+  return q;
+}
+
+}  // namespace tpp::community

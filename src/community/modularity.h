@@ -1,0 +1,23 @@
+// Newman modularity of a node partition (paper Table II metric "Mod").
+
+#ifndef TPP_COMMUNITY_MODULARITY_H_
+#define TPP_COMMUNITY_MODULARITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace tpp::community {
+
+/// Computes Q = (1/2m) * sum_ij [A_ij - d_i d_j / 2m] delta(c_i, c_j) for
+/// the given per-node community labels. Labels may be arbitrary
+/// non-negative integers. Errors if the label vector size mismatches or the
+/// graph has no edges.
+Result<double> Modularity(const graph::Graph& g,
+                          const std::vector<int32_t>& labels);
+
+}  // namespace tpp::community
+
+#endif  // TPP_COMMUNITY_MODULARITY_H_

@@ -1,0 +1,85 @@
+#include "core/alternatives.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "motif/enumerate.h"
+
+namespace tpp::core {
+
+using graph::Edge;
+using graph::EdgeKey;
+using graph::Graph;
+using graph::MakeEdgeKey;
+using graph::NodeId;
+
+namespace {
+
+// Adds `k` random non-links to `g`, avoiding `forbidden` keys. Returns
+// the inserted edges; may return fewer if the graph is near-complete.
+std::vector<Edge> AddRandomNonLinks(
+    Graph& g, size_t k, const std::unordered_set<EdgeKey>& forbidden,
+    Rng& rng) {
+  std::vector<Edge> added;
+  const size_t n = g.NumNodes();
+  if (n < 2) return added;
+  size_t attempts = 0;
+  const size_t max_attempts = 1000 * (k + 1);
+  while (added.size() < k && attempts++ < max_attempts) {
+    NodeId u = static_cast<NodeId>(rng.UniformIndex(n));
+    NodeId v = static_cast<NodeId>(rng.UniformIndex(n));
+    if (u == v || g.HasEdge(u, v)) continue;
+    if (forbidden.count(MakeEdgeKey(u, v)) > 0) continue;
+    Status s = g.AddEdge(u, v);
+    TPP_CHECK(s.ok());
+    added.emplace_back(u, v);
+  }
+  return added;
+}
+
+std::unordered_set<EdgeKey> TargetKeys(const TppInstance& instance) {
+  std::unordered_set<EdgeKey> keys;
+  keys.reserve(instance.targets.size() * 2);
+  for (const Edge& t : instance.targets) keys.insert(t.Key());
+  return keys;
+}
+
+}  // namespace
+
+Result<PerturbationResult> RandomLinkAddition(const TppInstance& instance,
+                                              size_t k, Rng& rng) {
+  PerturbationResult result;
+  result.graph = instance.released;
+  result.similarity_before = motif::TotalSimilarity(
+      instance.released, instance.targets, instance.motif);
+  result.added =
+      AddRandomNonLinks(result.graph, k, TargetKeys(instance), rng);
+  result.similarity_after = motif::TotalSimilarity(
+      result.graph, instance.targets, instance.motif);
+  return result;
+}
+
+Result<PerturbationResult> RandomLinkSwitch(const TppInstance& instance,
+                                            size_t k, Rng& rng) {
+  PerturbationResult result;
+  result.graph = instance.released;
+  result.similarity_before = motif::TotalSimilarity(
+      instance.released, instance.targets, instance.motif);
+  // Step 1: delete k random existing links.
+  for (size_t i = 0; i < k && result.graph.NumEdges() > 0; ++i) {
+    std::vector<EdgeKey> keys = result.graph.EdgeKeys();
+    EdgeKey victim = keys[rng.UniformIndex(keys.size())];
+    Status s = result.graph.RemoveEdgeKey(victim);
+    TPP_CHECK(s.ok());
+    result.deleted.emplace_back(graph::EdgeKeyU(victim),
+                                graph::EdgeKeyV(victim));
+  }
+  // Step 2: add k random non-links (never resurrecting a target).
+  result.added =
+      AddRandomNonLinks(result.graph, k, TargetKeys(instance), rng);
+  result.similarity_after = motif::TotalSimilarity(
+      result.graph, instance.targets, instance.motif);
+  return result;
+}
+
+}  // namespace tpp::core

@@ -1,0 +1,47 @@
+// The Extended Discussion's alternative mechanisms (paper §VI-D): link
+// addition and random link switching.
+//
+// The paper argues these are NOT workable for TPP because the
+// dissimilarity function loses monotonicity: adding a link can only
+// create new target subgraphs (never break one), and a switch is a
+// deletion plus an addition, so its net effect can be negative. These
+// implementations exist to demonstrate that argument empirically (see
+// tests/alternatives_test.cc) and to serve as honest baselines.
+
+#ifndef TPP_CORE_ALTERNATIVES_H_
+#define TPP_CORE_ALTERNATIVES_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/problem.h"
+
+namespace tpp::core {
+
+/// Outcome of an addition/switch perturbation.
+struct PerturbationResult {
+  graph::Graph graph{0};              ///< the perturbed released graph
+  std::vector<graph::Edge> added;     ///< links inserted
+  std::vector<graph::Edge> deleted;   ///< links removed
+  size_t similarity_before = 0;       ///< s(T) on the phase-1 graph
+  size_t similarity_after = 0;        ///< s(T) on the perturbed graph
+};
+
+/// Adds `k` uniform random non-links (never re-adding a target link).
+/// Addition can only create target subgraphs, so
+/// similarity_after >= similarity_before always holds.
+Result<PerturbationResult> RandomLinkAddition(const TppInstance& instance,
+                                              size_t k, Rng& rng);
+
+/// Random switching (paper's two-step description): delete `k` uniform
+/// random existing links, then add `k` uniform random non-links (avoiding
+/// targets). The deletion half may break target subgraphs while the
+/// addition half may create them, so the net similarity change has no
+/// sign guarantee — the paper's non-monotonicity argument.
+Result<PerturbationResult> RandomLinkSwitch(const TppInstance& instance,
+                                            size_t k, Rng& rng);
+
+}  // namespace tpp::core
+
+#endif  // TPP_CORE_ALTERNATIVES_H_

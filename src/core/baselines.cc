@@ -1,0 +1,53 @@
+#include "core/baselines.h"
+
+#include "common/timer.h"
+#include "graph/edge.h"
+
+namespace tpp::core {
+
+using graph::EdgeKey;
+using graph::EdgeKeyU;
+using graph::EdgeKeyV;
+
+namespace {
+
+Result<ProtectionResult> RandomFromScope(Engine& engine, size_t budget,
+                                         CandidateScope scope, Rng& rng) {
+  WallTimer timer;
+  ProtectionResult result;
+  result.initial_similarity = engine.TotalSimilarity();
+  while (result.protectors.size() < budget) {
+    std::vector<EdgeKey> candidates = engine.Candidates(scope);
+    if (candidates.empty()) break;
+    EdgeKey e = candidates[rng.UniformIndex(candidates.size())];
+    size_t realized = engine.DeleteEdge(e);
+    PickTrace trace;
+    trace.edge = e;
+    trace.realized_gain = realized;
+    trace.for_target = PickTrace::kNoTarget;
+    trace.similarity_after = engine.TotalSimilarity();
+    trace.cumulative_seconds = timer.Seconds();
+    result.picks.push_back(trace);
+    result.protectors.emplace_back(EdgeKeyU(e), EdgeKeyV(e));
+  }
+  result.final_similarity = engine.TotalSimilarity();
+  result.gain_evaluations = engine.GainEvaluations();
+  result.total_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace
+
+Result<ProtectionResult> RandomDeletion(Engine& engine, size_t budget,
+                                        Rng& rng) {
+  return RandomFromScope(engine, budget, CandidateScope::kAllEdges, rng);
+}
+
+Result<ProtectionResult> RandomDeletionFromTargetSubgraphs(Engine& engine,
+                                                           size_t budget,
+                                                           Rng& rng) {
+  return RandomFromScope(engine, budget, CandidateScope::kTargetSubgraphEdges,
+                         rng);
+}
+
+}  // namespace tpp::core

@@ -1,0 +1,27 @@
+// The paper's two baseline protector selections (§VI-A).
+
+#ifndef TPP_CORE_BASELINES_H_
+#define TPP_CORE_BASELINES_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/greedy.h"
+
+namespace tpp::core {
+
+/// RD: deletes `budget` edges chosen uniformly at random from the remaining
+/// edges of the released graph.
+Result<ProtectionResult> RandomDeletion(Engine& engine, size_t budget,
+                                        Rng& rng);
+
+/// RDT: deletes `budget` edges chosen uniformly at random from the edges
+/// that participate in at least one alive target subgraph; stops early if
+/// no such edge remains.
+Result<ProtectionResult> RandomDeletionFromTargetSubgraphs(Engine& engine,
+                                                           size_t budget,
+                                                           Rng& rng);
+
+}  // namespace tpp::core
+
+#endif  // TPP_CORE_BASELINES_H_

@@ -1,0 +1,81 @@
+// Engine: the similarity oracle the greedy algorithms run against.
+//
+// Two implementations share this contract:
+//   * NaiveEngine  (naive_engine.h)   — recounts motifs on the live graph
+//     for every gain query, reproducing the paper's cost model;
+//   * IndexedEngine (indexed_engine.h) — answers from the precomputed
+//     edge->instance incidence index (our scalable engine).
+// Both must return identical values for every query; this is enforced by
+// differential tests.
+
+#ifndef TPP_CORE_ENGINE_H_
+#define TPP_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "motif/incidence_index.h"
+
+namespace tpp::core {
+
+/// Which edges a greedy algorithm may consider as protectors.
+enum class CandidateScope {
+  /// Every remaining edge of the released graph — the paper's base
+  /// SGB/CT/WT-Greedy algorithms.
+  kAllEdges,
+  /// Only edges participating in at least one alive target subgraph
+  /// (Lemma 5) — the scalable "-R" algorithms.
+  kTargetSubgraphEdges,
+};
+
+/// Mutable similarity oracle for one TPP instance. Deletions are
+/// irreversible; create a fresh engine to restart an experiment.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Number of targets |T|.
+  virtual size_t NumTargets() const = 0;
+
+  /// Current per-target similarity s(P, t).
+  virtual size_t SimilarityOf(size_t t) = 0;
+
+  /// Current total similarity s(P, T).
+  virtual size_t TotalSimilarity() = 0;
+
+  /// Dissimilarity gain of deleting `e` now: s(P,T) - s(P + e, T).
+  /// Does not commit the deletion.
+  virtual size_t Gain(graph::EdgeKey e) = 0;
+
+  /// Gain split into the part benefiting target `t` (own) and everyone
+  /// else (cross). own + cross == Gain(e).
+  virtual motif::IncidenceIndex::SplitGain GainFor(graph::EdgeKey e,
+                                                   size_t t) = 0;
+
+  /// Per-target gains of deleting `e`: out[t] = s(P,t) - s(P + e, t).
+  /// One evaluation yields the gain split for EVERY target, which is what
+  /// keeps CT-Greedy at the same asymptotic cost as SGB-Greedy (the
+  /// paper's O(k n m (log N)^2) analysis assumes this).
+  virtual std::vector<size_t> GainVector(graph::EdgeKey e) = 0;
+
+  /// Commits the deletion of `e` from the released graph. Returns the
+  /// number of target subgraphs broken (== the gain it realized).
+  virtual size_t DeleteEdge(graph::EdgeKey e) = 0;
+
+  /// Candidate protector edges under `scope`, sorted ascending by key for
+  /// deterministic tie-breaking. Already-deleted edges never appear.
+  virtual std::vector<graph::EdgeKey> Candidates(CandidateScope scope) = 0;
+
+  /// The current (phase-1 + committed deletions) graph; used by the random
+  /// baselines and by utility analysis of the final release.
+  virtual const graph::Graph& CurrentGraph() const = 0;
+
+  /// Number of Gain/GainFor evaluations performed so far; the work metric
+  /// reported by the running-time experiments.
+  virtual uint64_t GainEvaluations() const = 0;
+};
+
+}  // namespace tpp::core
+
+#endif  // TPP_CORE_ENGINE_H_

@@ -1,0 +1,217 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "graph/edge.h"
+
+namespace tpp::core {
+
+using graph::Edge;
+using graph::EdgeKey;
+using graph::EdgeKeyU;
+using graph::EdgeKeyV;
+using motif::IncidenceIndex;
+
+namespace {
+
+void CommitPick(Engine& engine, EdgeKey edge, size_t for_target,
+                const WallTimer& timer, ProtectionResult& result) {
+  size_t realized = engine.DeleteEdge(edge);
+  PickTrace trace;
+  trace.edge = edge;
+  trace.realized_gain = realized;
+  trace.for_target = for_target;
+  trace.similarity_after = engine.TotalSimilarity();
+  trace.cumulative_seconds = timer.Seconds();
+  result.picks.push_back(trace);
+  result.protectors.emplace_back(EdgeKeyU(edge), EdgeKeyV(edge));
+}
+
+void FinalizeResult(Engine& engine, const WallTimer& timer,
+                    ProtectionResult& result) {
+  result.final_similarity = engine.TotalSimilarity();
+  result.gain_evaluations = engine.GainEvaluations();
+  result.total_seconds = timer.Seconds();
+}
+
+// Plain SGB iteration: evaluate every candidate, take the best.
+Result<ProtectionResult> SgbGreedyEager(Engine& engine, size_t budget,
+                                        const GreedyOptions& options) {
+  WallTimer timer;
+  ProtectionResult result;
+  result.initial_similarity = engine.TotalSimilarity();
+  while (result.protectors.size() < budget) {
+    std::vector<EdgeKey> candidates = engine.Candidates(options.scope);
+    EdgeKey best_edge = 0;
+    size_t best_gain = 0;
+    for (EdgeKey e : candidates) {
+      size_t gain = engine.Gain(e);
+      if (gain > best_gain) {  // strict: first max wins => smallest key
+        best_gain = gain;
+        best_edge = e;
+      }
+    }
+    if (best_gain == 0) break;
+    CommitPick(engine, best_edge, PickTrace::kNoTarget, timer, result);
+  }
+  FinalizeResult(engine, timer, result);
+  return result;
+}
+
+// CELF lazy-greedy SGB: keep stale upper bounds in a max-heap; re-evaluate
+// only the top element. Valid because the gain of a fixed edge can only
+// shrink as deletions accumulate (submodularity, Lemma 2).
+Result<ProtectionResult> SgbGreedyLazy(Engine& engine, size_t budget,
+                                       const GreedyOptions& options) {
+  WallTimer timer;
+  ProtectionResult result;
+  result.initial_similarity = engine.TotalSimilarity();
+
+  struct HeapEntry {
+    size_t bound;
+    EdgeKey edge;
+    uint64_t round;  // deletion round the bound was computed in
+  };
+  auto cmp = [](const HeapEntry& a, const HeapEntry& b) {
+    if (a.bound != b.bound) return a.bound < b.bound;
+    return a.edge > b.edge;  // prefer smaller key on ties
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(cmp)> heap(
+      cmp);
+  for (EdgeKey e : engine.Candidates(options.scope)) {
+    size_t gain = engine.Gain(e);
+    if (gain > 0) heap.push({gain, e, 0});
+  }
+  uint64_t round = 0;
+  while (result.protectors.size() < budget && !heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (top.round != round) {
+      size_t fresh = engine.Gain(top.edge);
+      if (fresh > 0) heap.push({fresh, top.edge, round});
+      continue;
+    }
+    if (top.bound == 0) break;
+    CommitPick(engine, top.edge, PickTrace::kNoTarget, timer, result);
+    ++round;
+  }
+  FinalizeResult(engine, timer, result);
+  return result;
+}
+
+// Lexicographic comparison of (own, cross) gains, the exact-arithmetic
+// form of the paper's own + cross / C score.
+bool SplitGainLess(const IncidenceIndex::SplitGain& a,
+                   const IncidenceIndex::SplitGain& b) {
+  if (a.own != b.own) return a.own < b.own;
+  return a.cross < b.cross;
+}
+
+}  // namespace
+
+Result<ProtectionResult> SgbGreedy(Engine& engine, size_t budget,
+                                   const GreedyOptions& options) {
+  if (options.lazy) return SgbGreedyLazy(engine, budget, options);
+  return SgbGreedyEager(engine, budget, options);
+}
+
+Result<ProtectionResult> CtGreedy(Engine& engine,
+                                  const std::vector<size_t>& budgets,
+                                  const GreedyOptions& options) {
+  if (budgets.size() != engine.NumTargets()) {
+    return Status::InvalidArgument(
+        StrFormat("budget vector size %zu != target count %zu",
+                  budgets.size(), engine.NumTargets()));
+  }
+  WallTimer timer;
+  ProtectionResult result;
+  result.initial_similarity = engine.TotalSimilarity();
+
+  std::vector<size_t> spent(budgets.size(), 0);
+  size_t total_budget = 0;
+  for (size_t b : budgets) total_budget += b;
+
+  while (result.protectors.size() < total_budget) {
+    std::vector<EdgeKey> candidates = engine.Candidates(options.scope);
+    bool found = false;
+    size_t best_target = 0;
+    EdgeKey best_edge = 0;
+    IncidenceIndex::SplitGain best_gain;
+    for (EdgeKey e : candidates) {
+      // One evaluation yields the per-target split for every (t, e) pair —
+      // this is what keeps CT at the paper's O(k n m (log N)^2).
+      std::vector<size_t> diffs = engine.GainVector(e);
+      size_t total = 0;
+      for (size_t d : diffs) total += d;
+      if (total == 0) continue;
+      for (size_t t = 0; t < budgets.size(); ++t) {
+        if (spent[t] >= budgets[t]) continue;  // budget used up (set T')
+        IncidenceIndex::SplitGain gain{diffs[t], total - diffs[t]};
+        if (!found || SplitGainLess(best_gain, gain)) {
+          found = true;
+          best_gain = gain;
+          best_edge = e;
+          best_target = t;
+        }
+      }
+    }
+    if (!found) break;  // best delta is zero everywhere
+    ++spent[best_target];
+    CommitPick(engine, best_edge, best_target, timer, result);
+  }
+  FinalizeResult(engine, timer, result);
+  return result;
+}
+
+Result<ProtectionResult> WtGreedy(Engine& engine,
+                                  const std::vector<size_t>& budgets,
+                                  const GreedyOptions& options) {
+  if (budgets.size() != engine.NumTargets()) {
+    return Status::InvalidArgument(
+        StrFormat("budget vector size %zu != target count %zu",
+                  budgets.size(), engine.NumTargets()));
+  }
+  WallTimer timer;
+  ProtectionResult result;
+  result.initial_similarity = engine.TotalSimilarity();
+
+  for (size_t t = 0; t < budgets.size(); ++t) {
+    for (size_t b = 0; b < budgets[t]; ++b) {
+      std::vector<EdgeKey> candidates = engine.Candidates(options.scope);
+      bool found = false;
+      EdgeKey best_edge = 0;
+      IncidenceIndex::SplitGain best_gain;
+      for (EdgeKey e : candidates) {
+        std::vector<size_t> diffs = engine.GainVector(e);
+        if (diffs[t] == 0) continue;  // within-target: own gain required
+        size_t total = 0;
+        for (size_t d : diffs) total += d;
+        IncidenceIndex::SplitGain gain{diffs[t], total - diffs[t]};
+        if (!found || SplitGainLess(best_gain, gain)) {
+          found = true;
+          best_gain = gain;
+          best_edge = e;
+        }
+      }
+      if (!found) break;  // target t fully protected; move to next target
+      CommitPick(engine, best_edge, t, timer, result);
+    }
+  }
+  FinalizeResult(engine, timer, result);
+  return result;
+}
+
+Result<ProtectionResult> FullProtection(Engine& engine,
+                                        const GreedyOptions& options) {
+  // The candidate pool is finite and each pick strictly reduces the number
+  // of alive target subgraphs, so SGB with budget == current similarity
+  // always reaches zero.
+  size_t bound = engine.TotalSimilarity();
+  return SgbGreedy(engine, bound, options);
+}
+
+}  // namespace tpp::core

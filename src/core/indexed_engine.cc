@@ -1,0 +1,36 @@
+#include "core/indexed_engine.h"
+
+#include "common/check.h"
+
+namespace tpp::core {
+
+using graph::EdgeKey;
+
+Result<IndexedEngine> IndexedEngine::Create(const TppInstance& instance) {
+  TPP_ASSIGN_OR_RETURN(motif::IncidenceIndex index,
+                       motif::IncidenceIndex::Build(
+                           instance.released, instance.targets,
+                           instance.motif));
+  return IndexedEngine(instance.released, std::move(index));
+}
+
+std::vector<size_t> IndexedEngine::GainVector(EdgeKey e) {
+  ++gain_evals_;
+  std::vector<size_t> diffs(index_.NumTargets(), 0);
+  index_.AccumulateGains(e, &diffs);
+  return diffs;
+}
+
+size_t IndexedEngine::DeleteEdge(EdgeKey e) {
+  if (!g_.HasEdgeKey(e)) return 0;
+  Status s = g_.RemoveEdgeKey(e);
+  TPP_CHECK(s.ok());
+  return index_.DeleteEdge(e);
+}
+
+std::vector<EdgeKey> IndexedEngine::Candidates(CandidateScope scope) {
+  if (scope == CandidateScope::kAllEdges) return g_.EdgeKeys();
+  return index_.AliveCandidateEdges();
+}
+
+}  // namespace tpp::core

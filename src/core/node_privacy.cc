@@ -1,0 +1,77 @@
+#include "core/node_privacy.h"
+
+#include "common/strings.h"
+#include "motif/enumerate.h"
+
+namespace tpp::core {
+
+using graph::Edge;
+using graph::Graph;
+using graph::NodeId;
+
+Result<TppInstance> MakeNodeInstance(const Graph& original, NodeId node,
+                                     motif::MotifKind motif) {
+  if (node >= original.NumNodes()) {
+    return Status::InvalidArgument(
+        StrFormat("node %u out of range (n=%zu)", node,
+                  original.NumNodes()));
+  }
+  if (original.Degree(node) == 0) {
+    return Status::FailedPrecondition(
+        StrFormat("node %u is isolated; nothing to protect", node));
+  }
+  std::vector<Edge> targets;
+  targets.reserve(original.Degree(node));
+  for (NodeId v : original.Neighbors(node)) {
+    targets.emplace_back(node, v);
+  }
+  return MakeInstance(original, std::move(targets), motif);
+}
+
+Result<TppInstance> MakePartialNodeInstance(
+    const Graph& original, NodeId node,
+    const std::vector<NodeId>& sensitive_neighbors,
+    motif::MotifKind motif) {
+  if (node >= original.NumNodes()) {
+    return Status::InvalidArgument(
+        StrFormat("node %u out of range (n=%zu)", node,
+                  original.NumNodes()));
+  }
+  if (sensitive_neighbors.empty()) {
+    return Status::InvalidArgument("no sensitive neighbors listed");
+  }
+  std::vector<Edge> targets;
+  targets.reserve(sensitive_neighbors.size());
+  for (NodeId v : sensitive_neighbors) {
+    if (!original.HasEdge(node, v)) {
+      return Status::InvalidArgument(
+          StrFormat("(%u,%u) is not a link of the graph", node, v));
+    }
+    targets.emplace_back(node, v);
+  }
+  return MakeInstance(original, std::move(targets), motif);
+}
+
+Result<NodeExposure> MeasureNodeExposure(const Graph& released,
+                                         const std::vector<Edge>& hidden_links,
+                                         motif::MotifKind motif) {
+  NodeExposure exposure;
+  for (const Edge& link : hidden_links) {
+    if (link.u >= released.NumNodes() || link.v >= released.NumNodes()) {
+      return Status::InvalidArgument(
+          StrFormat("hidden link (%u,%u) out of range", link.u, link.v));
+    }
+    if (released.HasEdge(link.u, link.v)) {
+      return Status::FailedPrecondition(
+          StrFormat("hidden link (%u,%u) still present in the release",
+                    link.u, link.v));
+    }
+    ++exposure.hidden_links;
+    size_t s = motif::CountTargetSubgraphs(released, link, motif);
+    exposure.alive_subgraphs += s;
+    if (s > 0) ++exposure.exposed_links;
+  }
+  return exposure;
+}
+
+}  // namespace tpp::core

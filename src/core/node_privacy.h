@@ -1,0 +1,64 @@
+// Target-node privacy preserving (paper §VII future work item 2).
+//
+// Instead of a hand-picked set of target links, the protected object is a
+// whole node: EVERY link incident to it is sensitive (e.g. a protected
+// witness whose entire contact list must stay secret). Phase 1 deletes
+// all incident links; phase 2 uses the ordinary TPP machinery to prevent
+// the neighborhood from being reconstructed by link prediction.
+
+#ifndef TPP_CORE_NODE_PRIVACY_H_
+#define TPP_CORE_NODE_PRIVACY_H_
+
+#include "common/result.h"
+#include "core/problem.h"
+
+namespace tpp::core {
+
+/// Builds a TPP instance whose targets are all links incident to `node`.
+/// Errors if the node is out of range or isolated (nothing to protect).
+///
+/// Note a structural property this library's tests document: hiding ALL
+/// incident links is already fully protected against the motif attacks —
+/// every Triangle/Rectangle/RecTri target subgraph for a hidden link
+/// (node, v) contains another edge at `node`, and phase 1 removed them
+/// all. The non-trivial node-privacy problem is PARTIAL hiding (below),
+/// where the node's public links complete motifs around the hidden ones.
+Result<TppInstance> MakeNodeInstance(const graph::Graph& original,
+                                     graph::NodeId node,
+                                     motif::MotifKind motif);
+
+/// Builds a TPP instance hiding only the links from `node` to the listed
+/// `sensitive_neighbors`; the node's other links stay public and are
+/// eligible as protectors. Errors if any listed link does not exist or
+/// the list is empty / has duplicates.
+Result<TppInstance> MakePartialNodeInstance(
+    const graph::Graph& original, graph::NodeId node,
+    const std::vector<graph::NodeId>& sensitive_neighbors,
+    motif::MotifKind motif);
+
+/// Summary of how exposed a hidden node remains in a released graph.
+struct NodeExposure {
+  size_t hidden_links = 0;        ///< number of phase-1 deleted links
+  size_t alive_subgraphs = 0;     ///< s(P, T) over the incident targets
+  size_t exposed_links = 0;       ///< targets with at least one subgraph
+  /// Fraction of hidden links with zero surviving target subgraphs.
+  double protected_fraction() const {
+    return hidden_links == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(exposed_links) /
+                           static_cast<double>(hidden_links);
+  }
+};
+
+/// Measures the exposure of the given `hidden_links` (the instance's
+/// targets) in `released`. Deleted protectors that happen to touch the
+/// node are NOT hidden links — they are public deletions — so the caller
+/// must pass the actual sensitive set rather than diffing the graphs.
+/// Errors if any hidden link is still present in `released`.
+Result<NodeExposure> MeasureNodeExposure(
+    const graph::Graph& released,
+    const std::vector<graph::Edge>& hidden_links, motif::MotifKind motif);
+
+}  // namespace tpp::core
+
+#endif  // TPP_CORE_NODE_PRIVACY_H_

@@ -1,0 +1,47 @@
+#include "core/problem.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace tpp::core {
+
+using graph::Edge;
+using graph::EdgeKey;
+using graph::Graph;
+
+Result<TppInstance> MakeInstance(const Graph& original,
+                                 std::vector<Edge> targets,
+                                 motif::MotifKind motif) {
+  TppInstance inst;
+  inst.released = original;
+  inst.motif = motif;
+  std::unordered_set<EdgeKey> seen;
+  seen.reserve(targets.size() * 2);
+  for (const Edge& t : targets) {
+    if (!seen.insert(t.Key()).second) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate target (%u,%u)", t.u, t.v));
+    }
+    Status s = inst.released.RemoveEdge(t.u, t.v);
+    if (!s.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("target (%u,%u) is not an edge of the graph", t.u, t.v));
+    }
+  }
+  inst.targets = std::move(targets);
+  return inst;
+}
+
+Result<std::vector<Edge>> SampleTargets(const Graph& g, size_t count,
+                                        Rng& rng) {
+  if (count > g.NumEdges()) {
+    return Status::InvalidArgument(
+        StrFormat("cannot sample %zu targets from %zu edges", count,
+                  g.NumEdges()));
+  }
+  std::vector<Edge> edges = g.Edges();
+  return rng.SampleK(edges, count);
+}
+
+}  // namespace tpp::core

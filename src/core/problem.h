@@ -1,0 +1,39 @@
+// TPP problem instance: released graph + target set + motif.
+
+#ifndef TPP_CORE_PROBLEM_H_
+#define TPP_CORE_PROBLEM_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "motif/motif.h"
+
+namespace tpp::core {
+
+/// A fully specified TPP instance. `released` is the phase-1 graph: the
+/// original graph with every target link already deleted. All algorithms
+/// operate on copies of `released`; the original graph is only needed again
+/// for utility-loss analysis.
+struct TppInstance {
+  graph::Graph released;             ///< original minus target links
+  std::vector<graph::Edge> targets;  ///< the hidden links T
+  motif::MotifKind motif = motif::MotifKind::kTriangle;
+};
+
+/// Builds an instance from the original graph: validates that every target
+/// is a distinct existing edge, then removes them (phase 1).
+Result<TppInstance> MakeInstance(const graph::Graph& original,
+                                 std::vector<graph::Edge> targets,
+                                 motif::MotifKind motif);
+
+/// Samples `count` distinct target links uniformly from the existing edges,
+/// as in the paper's evaluation ("targets are randomly sampled from the
+/// existing links"). Errors if the graph has fewer than `count` edges.
+Result<std::vector<graph::Edge>> SampleTargets(const graph::Graph& g,
+                                               size_t count, Rng& rng);
+
+}  // namespace tpp::core
+
+#endif  // TPP_CORE_PROBLEM_H_

@@ -1,0 +1,74 @@
+#include "core/weighted.h"
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "graph/edge.h"
+
+namespace tpp::core {
+
+using graph::EdgeKey;
+using graph::EdgeKeyU;
+using graph::EdgeKeyV;
+
+Result<ProtectionResult> WeightedSgbGreedy(Engine& engine,
+                                           const std::vector<double>& weights,
+                                           size_t budget,
+                                           const GreedyOptions& options) {
+  if (weights.size() != engine.NumTargets()) {
+    return Status::InvalidArgument(
+        StrFormat("weight vector size %zu != target count %zu",
+                  weights.size(), engine.NumTargets()));
+  }
+  for (double w : weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("weights must be non-negative");
+    }
+  }
+  WallTimer timer;
+  ProtectionResult result;
+  result.initial_similarity = engine.TotalSimilarity();
+  while (result.protectors.size() < budget) {
+    std::vector<EdgeKey> candidates = engine.Candidates(options.scope);
+    bool found = false;
+    EdgeKey best_edge = 0;
+    double best_score = 0.0;
+    for (EdgeKey e : candidates) {
+      std::vector<size_t> diffs = engine.GainVector(e);
+      double score = 0.0;
+      for (size_t t = 0; t < diffs.size(); ++t) {
+        score += weights[t] * static_cast<double>(diffs[t]);
+      }
+      if (score > best_score && (score > 0.0)) {
+        best_score = score;
+        best_edge = e;
+        found = true;
+      }
+    }
+    if (!found) break;
+    size_t realized = engine.DeleteEdge(best_edge);
+    PickTrace trace;
+    trace.edge = best_edge;
+    trace.realized_gain = realized;
+    trace.for_target = PickTrace::kNoTarget;
+    trace.similarity_after = engine.TotalSimilarity();
+    trace.cumulative_seconds = timer.Seconds();
+    result.picks.push_back(trace);
+    result.protectors.emplace_back(EdgeKeyU(best_edge), EdgeKeyV(best_edge));
+  }
+  result.final_similarity = engine.TotalSimilarity();
+  result.gain_evaluations = engine.GainEvaluations();
+  result.total_seconds = timer.Seconds();
+  return result;
+}
+
+std::vector<double> DegreeProductWeights(const TppInstance& instance) {
+  std::vector<double> weights(instance.targets.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const graph::Edge& t = instance.targets[i];
+    weights[i] = static_cast<double>(instance.released.Degree(t.u)) *
+                 static_cast<double>(instance.released.Degree(t.v));
+  }
+  return weights;
+}
+
+}  // namespace tpp::core

@@ -1,0 +1,36 @@
+// Weighted target importance (motivated by paper §V: "the importance
+// level of every sensitive target is different").
+//
+// The weighted dissimilarity f_w(P,T) = C_w - sum_t w_t * s(P,t) with
+// non-negative weights is a non-negative linear combination of the
+// per-target dissimilarities, hence still monotone and submodular, so the
+// weighted greedy keeps the 1-1/e guarantee for the SGBT problem.
+
+#ifndef TPP_CORE_WEIGHTED_H_
+#define TPP_CORE_WEIGHTED_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/greedy.h"
+#include "core/problem.h"
+
+namespace tpp::core {
+
+/// SGB-Greedy on the weighted objective: each pick maximizes
+/// sum_t w_t * (s(P,t) - s(P+e,t)). Weights must be non-negative and one
+/// per target. Ties break toward the smaller edge key; picks with zero
+/// weighted gain stop the selection even if unweighted gain remains.
+Result<ProtectionResult> WeightedSgbGreedy(Engine& engine,
+                                           const std::vector<double>& weights,
+                                           size_t budget,
+                                           const GreedyOptions& options = {});
+
+/// Convenience: weights proportional to the degree product of the target
+/// endpoints in the released graph (the paper's DBD importance notion,
+/// applied to the objective instead of the budget).
+std::vector<double> DegreeProductWeights(const TppInstance& instance);
+
+}  // namespace tpp::core
+
+#endif  // TPP_CORE_WEIGHTED_H_

@@ -1,0 +1,44 @@
+// Synthetic stand-ins for the paper's evaluation datasets.
+//
+// The paper evaluates on Arenas-email (KONECT) and DBLP (SNAP). Neither is
+// redistributable inside this repository and no network access is assumed,
+// so we synthesize graphs matched on the structural properties that drive
+// the TPP algorithms: size, degree tail, and clustering (see DESIGN.md §4).
+
+#ifndef TPP_GRAPH_DATASETS_H_
+#define TPP_GRAPH_DATASETS_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace tpp::graph {
+
+/// Reference statistics of the real datasets, used by tests to validate the
+/// synthetic stand-ins.
+struct DatasetProfile {
+  size_t num_nodes;
+  size_t num_edges;
+  double approx_clustering;  ///< published average clustering coefficient
+};
+
+/// Arenas-email: 1133 nodes, 5451 edges, clustering ~0.22.
+DatasetProfile ArenasEmailProfile();
+
+/// DBLP co-authorship: 317080 nodes, 1049866 edges, clustering ~0.63.
+DatasetProfile DblpProfile();
+
+/// Synthesizes an Arenas-email-like graph: Holme–Kim power-law-cluster
+/// model with N=1133, m=5, triad probability 0.35, then uniformly thinned
+/// to exactly 5451 edges. Deterministic given `seed`.
+Result<Graph> MakeArenasEmailLike(uint64_t seed);
+
+/// Synthesizes a DBLP-like co-authorship graph at the given linear `scale`
+/// (1.0 reproduces the full 317k-node size; benches default to 0.1).
+/// Papers are small cliques over preferentially recruited authors.
+/// Deterministic given `seed`. Requires 0 < scale <= 1.
+Result<Graph> MakeDblpLike(uint64_t seed, double scale);
+
+}  // namespace tpp::graph
+
+#endif  // TPP_GRAPH_DATASETS_H_

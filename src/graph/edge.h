@@ -1,0 +1,71 @@
+// Edge primitives: node ids, canonical undirected edge keys.
+
+#ifndef TPP_GRAPH_EDGE_H_
+#define TPP_GRAPH_EDGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace tpp::graph {
+
+/// Node identifier; nodes of a Graph are always 0..NumNodes()-1.
+using NodeId = uint32_t;
+
+/// Canonical packed key for an undirected edge: (min(u,v) << 32) | max(u,v).
+/// Using a single 64-bit integer makes edge sets hashable and cheap to
+/// compare, which the motif incidence index relies on heavily.
+using EdgeKey = uint64_t;
+
+/// Packs an unordered node pair into its canonical EdgeKey.
+/// Requires u != v (self-loops are not representable by design).
+inline EdgeKey MakeEdgeKey(NodeId u, NodeId v) {
+  TPP_CHECK_NE(u, v);
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | static_cast<uint64_t>(v);
+}
+
+/// The smaller endpoint of a packed edge.
+inline NodeId EdgeKeyU(EdgeKey k) { return static_cast<NodeId>(k >> 32); }
+
+/// The larger endpoint of a packed edge.
+inline NodeId EdgeKeyV(EdgeKey k) {
+  return static_cast<NodeId>(k & 0xffffffffu);
+}
+
+/// An undirected edge as an explicit endpoint pair. Always stored
+/// canonically (u <= v is NOT enforced here; use MakeEdgeKey for identity).
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  Edge() = default;
+  Edge(NodeId a, NodeId b) : u(a), v(b) {}
+
+  /// Canonical key of this edge.
+  EdgeKey Key() const { return MakeEdgeKey(u, v); }
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.Key() == b.Key();
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Edge& e) {
+  return os << "(" << e.u << "," << e.v << ")";
+}
+
+}  // namespace tpp::graph
+
+namespace std {
+template <>
+struct hash<tpp::graph::Edge> {
+  size_t operator()(const tpp::graph::Edge& e) const {
+    return std::hash<uint64_t>()(e.Key());
+  }
+};
+}  // namespace std
+
+#endif  // TPP_GRAPH_EDGE_H_

@@ -1,0 +1,127 @@
+#include "graph/fixtures.h"
+
+#include "common/check.h"
+
+namespace tpp::graph {
+
+namespace {
+
+void MustAdd(Graph& g, NodeId u, NodeId v) {
+  Status s = g.AddEdge(u, v);
+  TPP_CHECK(s.ok());
+}
+
+}  // namespace
+
+Graph MakePath(size_t n) {
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) MustAdd(g, i, i + 1);
+  return g;
+}
+
+Graph MakeCycle(size_t n) {
+  TPP_CHECK_GE(n, 3u);
+  Graph g = MakePath(n);
+  MustAdd(g, 0, static_cast<NodeId>(n - 1));
+  return g;
+}
+
+Graph MakeComplete(size_t n) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) MustAdd(g, u, v);
+  }
+  return g;
+}
+
+Graph MakeStar(size_t n) {
+  TPP_CHECK_GE(n, 1u);
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) MustAdd(g, 0, v);
+  return g;
+}
+
+Graph MakeKarateClub() {
+  // 1-indexed edge list from Zachary (1977), shifted to 0-indexed.
+  static constexpr int kEdges[][2] = {
+      {1, 2},   {1, 3},   {1, 4},   {1, 5},   {1, 6},   {1, 7},   {1, 8},
+      {1, 9},   {1, 11},  {1, 12},  {1, 13},  {1, 14},  {1, 18},  {1, 20},
+      {1, 22},  {1, 32},  {2, 3},   {2, 4},   {2, 8},   {2, 14},  {2, 18},
+      {2, 20},  {2, 22},  {2, 31},  {3, 4},   {3, 8},   {3, 9},   {3, 10},
+      {3, 14},  {3, 28},  {3, 29},  {3, 33},  {4, 8},   {4, 13},  {4, 14},
+      {5, 7},   {5, 11},  {6, 7},   {6, 11},  {6, 17},  {7, 17},  {9, 31},
+      {9, 33},  {9, 34},  {10, 34}, {14, 34}, {15, 33}, {15, 34}, {16, 33},
+      {16, 34}, {19, 33}, {19, 34}, {20, 34}, {21, 33}, {21, 34}, {23, 33},
+      {23, 34}, {24, 26}, {24, 28}, {24, 30}, {24, 33}, {24, 34}, {25, 26},
+      {25, 28}, {25, 32}, {26, 32}, {27, 30}, {27, 34}, {28, 34}, {29, 32},
+      {29, 34}, {30, 33}, {30, 34}, {31, 33}, {31, 34}, {32, 33}, {32, 34},
+      {33, 34},
+  };
+  Graph g(34);
+  for (const auto& e : kEdges) {
+    MustAdd(g, static_cast<NodeId>(e[0] - 1), static_cast<NodeId>(e[1] - 1));
+  }
+  TPP_CHECK_EQ(g.NumEdges(), 78u);
+  return g;
+}
+
+Fig7Gadget MakeFig7Gadget() {
+  // Nodes: u, v (target endpoints), common neighbors a (deg 3) and
+  // b (deg 4), plus u-side neighbors c, d and v-side neighbor e.
+  Fig7Gadget fx{Graph(7), 0, 1, 2, 3, 4, 5, 6, {}, {}, {}, {}};
+  Graph& g = fx.graph;
+  const NodeId u = fx.u, v = fx.v, a = fx.a, b = fx.b, c = fx.c, d = fx.d,
+               e = fx.e;
+  MustAdd(g, u, a);  // p2 in the paper's cases
+  MustAdd(g, u, b);
+  MustAdd(g, u, c);
+  MustAdd(g, u, d);  // p4: deleting drops du to 3
+  MustAdd(g, v, a);
+  MustAdd(g, v, b);
+  MustAdd(g, v, e);  // p3: deleting drops dv to 2 / union to 4
+  MustAdd(g, a, c);  // p1: changes only deg(a), invisible to Jaccard et al.
+  MustAdd(g, b, d);
+  MustAdd(g, b, e);
+  fx.p1 = Edge(a, c);
+  fx.p2 = Edge(u, a);
+  fx.p3 = Edge(v, e);
+  fx.p4 = Edge(u, d);
+  return fx;
+}
+
+Fig2StyleExample MakeFig2StyleExample() {
+  // Construction (triangle motif; see tests/paper_examples_test.cc for the
+  // full derivation): targets t1=(a,c1), t2=(a,c2), t3=(b,z1), t4=(b,z2),
+  // t5=(b,z3). Target triangles after phase-1:
+  //   t1: {p1,q1}           p1=(a,b)   q1=(b,c1)
+  //   t2: {p1,p2}, {p4,q3}  p2=(b,c2)  p4=(a,e)  q3=(e,c2)
+  //   t3: {p2,q4}           q4=(c2,z1)
+  //   t4: {p2,q5}, {p3,q6}  q5=(c2,z2) p3=(b,y)  q6=(y,z2)
+  //   t5: {p3,q7}           q7=(y,z3)
+  // SGB(k=2) deletes p2 then p3/p1 for total gain 5; CT with budgets
+  // {t1:1, t2:1} gains 4; WT gains 3 — matching the paper's Fig. 2 numbers.
+  const NodeId a = 0, b = 1, c1 = 2, c2 = 3, e = 4, z1 = 5, z2 = 6, z3 = 7,
+               y = 8;
+  Fig2StyleExample fx;
+  fx.graph = Graph(9);
+  Graph& g = fx.graph;
+  MustAdd(g, a, b);    // p1
+  MustAdd(g, b, c1);   // q1
+  MustAdd(g, b, c2);   // p2
+  MustAdd(g, a, e);    // p4
+  MustAdd(g, e, c2);   // q3
+  MustAdd(g, c2, z1);  // q4
+  MustAdd(g, c2, z2);  // q5
+  MustAdd(g, b, y);    // p3
+  MustAdd(g, y, z2);   // q6
+  MustAdd(g, y, z3);   // q7
+  fx.targets = {Edge(a, c1), Edge(a, c2), Edge(b, z1), Edge(b, z2),
+                Edge(b, z3)};
+  fx.p1 = Edge(a, b);
+  fx.p2 = Edge(b, c2);
+  fx.p3 = Edge(b, y);
+  fx.p4 = Edge(a, e);
+  return fx;
+}
+
+}  // namespace tpp::graph

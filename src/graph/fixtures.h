@@ -1,0 +1,54 @@
+// Known-answer graph fixtures used across tests and examples.
+
+#ifndef TPP_GRAPH_FIXTURES_H_
+#define TPP_GRAPH_FIXTURES_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tpp::graph {
+
+/// Path graph 0-1-...-(n-1).
+Graph MakePath(size_t n);
+
+/// Cycle graph on n >= 3 nodes.
+Graph MakeCycle(size_t n);
+
+/// Complete graph K_n.
+Graph MakeComplete(size_t n);
+
+/// Star with center 0 and n-1 leaves.
+Graph MakeStar(size_t n);
+
+/// Zachary's karate club: 34 nodes, 78 edges (0-indexed). The canonical
+/// small social network with known clustering, modularity, and core
+/// structure; used as a known-answer fixture for the utility metrics.
+Graph MakeKarateClub();
+
+/// The gadget of paper Fig. 7 used in the Extended Discussion to show that
+/// Jaccard/Salton/Sørensen/HP/HD/LHN/AA/RA dissimilarities are not
+/// monotone. Node ids are exposed as constants below; the target link
+/// (u,v) is NOT part of the graph (it is the hidden link).
+struct Fig7Gadget {
+  Graph graph;         ///< graph without the target link
+  NodeId u, v;         ///< target endpoints
+  NodeId a, b, c, d, e;  ///< auxiliary nodes
+  Edge p1, p2, p3, p4;   ///< the protector edges referenced by the paper
+};
+Fig7Gadget MakeFig7Gadget();
+
+/// A worked example with the same SGB/CT/WT behaviour as paper Fig. 2:
+/// five targets protected with the Triangle motif where the realized
+/// dissimilarity gains are exactly SGB-Greedy(k=2)=5, CT-Greedy=4 and
+/// WT-Greedy=3 under per-target budgets {t1:1, t2:1}.
+struct Fig2StyleExample {
+  Graph graph;                 ///< graph with targets already removed
+  std::vector<Edge> targets;   ///< t1..t5 (not present in `graph`)
+  Edge p1, p2, p3, p4;         ///< the distinguished protector edges
+};
+Fig2StyleExample MakeFig2StyleExample();
+
+}  // namespace tpp::graph
+
+#endif  // TPP_GRAPH_FIXTURES_H_

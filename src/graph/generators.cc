@@ -1,0 +1,354 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace tpp::graph {
+
+Result<Graph> ErdosRenyiGnm(size_t n, size_t m, Rng& rng) {
+  size_t max_edges = n * (n - 1) / 2;
+  if (m > max_edges) {
+    return Status::InvalidArgument(
+        StrFormat("G(n,m): m=%zu exceeds max %zu for n=%zu", m, max_edges, n));
+  }
+  Graph g(n);
+  std::unordered_set<EdgeKey> used;
+  used.reserve(m * 2);
+  while (g.NumEdges() < m) {
+    NodeId u = static_cast<NodeId>(rng.UniformIndex(n));
+    NodeId v = static_cast<NodeId>(rng.UniformIndex(n));
+    if (u == v) continue;
+    EdgeKey key = MakeEdgeKey(u, v);
+    if (!used.insert(key).second) continue;
+    Status s = g.AddEdge(u, v);
+    TPP_CHECK(s.ok());
+  }
+  return g;
+}
+
+Result<Graph> ErdosRenyiGnp(size_t n, double p, Rng& rng) {
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument(StrFormat("G(n,p): p=%f out of [0,1]", p));
+  }
+  Graph g(n);
+  if (p == 0.0 || n < 2) return g;
+  if (p == 1.0) {
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        Status s = g.AddEdge(u, v);
+        TPP_CHECK(s.ok());
+      }
+    }
+    return g;
+  }
+  // Geometric skipping over the lexicographic pair enumeration.
+  const double log_q = std::log(1.0 - p);
+  int64_t v = 1;
+  int64_t u = -1;
+  const int64_t nn = static_cast<int64_t>(n);
+  while (v < nn) {
+    double r = 1.0 - rng.UniformReal();  // in (0, 1]
+    u += 1 + static_cast<int64_t>(std::floor(std::log(r) / log_q));
+    while (u >= v && v < nn) {
+      u -= v;
+      ++v;
+    }
+    if (v < nn) {
+      Status s = g.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+      TPP_CHECK(s.ok());
+    }
+  }
+  return g;
+}
+
+namespace {
+
+// Degree-proportional sampling via the repeated-endpoints trick: keep a
+// vector with every edge endpoint; a uniform draw from it is a
+// degree-weighted node draw.
+class EndpointSampler {
+ public:
+  void Add(NodeId u) { endpoints_.push_back(u); }
+  NodeId Sample(Rng& rng) const {
+    TPP_CHECK(!endpoints_.empty());
+    return endpoints_[rng.UniformIndex(endpoints_.size())];
+  }
+  bool empty() const { return endpoints_.empty(); }
+
+ private:
+  std::vector<NodeId> endpoints_;
+};
+
+}  // namespace
+
+Result<Graph> BarabasiAlbert(size_t n, size_t m, Rng& rng) {
+  if (m < 1 || m >= n) {
+    return Status::InvalidArgument(
+        StrFormat("BA: need 1 <= m < n, got m=%zu n=%zu", m, n));
+  }
+  Graph g(n);
+  EndpointSampler sampler;
+  size_t m0 = m + 1;  // seed clique
+  for (NodeId u = 0; u < m0; ++u) {
+    for (NodeId v = u + 1; v < m0; ++v) {
+      Status s = g.AddEdge(u, v);
+      TPP_CHECK(s.ok());
+      sampler.Add(u);
+      sampler.Add(v);
+    }
+  }
+  for (NodeId w = static_cast<NodeId>(m0); w < n; ++w) {
+    std::unordered_set<NodeId> chosen;
+    while (chosen.size() < m) {
+      NodeId t = sampler.Sample(rng);
+      if (t != w) chosen.insert(t);
+    }
+    for (NodeId t : chosen) {
+      Status s = g.AddEdge(w, t);
+      TPP_CHECK(s.ok());
+      sampler.Add(w);
+      sampler.Add(t);
+    }
+  }
+  return g;
+}
+
+Result<Graph> HolmeKim(size_t n, size_t m, double triad_p, Rng& rng) {
+  if (m < 1 || m >= n) {
+    return Status::InvalidArgument(
+        StrFormat("HolmeKim: need 1 <= m < n, got m=%zu n=%zu", m, n));
+  }
+  if (triad_p < 0.0 || triad_p > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("HolmeKim: triad_p=%f out of [0,1]", triad_p));
+  }
+  Graph g(n);
+  EndpointSampler sampler;
+  size_t m0 = m + 1;
+  for (NodeId u = 0; u < m0; ++u) {
+    for (NodeId v = u + 1; v < m0; ++v) {
+      Status s = g.AddEdge(u, v);
+      TPP_CHECK(s.ok());
+      sampler.Add(u);
+      sampler.Add(v);
+    }
+  }
+  for (NodeId w = static_cast<NodeId>(m0); w < n; ++w) {
+    NodeId prev_target = 0;
+    bool have_prev = false;
+    size_t added = 0;
+    // Guard against pathological loops on tiny graphs.
+    size_t attempts = 0;
+    const size_t max_attempts = 200 * m + 1000;
+    while (added < m && attempts++ < max_attempts) {
+      NodeId t = 0;
+      bool ok = false;
+      if (have_prev && rng.Bernoulli(triad_p)) {
+        // Triad-formation step: link to a random neighbor of prev_target.
+        auto nbrs = g.Neighbors(prev_target);
+        if (!nbrs.empty()) {
+          t = nbrs[rng.UniformIndex(nbrs.size())];
+          ok = (t != w) && !g.HasEdge(w, t);
+        }
+      }
+      if (!ok) {
+        // Preferential-attachment step.
+        t = sampler.Sample(rng);
+        ok = (t != w) && !g.HasEdge(w, t);
+      }
+      if (!ok) continue;
+      Status s = g.AddEdge(w, t);
+      TPP_CHECK(s.ok());
+      sampler.Add(w);
+      sampler.Add(t);
+      prev_target = t;
+      have_prev = true;
+      ++added;
+    }
+  }
+  return g;
+}
+
+Result<Graph> WattsStrogatz(size_t n, size_t k, double beta, Rng& rng) {
+  if (k % 2 != 0 || k == 0 || k >= n) {
+    return Status::InvalidArgument(
+        StrFormat("WS: need even 0 < k < n, got k=%zu n=%zu", k, n));
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    return Status::InvalidArgument(StrFormat("WS: beta=%f out of [0,1]", beta));
+  }
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (size_t j = 1; j <= k / 2; ++j) {
+      NodeId v = static_cast<NodeId>((u + j) % n);
+      if (!g.HasEdge(u, v)) {
+        Status s = g.AddEdge(u, v);
+        TPP_CHECK(s.ok());
+      }
+    }
+  }
+  // Rewire each original lattice edge (u, u+j) with probability beta.
+  for (NodeId u = 0; u < n; ++u) {
+    for (size_t j = 1; j <= k / 2; ++j) {
+      NodeId v = static_cast<NodeId>((u + j) % n);
+      if (!rng.Bernoulli(beta)) continue;
+      if (!g.HasEdge(u, v)) continue;  // already rewired away
+      // Find a replacement endpoint w: w != u, no existing edge (u, w).
+      if (g.Degree(u) >= n - 1) continue;  // u saturated, nothing legal
+      NodeId w;
+      do {
+        w = static_cast<NodeId>(rng.UniformIndex(n));
+      } while (w == u || g.HasEdge(u, w));
+      Status rs = g.RemoveEdge(u, v);
+      TPP_CHECK(rs.ok());
+      Status as = g.AddEdge(u, w);
+      TPP_CHECK(as.ok());
+    }
+  }
+  return g;
+}
+
+Result<Graph> ConfigurationModel(const std::vector<size_t>& degrees,
+                                 Rng& rng) {
+  size_t sum = 0;
+  for (size_t d : degrees) sum += d;
+  if (sum % 2 != 0) {
+    return Status::InvalidArgument("configuration model: odd degree sum");
+  }
+  std::vector<NodeId> stubs;
+  stubs.reserve(sum);
+  for (NodeId u = 0; u < degrees.size(); ++u) {
+    for (size_t i = 0; i < degrees[u]; ++i) stubs.push_back(u);
+  }
+  rng.Shuffle(stubs);
+  Graph g(degrees.size());
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    NodeId u = stubs[i], v = stubs[i + 1];
+    if (u == v || g.HasEdge(u, v)) continue;  // erased configuration model
+    Status s = g.AddEdge(u, v);
+    TPP_CHECK(s.ok());
+  }
+  return g;
+}
+
+Result<Graph> Coauthorship(const CoauthorshipParams& params, Rng& rng) {
+  if (params.num_authors == 0) {
+    return Status::InvalidArgument("coauthorship: zero authors");
+  }
+  if (params.min_authors < 2 || params.min_authors > params.max_authors) {
+    return Status::InvalidArgument(
+        "coauthorship: need 2 <= min_authors <= max_authors");
+  }
+  if (params.max_authors > params.num_authors) {
+    return Status::InvalidArgument(
+        "coauthorship: max_authors exceeds author count");
+  }
+  if (params.preferential_p < 0.0 || params.preferential_p > 1.0) {
+    return Status::InvalidArgument("coauthorship: preferential_p out of [0,1]");
+  }
+  if (params.fresh_p < 0.0 || params.fresh_p > 1.0) {
+    return Status::InvalidArgument("coauthorship: fresh_p out of [0,1]");
+  }
+  Graph g(params.num_authors);
+  // Paper-count endpoints: a uniform draw from this vector is a draw
+  // proportional to (1 + papers written), seeding every author once so
+  // newcomers can enter.
+  std::vector<NodeId> activity;
+  activity.reserve(params.num_authors + params.num_papers * 4);
+  for (NodeId a = 0; a < params.num_authors; ++a) activity.push_back(a);
+  // Shuffled id pool from which "fresh" (never published) authors are drawn
+  // in order; node ids carry no meaning, so this is uniform without
+  // replacement.
+  std::vector<NodeId> fresh_pool(params.num_authors);
+  for (NodeId a = 0; a < params.num_authors; ++a) fresh_pool[a] = a;
+  rng.Shuffle(fresh_pool);
+  size_t next_fresh = 0;
+  std::vector<uint8_t> published(params.num_authors, 0);
+
+  std::vector<NodeId> authors;
+  for (size_t paper = 0; paper < params.num_papers; ++paper) {
+    size_t team = params.min_authors +
+                  rng.UniformIndex(params.max_authors - params.min_authors + 1);
+    authors.clear();
+    std::unordered_set<NodeId> seen;
+    size_t guard = 0;
+    while (authors.size() < team && guard++ < 100 * team + 100) {
+      NodeId a;
+      // The first slot is the "lead" (always a returning/weighted pick);
+      // later slots may recruit a fresh author.
+      bool want_fresh = !authors.empty() && rng.Bernoulli(params.fresh_p);
+      if (want_fresh) {
+        while (next_fresh < fresh_pool.size() &&
+               published[fresh_pool[next_fresh]]) {
+          ++next_fresh;
+        }
+        if (next_fresh < fresh_pool.size()) {
+          a = fresh_pool[next_fresh++];
+        } else {
+          want_fresh = false;  // everyone has published; fall through
+        }
+      }
+      if (!want_fresh) {
+        if (rng.Bernoulli(params.preferential_p)) {
+          a = activity[rng.UniformIndex(activity.size())];
+        } else {
+          a = static_cast<NodeId>(rng.UniformIndex(params.num_authors));
+        }
+      }
+      if (seen.insert(a).second) authors.push_back(a);
+    }
+    for (NodeId a : authors) published[a] = 1;
+    // Clique over the team.
+    for (size_t i = 0; i < authors.size(); ++i) {
+      for (size_t j = i + 1; j < authors.size(); ++j) {
+        if (!g.HasEdge(authors[i], authors[j])) {
+          Status s = g.AddEdge(authors[i], authors[j]);
+          TPP_CHECK(s.ok());
+        }
+      }
+      activity.push_back(authors[i]);
+    }
+  }
+  return g;
+}
+
+std::vector<size_t> PowerLawDegreeSequence(size_t n, double gamma,
+                                           size_t min_degree,
+                                           size_t max_degree, Rng& rng) {
+  TPP_CHECK_GE(min_degree, 1u);
+  TPP_CHECK_LE(min_degree, max_degree);
+  TPP_CHECK_GT(gamma, 1.0);
+  // Inverse-transform sampling of P(d) ~ d^-gamma on [min, max].
+  std::vector<size_t> degrees(n);
+  const double a = 1.0 - gamma;
+  const double lo = std::pow(static_cast<double>(min_degree), a);
+  const double hi = std::pow(static_cast<double>(max_degree) + 1.0, a);
+  size_t sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double u = rng.UniformReal();
+    double d = std::pow(lo + u * (hi - lo), 1.0 / a);
+    size_t di = std::min<size_t>(
+        max_degree, std::max<size_t>(min_degree, static_cast<size_t>(d)));
+    degrees[i] = di;
+    sum += di;
+  }
+  if (sum % 2 != 0) {
+    // Bump one node by +-1 within bounds to even the sum.
+    for (size_t i = 0; i < n; ++i) {
+      if (degrees[i] < max_degree) {
+        ++degrees[i];
+        break;
+      }
+      if (degrees[i] > min_degree) {
+        --degrees[i];
+        break;
+      }
+    }
+  }
+  return degrees;
+}
+
+}  // namespace tpp::graph

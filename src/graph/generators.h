@@ -1,0 +1,84 @@
+// Random graph generators.
+//
+// The paper's building-principle references ([16] Barabási–Albert,
+// [17] Watts–Strogatz, [18] Erdős–Rényi, [19] configuration model) are all
+// implemented here, plus the Holme–Kim power-law-cluster model and a
+// community-clique co-authorship model used to synthesize the evaluation
+// datasets (see datasets.h and DESIGN.md §4).
+
+#ifndef TPP_GRAPH_GENERATORS_H_
+#define TPP_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace tpp::graph {
+
+/// Erdős–Rényi G(n, m): exactly m distinct uniform random edges.
+/// Errors if m exceeds n*(n-1)/2.
+Result<Graph> ErdosRenyiGnm(size_t n, size_t m, Rng& rng);
+
+/// Erdős–Rényi G(n, p): each pair independently with probability p.
+/// Uses geometric skipping, O(n + m) expected.
+Result<Graph> ErdosRenyiGnp(size_t n, double p, Rng& rng);
+
+/// Barabási–Albert preferential attachment: start from a clique of
+/// m0 = m + 1 seed nodes, then each new node attaches to m distinct
+/// existing nodes chosen proportionally to degree.
+/// Requires 1 <= m < n.
+Result<Graph> BarabasiAlbert(size_t n, size_t m, Rng& rng);
+
+/// Holme–Kim power-law-cluster model: Barabási–Albert growth where after
+/// each preferential attachment step, with probability `triad_p`, the next
+/// link closes a triangle with a random neighbor of the previous target.
+/// Produces scale-free graphs with tunable clustering — our Arenas-email
+/// stand-in. Requires 1 <= m < n and 0 <= triad_p <= 1.
+Result<Graph> HolmeKim(size_t n, size_t m, double triad_p, Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with k neighbors per node
+/// (k even), each edge rewired with probability beta (avoiding self-loops
+/// and duplicates; rewiring is skipped when no legal endpoint exists).
+Result<Graph> WattsStrogatz(size_t n, size_t k, double beta, Rng& rng);
+
+/// Configuration model for a given degree sequence: random stub matching
+/// with self-loop/multi-edge rejection by discarding offending pairs
+/// (erased configuration model). The realized degree sequence may therefore
+/// be slightly below the request. Degree sum must be even.
+Result<Graph> ConfigurationModel(const std::vector<size_t>& degrees,
+                                 Rng& rng);
+
+/// Parameters of the community-clique co-authorship model.
+struct CoauthorshipParams {
+  size_t num_authors = 1000;    ///< node count
+  size_t num_papers = 1500;     ///< number of collaboration events
+  size_t min_authors = 2;       ///< min authors per paper
+  size_t max_authors = 5;       ///< max authors per paper (clique size)
+  /// Probability that a paper's author is recruited preferentially by the
+  /// number of papers already written (rich-get-richer); otherwise uniform.
+  double preferential_p = 0.75;
+  /// Probability that a non-lead author slot is filled by a never-published
+  /// author (a "student"). High values make most authors one-paper authors
+  /// whose neighborhood is a single clique, which is what drives the very
+  /// high clustering of real co-authorship graphs.
+  double fresh_p = 0.0;
+};
+
+/// Community-clique co-authorship model: each "paper" adds a clique over a
+/// small author set recruited preferentially. Produces the clique-heavy,
+/// high-clustering structure of real co-authorship networks — our DBLP
+/// stand-in. Isolated authors (no papers) remain isolated nodes.
+Result<Graph> Coauthorship(const CoauthorshipParams& params, Rng& rng);
+
+/// Samples a power-law degree-like sequence with exponent gamma in
+/// [min_degree, max_degree], adjusting the last element to make the sum
+/// even (for ConfigurationModel).
+std::vector<size_t> PowerLawDegreeSequence(size_t n, double gamma,
+                                           size_t min_degree,
+                                           size_t max_degree, Rng& rng);
+
+}  // namespace tpp::graph
+
+#endif  // TPP_GRAPH_GENERATORS_H_

@@ -1,0 +1,163 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace tpp::graph {
+
+namespace {
+
+// Inserts `v` into the sorted vector `vec`; returns false if already there.
+bool SortedInsert(std::vector<NodeId>& vec, NodeId v) {
+  auto it = std::lower_bound(vec.begin(), vec.end(), v);
+  if (it != vec.end() && *it == v) return false;
+  vec.insert(it, v);
+  return true;
+}
+
+// Erases `v` from the sorted vector `vec`; returns false if absent.
+bool SortedErase(std::vector<NodeId>& vec, NodeId v) {
+  auto it = std::lower_bound(vec.begin(), vec.end(), v);
+  if (it == vec.end() || *it != v) return false;
+  vec.erase(it);
+  return true;
+}
+
+bool SortedContains(const std::vector<NodeId>& vec, NodeId v) {
+  return std::binary_search(vec.begin(), vec.end(), v);
+}
+
+}  // namespace
+
+NodeId Graph::AddNode() {
+  adj_.emplace_back();
+  return static_cast<NodeId>(adj_.size() - 1);
+}
+
+Status Graph::AddEdge(NodeId u, NodeId v) {
+  if (u >= NumNodes() || v >= NumNodes()) {
+    return Status::InvalidArgument(
+        StrFormat("edge (%u,%u) out of range for n=%zu", u, v, NumNodes()));
+  }
+  if (u == v) {
+    return Status::InvalidArgument(StrFormat("self-loop at node %u", u));
+  }
+  if (!SortedInsert(adj_[u], v)) {
+    return Status::AlreadyExists(StrFormat("edge (%u,%u) exists", u, v));
+  }
+  SortedInsert(adj_[v], u);
+  ++num_edges_;
+  return Status::Ok();
+}
+
+Status Graph::RemoveEdge(NodeId u, NodeId v) {
+  if (u >= NumNodes() || v >= NumNodes()) {
+    return Status::InvalidArgument(
+        StrFormat("edge (%u,%u) out of range for n=%zu", u, v, NumNodes()));
+  }
+  if (!SortedErase(adj_[u], v)) {
+    return Status::NotFound(StrFormat("edge (%u,%u) absent", u, v));
+  }
+  SortedErase(adj_[v], u);
+  --num_edges_;
+  return Status::Ok();
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  if (u >= NumNodes() || v >= NumNodes() || u == v) return false;
+  // Search the shorter list.
+  if (adj_[u].size() <= adj_[v].size()) return SortedContains(adj_[u], v);
+  return SortedContains(adj_[v], u);
+}
+
+std::vector<NodeId> Graph::CommonNeighbors(NodeId u, NodeId v) const {
+  std::vector<NodeId> out;
+  const auto& a = adj_[u];
+  const auto& b = adj_[v];
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+size_t Graph::CountCommonNeighbors(NodeId u, NodeId v) const {
+  const auto& a = adj_[u];
+  const auto& b = adj_[v];
+  size_t i = 0, j = 0, count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::vector<Edge> Graph::Edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges_);
+  for (NodeId u = 0; u < NumNodes(); ++u) {
+    for (NodeId v : adj_[u]) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+std::vector<EdgeKey> Graph::EdgeKeys() const {
+  std::vector<EdgeKey> out;
+  out.reserve(num_edges_);
+  for (NodeId u = 0; u < NumNodes(); ++u) {
+    for (NodeId v : adj_[u]) {
+      if (u < v) out.push_back(MakeEdgeKey(u, v));
+    }
+  }
+  return out;
+}
+
+size_t Graph::RemoveEdges(const std::vector<Edge>& edges) {
+  size_t removed = 0;
+  for (const Edge& e : edges) {
+    if (HasEdge(e.u, e.v)) {
+      Status s = RemoveEdge(e.u, e.v);
+      if (s.ok()) ++removed;
+    }
+  }
+  return removed;
+}
+
+bool operator==(const Graph& a, const Graph& b) {
+  return a.adj_ == b.adj_;
+}
+
+std::string Graph::DebugString() const {
+  return StrFormat("Graph(n=%zu, m=%zu)", NumNodes(), NumEdges());
+}
+
+Result<Graph> BuildGraph(size_t num_nodes, const std::vector<Edge>& edges) {
+  Graph g(num_nodes);
+  for (const Edge& e : edges) {
+    TPP_RETURN_IF_ERROR(g.AddEdge(e.u, e.v));
+  }
+  return g;
+}
+
+Graph BuildGraphLenient(size_t num_nodes, const std::vector<Edge>& edges) {
+  Graph g(num_nodes);
+  for (const Edge& e : edges) {
+    if (e.u == e.v || e.u >= num_nodes || e.v >= num_nodes) continue;
+    if (!g.HasEdge(e.u, e.v)) {
+      Status s = g.AddEdge(e.u, e.v);
+      (void)s;  // Cannot fail after the guards above.
+    }
+  }
+  return g;
+}
+
+}  // namespace tpp::graph

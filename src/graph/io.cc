@@ -1,0 +1,92 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace tpp::graph {
+
+Result<Graph> ParseEdgeList(const std::string& text,
+                            const EdgeListOptions& options) {
+  std::vector<std::pair<int64_t, int64_t>> raw;
+  int64_t max_id = -1;
+  size_t line_no = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv = StripWhitespace(line);
+    if (sv.empty()) continue;
+    if (options.comment_prefixes.find(sv[0]) != std::string::npos) continue;
+    std::vector<std::string_view> parts = SplitNonEmpty(sv, " \t,");
+    if (parts.size() < 2) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: expected at least two columns", line_no));
+    }
+    Result<int64_t> u = ParseInt64(parts[0]);
+    Result<int64_t> v = ParseInt64(parts[1]);
+    if (!u.ok()) return u.status();
+    if (!v.ok()) return v.status();
+    if (*u < 0 || *v < 0) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: negative node id", line_no));
+    }
+    raw.emplace_back(*u, *v);
+    max_id = std::max({max_id, *u, *v});
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(raw.size());
+  size_t num_nodes = 0;
+  if (options.remap_ids) {
+    std::unordered_map<int64_t, NodeId> remap;
+    remap.reserve(raw.size() * 2);
+    auto intern = [&](int64_t id) {
+      auto [it, inserted] = remap.try_emplace(
+          id, static_cast<NodeId>(remap.size()));
+      (void)inserted;
+      return it->second;
+    };
+    for (auto [u, v] : raw) edges.emplace_back(intern(u), intern(v));
+    num_nodes = remap.size();
+  } else {
+    for (auto [u, v] : raw) {
+      edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    }
+    num_nodes = static_cast<size_t>(max_id + 1);
+  }
+
+  if (options.lenient) return BuildGraphLenient(num_nodes, edges);
+  return BuildGraph(num_nodes, edges);
+}
+
+Result<Graph> LoadEdgeList(const std::string& path,
+                           const EdgeListOptions& options) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return ParseEdgeList(buf.str(), options);
+}
+
+std::string ToEdgeListString(const Graph& g) {
+  std::string out =
+      StrFormat("# undirected simple graph: %zu nodes, %zu edges\n",
+                g.NumNodes(), g.NumEdges());
+  for (const Edge& e : g.Edges()) {
+    out += StrFormat("%u %u\n", e.u, e.v);
+  }
+  return out;
+}
+
+Status SaveEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Status::IoError("cannot open " + path + " for writing");
+  f << ToEdgeListString(g);
+  if (!f.good()) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace tpp::graph

@@ -1,0 +1,43 @@
+// Edge-list I/O in the formats used by SNAP / KONECT dumps.
+
+#ifndef TPP_GRAPH_IO_H_
+#define TPP_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace tpp::graph {
+
+/// Options controlling edge-list parsing.
+struct EdgeListOptions {
+  /// Lines starting with any of these characters are skipped.
+  std::string comment_prefixes = "#%";
+  /// When true, node ids found in the file are remapped to a dense
+  /// 0..n-1 range in order of first appearance. When false, ids are taken
+  /// literally and the node count is max id + 1.
+  bool remap_ids = true;
+  /// When false, duplicate edges / self-loops are errors instead of being
+  /// silently dropped.
+  bool lenient = true;
+};
+
+/// Parses a whitespace-separated edge list (two integer columns per line;
+/// extra columns such as weights or timestamps are ignored).
+Result<Graph> ParseEdgeList(const std::string& text,
+                            const EdgeListOptions& options = {});
+
+/// Loads an edge-list file from disk.
+Result<Graph> LoadEdgeList(const std::string& path,
+                           const EdgeListOptions& options = {});
+
+/// Serializes the graph as a "u v" edge list with a header comment.
+std::string ToEdgeListString(const Graph& g);
+
+/// Writes the edge list to disk.
+Status SaveEdgeList(const Graph& g, const std::string& path);
+
+}  // namespace tpp::graph
+
+#endif  // TPP_GRAPH_IO_H_

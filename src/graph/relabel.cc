@@ -1,0 +1,47 @@
+#include "graph/relabel.h"
+
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace tpp::graph {
+
+Result<RelabeledGraph> RelabelNodes(const Graph& g,
+                                    const std::vector<NodeId>& permutation) {
+  const size_t n = g.NumNodes();
+  if (permutation.size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("permutation size %zu != node count %zu",
+                  permutation.size(), n));
+  }
+  std::vector<uint8_t> seen(n, 0);
+  for (NodeId p : permutation) {
+    if (p >= n || seen[p]) {
+      return Status::InvalidArgument("not a permutation of 0..n-1");
+    }
+    seen[p] = 1;
+  }
+  RelabeledGraph out;
+  out.new_id = permutation;
+  out.graph = Graph(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      if (u < v) {
+        Status s = out.graph.AddEdge(permutation[u], permutation[v]);
+        TPP_CHECK(s.ok());
+      }
+    }
+  }
+  return out;
+}
+
+RelabeledGraph RandomRelabel(const Graph& g, Rng& rng) {
+  std::vector<NodeId> permutation(g.NumNodes());
+  std::iota(permutation.begin(), permutation.end(), 0);
+  rng.Shuffle(permutation);
+  Result<RelabeledGraph> out = RelabelNodes(g, permutation);
+  TPP_CHECK(out.ok());  // a shuffled iota is always a permutation
+  return *std::move(out);
+}
+
+}  // namespace tpp::graph

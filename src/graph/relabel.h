@@ -1,0 +1,41 @@
+// Node relabeling for release pipelines.
+//
+// Deleting links is not enough for a safe release if node ids still match
+// the owner's internal ids; publishers permute ids before sharing. These
+// helpers produce the relabeled graph together with the secret mapping.
+
+#ifndef TPP_GRAPH_RELABEL_H_
+#define TPP_GRAPH_RELABEL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace tpp::graph {
+
+/// A relabeled graph plus the secret permutation that produced it.
+struct RelabeledGraph {
+  Graph graph{0};
+  /// new_id[old] = the released id of original node `old`.
+  std::vector<NodeId> new_id;
+};
+
+/// Applies an explicit permutation: node v of `g` becomes
+/// `permutation[v]`. Errors unless `permutation` is a permutation of
+/// 0..n-1.
+Result<RelabeledGraph> RelabelNodes(const Graph& g,
+                                    const std::vector<NodeId>& permutation);
+
+/// Relabels with a uniform random permutation drawn from `rng`.
+RelabeledGraph RandomRelabel(const Graph& g, Rng& rng);
+
+/// Maps an edge of the original graph into released ids.
+inline Edge MapEdge(const RelabeledGraph& relabeled, Edge e) {
+  return Edge(relabeled.new_id[e.u], relabeled.new_id[e.v]);
+}
+
+}  // namespace tpp::graph
+
+#endif  // TPP_GRAPH_RELABEL_H_

@@ -1,0 +1,65 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "graph/traversal.h"
+
+namespace tpp::graph {
+
+Result<InducedSubgraph> ExtractInducedSubgraph(
+    const Graph& g, const std::vector<NodeId>& nodes) {
+  InducedSubgraph out;
+  std::unordered_map<NodeId, NodeId> to_new;
+  to_new.reserve(nodes.size() * 2);
+  for (NodeId v : nodes) {
+    if (v >= g.NumNodes()) {
+      return Status::InvalidArgument(
+          StrFormat("node %u out of range (n=%zu)", v, g.NumNodes()));
+    }
+    if (to_new.emplace(v, static_cast<NodeId>(out.to_original.size()))
+            .second) {
+      out.to_original.push_back(v);
+    }
+  }
+  out.graph = Graph(out.to_original.size());
+  for (NodeId new_u = 0; new_u < out.to_original.size(); ++new_u) {
+    NodeId old_u = out.to_original[new_u];
+    for (NodeId old_v : g.Neighbors(old_u)) {
+      auto it = to_new.find(old_v);
+      if (it == to_new.end()) continue;
+      NodeId new_v = it->second;
+      if (new_u < new_v) {
+        Status s = out.graph.AddEdge(new_u, new_v);
+        TPP_CHECK(s.ok());
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> KHopNeighborhood(const Graph& g, NodeId center,
+                                     size_t hops) {
+  std::vector<NodeId> out;
+  if (center >= g.NumNodes()) return out;
+  std::vector<int32_t> dist = BfsDistances(g, center);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (dist[v] != kUnreachable &&
+        dist[v] <= static_cast<int32_t>(hops)) {
+      out.push_back(v);
+    }
+  }
+  return out;  // BFS order by id scan: already ascending
+}
+
+Result<InducedSubgraph> ExtractEgoNetwork(const Graph& g, NodeId center,
+                                          size_t hops) {
+  if (center >= g.NumNodes()) {
+    return Status::InvalidArgument(
+        StrFormat("node %u out of range (n=%zu)", center, g.NumNodes()));
+  }
+  return ExtractInducedSubgraph(g, KHopNeighborhood(g, center, hops));
+}
+
+}  // namespace tpp::graph

@@ -1,0 +1,37 @@
+// Subgraph extraction utilities.
+
+#ifndef TPP_GRAPH_SUBGRAPH_H_
+#define TPP_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace tpp::graph {
+
+/// Result of an induced-subgraph extraction: the subgraph plus the
+/// mapping from its dense node ids back to the original ids.
+struct InducedSubgraph {
+  Graph graph{0};
+  std::vector<NodeId> to_original;  ///< subgraph id -> original id
+};
+
+/// Extracts the subgraph induced by `nodes` (deduplicated; order of first
+/// appearance defines the new ids). Errors on out-of-range ids.
+Result<InducedSubgraph> ExtractInducedSubgraph(
+    const Graph& g, const std::vector<NodeId>& nodes);
+
+/// Node ids within `hops` BFS steps of `center`, including the center
+/// itself. Sorted ascending.
+std::vector<NodeId> KHopNeighborhood(const Graph& g, NodeId center,
+                                     size_t hops);
+
+/// Convenience: the induced subgraph on the k-hop ball around `center` —
+/// the local view an analyst inspects around a sensitive link.
+Result<InducedSubgraph> ExtractEgoNetwork(const Graph& g, NodeId center,
+                                          size_t hops);
+
+}  // namespace tpp::graph
+
+#endif  // TPP_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,75 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace tpp::graph {
+
+std::vector<int32_t> BfsDistances(const Graph& g, NodeId source) {
+  std::vector<int32_t> dist(g.NumNodes(), kUnreachable);
+  if (source >= g.NumNodes()) return dist;
+  std::vector<NodeId> frontier = {source};
+  dist[source] = 0;
+  int32_t level = 0;
+  std::vector<NodeId> next;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (NodeId u : frontier) {
+      for (NodeId v : g.Neighbors(u)) {
+        if (dist[v] == kUnreachable) {
+          dist[v] = level;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+Components ConnectedComponents(const Graph& g) {
+  Components c;
+  c.label.assign(g.NumNodes(), -1);
+  for (NodeId s = 0; s < g.NumNodes(); ++s) {
+    if (c.label[s] != -1) continue;
+    int32_t id = static_cast<int32_t>(c.num_components++);
+    c.sizes.push_back(0);
+    std::queue<NodeId> q;
+    q.push(s);
+    c.label[s] = id;
+    while (!q.empty()) {
+      NodeId u = q.front();
+      q.pop();
+      ++c.sizes[id];
+      for (NodeId v : g.Neighbors(u)) {
+        if (c.label[v] == -1) {
+          c.label[v] = id;
+          q.push(v);
+        }
+      }
+    }
+  }
+  return c;
+}
+
+std::vector<NodeId> LargestComponent(const Graph& g) {
+  Components c = ConnectedComponents(g);
+  std::vector<NodeId> out;
+  if (c.num_components == 0) return out;
+  size_t best = 0;
+  for (size_t i = 1; i < c.num_components; ++i) {
+    if (c.sizes[i] > c.sizes[best]) best = i;
+  }
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (c.label[u] == static_cast<int32_t>(best)) out.push_back(u);
+  }
+  return out;
+}
+
+bool IsConnected(const Graph& g) {
+  if (g.NumNodes() == 0) return false;
+  return ConnectedComponents(g).num_components == 1;
+}
+
+}  // namespace tpp::graph

@@ -1,0 +1,40 @@
+// Breadth-first traversal utilities: distances, components.
+
+#ifndef TPP_GRAPH_TRAVERSAL_H_
+#define TPP_GRAPH_TRAVERSAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tpp::graph {
+
+/// Distance value for unreachable nodes.
+inline constexpr int32_t kUnreachable = -1;
+
+/// BFS hop distances from `source` to every node (kUnreachable if not
+/// connected to source). O(n + m).
+std::vector<int32_t> BfsDistances(const Graph& g, NodeId source);
+
+/// Connected-component labels in [0, num_components); label order follows
+/// the smallest node id in each component.
+struct Components {
+  std::vector<int32_t> label;   ///< per-node component id
+  size_t num_components = 0;    ///< total number of components
+  std::vector<size_t> sizes;    ///< per-component node counts
+};
+
+/// Computes connected components via BFS. O(n + m).
+Components ConnectedComponents(const Graph& g);
+
+/// Node ids of the largest connected component (ties broken by lowest
+/// component label).
+std::vector<NodeId> LargestComponent(const Graph& g);
+
+/// True iff the graph is connected (and non-empty).
+bool IsConnected(const Graph& g);
+
+}  // namespace tpp::graph
+
+#endif  // TPP_GRAPH_TRAVERSAL_H_

@@ -1,0 +1,206 @@
+#include "linkpred/attack.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace tpp::linkpred {
+
+using graph::Edge;
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+
+// Samples a non-edge (u != v, no edge, not a target) uniformly at random.
+// Returns false if the graph is too dense to find one quickly.
+bool SampleNonEdge(const Graph& g,
+                   const std::unordered_set<graph::EdgeKey>& excluded,
+                   Rng& rng, Edge* out) {
+  const size_t n = g.NumNodes();
+  if (n < 2) return false;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    NodeId u = static_cast<NodeId>(rng.UniformIndex(n));
+    NodeId v = static_cast<NodeId>(rng.UniformIndex(n));
+    if (u == v) continue;
+    if (g.HasEdge(u, v)) continue;
+    if (excluded.count(graph::MakeEdgeKey(u, v)) > 0) continue;
+    *out = Edge(u, v);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<AttackReport> EvaluateAttack(const Graph& g,
+                                    const std::vector<Edge>& targets,
+                                    IndexKind index, Rng& rng,
+                                    const AttackOptions& options) {
+  if (targets.empty()) {
+    return Status::InvalidArgument("attack evaluation needs >= 1 target");
+  }
+  std::unordered_set<graph::EdgeKey> target_keys;
+  for (const Edge& t : targets) {
+    if (g.HasEdge(t.u, t.v)) {
+      return Status::FailedPrecondition(
+          StrFormat("target (%u,%u) still present in released graph", t.u,
+                    t.v));
+    }
+    target_keys.insert(t.Key());
+  }
+
+  AttackReport report;
+  report.index = index;
+  report.target_scores.reserve(targets.size());
+  for (const Edge& t : targets) {
+    double s = Score(g, t.u, t.v, index);
+    report.target_scores.push_back(s);
+    if (s == 0.0) ++report.zero_score_targets;
+  }
+
+  // AUC by sampling (target, non-edge) comparisons.
+  double auc_sum = 0.0;
+  size_t auc_n = 0;
+  for (size_t i = 0; i < options.num_comparisons; ++i) {
+    Edge non_edge;
+    if (!SampleNonEdge(g, target_keys, rng, &non_edge)) break;
+    double ts = report.target_scores[rng.UniformIndex(targets.size())];
+    double ns = Score(g, non_edge.u, non_edge.v, index);
+    if (ts > ns) {
+      auc_sum += 1.0;
+    } else if (ts == ns) {
+      auc_sum += 0.5;
+    }
+    ++auc_n;
+  }
+  report.auc = auc_n > 0 ? auc_sum / static_cast<double>(auc_n) : 0.0;
+
+  // Precision@|T| over targets + sampled non-edge pool.
+  struct Scored {
+    double score;
+    bool is_target;
+  };
+  std::vector<Scored> pool;
+  pool.reserve(targets.size() + options.num_non_edges);
+  for (double s : report.target_scores) pool.push_back({s, true});
+  for (size_t i = 0; i < options.num_non_edges; ++i) {
+    Edge non_edge;
+    if (!SampleNonEdge(g, target_keys, rng, &non_edge)) break;
+    pool.push_back({Score(g, non_edge.u, non_edge.v, index), false});
+  }
+  // Rank descending by score; break ties pessimistically for the attacker
+  // (non-targets first) so precision is not inflated by tied zeros.
+  std::stable_sort(pool.begin(), pool.end(), [](const Scored& a,
+                                                const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return !a.is_target && b.is_target;
+  });
+  size_t hits = 0;
+  size_t cutoff = std::min(targets.size(), pool.size());
+  for (size_t i = 0; i < cutoff; ++i) {
+    if (pool[i].is_target) ++hits;
+  }
+  report.precision_at_t =
+      cutoff > 0 ? static_cast<double>(hits) / static_cast<double>(cutoff)
+                 : 0.0;
+  return report;
+}
+
+Result<AttackReport> EvaluateAttackExact(const Graph& g,
+                                         const std::vector<Edge>& targets,
+                                         IndexKind index, size_t max_pairs) {
+  if (targets.empty()) {
+    return Status::InvalidArgument("attack evaluation needs >= 1 target");
+  }
+  const size_t n = g.NumNodes();
+  if (n < 2 || n * (n - 1) / 2 > max_pairs) {
+    return Status::OutOfRange(
+        StrFormat("graph with %zu nodes exceeds the exact-evaluation pair "
+                  "limit %zu",
+                  n, max_pairs));
+  }
+  std::unordered_set<graph::EdgeKey> target_keys;
+  for (const Edge& t : targets) {
+    if (g.HasEdge(t.u, t.v)) {
+      return Status::FailedPrecondition(
+          StrFormat("target (%u,%u) still present in released graph", t.u,
+                    t.v));
+    }
+    target_keys.insert(t.Key());
+  }
+
+  AttackReport report;
+  report.index = index;
+  for (const Edge& t : targets) {
+    double s = Score(g, t.u, t.v, index);
+    report.target_scores.push_back(s);
+    if (s == 0.0) ++report.zero_score_targets;
+  }
+
+  // Score every true non-edge (excluding the targets).
+  std::vector<double> non_edge_scores;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (g.HasEdge(u, v)) continue;
+      if (target_keys.count(graph::MakeEdgeKey(u, v)) > 0) continue;
+      non_edge_scores.push_back(Score(g, u, v, index));
+    }
+  }
+  if (non_edge_scores.empty()) {
+    return Status::FailedPrecondition("no non-edges to compare against");
+  }
+
+  // Exact AUC via the rank statistic: sort non-edge scores once, then for
+  // each target count how many non-edges it beats (+0.5 per tie).
+  std::sort(non_edge_scores.begin(), non_edge_scores.end());
+  double auc_sum = 0.0;
+  for (double ts : report.target_scores) {
+    auto lo = std::lower_bound(non_edge_scores.begin(),
+                               non_edge_scores.end(), ts);
+    auto hi = std::upper_bound(lo, non_edge_scores.end(), ts);
+    double below = static_cast<double>(lo - non_edge_scores.begin());
+    double ties = static_cast<double>(hi - lo);
+    auc_sum += (below + 0.5 * ties) /
+               static_cast<double>(non_edge_scores.size());
+  }
+  report.auc = auc_sum / static_cast<double>(targets.size());
+
+  // Exact precision@|T|: how many targets outrank the |T|-th best
+  // candidate. Pessimistic tie-breaking (non-targets first), matching the
+  // sampled evaluator.
+  std::vector<std::pair<double, bool>> pool;
+  pool.reserve(non_edge_scores.size() + targets.size());
+  for (double s : non_edge_scores) pool.emplace_back(s, false);
+  for (double s : report.target_scores) pool.emplace_back(s, true);
+  std::stable_sort(pool.begin(), pool.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first != b.first) return a.first > b.first;
+                     return !a.second && b.second;
+                   });
+  size_t hits = 0;
+  size_t cutoff = std::min(targets.size(), pool.size());
+  for (size_t i = 0; i < cutoff; ++i) {
+    if (pool[i].second) ++hits;
+  }
+  report.precision_at_t =
+      cutoff > 0 ? static_cast<double>(hits) / static_cast<double>(cutoff)
+                 : 0.0;
+  return report;
+}
+
+Result<std::vector<AttackReport>> EvaluateAllAttacks(
+    const Graph& g, const std::vector<Edge>& targets, Rng& rng,
+    const AttackOptions& options) {
+  std::vector<AttackReport> reports;
+  reports.reserve(kAllIndices.size());
+  for (IndexKind k : kAllIndices) {
+    TPP_ASSIGN_OR_RETURN(AttackReport r,
+                         EvaluateAttack(g, targets, k, rng, options));
+    reports.push_back(std::move(r));
+  }
+  return reports;
+}
+
+}  // namespace tpp::linkpred

@@ -1,0 +1,67 @@
+// Adversarial link-prediction attack evaluation.
+//
+// Implements the paper's threat model (§III-B): the attacker holds the full
+// released graph and scores candidate missing links with a similarity
+// index. We measure how well the hidden targets rank among non-edges —
+// before protection they should rank high; after full TPP protection every
+// triangle-based index scores them 0.
+
+#ifndef TPP_LINKPRED_ATTACK_H_
+#define TPP_LINKPRED_ATTACK_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "linkpred/indices.h"
+
+namespace tpp::linkpred {
+
+/// Attack-quality measurement for one (graph, targets, index) combination.
+struct AttackReport {
+  IndexKind index = IndexKind::kCommonNeighbors;
+  /// Probability a random hidden target outscores a random non-edge
+  /// (ties count 1/2) — the standard link-prediction AUC, estimated over
+  /// `num_comparisons` sampled pairs.
+  double auc = 0.0;
+  /// Fraction of the top-|T| ranked candidate pairs that are true targets,
+  /// where candidates = targets plus the sampled non-edges.
+  double precision_at_t = 0.0;
+  /// Per-target similarity scores under the index.
+  std::vector<double> target_scores;
+  /// Number of targets with score exactly 0 (invisible to this attacker).
+  size_t zero_score_targets = 0;
+};
+
+/// Options for attack evaluation.
+struct AttackOptions {
+  size_t num_comparisons = 10000;  ///< AUC sample size
+  size_t num_non_edges = 1000;     ///< non-edge pool for precision@|T|
+};
+
+/// Evaluates one index against the released graph. `targets` must be
+/// absent from `g` (they are the hidden links). Non-edges are sampled
+/// uniformly among unconnected pairs, excluding the targets themselves.
+Result<AttackReport> EvaluateAttack(const graph::Graph& g,
+                                    const std::vector<graph::Edge>& targets,
+                                    IndexKind index, Rng& rng,
+                                    const AttackOptions& options = {});
+
+/// Runs EvaluateAttack for every index in kAllIndices.
+Result<std::vector<AttackReport>> EvaluateAllAttacks(
+    const graph::Graph& g, const std::vector<graph::Edge>& targets, Rng& rng,
+    const AttackOptions& options = {});
+
+/// Exact attack evaluation for small graphs: enumerates EVERY non-edge
+/// instead of sampling, computing the exact AUC (rank statistic with tie
+/// correction) and exact precision@|T|. Errors if the number of node
+/// pairs exceeds `max_pairs` (default 2M) — use the sampled EvaluateAttack
+/// beyond that.
+Result<AttackReport> EvaluateAttackExact(
+    const graph::Graph& g, const std::vector<graph::Edge>& targets,
+    IndexKind index, size_t max_pairs = 2'000'000);
+
+}  // namespace tpp::linkpred
+
+#endif  // TPP_LINKPRED_ATTACK_H_

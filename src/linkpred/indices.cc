@@ -1,0 +1,98 @@
+#include "linkpred/indices.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tpp::linkpred {
+
+using graph::Graph;
+using graph::NodeId;
+
+std::string_view IndexName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kCommonNeighbors:
+      return "CommonNeighbors";
+    case IndexKind::kJaccard:
+      return "Jaccard";
+    case IndexKind::kSalton:
+      return "Salton";
+    case IndexKind::kSorensen:
+      return "Sorensen";
+    case IndexKind::kHubPromoted:
+      return "HubPromoted";
+    case IndexKind::kHubDepressed:
+      return "HubDepressed";
+    case IndexKind::kLeichtHolmeNewman:
+      return "LeichtHolmeNewman";
+    case IndexKind::kAdamicAdar:
+      return "AdamicAdar";
+    case IndexKind::kResourceAllocation:
+      return "ResourceAllocation";
+  }
+  return "Unknown";
+}
+
+Result<IndexKind> ParseIndexKind(std::string_view name) {
+  for (IndexKind k : kAllIndices) {
+    if (IndexName(k) == name) return k;
+  }
+  return Status::InvalidArgument("unknown index: " + std::string(name));
+}
+
+double Score(const Graph& g, NodeId u, NodeId v, IndexKind kind) {
+  const double du = static_cast<double>(g.Degree(u));
+  const double dv = static_cast<double>(g.Degree(v));
+  switch (kind) {
+    case IndexKind::kCommonNeighbors:
+      return static_cast<double>(g.CountCommonNeighbors(u, v));
+    case IndexKind::kJaccard: {
+      double cn = static_cast<double>(g.CountCommonNeighbors(u, v));
+      double uni = du + dv - cn;
+      return uni > 0 ? cn / uni : 0.0;
+    }
+    case IndexKind::kSalton: {
+      double cn = static_cast<double>(g.CountCommonNeighbors(u, v));
+      double denom = std::sqrt(du * dv);
+      return denom > 0 ? cn / denom : 0.0;
+    }
+    case IndexKind::kSorensen: {
+      double cn = static_cast<double>(g.CountCommonNeighbors(u, v));
+      double denom = du + dv;
+      return denom > 0 ? 2.0 * cn / denom : 0.0;
+    }
+    case IndexKind::kHubPromoted: {
+      double cn = static_cast<double>(g.CountCommonNeighbors(u, v));
+      double denom = std::min(du, dv);
+      return denom > 0 ? cn / denom : 0.0;
+    }
+    case IndexKind::kHubDepressed: {
+      double cn = static_cast<double>(g.CountCommonNeighbors(u, v));
+      double denom = std::max(du, dv);
+      return denom > 0 ? cn / denom : 0.0;
+    }
+    case IndexKind::kLeichtHolmeNewman: {
+      double cn = static_cast<double>(g.CountCommonNeighbors(u, v));
+      double denom = du * dv;
+      return denom > 0 ? cn / denom : 0.0;
+    }
+    case IndexKind::kAdamicAdar: {
+      double score = 0.0;
+      for (NodeId w : g.CommonNeighbors(u, v)) {
+        double dw = static_cast<double>(g.Degree(w));
+        if (dw > 1.0) score += 1.0 / std::log(dw);
+      }
+      return score;
+    }
+    case IndexKind::kResourceAllocation: {
+      double score = 0.0;
+      for (NodeId w : g.CommonNeighbors(u, v)) {
+        double dw = static_cast<double>(g.Degree(w));
+        if (dw > 0.0) score += 1.0 / dw;
+      }
+      return score;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace tpp::linkpred

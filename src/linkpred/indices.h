@@ -1,0 +1,54 @@
+// Neighborhood-based link-prediction similarity indices.
+//
+// These are the attack-side predictors from the paper's threat model and
+// Extended Discussion (§VI-D): all are functions of the common-neighbor
+// set of the two endpoints, so a graph in which every target has zero
+// target triangles defeats all of them at once.
+
+#ifndef TPP_LINKPRED_INDICES_H_
+#define TPP_LINKPRED_INDICES_H_
+
+#include <array>
+#include <string_view>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace tpp::linkpred {
+
+/// The similarity indices discussed in the paper (references [37]-[43]).
+enum class IndexKind {
+  kCommonNeighbors = 0,    ///< |CN|
+  kJaccard,                ///< |CN| / |union of neighborhoods|
+  kSalton,                 ///< |CN| / sqrt(du * dv)
+  kSorensen,               ///< 2|CN| / (du + dv)
+  kHubPromoted,            ///< |CN| / min(du, dv)
+  kHubDepressed,           ///< |CN| / max(du, dv)
+  kLeichtHolmeNewman,      ///< |CN| / (du * dv)
+  kAdamicAdar,             ///< sum over CN of 1 / log(dw)
+  kResourceAllocation,     ///< sum over CN of 1 / dw
+};
+
+/// All indices, for sweeps and parameterized tests.
+inline constexpr std::array<IndexKind, 9> kAllIndices = {
+    IndexKind::kCommonNeighbors, IndexKind::kJaccard,
+    IndexKind::kSalton,          IndexKind::kSorensen,
+    IndexKind::kHubPromoted,     IndexKind::kHubDepressed,
+    IndexKind::kLeichtHolmeNewman, IndexKind::kAdamicAdar,
+    IndexKind::kResourceAllocation};
+
+/// Stable display name, e.g. "Jaccard".
+std::string_view IndexName(IndexKind kind);
+
+/// Parses an index display name.
+Result<IndexKind> ParseIndexKind(std::string_view name);
+
+/// Similarity score of the (typically missing) node pair (u, v) under the
+/// given index. Degenerate denominators (isolated endpoints, degree-1 logs)
+/// yield 0, matching the convention that an unpredictable pair scores 0.
+double Score(const graph::Graph& g, graph::NodeId u, graph::NodeId v,
+             IndexKind kind);
+
+}  // namespace tpp::linkpred
+
+#endif  // TPP_LINKPRED_INDICES_H_

@@ -1,0 +1,69 @@
+#include "linkpred/katz.h"
+
+#include "common/strings.h"
+
+namespace tpp::linkpred {
+
+using graph::Graph;
+using graph::NodeId;
+
+Result<std::vector<double>> KatzScoresFrom(const Graph& g, NodeId u,
+                                           const KatzParams& params) {
+  if (u >= g.NumNodes()) {
+    return Status::InvalidArgument(StrFormat("node %u out of range", u));
+  }
+  if (params.beta <= 0.0 || params.beta >= 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("Katz beta=%f out of (0,1)", params.beta));
+  }
+  std::vector<double> walks(g.NumNodes(), 0.0);  // walks of length l to node
+  std::vector<double> next(g.NumNodes(), 0.0);
+  std::vector<double> score(g.NumNodes(), 0.0);
+  walks[u] = 1.0;  // one empty walk of length 0
+  double beta_pow = 1.0;
+  for (size_t l = 1; l <= params.max_length; ++l) {
+    beta_pow *= params.beta;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId x = 0; x < g.NumNodes(); ++x) {
+      if (walks[x] == 0.0) continue;
+      for (NodeId y : g.Neighbors(x)) next[y] += walks[x];
+    }
+    walks.swap(next);
+    for (NodeId y = 0; y < g.NumNodes(); ++y) {
+      score[y] += beta_pow * walks[y];
+    }
+  }
+  return score;
+}
+
+Result<std::vector<std::vector<double>>> KatzWalkCounts(const Graph& g,
+                                                        NodeId u,
+                                                        size_t max_length) {
+  if (u >= g.NumNodes()) {
+    return Status::InvalidArgument(StrFormat("node %u out of range", u));
+  }
+  std::vector<std::vector<double>> counts(
+      max_length + 1, std::vector<double>(g.NumNodes(), 0.0));
+  counts[0][u] = 1.0;
+  for (size_t l = 1; l <= max_length; ++l) {
+    const std::vector<double>& prev = counts[l - 1];
+    std::vector<double>& cur = counts[l];
+    for (NodeId x = 0; x < g.NumNodes(); ++x) {
+      if (prev[x] == 0.0) continue;
+      for (NodeId y : g.Neighbors(x)) cur[y] += prev[x];
+    }
+  }
+  return counts;
+}
+
+Result<double> KatzScore(const Graph& g, NodeId u, NodeId v,
+                         const KatzParams& params) {
+  if (v >= g.NumNodes()) {
+    return Status::InvalidArgument(StrFormat("node %u out of range", v));
+  }
+  TPP_ASSIGN_OR_RETURN(std::vector<double> scores,
+                       KatzScoresFrom(g, u, params));
+  return scores[v];
+}
+
+}  // namespace tpp::linkpred

@@ -1,0 +1,38 @@
+// Truncated Katz index (paper future-work reference [47]).
+
+#ifndef TPP_LINKPRED_KATZ_H_
+#define TPP_LINKPRED_KATZ_H_
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace tpp::linkpred {
+
+/// Parameters of the truncated Katz similarity
+///   katz(u,v) = sum_{l=1..max_length} beta^l * paths_l(u, v)
+/// where paths_l counts walks of length l. beta must satisfy
+/// 0 < beta < 1 for the series to be meaningful when truncated.
+struct KatzParams {
+  double beta = 0.05;
+  size_t max_length = 4;
+};
+
+/// Computes the truncated Katz score for one node pair by dynamic
+/// programming over walk counts: O(max_length * m) time, O(n) space.
+Result<double> KatzScore(const graph::Graph& g, graph::NodeId u,
+                         graph::NodeId v, const KatzParams& params = {});
+
+/// Computes Katz scores from `u` to every node (one DP sweep).
+Result<std::vector<double>> KatzScoresFrom(const graph::Graph& g,
+                                           graph::NodeId u,
+                                           const KatzParams& params = {});
+
+/// Walk counts from `u`: counts[l][x] = number of length-l walks u -> x,
+/// for l = 0..max_length. The building block for Katz and for the
+/// first-order edge-deletion gain estimates in core/katz_defense.h.
+Result<std::vector<std::vector<double>>> KatzWalkCounts(
+    const graph::Graph& g, graph::NodeId u, size_t max_length);
+
+}  // namespace tpp::linkpred
+
+#endif  // TPP_LINKPRED_KATZ_H_

@@ -1,0 +1,38 @@
+#include "metrics/assortativity.h"
+
+#include <cmath>
+
+namespace tpp::metrics {
+
+using graph::Graph;
+using graph::NodeId;
+
+Result<double> DegreeAssortativity(const Graph& g) {
+  if (g.NumEdges() == 0) {
+    return Status::InvalidArgument("assortativity undefined without edges");
+  }
+  // Newman (2002), eq. (4): over all edges with end degrees (j, k),
+  //   r = [M^-1 sum jk - (M^-1 sum (j+k)/2)^2] /
+  //       [M^-1 sum (j^2+k^2)/2 - (M^-1 sum (j+k)/2)^2].
+  double sum_jk = 0.0, sum_half = 0.0, sum_sq_half = 0.0;
+  const double inv_m = 1.0 / static_cast<double>(g.NumEdges());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    const double du = static_cast<double>(g.Degree(u));
+    for (NodeId v : g.Neighbors(u)) {
+      if (u >= v) continue;  // each undirected edge once
+      const double dv = static_cast<double>(g.Degree(v));
+      sum_jk += du * dv;
+      sum_half += 0.5 * (du + dv);
+      sum_sq_half += 0.5 * (du * du + dv * dv);
+    }
+  }
+  const double mean = inv_m * sum_half;
+  const double denom = inv_m * sum_sq_half - mean * mean;
+  if (std::abs(denom) < 1e-15) {
+    return Status::FailedPrecondition(
+        "assortativity undefined: constant end degrees");
+  }
+  return (inv_m * sum_jk - mean * mean) / denom;
+}
+
+}  // namespace tpp::metrics

@@ -1,0 +1,19 @@
+// Degree assortativity coefficient (Table II metric "r").
+
+#ifndef TPP_METRICS_ASSORTATIVITY_H_
+#define TPP_METRICS_ASSORTATIVITY_H_
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace tpp::metrics {
+
+/// Newman's degree assortativity: the Pearson correlation of the degrees
+/// at the two ends of a uniformly random edge. In [-1, 1]. Errors if the
+/// graph has no edges or the degree distribution at edge ends is constant
+/// (zero variance makes the coefficient undefined).
+Result<double> DegreeAssortativity(const graph::Graph& g);
+
+}  // namespace tpp::metrics
+
+#endif  // TPP_METRICS_ASSORTATIVITY_H_

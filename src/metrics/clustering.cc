@@ -1,0 +1,51 @@
+#include "metrics/clustering.h"
+
+namespace tpp::metrics {
+
+using graph::Graph;
+using graph::NodeId;
+
+double LocalClustering(const Graph& g, NodeId v) {
+  const size_t d = g.Degree(v);
+  if (d < 2) return 0.0;
+  // Count links among neighbors; each counted once via ordered scan.
+  size_t links = 0;
+  auto nbrs = g.Neighbors(v);
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    for (size_t j = i + 1; j < nbrs.size(); ++j) {
+      if (g.HasEdge(nbrs[i], nbrs[j])) ++links;
+    }
+  }
+  return 2.0 * static_cast<double>(links) /
+         (static_cast<double>(d) * static_cast<double>(d - 1));
+}
+
+double AverageClustering(const Graph& g) {
+  if (g.NumNodes() == 0) return 0.0;
+  double sum = 0.0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    sum += LocalClustering(g, v);
+  }
+  return sum / static_cast<double>(g.NumNodes());
+}
+
+double GlobalTransitivity(const Graph& g) {
+  // closed triples = 3 * triangles counted once per corner = sum over v of
+  // (links among neighbors); open+closed triples = sum over v of C(d_v, 2).
+  double closed = 0.0;
+  double triples = 0.0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const size_t d = g.Degree(v);
+    if (d < 2) continue;
+    triples += static_cast<double>(d) * static_cast<double>(d - 1) / 2.0;
+    auto nbrs = g.Neighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (g.HasEdge(nbrs[i], nbrs[j])) closed += 1.0;
+      }
+    }
+  }
+  return triples > 0.0 ? closed / triples : 0.0;
+}
+
+}  // namespace tpp::metrics

@@ -1,0 +1,26 @@
+// Clustering coefficient (Table II metric "clust").
+
+#ifndef TPP_METRICS_CLUSTERING_H_
+#define TPP_METRICS_CLUSTERING_H_
+
+#include "graph/graph.h"
+
+namespace tpp::metrics {
+
+/// Local clustering coefficient of node v: (links among neighbors) /
+/// (deg(v) choose 2). Nodes of degree < 2 have coefficient 0 by
+/// convention (the formula's denominator vanishes).
+double LocalClustering(const graph::Graph& g, graph::NodeId v);
+
+/// Average of LocalClustering over all nodes (Watts-Strogatz style).
+/// Returns 0 for an empty graph.
+double AverageClustering(const graph::Graph& g);
+
+/// Global transitivity: 3 * triangles / connected triples. Returns 0 when
+/// the graph has no connected triple. Provided alongside the average local
+/// coefficient because generator calibration uses both.
+double GlobalTransitivity(const graph::Graph& g);
+
+}  // namespace tpp::metrics
+
+#endif  // TPP_METRICS_CLUSTERING_H_

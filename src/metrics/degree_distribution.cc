@@ -1,0 +1,59 @@
+#include "metrics/degree_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "metrics/summary.h"
+
+namespace tpp::metrics {
+
+using graph::Graph;
+using graph::NodeId;
+
+Result<PowerLawFit> FitPowerLawTail(const Graph& g, size_t d_min) {
+  if (d_min < 1) {
+    return Status::InvalidArgument("d_min must be >= 1");
+  }
+  double log_sum = 0.0;
+  size_t tail = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    size_t d = g.Degree(v);
+    if (d < d_min) continue;
+    ++tail;
+    log_sum +=
+        std::log(static_cast<double>(d) /
+                 (static_cast<double>(d_min) - 0.5));
+  }
+  if (tail < 10) {
+    return Status::FailedPrecondition(
+        StrFormat("tail too small for a fit: %zu nodes with degree >= %zu",
+                  tail, d_min));
+  }
+  PowerLawFit fit;
+  fit.d_min = d_min;
+  fit.tail_size = tail;
+  fit.alpha = 1.0 + static_cast<double>(tail) / log_sum;
+  return fit;
+}
+
+Result<double> DegreeDistributionDistance(const Graph& a, const Graph& b) {
+  if (a.NumNodes() == 0 || b.NumNodes() == 0) {
+    return Status::InvalidArgument(
+        "degree distribution undefined for empty graph");
+  }
+  std::vector<size_t> ha = DegreeHistogram(a);
+  std::vector<size_t> hb = DegreeHistogram(b);
+  const size_t buckets = std::max(ha.size(), hb.size());
+  const double na = static_cast<double>(a.NumNodes());
+  const double nb = static_cast<double>(b.NumNodes());
+  double tv = 0.0;
+  for (size_t d = 0; d < buckets; ++d) {
+    double pa = d < ha.size() ? static_cast<double>(ha[d]) / na : 0.0;
+    double pb = d < hb.size() ? static_cast<double>(hb[d]) / nb : 0.0;
+    tv += std::abs(pa - pb);
+  }
+  return tv / 2.0;
+}
+
+}  // namespace tpp::metrics

@@ -1,0 +1,35 @@
+// Degree-distribution analysis: power-law tail fitting and distribution
+// distances, used to validate the synthetic dataset stand-ins and as an
+// additional utility comparison between original and released graphs.
+
+#ifndef TPP_METRICS_DEGREE_DISTRIBUTION_H_
+#define TPP_METRICS_DEGREE_DISTRIBUTION_H_
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace tpp::metrics {
+
+/// Result of a discrete power-law tail fit.
+struct PowerLawFit {
+  double alpha = 0.0;     ///< exponent of P(d) ~ d^-alpha for d >= d_min
+  size_t d_min = 1;       ///< tail cutoff used
+  size_t tail_size = 0;   ///< nodes with degree >= d_min
+};
+
+/// Maximum-likelihood estimate of the power-law exponent for degrees
+/// >= d_min, using the standard continuous approximation
+///   alpha = 1 + n_tail / sum(ln(d_i / (d_min - 0.5))).
+/// Errors if fewer than 10 nodes lie in the tail.
+Result<PowerLawFit> FitPowerLawTail(const graph::Graph& g, size_t d_min);
+
+/// Total-variation distance between the degree distributions of two
+/// graphs: 0 = identical distributions, 1 = disjoint support. Defined for
+/// any pair of non-empty graphs (node counts may differ; distributions
+/// are normalized).
+Result<double> DegreeDistributionDistance(const graph::Graph& a,
+                                          const graph::Graph& b);
+
+}  // namespace tpp::metrics
+
+#endif  // TPP_METRICS_DEGREE_DISTRIBUTION_H_

@@ -1,0 +1,75 @@
+#include "metrics/kcore.h"
+
+#include <algorithm>
+
+namespace tpp::metrics {
+
+using graph::Graph;
+using graph::NodeId;
+
+std::vector<size_t> CoreNumbers(const Graph& g) {
+  const size_t n = g.NumNodes();
+  std::vector<size_t> degree(n), core(n, 0);
+  size_t max_degree = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] = g.Degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // Bucket sort nodes by degree.
+  std::vector<size_t> bin(max_degree + 2, 0);
+  for (NodeId v = 0; v < n; ++v) ++bin[degree[v]];
+  size_t start = 0;
+  for (size_t d = 0; d <= max_degree; ++d) {
+    size_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<NodeId> order(n);
+  std::vector<size_t> pos(n);
+  {
+    std::vector<size_t> fill(bin.begin(), bin.end());
+    for (NodeId v = 0; v < n; ++v) {
+      pos[v] = fill[degree[v]]++;
+      order[pos[v]] = v;
+    }
+  }
+  // Peel in non-decreasing degree order.
+  for (size_t i = 0; i < n; ++i) {
+    NodeId v = order[i];
+    core[v] = degree[v];
+    for (NodeId u : g.Neighbors(v)) {
+      if (degree[u] > degree[v]) {
+        // Swap u to the front of its degree bucket, then decrement.
+        size_t du = degree[u];
+        size_t pu = pos[u];
+        size_t pw = bin[du];
+        NodeId w = order[pw];
+        if (u != w) {
+          std::swap(order[pu], order[pw]);
+          pos[u] = pw;
+          pos[w] = pu;
+        }
+        ++bin[du];
+        --degree[u];
+      }
+    }
+  }
+  return core;
+}
+
+double AverageCoreNumber(const Graph& g) {
+  if (g.NumNodes() == 0) return 0.0;
+  std::vector<size_t> core = CoreNumbers(g);
+  double sum = 0.0;
+  for (size_t c : core) sum += static_cast<double>(c);
+  return sum / static_cast<double>(g.NumNodes());
+}
+
+size_t Degeneracy(const Graph& g) {
+  std::vector<size_t> core = CoreNumbers(g);
+  size_t best = 0;
+  for (size_t c : core) best = std::max(best, c);
+  return best;
+}
+
+}  // namespace tpp::metrics

@@ -1,0 +1,25 @@
+// k-core decomposition (Table II metric "cn").
+
+#ifndef TPP_METRICS_KCORE_H_
+#define TPP_METRICS_KCORE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tpp::metrics {
+
+/// Core number of every node via the Batagelj–Zaversnik bucket algorithm,
+/// O(n + m). The core number of v is the largest k such that v belongs to
+/// a subgraph where every node has degree >= k.
+std::vector<size_t> CoreNumbers(const graph::Graph& g);
+
+/// Average core number over all nodes (0 for an empty graph).
+double AverageCoreNumber(const graph::Graph& g);
+
+/// Degeneracy: the maximum core number (0 for an edgeless graph).
+size_t Degeneracy(const graph::Graph& g);
+
+}  // namespace tpp::metrics
+
+#endif  // TPP_METRICS_KCORE_H_

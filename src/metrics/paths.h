@@ -1,0 +1,37 @@
+// Average path length (Table II metric "l").
+
+#ifndef TPP_METRICS_PATHS_H_
+#define TPP_METRICS_PATHS_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace tpp::metrics {
+
+/// Options for average-path-length estimation.
+struct AplOptions {
+  /// If > 0 and smaller than the node count, run BFS from this many
+  /// uniformly sampled source nodes instead of all nodes (the paper itself
+  /// skips l on DBLP because the exact computation is impractical).
+  size_t sample_sources = 0;
+  /// Seed for source sampling (only used when sampling).
+  uint64_t seed = 1;
+  /// BFS sweeps to run in parallel; 1 = sequential. The result is
+  /// bit-identical regardless of thread count (integer sums are combined
+  /// in source order).
+  size_t num_threads = 1;
+};
+
+/// Average BFS distance over all reachable ordered pairs (u, v), u != v.
+/// Unreachable pairs are excluded from the average, the standard convention
+/// for disconnected graphs. Errors if the graph has < 2 nodes or no
+/// reachable pair exists.
+Result<double> AveragePathLength(const graph::Graph& g,
+                                 const AplOptions& options = {});
+
+}  // namespace tpp::metrics
+
+#endif  // TPP_METRICS_PATHS_H_

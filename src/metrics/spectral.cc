@@ -1,0 +1,205 @@
+#include "metrics/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace tpp::metrics {
+
+using graph::Graph;
+using graph::NodeId;
+
+Result<std::vector<double>> DenseSymmetricEigenvalues(
+    const std::vector<double>& matrix, size_t n) {
+  if (matrix.size() != n * n) {
+    return Status::InvalidArgument(
+        StrFormat("matrix size %zu != n^2 (n=%zu)", matrix.size(), n));
+  }
+  std::vector<double> a = matrix;
+  auto at = [&](size_t i, size_t j) -> double& { return a[i * n + j]; };
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (std::abs(at(i, j) - at(j, i)) > 1e-9) {
+        return Status::InvalidArgument("matrix is not symmetric");
+      }
+    }
+  }
+  // Cyclic Jacobi: zero out the largest off-diagonal entries by rotations
+  // until the off-diagonal norm is negligible.
+  const size_t max_sweeps = 100;
+  for (size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) off += at(i, j) * at(i, j);
+    }
+    if (off < 1e-22 * static_cast<double>(n * n)) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double apq = at(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        double app = at(p, p), aqq = at(q, q);
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        for (size_t k = 0; k < n; ++k) {
+          double akp = at(k, p), akq = at(k, q);
+          at(k, p) = c * akp - s * akq;
+          at(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double apk = at(p, k), aqk = at(q, k);
+          at(p, k) = c * apk - s * aqk;
+          at(q, k) = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+  std::vector<double> eig(n);
+  for (size_t i = 0; i < n; ++i) eig[i] = at(i, i);
+  std::sort(eig.begin(), eig.end(), std::greater<double>());
+  return eig;
+}
+
+std::vector<double> DenseLaplacian(const Graph& g) {
+  const size_t n = g.NumNodes();
+  std::vector<double> lap(n * n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    lap[u * n + u] = static_cast<double>(g.Degree(u));
+    for (NodeId v : g.Neighbors(u)) {
+      lap[u * n + v] = -1.0;
+    }
+  }
+  return lap;
+}
+
+namespace {
+
+// y = L x for the implicit Laplacian of g.
+void ApplyLaplacian(const Graph& g, const std::vector<double>& x,
+                    std::vector<double>* y) {
+  const size_t n = g.NumNodes();
+  for (NodeId u = 0; u < n; ++u) {
+    double acc = static_cast<double>(g.Degree(u)) * x[u];
+    for (NodeId v : g.Neighbors(u)) acc -= x[v];
+    (*y)[u] = acc;
+  }
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void Axpy(double alpha, const std::vector<double>& x,
+          std::vector<double>* y) {
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+}  // namespace
+
+Result<std::vector<double>> TopLaplacianEigenvalues(
+    const Graph& g, size_t count, const LanczosOptions& options) {
+  const size_t n = g.NumNodes();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (count == 0) return std::vector<double>{};
+
+  const size_t m = std::min(n, std::max(count + 2, options.max_iterations));
+
+  // Lanczos with full reorthogonalization. A single Krylov sequence finds
+  // each distinct eigenvalue once; to recover multiplicities (e.g. the
+  // (n-1)-fold eigenvalue n of K_n's Laplacian) we deflate: whenever the
+  // recurrence breaks down (invariant subspace found), restart with a
+  // fresh random vector orthogonal to everything seen so far. Segments are
+  // exactly L-orthogonal, so the projected matrix is block tridiagonal and
+  // the Ritz values are the union over segments.
+  std::vector<std::vector<double>> basis;  // global orthonormal basis
+  basis.reserve(m);
+  Rng rng(options.seed);
+  std::vector<double> ritz;  // accumulated Ritz values over all segments
+  std::vector<double> w(n);
+
+  auto fresh_start_vector = [&](std::vector<double>* v) -> bool {
+    // Random vector, fully orthogonalized against the basis; false when no
+    // independent direction remains.
+    for (int attempt = 0; attempt < 5; ++attempt) {
+      for (double& x : *v) x = rng.UniformReal() - 0.5;
+      for (const auto& q : basis) {
+        double proj = Dot(*v, q);
+        if (proj != 0.0) Axpy(-proj, q, v);
+      }
+      double norm = std::sqrt(Dot(*v, *v));
+      if (norm > 1e-10) {
+        for (double& x : *v) x /= norm;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  auto append_tridiagonal_eigs = [&](const std::vector<double>& alpha,
+                                     const std::vector<double>& beta) {
+    const size_t k = alpha.size();
+    if (k == 0) return;
+    std::vector<double> tri(k * k, 0.0);
+    for (size_t i = 0; i < k; ++i) {
+      tri[i * k + i] = alpha[i];
+      if (i + 1 < k) {
+        tri[i * k + (i + 1)] = beta[i];
+        tri[(i + 1) * k + i] = beta[i];
+      }
+    }
+    Result<std::vector<double>> eigs = DenseSymmetricEigenvalues(tri, k);
+    TPP_CHECK(eigs.ok());
+    ritz.insert(ritz.end(), eigs->begin(), eigs->end());
+  };
+
+  std::vector<double> v(n);
+  while (basis.size() < m) {
+    if (!fresh_start_vector(&v)) break;
+    std::vector<double> alpha, beta;
+    size_t segment_start = basis.size();
+    while (basis.size() < m) {
+      basis.push_back(v);
+      ApplyLaplacian(g, v, &w);
+      double a_j = Dot(w, v);
+      alpha.push_back(a_j);
+      Axpy(-a_j, v, &w);
+      if (basis.size() - segment_start > 1) {
+        Axpy(-beta.back(), basis[basis.size() - 2], &w);
+      }
+      // Full reorthogonalization for numerical stability.
+      for (const auto& q : basis) {
+        double proj = Dot(w, q);
+        if (proj != 0.0) Axpy(-proj, q, &w);
+      }
+      double b_j = std::sqrt(Dot(w, w));
+      if (b_j < 1e-10 || basis.size() == m) break;  // deflate or budget out
+      beta.push_back(b_j);
+      for (size_t i = 0; i < n; ++i) v[i] = w[i] / b_j;
+    }
+    append_tridiagonal_eigs(alpha, beta);
+  }
+
+  std::sort(ritz.begin(), ritz.end(), std::greater<double>());
+  if (ritz.size() > count) ritz.resize(count);
+  return ritz;
+}
+
+Result<double> SecondLargestLaplacianEigenvalue(
+    const Graph& g, const LanczosOptions& options) {
+  TPP_ASSIGN_OR_RETURN(std::vector<double> top,
+                       TopLaplacianEigenvalues(g, 2, options));
+  if (top.size() < 2) {
+    return Status::FailedPrecondition(
+        "graph too small for a second eigenvalue");
+  }
+  return top[1];
+}
+
+}  // namespace tpp::metrics

@@ -1,0 +1,50 @@
+// Laplacian spectrum (Table II metric "mu": second largest eigenvalue).
+//
+// Two solvers are provided:
+//   * DenseSymmetricEigenvalues — cyclic Jacobi on an explicit matrix;
+//     exact, O(n^3), used directly for small graphs and as the test oracle;
+//   * TopLaplacianEigenvalues — Lanczos with full reorthogonalization on
+//     the implicit Laplacian operator; scales to large sparse graphs.
+
+#ifndef TPP_METRICS_SPECTRAL_H_
+#define TPP_METRICS_SPECTRAL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace tpp::metrics {
+
+/// All eigenvalues of a dense symmetric matrix (row-major, n x n), sorted
+/// descending. Cyclic Jacobi; errors if the matrix is not square or not
+/// symmetric within 1e-9.
+Result<std::vector<double>> DenseSymmetricEigenvalues(
+    const std::vector<double>& matrix, size_t n);
+
+/// The dense Laplacian L = D - A of `g` (row-major). Intended for small
+/// graphs and tests.
+std::vector<double> DenseLaplacian(const graph::Graph& g);
+
+/// Options for the Lanczos solver.
+struct LanczosOptions {
+  size_t max_iterations = 120;  ///< Krylov dimension cap
+  uint64_t seed = 7;            ///< deterministic start vector
+};
+
+/// Approximates the `count` largest eigenvalues of the graph Laplacian,
+/// sorted descending. Extremal Ritz values converge first, so modest
+/// iteration counts give accurate top eigenvalues. For graphs with
+/// <= max_iterations nodes the result is exact (full Krylov space).
+/// Errors when the graph is empty.
+Result<std::vector<double>> TopLaplacianEigenvalues(
+    const graph::Graph& g, size_t count, const LanczosOptions& options = {});
+
+/// Convenience: the second largest Laplacian eigenvalue, the "mu" metric
+/// the paper uses for spectrum-preservation analysis.
+Result<double> SecondLargestLaplacianEigenvalue(
+    const graph::Graph& g, const LanczosOptions& options = {});
+
+}  // namespace tpp::metrics
+
+#endif  // TPP_METRICS_SPECTRAL_H_

@@ -1,0 +1,72 @@
+#include "metrics/summary.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "graph/traversal.h"
+#include "metrics/clustering.h"
+#include "metrics/kcore.h"
+
+namespace tpp::metrics {
+
+using graph::Graph;
+using graph::NodeId;
+
+GraphSummary SummarizeGraph(const Graph& g) {
+  GraphSummary s;
+  s.num_nodes = g.NumNodes();
+  s.num_edges = g.NumEdges();
+  if (s.num_nodes == 0) return s;
+  s.min_degree = g.NumNodes() ? g.Degree(0) : 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    size_t d = g.Degree(v);
+    s.min_degree = std::min(s.min_degree, d);
+    s.max_degree = std::max(s.max_degree, d);
+    if (d == 0) ++s.num_isolated;
+  }
+  s.avg_degree = 2.0 * static_cast<double>(s.num_edges) /
+                 static_cast<double>(s.num_nodes);
+  if (s.num_nodes > 1) {
+    s.density = static_cast<double>(s.num_edges) /
+                (static_cast<double>(s.num_nodes) *
+                 static_cast<double>(s.num_nodes - 1) / 2.0);
+  }
+  graph::Components comps = graph::ConnectedComponents(g);
+  s.num_components = comps.num_components;
+  for (size_t size : comps.sizes) {
+    s.largest_component = std::max(s.largest_component, size);
+  }
+  s.avg_clustering = AverageClustering(g);
+  s.transitivity = GlobalTransitivity(g);
+  s.degeneracy = Degeneracy(g);
+  return s;
+}
+
+std::vector<size_t> DegreeHistogram(const Graph& g) {
+  size_t max_degree = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    max_degree = std::max(max_degree, g.Degree(v));
+  }
+  std::vector<size_t> hist(max_degree + 1, 0);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    ++hist[g.Degree(v)];
+  }
+  return hist;
+}
+
+std::string SummaryToString(const GraphSummary& s) {
+  std::string out;
+  out += StrFormat("nodes:             %zu\n", s.num_nodes);
+  out += StrFormat("edges:             %zu\n", s.num_edges);
+  out += StrFormat("degree (min/avg/max): %zu / %.2f / %zu\n", s.min_degree,
+                   s.avg_degree, s.max_degree);
+  out += StrFormat("density:           %.6f\n", s.density);
+  out += StrFormat("components:        %zu (largest %zu, isolated %zu)\n",
+                   s.num_components, s.largest_component, s.num_isolated);
+  out += StrFormat("avg clustering:    %.4f\n", s.avg_clustering);
+  out += StrFormat("transitivity:      %.4f\n", s.transitivity);
+  out += StrFormat("degeneracy:        %zu\n", s.degeneracy);
+  return out;
+}
+
+}  // namespace tpp::metrics

@@ -1,0 +1,41 @@
+// Graph summary statistics: the one-call profile used by examples, the
+// CLI, and dataset calibration.
+
+#ifndef TPP_METRICS_SUMMARY_H_
+#define TPP_METRICS_SUMMARY_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tpp::metrics {
+
+/// Degree-distribution and connectivity profile of a graph.
+struct GraphSummary {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  size_t min_degree = 0;
+  size_t max_degree = 0;
+  double avg_degree = 0.0;
+  double density = 0.0;           ///< m / (n choose 2)
+  size_t num_components = 0;
+  size_t largest_component = 0;   ///< node count of the largest component
+  size_t num_isolated = 0;        ///< degree-0 nodes
+  double avg_clustering = 0.0;
+  double transitivity = 0.0;
+  size_t degeneracy = 0;          ///< max core number
+};
+
+/// Computes the summary. O(n + m + triangle counting).
+GraphSummary SummarizeGraph(const graph::Graph& g);
+
+/// Degree histogram: hist[d] = number of nodes of degree d.
+std::vector<size_t> DegreeHistogram(const graph::Graph& g);
+
+/// Multi-line human-readable rendering of the summary.
+std::string SummaryToString(const GraphSummary& summary);
+
+}  // namespace tpp::metrics
+
+#endif  // TPP_METRICS_SUMMARY_H_

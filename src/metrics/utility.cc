@@ -1,0 +1,77 @@
+#include "metrics/utility.h"
+
+#include <cmath>
+
+#include "community/louvain.h"
+#include "metrics/assortativity.h"
+#include "metrics/clustering.h"
+#include "metrics/kcore.h"
+#include "metrics/paths.h"
+#include "metrics/spectral.h"
+
+namespace tpp::metrics {
+
+using graph::Graph;
+
+UtilityMetrics ComputeUtilityMetrics(const Graph& g,
+                                     const UtilityOptions& options) {
+  UtilityMetrics m;
+  if (options.apl) {
+    AplOptions apl_opts;
+    apl_opts.sample_sources = options.apl_sample_sources;
+    apl_opts.seed = options.seed;
+    Result<double> r = AveragePathLength(g, apl_opts);
+    if (r.ok()) m.apl = *r;
+  }
+  if (options.clustering) {
+    m.clustering = AverageClustering(g);
+  }
+  if (options.assortativity) {
+    Result<double> r = DegreeAssortativity(g);
+    if (r.ok()) m.assortativity = *r;
+  }
+  if (options.core) {
+    m.avg_core = AverageCoreNumber(g);
+  }
+  if (options.mu) {
+    LanczosOptions lo;
+    lo.max_iterations = options.lanczos_iterations;
+    lo.seed = options.seed;
+    Result<double> r = SecondLargestLaplacianEigenvalue(g, lo);
+    if (r.ok()) m.mu = *r;
+  }
+  if (options.modularity) {
+    Result<community::LouvainResult> r = community::Louvain(g);
+    if (r.ok()) m.modularity = r->modularity;
+  }
+  return m;
+}
+
+UtilityLoss UtilityLossRatio(const UtilityMetrics& original,
+                             const UtilityMetrics& perturbed) {
+  UtilityLoss loss;
+  auto add = [&](const char* name, const std::optional<double>& a,
+                 const std::optional<double>& b) {
+    if (!a.has_value() || !b.has_value()) return;
+    double za = *a, zb = *b;
+    if (za == 0.0) {
+      if (zb == 0.0) loss.per_metric.emplace_back(name, 0.0);
+      return;  // cannot normalize a change from exactly zero
+    }
+    loss.per_metric.emplace_back(name, std::abs(za - zb) / std::abs(za));
+  };
+  add("l", original.apl, perturbed.apl);
+  add("clust", original.clustering, perturbed.clustering);
+  add("r", original.assortativity, perturbed.assortativity);
+  add("cn", original.avg_core, perturbed.avg_core);
+  add("mu", original.mu, perturbed.mu);
+  add("Mod", original.modularity, perturbed.modularity);
+  if (!loss.per_metric.empty()) {
+    double sum = 0.0;
+    for (const auto& [name, v] : loss.per_metric) sum += v;
+    loss.average = sum / static_cast<double>(loss.per_metric.size());
+  }
+  return loss;
+}
+
+}  // namespace tpp::metrics

@@ -1,0 +1,64 @@
+// Graph utility metrics bundle and the utility-loss ratio (paper §VI-C).
+
+#ifndef TPP_METRICS_UTILITY_H_
+#define TPP_METRICS_UTILITY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace tpp::metrics {
+
+/// The Table II metric bundle. Metrics that were disabled or could not be
+/// computed (e.g. assortativity on a regular graph) are nullopt.
+struct UtilityMetrics {
+  std::optional<double> apl;            ///< l: average path length
+  std::optional<double> clustering;     ///< clust: avg clustering coeff
+  std::optional<double> assortativity;  ///< r
+  std::optional<double> avg_core;       ///< cn: average core number
+  std::optional<double> mu;             ///< 2nd largest Laplacian eigenvalue
+  std::optional<double> modularity;     ///< Mod (via Louvain)
+};
+
+/// Which metrics to compute and how.
+struct UtilityOptions {
+  bool apl = true;
+  bool clustering = true;
+  bool assortativity = true;
+  bool core = true;
+  bool mu = true;
+  bool modularity = true;
+  /// 0 = exact all-pairs BFS; otherwise sample this many BFS sources
+  /// (needed on DBLP-scale graphs, as the paper notes).
+  size_t apl_sample_sources = 0;
+  size_t lanczos_iterations = 120;
+  uint64_t seed = 7;
+};
+
+/// Computes the enabled metrics; individual failures become nullopt rather
+/// than failing the bundle (the paper likewise drops metrics it cannot
+/// compute on DBLP).
+UtilityMetrics ComputeUtilityMetrics(const graph::Graph& g,
+                                     const UtilityOptions& options = {});
+
+/// Utility loss between the original and a perturbed graph:
+///   ulr(z) = |z(G) - z(G')| / |z(G)| per metric, and the average over all
+/// metrics available in both bundles. Metrics with z(G) == 0 are reported
+/// as 0 when z(G') == 0 and skipped otherwise.
+struct UtilityLoss {
+  /// (metric name, loss ratio), in Table II order, only for metrics
+  /// present in both bundles.
+  std::vector<std::pair<std::string, double>> per_metric;
+  /// Mean of per_metric ratios; 0 if none available.
+  double average = 0.0;
+};
+
+UtilityLoss UtilityLossRatio(const UtilityMetrics& original,
+                             const UtilityMetrics& perturbed);
+
+}  // namespace tpp::metrics
+
+#endif  // TPP_METRICS_UTILITY_H_

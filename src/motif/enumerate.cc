@@ -1,0 +1,121 @@
+#include "motif/enumerate.h"
+
+#include "common/check.h"
+
+namespace tpp::motif {
+
+using graph::Edge;
+using graph::EdgeKey;
+using graph::Graph;
+using graph::MakeEdgeKey;
+using graph::NodeId;
+
+namespace {
+
+// Shared enumeration core: calls `emit` for each instance's edge list.
+// Passing a count-only sink lets Count and Enumerate share one definition.
+template <typename Emit2, typename Emit3, typename Emit4>
+void ForEachInstance(const Graph& g, Edge target, MotifKind kind,
+                     Emit2 emit2, Emit3 emit3, Emit4 emit4) {
+  const NodeId u = target.u;
+  const NodeId v = target.v;
+  TPP_CHECK_NE(u, v);
+  switch (kind) {
+    case MotifKind::kTriangle: {
+      for (NodeId w : g.CommonNeighbors(u, v)) {
+        emit2(MakeEdgeKey(u, w), MakeEdgeKey(w, v));
+      }
+      break;
+    }
+    case MotifKind::kRectangle: {
+      // Simple 3-paths u-a-b-v.
+      for (NodeId a : g.Neighbors(u)) {
+        if (a == v) continue;
+        for (NodeId b : g.Neighbors(a)) {
+          if (b == u || b == v) continue;
+          if (g.HasEdge(b, v)) {
+            emit3(MakeEdgeKey(u, a), MakeEdgeKey(a, b), MakeEdgeKey(b, v));
+          }
+        }
+      }
+      break;
+    }
+    case MotifKind::kPentagon: {
+      // Simple 4-paths u-a-b-c-v with distinct intermediates.
+      for (NodeId a : g.Neighbors(u)) {
+        if (a == v) continue;
+        for (NodeId b : g.Neighbors(a)) {
+          if (b == u || b == v) continue;
+          for (NodeId c : g.Neighbors(b)) {
+            if (c == u || c == v || c == a) continue;
+            if (g.HasEdge(c, v)) {
+              emit4(MakeEdgeKey(u, a), MakeEdgeKey(a, b), MakeEdgeKey(b, c),
+                    MakeEdgeKey(c, v));
+            }
+          }
+        }
+      }
+      break;
+    }
+    case MotifKind::kRecTri: {
+      // 2-path u-w-v plus a 3-path sharing intermediate w.
+      for (NodeId w : g.CommonNeighbors(u, v)) {
+        const EdgeKey uw = MakeEdgeKey(u, w);
+        const EdgeKey wv = MakeEdgeKey(w, v);
+        for (NodeId x : g.Neighbors(w)) {
+          if (x == u || x == v) continue;
+          // Type A: 3-path u-w-x-v.
+          if (g.HasEdge(x, v)) {
+            emit4(uw, wv, MakeEdgeKey(w, x), MakeEdgeKey(x, v));
+          }
+          // Type B: 3-path u-x-w-v.
+          if (g.HasEdge(u, x)) {
+            emit4(uw, wv, MakeEdgeKey(u, x), MakeEdgeKey(x, w));
+          }
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<TargetSubgraph> EnumerateTargetSubgraphs(const Graph& g,
+                                                     Edge target,
+                                                     MotifKind kind,
+                                                     int32_t target_index) {
+  std::vector<TargetSubgraph> out;
+  ForEachInstance(
+      g, target, kind,
+      [&](EdgeKey a, EdgeKey b) {
+        out.push_back(TargetSubgraph(target_index, {a, b}));
+      },
+      [&](EdgeKey a, EdgeKey b, EdgeKey c) {
+        out.push_back(TargetSubgraph(target_index, {a, b, c}));
+      },
+      [&](EdgeKey a, EdgeKey b, EdgeKey c, EdgeKey d) {
+        out.push_back(TargetSubgraph(target_index, {a, b, c, d}));
+      });
+  return out;
+}
+
+size_t CountTargetSubgraphs(const Graph& g, Edge target, MotifKind kind) {
+  size_t count = 0;
+  ForEachInstance(
+      g, target, kind, [&](EdgeKey, EdgeKey) { ++count; },
+      [&](EdgeKey, EdgeKey, EdgeKey) { ++count; },
+      [&](EdgeKey, EdgeKey, EdgeKey, EdgeKey) { ++count; });
+  return count;
+}
+
+size_t TotalSimilarity(const Graph& g, const std::vector<Edge>& targets,
+                       MotifKind kind) {
+  size_t total = 0;
+  for (const Edge& t : targets) {
+    total += CountTargetSubgraphs(g, t, kind);
+  }
+  return total;
+}
+
+}  // namespace tpp::motif

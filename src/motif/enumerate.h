@@ -1,0 +1,39 @@
+// Target-subgraph enumeration: the similarity function s(P, t).
+//
+// These are the production enumerators used by the TPP engines. They assume
+// phase-1 has already happened (the target links are absent from the graph);
+// they do not modify the graph.
+
+#ifndef TPP_MOTIF_ENUMERATE_H_
+#define TPP_MOTIF_ENUMERATE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "motif/motif.h"
+#include "motif/target_subgraph.h"
+
+namespace tpp::motif {
+
+/// Enumerates every target subgraph of `kind` for the hidden link `target`
+/// on graph `g`, labeling instances with `target_index`. Complexity:
+///   Triangle  O(du + dv)
+///   Rectangle O(sum of deg over Gamma(u))
+///   RecTri    O(sum of deg over common neighbors)
+std::vector<TargetSubgraph> EnumerateTargetSubgraphs(
+    const graph::Graph& g, graph::Edge target, MotifKind kind,
+    int32_t target_index = 0);
+
+/// Counts target subgraphs without materializing them: s({}, t) on the
+/// current graph. Same complexity as enumeration.
+size_t CountTargetSubgraphs(const graph::Graph& g, graph::Edge target,
+                            MotifKind kind);
+
+/// Total similarity s({}, T) over all targets on the current graph.
+size_t TotalSimilarity(const graph::Graph& g,
+                       const std::vector<graph::Edge>& targets,
+                       MotifKind kind);
+
+}  // namespace tpp::motif
+
+#endif  // TPP_MOTIF_ENUMERATE_H_

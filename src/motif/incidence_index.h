@@ -1,0 +1,100 @@
+// IncidenceIndex: edge -> target-subgraph incidence with alive counts.
+//
+// Because phase 2 only deletes edges, the set of target subgraphs is fixed
+// once enumerated; an instance dies permanently when any of its edges is
+// deleted. This index materializes all instances and answers the greedy
+// algorithms' core queries in time proportional to the number of instances
+// touching an edge:
+//   * Gain(e)        — how many alive instances break if e is deleted,
+//   * GainFor(e, t)  — the same, split into own-target and cross-target,
+//   * DeleteEdge(e)  — commit a protector deletion.
+
+#ifndef TPP_MOTIF_INCIDENCE_INDEX_H_
+#define TPP_MOTIF_INCIDENCE_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "motif/enumerate.h"
+#include "motif/motif.h"
+#include "motif/target_subgraph.h"
+
+namespace tpp::motif {
+
+/// See file comment. Build once per (graph, targets, motif) experiment;
+/// the index is self-contained after Build and does not retain the graph.
+class IncidenceIndex {
+ public:
+  /// Marginal gain of deleting an edge, split by beneficiary.
+  struct SplitGain {
+    size_t own = 0;    ///< alive instances of the focal target containing e
+    size_t cross = 0;  ///< alive instances of all other targets containing e
+    size_t total() const { return own + cross; }
+  };
+
+  /// Enumerates all target subgraphs of `kind` for every target and builds
+  /// the incidence map. `g` must already have the targets removed
+  /// (phase 1); an error is returned if any target edge is still present.
+  static Result<IncidenceIndex> Build(const graph::Graph& g,
+                                      const std::vector<graph::Edge>& targets,
+                                      MotifKind kind);
+
+  /// Number of targets the index was built over.
+  size_t NumTargets() const { return alive_per_target_.size(); }
+
+  /// All enumerated instances (alive and dead).
+  const std::vector<TargetSubgraph>& instances() const { return instances_; }
+
+  /// True iff instance `i` has not lost any edge yet.
+  bool IsAlive(size_t i) const { return alive_[i] != 0; }
+
+  /// Total alive instances: s(P, T) for the deletions committed so far.
+  size_t TotalAlive() const { return total_alive_; }
+
+  /// Alive instances serving target `t`: s(P, t).
+  size_t AliveForTarget(size_t t) const { return alive_per_target_[t]; }
+
+  /// Alive counts for all targets.
+  const std::vector<size_t>& AliveCounts() const { return alive_per_target_; }
+
+  /// Number of alive instances containing `e` = dissimilarity gain of
+  /// deleting e. O(instances incident to e).
+  size_t Gain(graph::EdgeKey e) const;
+
+  /// Gain split into own-target (t) and cross-target parts.
+  SplitGain GainFor(graph::EdgeKey e, size_t t) const;
+
+  /// Adds the per-target gains of deleting `e` into `out` (size
+  /// NumTargets()): one pass over the edge's posting list.
+  void AccumulateGains(graph::EdgeKey e, std::vector<size_t>* out) const;
+
+  /// Commits the deletion of edge `e`: kills all alive instances containing
+  /// it. Returns the number killed. Idempotent (second call returns 0).
+  size_t DeleteEdge(graph::EdgeKey e);
+
+  /// Edges that appear in at least one alive instance — exactly the
+  /// restricted candidate set of Lemma 5 (the "-R" algorithms). Sorted
+  /// ascending for determinism.
+  std::vector<graph::EdgeKey> AliveCandidateEdges() const;
+
+  /// Edges that appeared in any instance at build time (sorted); the RDT
+  /// baseline samples from this set.
+  std::vector<graph::EdgeKey> AllParticipatingEdges() const;
+
+ private:
+  IncidenceIndex() = default;
+
+  std::vector<TargetSubgraph> instances_;
+  std::vector<uint8_t> alive_;
+  std::vector<size_t> alive_per_target_;
+  size_t total_alive_ = 0;
+  std::unordered_map<graph::EdgeKey, std::vector<uint32_t>>
+      edge_to_instances_;
+};
+
+}  // namespace tpp::motif
+
+#endif  // TPP_MOTIF_INCIDENCE_INDEX_H_

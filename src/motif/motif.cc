@@ -1,0 +1,40 @@
+#include "motif/motif.h"
+
+namespace tpp::motif {
+
+std::string_view MotifName(MotifKind kind) {
+  switch (kind) {
+    case MotifKind::kTriangle:
+      return "Triangle";
+    case MotifKind::kRectangle:
+      return "Rectangle";
+    case MotifKind::kRecTri:
+      return "RecTri";
+    case MotifKind::kPentagon:
+      return "Pentagon";
+  }
+  return "Unknown";
+}
+
+Result<MotifKind> ParseMotifKind(std::string_view name) {
+  for (MotifKind k : kAllMotifs) {
+    if (MotifName(k) == name) return k;
+  }
+  return Status::InvalidArgument("unknown motif: " + std::string(name));
+}
+
+size_t MotifEdgeCount(MotifKind kind) {
+  switch (kind) {
+    case MotifKind::kTriangle:
+      return 2;
+    case MotifKind::kRectangle:
+      return 3;
+    case MotifKind::kRecTri:
+      return 4;
+    case MotifKind::kPentagon:
+      return 4;
+  }
+  return 0;
+}
+
+}  // namespace tpp::motif

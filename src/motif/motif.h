@@ -1,0 +1,52 @@
+// Motif kinds used as link-prediction bases (paper Fig. 1).
+
+#ifndef TPP_MOTIF_MOTIF_H_
+#define TPP_MOTIF_MOTIF_H_
+
+#include <array>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace tpp::motif {
+
+/// The subgraph patterns TPP can be instantiated with. A *target
+/// subgraph* for hidden link t=(u,v) is an instance of the pattern that t
+/// would complete:
+///   * Triangle — a 2-path u–w–v (common-neighbor prediction basis);
+///   * Rectangle — a simple 3-path u–a–b–v (4-cycle with the target);
+///   * RecTri — a 2-path u–w–v plus a 3-path sharing intermediate w
+///     (u–w–x–v or u–x–w–v);
+///   * Pentagon — a simple 4-path u–a–b–c–v (5-cycle with the target);
+///     not in the paper's evaluation, included to exercise the paper's
+///     claim that TPP generalizes to any motif.
+enum class MotifKind {
+  kTriangle = 0,
+  kRectangle = 1,
+  kRecTri = 2,
+  kPentagon = 3,
+};
+
+/// All supported motif kinds, for parameterized tests and sweeps.
+inline constexpr std::array<MotifKind, 4> kAllMotifs = {
+    MotifKind::kTriangle, MotifKind::kRectangle, MotifKind::kRecTri,
+    MotifKind::kPentagon};
+
+/// The three motifs the paper's evaluation uses; the bench harnesses
+/// sweep exactly these.
+inline constexpr std::array<MotifKind, 3> kPaperMotifs = {
+    MotifKind::kTriangle, MotifKind::kRectangle, MotifKind::kRecTri};
+
+/// Stable display name: "Triangle", "Rectangle", "RecTri".
+std::string_view MotifName(MotifKind kind);
+
+/// Parses a motif name (case-sensitive match of MotifName).
+Result<MotifKind> ParseMotifKind(std::string_view name);
+
+/// Number of non-target edges in one instance of the pattern:
+/// Triangle=2, Rectangle=3, RecTri=4.
+size_t MotifEdgeCount(MotifKind kind);
+
+}  // namespace tpp::motif
+
+#endif  // TPP_MOTIF_MOTIF_H_

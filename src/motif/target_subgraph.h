@@ -1,0 +1,56 @@
+// TargetSubgraph: one motif instance serving one target link.
+
+#ifndef TPP_MOTIF_TARGET_SUBGRAPH_H_
+#define TPP_MOTIF_TARGET_SUBGRAPH_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "graph/edge.h"
+
+namespace tpp::motif {
+
+/// A single target subgraph: the (<= 4) non-target edges of one motif
+/// instance, plus the index of the target it serves. Edge keys are kept
+/// sorted ascending so two instances are equal iff their fields match.
+///
+/// An instance is *alive* while all of its edges are present in the
+/// released graph; deleting any one of them breaks it permanently (the
+/// graph only ever loses edges during phase 2).
+struct TargetSubgraph {
+  int32_t target = -1;                  ///< index into the target vector
+  uint8_t num_edges = 0;                ///< 2 (Tri), 3 (Rect) or 4 (RecTri)
+  std::array<graph::EdgeKey, 4> edges{};  ///< sorted; tail entries are 0
+
+  TargetSubgraph() = default;
+
+  /// Builds an instance from an unsorted edge list (at most 4 keys).
+  TargetSubgraph(int32_t target_index,
+                 std::initializer_list<graph::EdgeKey> keys)
+      : target(target_index) {
+    for (graph::EdgeKey k : keys) {
+      // Insertion sort; instances have at most 4 edges.
+      uint8_t i = num_edges++;
+      while (i > 0 && edges[i - 1] > k) {
+        edges[i] = edges[i - 1];
+        --i;
+      }
+      edges[i] = k;
+    }
+  }
+
+  /// True iff the instance contains edge `key`.
+  bool ContainsEdge(graph::EdgeKey key) const {
+    return std::binary_search(edges.begin(), edges.begin() + num_edges, key);
+  }
+
+  friend bool operator==(const TargetSubgraph& a, const TargetSubgraph& b) {
+    return a.target == b.target && a.num_edges == b.num_edges &&
+           a.edges == b.edges;
+  }
+};
+
+}  // namespace tpp::motif
+
+#endif  // TPP_MOTIF_TARGET_SUBGRAPH_H_

@@ -1,0 +1,118 @@
+// Empirical verification of the Extended Discussion's argument that link
+// addition and link switching are NOT workable TPP mechanisms.
+
+#include "core/alternatives.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/fixtures.h"
+#include "graph/generators.h"
+#include "motif/enumerate.h"
+#include "test_util.h"
+
+namespace tpp::core {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using ::tpp::testing::E;
+using ::tpp::testing::MakeGraph;
+
+class AdditionPropertyTest
+    : public ::testing::TestWithParam<std::tuple<motif::MotifKind,
+                                                 uint64_t>> {};
+
+TEST_P(AdditionPropertyTest, AdditionNeverDecreasesSimilarity) {
+  // f'(P',T) is NOT an increasing function under addition (paper): adding
+  // links can only create target subgraphs.
+  auto [kind, seed] = GetParam();
+  Rng rng(seed);
+  Graph g = *graph::ErdosRenyiGnp(20, 0.25, rng);
+  if (g.NumEdges() < 5) GTEST_SKIP();
+  auto targets = rng.SampleK(g.Edges(), 3);
+  TppInstance inst = *MakeInstance(g, targets, kind);
+  for (int trial = 0; trial < 5; ++trial) {
+    Rng trial_rng(seed * 100 + trial);
+    auto result = *RandomLinkAddition(inst, 6, trial_rng);
+    EXPECT_GE(result.similarity_after, result.similarity_before)
+        << motif::MotifName(kind);
+    // The released graph gained exactly the added links.
+    EXPECT_EQ(result.graph.NumEdges(),
+              inst.released.NumEdges() + result.added.size());
+    // No target was resurrected.
+    for (const Edge& t : targets) {
+      EXPECT_FALSE(result.graph.HasEdge(t.u, t.v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AdditionPropertyTest,
+    ::testing::Combine(::testing::ValuesIn(motif::kAllMotifs),
+                       ::testing::Values(2, 17, 59)),
+    [](const ::testing::TestParamInfo<std::tuple<motif::MotifKind,
+                                                 uint64_t>>& info) {
+      return std::string(motif::MotifName(std::get<0>(info.param))) +
+             "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(AdditionTest, CanStrictlyIncreaseExposure) {
+  // Target (0,1) has no triangles after phase 1; adding (2,1) creates one
+  // (node 2 is adjacent to 0). A concrete witness that the addition
+  // "dissimilarity" is not monotone increasing.
+  Graph g = MakeGraph(3, {{0, 1}, {0, 2}});
+  TppInstance inst = *MakeInstance(g, {E(0, 1)}, motif::MotifKind::kTriangle);
+  ASSERT_EQ(motif::TotalSimilarity(inst.released, inst.targets,
+                                   inst.motif),
+            0u);
+  Graph with_addition = inst.released;
+  ASSERT_TRUE(with_addition.AddEdge(2, 1).ok());
+  EXPECT_EQ(motif::TotalSimilarity(with_addition, inst.targets, inst.motif),
+            1u);
+}
+
+TEST(SwitchTest, PreservesEdgeCountAndAvoidsTargets) {
+  Rng rng(5);
+  Graph g = *graph::BarabasiAlbert(40, 3, rng);
+  auto targets = rng.SampleK(g.Edges(), 4);
+  TppInstance inst = *MakeInstance(g, targets, motif::MotifKind::kTriangle);
+  auto result = *RandomLinkSwitch(inst, 10, rng);
+  EXPECT_EQ(result.deleted.size(), 10u);
+  EXPECT_EQ(result.added.size(), 10u);
+  EXPECT_EQ(result.graph.NumEdges(), inst.released.NumEdges());
+  for (const Edge& t : targets) {
+    EXPECT_FALSE(result.graph.HasEdge(t.u, t.v));
+  }
+}
+
+TEST(SwitchTest, NetEffectHasNoSignGuarantee) {
+  // Across many seeds, random switching must sometimes RAISE the target
+  // similarity (the monotonicity failure the paper describes) and
+  // sometimes lower it. We count both outcomes over a seed sweep.
+  Rng graph_rng(7);
+  Graph g = *graph::ErdosRenyiGnp(25, 0.2, graph_rng);
+  auto targets = graph_rng.SampleK(g.Edges(), 4);
+  TppInstance inst = *MakeInstance(g, targets, motif::MotifKind::kRectangle);
+  size_t increased = 0, decreased = 0;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(1000 + seed);
+    auto result = *RandomLinkSwitch(inst, 8, rng);
+    if (result.similarity_after > result.similarity_before) ++increased;
+    if (result.similarity_after < result.similarity_before) ++decreased;
+  }
+  EXPECT_GT(increased, 0u) << "switching never increased exposure";
+  EXPECT_GT(decreased, 0u) << "switching never decreased exposure";
+}
+
+TEST(AlternativesTest, NearCompleteGraphAdditionSaturates) {
+  Graph g = graph::MakeComplete(5);
+  TppInstance inst = *MakeInstance(g, {E(0, 1)}, motif::MotifKind::kTriangle);
+  Rng rng(3);
+  // Only the target slot remains open, and it is forbidden.
+  auto result = *RandomLinkAddition(inst, 5, rng);
+  EXPECT_TRUE(result.added.empty());
+  EXPECT_EQ(result.similarity_after, result.similarity_before);
+}
+
+}  // namespace
+}  // namespace tpp::core

@@ -1,0 +1,168 @@
+// Tests for the adversarial attack evaluation, including the end-to-end
+// claim of §VI-D: full TPP protection zeroes every triangle-based
+// predictor's score on the targets.
+
+#include "linkpred/attack.h"
+
+#include <gtest/gtest.h>
+
+#include "core/greedy.h"
+#include "core/indexed_engine.h"
+#include "core/problem.h"
+#include "graph/datasets.h"
+#include "graph/fixtures.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace tpp::linkpred {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using ::tpp::testing::E;
+
+TEST(AttackTest, RequiresHiddenTargets) {
+  Graph g = graph::MakeKarateClub();
+  Rng rng(1);
+  // Target still present -> precondition failure.
+  Result<AttackReport> r =
+      EvaluateAttack(g, {E(0, 1)}, IndexKind::kCommonNeighbors, rng);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  // No targets at all -> invalid argument.
+  EXPECT_FALSE(
+      EvaluateAttack(g, {}, IndexKind::kCommonNeighbors, rng).ok());
+}
+
+TEST(AttackTest, HiddenLinksRankHighBeforeProtection) {
+  // On a clustered graph, deleted real edges keep high similarity scores,
+  // so the attack AUC must be well above chance.
+  Graph g = *graph::MakeArenasEmailLike(7);
+  Rng rng(11);
+  auto targets = *core::SampleTargets(g, 20, rng);
+  core::TppInstance inst =
+      *core::MakeInstance(g, targets, motif::MotifKind::kTriangle);
+  AttackReport report = *EvaluateAttack(inst.released, targets,
+                                        IndexKind::kCommonNeighbors, rng);
+  EXPECT_GT(report.auc, 0.65);
+  EXPECT_EQ(report.target_scores.size(), targets.size());
+}
+
+TEST(AttackTest, FullProtectionZeroesAllTriangleBasedIndices) {
+  Graph g = graph::MakeKarateClub();
+  Rng rng(3);
+  auto targets = *core::SampleTargets(g, 6, rng);
+  core::TppInstance inst =
+      *core::MakeInstance(g, targets, motif::MotifKind::kTriangle);
+  core::IndexedEngine engine = *core::IndexedEngine::Create(inst);
+  core::ProtectionResult protection = *core::FullProtection(engine);
+  ASSERT_EQ(protection.final_similarity, 0u);
+
+  // Every common-neighbor-based index scores every target 0 now.
+  auto reports = *EvaluateAllAttacks(engine.CurrentGraph(), targets, rng);
+  ASSERT_EQ(reports.size(), kAllIndices.size());
+  for (const AttackReport& report : reports) {
+    EXPECT_EQ(report.zero_score_targets, targets.size())
+        << IndexName(report.index);
+    for (double s : report.target_scores) {
+      EXPECT_DOUBLE_EQ(s, 0.0) << IndexName(report.index);
+    }
+    // With all target scores 0, the attacker cannot beat chance.
+    EXPECT_LE(report.auc, 0.55) << IndexName(report.index);
+  }
+}
+
+TEST(AttackTest, ProtectionReducesAuc) {
+  Graph g = *graph::MakeArenasEmailLike(13);
+  Rng sample_rng(17);
+  auto targets = *core::SampleTargets(g, 15, sample_rng);
+  core::TppInstance inst =
+      *core::MakeInstance(g, targets, motif::MotifKind::kTriangle);
+
+  Rng attack_rng_before(23);
+  AttackReport before = *EvaluateAttack(
+      inst.released, targets, IndexKind::kResourceAllocation,
+      attack_rng_before);
+
+  core::IndexedEngine engine = *core::IndexedEngine::Create(inst);
+  core::ProtectionResult protection = *core::FullProtection(engine);
+  ASSERT_EQ(protection.final_similarity, 0u);
+  Rng attack_rng_after(23);
+  AttackReport after = *EvaluateAttack(
+      engine.CurrentGraph(), targets, IndexKind::kResourceAllocation,
+      attack_rng_after);
+
+  EXPECT_LT(after.auc, before.auc);
+  EXPECT_EQ(after.zero_score_targets, targets.size());
+}
+
+TEST(AttackExactTest, AgreesWithSampledOnKarate) {
+  Graph g = graph::MakeKarateClub();
+  Rng rng(31);
+  auto targets = *core::SampleTargets(g, 5, rng);
+  core::TppInstance inst =
+      *core::MakeInstance(g, targets, motif::MotifKind::kTriangle);
+  AttackReport exact = *EvaluateAttackExact(
+      inst.released, targets, IndexKind::kCommonNeighbors);
+  AttackOptions opts;
+  opts.num_comparisons = 60000;
+  opts.num_non_edges = 400;
+  Rng attack_rng(7);
+  AttackReport sampled = *EvaluateAttack(
+      inst.released, targets, IndexKind::kCommonNeighbors, attack_rng, opts);
+  // The sampled AUC must converge to the exact rank statistic.
+  EXPECT_NEAR(sampled.auc, exact.auc, 0.05);
+  EXPECT_EQ(exact.target_scores.size(), targets.size());
+}
+
+TEST(AttackExactTest, PerfectAndChanceEndpoints) {
+  // Targets with the unique top score -> AUC ~= 1; after full protection,
+  // all-zero targets -> AUC <= 0.5 (ties with zero-score non-edges).
+  Graph g = graph::MakeKarateClub();
+  Rng rng(3);
+  auto targets = *core::SampleTargets(g, 4, rng);
+  core::TppInstance inst =
+      *core::MakeInstance(g, targets, motif::MotifKind::kTriangle);
+  core::IndexedEngine engine = *core::IndexedEngine::Create(inst);
+  auto protection = *core::FullProtection(engine);
+  ASSERT_EQ(protection.final_similarity, 0u);
+  AttackReport after = *EvaluateAttackExact(
+      engine.CurrentGraph(), targets, IndexKind::kCommonNeighbors);
+  EXPECT_EQ(after.zero_score_targets, targets.size());
+  EXPECT_LE(after.auc, 0.5);
+  EXPECT_DOUBLE_EQ(after.precision_at_t, 0.0);
+}
+
+TEST(AttackExactTest, GuardsAgainstLargeGraphs) {
+  Graph g = graph::MakeKarateClub();
+  Rng rng(3);
+  auto targets = *core::SampleTargets(g, 2, rng);
+  core::TppInstance inst =
+      *core::MakeInstance(g, targets, motif::MotifKind::kTriangle);
+  auto r = EvaluateAttackExact(inst.released, targets,
+                               IndexKind::kJaccard, /*max_pairs=*/10);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(AttackTest, PrecisionInUnitRange) {
+  Graph g = graph::MakeKarateClub();
+  Rng rng(29);
+  auto targets = *core::SampleTargets(g, 5, rng);
+  core::TppInstance inst =
+      *core::MakeInstance(g, targets, motif::MotifKind::kTriangle);
+  AttackOptions opts;
+  opts.num_comparisons = 2000;
+  opts.num_non_edges = 200;
+  for (IndexKind kind : kAllIndices) {
+    AttackReport report =
+        *EvaluateAttack(inst.released, targets, kind, rng, opts);
+    EXPECT_GE(report.precision_at_t, 0.0);
+    EXPECT_LE(report.precision_at_t, 1.0);
+    EXPECT_GE(report.auc, 0.0);
+    EXPECT_LE(report.auc, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace tpp::linkpred

@@ -1,0 +1,112 @@
+// Tests for the RD / RDT baseline protector selections.
+
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/indexed_engine.h"
+#include "core/problem.h"
+#include "graph/fixtures.h"
+#include "test_util.h"
+
+namespace tpp::core {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using ::tpp::testing::E;
+using ::tpp::testing::MakeGraph;
+
+TppInstance KarateInstance(size_t num_targets, uint64_t seed) {
+  Graph g = graph::MakeKarateClub();
+  Rng rng(seed);
+  auto targets = *SampleTargets(g, num_targets, rng);
+  return *MakeInstance(g, targets, motif::MotifKind::kTriangle);
+}
+
+TEST(RandomDeletionTest, DeletesExactlyBudgetEdges) {
+  TppInstance inst = KarateInstance(5, 1);
+  IndexedEngine engine = *IndexedEngine::Create(inst);
+  size_t before = engine.CurrentGraph().NumEdges();
+  Rng rng(2);
+  ProtectionResult result = *RandomDeletion(engine, 10, rng);
+  EXPECT_EQ(result.protectors.size(), 10u);
+  EXPECT_EQ(engine.CurrentGraph().NumEdges(), before - 10);
+  // Deletions are distinct edges.
+  std::set<graph::EdgeKey> keys;
+  for (const Edge& e : result.protectors) keys.insert(e.Key());
+  EXPECT_EQ(keys.size(), 10u);
+}
+
+TEST(RandomDeletionTest, DeterministicGivenSeed) {
+  TppInstance inst = KarateInstance(5, 1);
+  IndexedEngine e1 = *IndexedEngine::Create(inst);
+  IndexedEngine e2 = *IndexedEngine::Create(inst);
+  Rng r1(77), r2(77);
+  ProtectionResult a = *RandomDeletion(e1, 8, r1);
+  ProtectionResult b = *RandomDeletion(e2, 8, r2);
+  ASSERT_EQ(a.protectors.size(), b.protectors.size());
+  for (size_t i = 0; i < a.protectors.size(); ++i) {
+    EXPECT_EQ(a.protectors[i], b.protectors[i]);
+  }
+}
+
+TEST(RdtTest, OnlyDeletesTargetSubgraphEdges) {
+  TppInstance inst = KarateInstance(5, 3);
+  // Reference index to know which edges participate initially.
+  IndexedEngine probe = *IndexedEngine::Create(inst);
+  std::set<graph::EdgeKey> participating;
+  for (graph::EdgeKey e :
+       probe.Candidates(CandidateScope::kTargetSubgraphEdges)) {
+    participating.insert(e);
+  }
+  IndexedEngine engine = *IndexedEngine::Create(inst);
+  Rng rng(5);
+  ProtectionResult result =
+      *RandomDeletionFromTargetSubgraphs(engine, 6, rng);
+  for (const Edge& e : result.protectors) {
+    EXPECT_TRUE(participating.count(e.Key()) > 0)
+        << "RDT deleted a non-participating edge " << e;
+  }
+}
+
+TEST(RdtTest, StopsWhenNoParticipatingEdgeRemains) {
+  // One triangle: after at most 2 deletions every instance is dead and the
+  // alive candidate pool is empty, so a huge budget terminates early.
+  Graph g = MakeGraph(3, {{0, 1}, {0, 2}, {2, 1}});
+  TppInstance inst = *MakeInstance(g, {E(0, 1)}, motif::MotifKind::kTriangle);
+  IndexedEngine engine = *IndexedEngine::Create(inst);
+  Rng rng(7);
+  ProtectionResult result =
+      *RandomDeletionFromTargetSubgraphs(engine, 100, rng);
+  EXPECT_LE(result.protectors.size(), 2u);
+  EXPECT_EQ(result.final_similarity, 0u);
+}
+
+TEST(RdtTest, NeverWorseThanDoingNothingAndTracksSimilarity) {
+  TppInstance inst = KarateInstance(8, 11);
+  IndexedEngine engine = *IndexedEngine::Create(inst);
+  Rng rng(13);
+  ProtectionResult result =
+      *RandomDeletionFromTargetSubgraphs(engine, 5, rng);
+  EXPECT_LE(result.final_similarity, result.initial_similarity);
+  // Every RDT pick hits an alive instance by construction.
+  for (const PickTrace& pick : result.picks) {
+    EXPECT_GT(pick.realized_gain, 0u);
+  }
+}
+
+TEST(RandomDeletionTest, BudgetLargerThanGraphStops) {
+  Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  TppInstance inst = *MakeInstance(g, {E(0, 1)}, motif::MotifKind::kTriangle);
+  IndexedEngine engine = *IndexedEngine::Create(inst);
+  Rng rng(17);
+  ProtectionResult result = *RandomDeletion(engine, 100, rng);
+  EXPECT_EQ(result.protectors.size(), 1u);  // only one edge remained
+  EXPECT_EQ(engine.CurrentGraph().NumEdges(), 0u);
+}
+
+}  // namespace
+}  // namespace tpp::core

@@ -1,0 +1,308 @@
+// Unit tests for the common runtime: Status, Result, strings, tables, Rng.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+
+#include "common/env.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace tpp {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, OkWithMessageNormalizes) {
+  Status s(StatusCode::kOk, "ignored");
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal,
+        StatusCode::kUnimplemented, StatusCode::kIoError}) {
+    EXPECT_NE(StatusCodeName(code), "Unknown");
+  }
+}
+
+Status FailsIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status Caller(int x) {
+  TPP_RETURN_IF_ERROR(FailsIfNegative(x));
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Caller(1).ok());
+  EXPECT_EQ(Caller(-1).code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------- Result
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  EXPECT_EQ(ParsePositive(3).value_or(-7), 3);
+  EXPECT_EQ(ParsePositive(0).value_or(-7), -7);
+}
+
+TEST(ResultTest, ConstructingFromOkStatusDegradesToInternal) {
+  Result<int> r{Status::Ok()};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Result<int> Doubled(int x) {
+  TPP_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  ASSERT_TRUE(Doubled(4).ok());
+  EXPECT_EQ(*Doubled(4), 8);
+  EXPECT_EQ(Doubled(-4).status().code(), StatusCode::kOutOfRange);
+}
+
+// --------------------------------------------------------------- strings
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  a b \t\n"), "a b");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+TEST(StringsTest, SplitNonEmpty) {
+  auto parts = SplitNonEmpty("1 2\t3  4", " \t");
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "1");
+  EXPECT_EQ(parts[3], "4");
+  EXPECT_TRUE(SplitNonEmpty("", " ").empty());
+  EXPECT_TRUE(SplitNonEmpty("   ", " ").empty());
+}
+
+TEST(StringsTest, ParseInt64) {
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64(" -7 "), -7);
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").ok());
+}
+
+TEST(StringsTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e-3"), -1e-3);
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("prefix_rest", "prefix"));
+  EXPECT_FALSE(StartsWith("pre", "prefix"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("n=%d m=%s", 3, "x"), "n=3 m=x");
+  EXPECT_EQ(StrFormat("%zu", static_cast<size_t>(10)), "10");
+}
+
+// ----------------------------------------------------------------- table
+
+TEST(TableTest, AlignsColumns) {
+  TextTable t;
+  t.SetHeader({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(CsvTest, EscapesSpecialFields) {
+  CsvWriter w;
+  w.SetHeader({"a", "b"});
+  w.AddRow({"x,y", "has \"quote\""});
+  std::string out = w.ToString();
+  EXPECT_NE(out.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(out.find("\"has \"\"quote\"\"\""), std::string::npos);
+}
+
+TEST(CsvTest, WritesFile) {
+  CsvWriter w;
+  w.SetHeader({"k", "v"});
+  w.AddRow({"1", "2"});
+  std::string path = ::testing::TempDir() + "/tpp_csv_test/out.csv";
+  ASSERT_TRUE(w.WriteToFile(path).ok());
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "k,v");
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformReal();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndComplete) {
+  Rng rng(13);
+  // Dense sample path (k close to n).
+  auto dense = rng.SampleWithoutReplacement(10, 9);
+  EXPECT_EQ(std::set<size_t>(dense.begin(), dense.end()).size(), 9u);
+  // Sparse sample path (k << n).
+  auto sparse = rng.SampleWithoutReplacement(100000, 5);
+  EXPECT_EQ(std::set<size_t>(sparse.begin(), sparse.end()).size(), 5u);
+  for (size_t v : sparse) EXPECT_LT(v, 100000u);
+  // Full sample is a permutation.
+  auto all = rng.SampleWithoutReplacement(20, 20);
+  EXPECT_EQ(std::set<size_t>(all.begin(), all.end()).size(), 20u);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(5, 0).empty());
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(17);
+  std::vector<double> weights = {0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.WeightedIndex(weights), 1u);
+  }
+  // Rough proportion check for a non-degenerate distribution.
+  std::vector<double> w2 = {1.0, 3.0};
+  int count1 = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.WeightedIndex(w2) == 1) ++count1;
+  }
+  double frac = static_cast<double>(count1) / trials;
+  EXPECT_NEAR(frac, 0.75, 0.03);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  rng.Shuffle(v);
+  std::set<int> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  // The child stream should differ from the parent's next draws.
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (parent.UniformInt(0, 1 << 30) != child.UniformInt(0, 1 << 30)) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// ------------------------------------------------------------------- env
+
+TEST(EnvTest, FallbacksWhenUnset) {
+  EXPECT_EQ(EnvInt("TPP_TEST_SURELY_UNSET", 5), 5);
+  EXPECT_DOUBLE_EQ(EnvDouble("TPP_TEST_SURELY_UNSET", 0.5), 0.5);
+  EXPECT_EQ(EnvString("TPP_TEST_SURELY_UNSET", "d"), "d");
+}
+
+TEST(EnvTest, ReadsSetValues) {
+  ::setenv("TPP_TEST_ENV_INT", "42", 1);
+  ::setenv("TPP_TEST_ENV_DBL", "1.25", 1);
+  ::setenv("TPP_TEST_ENV_STR", "hello", 1);
+  EXPECT_EQ(EnvInt("TPP_TEST_ENV_INT", 0), 42);
+  EXPECT_DOUBLE_EQ(EnvDouble("TPP_TEST_ENV_DBL", 0), 1.25);
+  EXPECT_EQ(EnvString("TPP_TEST_ENV_STR", ""), "hello");
+  ::unsetenv("TPP_TEST_ENV_INT");
+  ::unsetenv("TPP_TEST_ENV_DBL");
+  ::unsetenv("TPP_TEST_ENV_STR");
+}
+
+TEST(EnvTest, UnparsableFallsBack) {
+  ::setenv("TPP_TEST_ENV_BAD", "xyz", 1);
+  EXPECT_EQ(EnvInt("TPP_TEST_ENV_BAD", 3), 3);
+  EXPECT_DOUBLE_EQ(EnvDouble("TPP_TEST_ENV_BAD", 2.5), 2.5);
+  ::unsetenv("TPP_TEST_ENV_BAD");
+}
+
+}  // namespace
+}  // namespace tpp

@@ -1,0 +1,131 @@
+// Tests for modularity and Louvain community detection.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "community/louvain.h"
+#include "community/modularity.h"
+#include "graph/fixtures.h"
+#include "test_util.h"
+
+namespace tpp::community {
+namespace {
+
+using graph::Graph;
+using ::tpp::testing::MakeGraph;
+
+// Two triangles joined by a single bridge edge.
+Graph TwoCliquesBridge() {
+  return MakeGraph(6,
+                   {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}});
+}
+
+TEST(ModularityTest, SingleCommunityIsZero) {
+  // With everything in one community, Q = 1 - sum((d/2m)^2 over c) ... for
+  // a single community Q = 1 - 1 = 0 exactly? No: Q = in/2m - (tot/2m)^2 =
+  // 1 - 1 = 0.
+  Graph g = TwoCliquesBridge();
+  std::vector<int32_t> labels(6, 0);
+  EXPECT_NEAR(*Modularity(g, labels), 0.0, 1e-12);
+}
+
+TEST(ModularityTest, HandComputedSplit) {
+  // Split the bridge graph into its two triangles. m=7.
+  // Community A: internal 3 edges -> in_A/2m = 6/14; degrees 2+2+3=7 ->
+  // (7/14)^2. Same for B. Q = 2 * (6/14 - 0.25) = 0.357142...
+  Graph g = TwoCliquesBridge();
+  std::vector<int32_t> labels = {0, 0, 0, 1, 1, 1};
+  EXPECT_NEAR(*Modularity(g, labels), 2.0 * (6.0 / 14.0 - 0.25), 1e-12);
+}
+
+TEST(ModularityTest, ArbitraryLabelValuesAllowed) {
+  Graph g = TwoCliquesBridge();
+  std::vector<int32_t> labels = {42, 42, 42, 7, 7, 7};
+  EXPECT_NEAR(*Modularity(g, labels), 2.0 * (6.0 / 14.0 - 0.25), 1e-12);
+}
+
+TEST(ModularityTest, ErrorsOnBadInput) {
+  Graph g = TwoCliquesBridge();
+  EXPECT_FALSE(Modularity(g, {0, 0}).ok());          // size mismatch
+  EXPECT_FALSE(Modularity(Graph(3), {0, 0, 0}).ok());  // no edges
+}
+
+TEST(LouvainTest, RecoversTwoCliques) {
+  Graph g = TwoCliquesBridge();
+  LouvainResult r = *Louvain(g);
+  EXPECT_EQ(r.num_communities, 2u);
+  // The two triangles must be internally homogeneous.
+  EXPECT_EQ(r.labels[0], r.labels[1]);
+  EXPECT_EQ(r.labels[1], r.labels[2]);
+  EXPECT_EQ(r.labels[3], r.labels[4]);
+  EXPECT_EQ(r.labels[4], r.labels[5]);
+  EXPECT_NE(r.labels[0], r.labels[3]);
+  EXPECT_NEAR(r.modularity, 2.0 * (6.0 / 14.0 - 0.25), 1e-12);
+}
+
+TEST(LouvainTest, RecoversPlantedCliques) {
+  // Four K5 cliques chained by single bridges.
+  Graph g(20);
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 5; ++i) {
+      for (int j = i + 1; j < 5; ++j) {
+        ASSERT_TRUE(g.AddEdge(c * 5 + i, c * 5 + j).ok());
+      }
+    }
+  }
+  for (int c = 0; c + 1 < 4; ++c) {
+    ASSERT_TRUE(g.AddEdge(c * 5, (c + 1) * 5).ok());
+  }
+  LouvainResult r = *Louvain(g);
+  EXPECT_EQ(r.num_communities, 4u);
+  EXPECT_GT(r.modularity, 0.6);
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 1; i < 5; ++i) {
+      EXPECT_EQ(r.labels[c * 5], r.labels[c * 5 + i]);
+    }
+  }
+}
+
+TEST(LouvainTest, KarateClubModularityIsHigh) {
+  LouvainResult r = *Louvain(graph::MakeKarateClub());
+  // Published Louvain modularity for the karate club is ~0.41-0.42.
+  EXPECT_GE(r.modularity, 0.38);
+  EXPECT_LE(r.modularity, 0.43);
+  EXPECT_GE(r.num_communities, 2u);
+  EXPECT_LE(r.num_communities, 6u);
+}
+
+TEST(LouvainTest, DeterministicAcrossRuns) {
+  Graph g = graph::MakeKarateClub();
+  LouvainResult a = *Louvain(g);
+  LouvainResult b = *Louvain(g);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_DOUBLE_EQ(a.modularity, b.modularity);
+}
+
+TEST(LouvainTest, LabelsAreDense) {
+  LouvainResult r = *Louvain(graph::MakeKarateClub());
+  std::set<int32_t> distinct(r.labels.begin(), r.labels.end());
+  EXPECT_EQ(distinct.size(), r.num_communities);
+  EXPECT_EQ(*distinct.begin(), 0);
+  EXPECT_EQ(*distinct.rbegin(),
+            static_cast<int32_t>(r.num_communities) - 1);
+}
+
+TEST(LouvainTest, ErrorsOnEdgelessGraph) {
+  EXPECT_FALSE(Louvain(Graph(5)).ok());
+}
+
+TEST(LouvainTest, ModularityNeverNegativeOnCommunityGraphs) {
+  // Louvain's result must be at least the trivial all-singletons value.
+  Graph g = TwoCliquesBridge();
+  LouvainResult r = *Louvain(g);
+  std::vector<int32_t> singletons(g.NumNodes());
+  std::iota(singletons.begin(), singletons.end(), 0);
+  EXPECT_GE(r.modularity, *Modularity(g, singletons));
+}
+
+}  // namespace
+}  // namespace tpp::community

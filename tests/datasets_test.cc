@@ -1,0 +1,86 @@
+// Tests validating the synthetic dataset stand-ins against the published
+// profiles they substitute for (see DESIGN.md §4).
+
+#include "graph/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/traversal.h"
+#include "metrics/clustering.h"
+
+namespace tpp::graph {
+namespace {
+
+TEST(ArenasEmailLikeTest, MatchesPublishedSize) {
+  Graph g = *MakeArenasEmailLike(1);
+  DatasetProfile profile = ArenasEmailProfile();
+  EXPECT_EQ(g.NumNodes(), profile.num_nodes);
+  EXPECT_EQ(g.NumEdges(), profile.num_edges);
+}
+
+TEST(ArenasEmailLikeTest, ClusteringInRealisticRange) {
+  Graph g = *MakeArenasEmailLike(2);
+  double c = metrics::AverageClustering(g);
+  // Published value ~0.22; the stand-in must land in the same regime
+  // (well above an ER graph of equal density, whose clustering is ~0.0085).
+  EXPECT_GT(c, 0.10);
+  EXPECT_LT(c, 0.40);
+}
+
+TEST(ArenasEmailLikeTest, HasSkewedDegrees) {
+  Graph g = *MakeArenasEmailLike(3);
+  size_t max_degree = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    max_degree = std::max(max_degree, g.Degree(v));
+  }
+  // Real email networks have hubs; avg degree here is ~9.6.
+  EXPECT_GT(max_degree, 40u);
+}
+
+TEST(ArenasEmailLikeTest, DeterministicGivenSeed) {
+  EXPECT_TRUE(*MakeArenasEmailLike(7) == *MakeArenasEmailLike(7));
+}
+
+TEST(ArenasEmailLikeTest, DifferentSeedsDiffer) {
+  EXPECT_FALSE(*MakeArenasEmailLike(7) == *MakeArenasEmailLike(8));
+}
+
+TEST(DblpLikeTest, ScalesLinearly) {
+  Graph g = *MakeDblpLike(1, 0.02);
+  DatasetProfile profile = DblpProfile();
+  EXPECT_EQ(g.NumNodes(),
+            static_cast<size_t>(profile.num_nodes * 0.02));
+  // Density must land near the published average degree of ~6.6:
+  // allow [3, 9] since clique overlap varies with scale.
+  double avg_degree =
+      2.0 * static_cast<double>(g.NumEdges()) / g.NumNodes();
+  EXPECT_GT(avg_degree, 3.0);
+  EXPECT_LT(avg_degree, 9.0);
+}
+
+TEST(DblpLikeTest, HighClusteringLikeCoauthorship) {
+  Graph g = *MakeDblpLike(2, 0.02);
+  // DBLP's published clustering is ~0.63; clique-built graphs match the
+  // regime.
+  EXPECT_GT(metrics::AverageClustering(g), 0.35);
+}
+
+TEST(DblpLikeTest, DeterministicGivenSeed) {
+  EXPECT_TRUE(*MakeDblpLike(5, 0.01) == *MakeDblpLike(5, 0.01));
+}
+
+TEST(DblpLikeTest, RejectsBadScale) {
+  EXPECT_FALSE(MakeDblpLike(1, 0.0).ok());
+  EXPECT_FALSE(MakeDblpLike(1, -0.5).ok());
+  EXPECT_FALSE(MakeDblpLike(1, 1.5).ok());
+}
+
+TEST(ProfilesTest, PublishedNumbers) {
+  EXPECT_EQ(ArenasEmailProfile().num_nodes, 1133u);
+  EXPECT_EQ(ArenasEmailProfile().num_edges, 5451u);
+  EXPECT_EQ(DblpProfile().num_nodes, 317080u);
+  EXPECT_EQ(DblpProfile().num_edges, 1049866u);
+}
+
+}  // namespace
+}  // namespace tpp::graph

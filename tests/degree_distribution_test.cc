@@ -1,0 +1,84 @@
+// Tests for power-law fitting and degree-distribution distance.
+
+#include "metrics/degree_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "graph/fixtures.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace tpp::metrics {
+namespace {
+
+using graph::Graph;
+using ::tpp::testing::MakeGraph;
+
+TEST(PowerLawFitTest, RecoversConfigurationModelExponent) {
+  // Build a graph from an explicit power-law degree sequence with
+  // gamma = 2.5 and check the MLE lands near it.
+  Rng rng(3);
+  auto degrees = graph::PowerLawDegreeSequence(20000, 2.5, 2, 200, rng);
+  Graph g = *graph::ConfigurationModel(degrees, rng);
+  PowerLawFit fit = *FitPowerLawTail(g, /*d_min=*/3);
+  EXPECT_NEAR(fit.alpha, 2.5, 0.25);
+  EXPECT_GT(fit.tail_size, 1000u);
+}
+
+TEST(PowerLawFitTest, BaGraphExponentNearThree) {
+  // Barabasi-Albert converges to exponent 3.
+  Rng rng(5);
+  Graph g = *graph::BarabasiAlbert(20000, 3, rng);
+  PowerLawFit fit = *FitPowerLawTail(g, /*d_min=*/5);
+  EXPECT_NEAR(fit.alpha, 3.0, 0.4);
+}
+
+TEST(PowerLawFitTest, ErrorsOnTinyTails) {
+  Graph g = graph::MakePath(20);
+  EXPECT_FALSE(FitPowerLawTail(g, 5).ok());   // nobody has degree >= 5
+  EXPECT_FALSE(FitPowerLawTail(g, 0).ok());   // invalid d_min
+}
+
+TEST(DistributionDistanceTest, IdenticalGraphsZero) {
+  Graph g = graph::MakeKarateClub();
+  EXPECT_DOUBLE_EQ(*DegreeDistributionDistance(g, g), 0.0);
+}
+
+TEST(DistributionDistanceTest, DisjointSupportsOne) {
+  // All-degree-2 cycle vs all-degree-3 K4.
+  EXPECT_DOUBLE_EQ(*DegreeDistributionDistance(graph::MakeCycle(6),
+                                               graph::MakeComplete(4)),
+                   1.0);
+}
+
+TEST(DistributionDistanceTest, SymmetricAndBounded) {
+  Rng rng(9);
+  Graph a = *graph::BarabasiAlbert(300, 3, rng);
+  Graph b = *graph::ErdosRenyiGnm(300, a.NumEdges(), rng);
+  double ab = *DegreeDistributionDistance(a, b);
+  double ba = *DegreeDistributionDistance(b, a);
+  EXPECT_DOUBLE_EQ(ab, ba);
+  EXPECT_GT(ab, 0.0);
+  EXPECT_LE(ab, 1.0);
+}
+
+TEST(DistributionDistanceTest, ErrorsOnEmpty) {
+  EXPECT_FALSE(DegreeDistributionDistance(Graph(0), Graph(3)).ok());
+}
+
+TEST(DistributionDistanceTest, ProtectionPerturbsDistributionSlightly) {
+  // TPP deletions change the degree distribution only marginally — the
+  // distance between original and fully-protected release stays small.
+  Graph g = *graph::MakeArenasEmailLike(5);
+  Graph released = g;
+  auto edges = released.Edges();
+  for (size_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(released.RemoveEdge(edges[i * 3].u, edges[i * 3].v).ok());
+  }
+  double tv = *DegreeDistributionDistance(g, released);
+  EXPECT_LT(tv, 0.1);
+}
+
+}  // namespace
+}  // namespace tpp::metrics

@@ -1,0 +1,84 @@
+// Tests for the known-answer graph fixtures.
+
+#include "graph/fixtures.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/traversal.h"
+#include "motif/enumerate.h"
+
+namespace tpp::graph {
+namespace {
+
+TEST(FixturesTest, PathProperties) {
+  Graph g = MakePath(6);
+  EXPECT_EQ(g.NumNodes(), 6u);
+  EXPECT_EQ(g.NumEdges(), 5u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(3), 2u);
+}
+
+TEST(FixturesTest, CycleProperties) {
+  Graph g = MakeCycle(5);
+  EXPECT_EQ(g.NumEdges(), 5u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.Degree(v), 2u);
+}
+
+TEST(FixturesTest, CompleteProperties) {
+  Graph g = MakeComplete(6);
+  EXPECT_EQ(g.NumEdges(), 15u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.Degree(v), 5u);
+}
+
+TEST(FixturesTest, StarProperties) {
+  Graph g = MakeStar(7);
+  EXPECT_EQ(g.NumEdges(), 6u);
+  EXPECT_EQ(g.Degree(0), 6u);
+  for (NodeId v = 1; v < 7; ++v) EXPECT_EQ(g.Degree(v), 1u);
+}
+
+TEST(FixturesTest, KarateClubShape) {
+  Graph g = MakeKarateClub();
+  EXPECT_EQ(g.NumNodes(), 34u);
+  EXPECT_EQ(g.NumEdges(), 78u);
+  EXPECT_TRUE(IsConnected(g));
+  // The two leaders: node 0 (instructor) degree 16, node 33 (president)
+  // degree 17.
+  EXPECT_EQ(g.Degree(0), 16u);
+  EXPECT_EQ(g.Degree(33), 17u);
+}
+
+TEST(FixturesTest, Fig7GadgetDegrees) {
+  Fig7Gadget fx = MakeFig7Gadget();
+  // du=4, dv=3, da=3, db=4, and the target (u,v) is absent.
+  EXPECT_FALSE(fx.graph.HasEdge(fx.u, fx.v));
+  EXPECT_EQ(fx.graph.Degree(fx.u), 4u);
+  EXPECT_EQ(fx.graph.Degree(fx.v), 3u);
+  EXPECT_EQ(fx.graph.Degree(fx.a), 3u);
+  EXPECT_EQ(fx.graph.Degree(fx.b), 4u);
+  // Common neighbors of (u, v) are exactly {a, b}.
+  auto cn = fx.graph.CommonNeighbors(fx.u, fx.v);
+  ASSERT_EQ(cn.size(), 2u);
+  EXPECT_EQ(cn[0], fx.a);
+  EXPECT_EQ(cn[1], fx.b);
+}
+
+TEST(FixturesTest, Fig2ExampleTargetTriangleCounts) {
+  Fig2StyleExample fx = MakeFig2StyleExample();
+  ASSERT_EQ(fx.targets.size(), 5u);
+  for (const Edge& t : fx.targets) {
+    EXPECT_FALSE(fx.graph.HasEdge(t.u, t.v));
+  }
+  // Per the construction: t1 has 1 target triangle, t2 has 2, t3 1, t4 2,
+  // t5 1 (total 7 instances).
+  const std::vector<size_t> expected = {1, 2, 1, 2, 1};
+  for (size_t i = 0; i < fx.targets.size(); ++i) {
+    EXPECT_EQ(motif::CountTargetSubgraphs(fx.graph, fx.targets[i],
+                                          motif::MotifKind::kTriangle),
+              expected[i])
+        << "target " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tpp::graph

@@ -1,0 +1,130 @@
+// Statistical property tests for the graph generators: the structural
+// regularities the TPP evaluation depends on (degree tails, clustering
+// orderings, small-world behavior) must actually hold.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "metrics/clustering.h"
+#include "metrics/paths.h"
+#include "metrics/summary.h"
+
+namespace tpp::graph {
+namespace {
+
+TEST(BaStatisticsTest, DegreeTailIsHeavy) {
+  // In a BA graph the degree distribution has a power-law tail: the max
+  // degree grows like sqrt(n), far above the ER concentration around the
+  // mean. Compare hub sizes at equal density.
+  Rng rng1(5), rng2(5);
+  const size_t n = 2000, m = 3;
+  Graph ba = *BarabasiAlbert(n, m, rng1);
+  Graph er = *ErdosRenyiGnm(n, ba.NumEdges(), rng2);
+  size_t ba_max = 0, er_max = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    ba_max = std::max(ba_max, ba.Degree(v));
+    er_max = std::max(er_max, er.Degree(v));
+  }
+  EXPECT_GT(ba_max, 2 * er_max);
+}
+
+TEST(BaStatisticsTest, EarlyNodesBecomeHubs) {
+  Rng rng(7);
+  Graph g = *BarabasiAlbert(1000, 3, rng);
+  // Mean degree of the first 20 nodes dwarfs the mean of the last 200.
+  double early = 0, late = 0;
+  for (NodeId v = 0; v < 20; ++v) early += g.Degree(v);
+  for (NodeId v = 800; v < 1000; ++v) late += g.Degree(v);
+  early /= 20;
+  late /= 200;
+  EXPECT_GT(early, 3 * late);
+}
+
+TEST(WsStatisticsTest, SmallWorldRegime) {
+  // Moderate rewiring keeps clustering near the lattice while path
+  // lengths collapse toward the random graph — Watts-Strogatz's defining
+  // property.
+  const size_t n = 400, k = 8;
+  Rng r0(11), r1(11), r2(11);
+  Graph lattice = *WattsStrogatz(n, k, 0.0, r0);
+  Graph small_world = *WattsStrogatz(n, k, 0.1, r1);
+  Graph random = *WattsStrogatz(n, k, 1.0, r2);
+
+  double c_lattice = metrics::AverageClustering(lattice);
+  double c_small = metrics::AverageClustering(small_world);
+  double c_random = metrics::AverageClustering(random);
+  EXPECT_GT(c_lattice, 0.6);          // ring lattice: 3(k-2)/(4(k-1))
+  EXPECT_GT(c_small, 2 * c_random);   // clustering survives light rewiring
+
+  metrics::AplOptions apl_opts;
+  apl_opts.sample_sources = 60;
+  double l_lattice = *metrics::AveragePathLength(lattice, apl_opts);
+  double l_small = *metrics::AveragePathLength(small_world, apl_opts);
+  EXPECT_LT(l_small, 0.5 * l_lattice);  // shortcuts collapse distances
+}
+
+TEST(HolmeKimStatisticsTest, ClusteringOrderedByTriadProbability) {
+  double prev = -1.0;
+  for (double triad_p : {0.0, 0.4, 0.9}) {
+    Rng rng(13);
+    Graph g = *HolmeKim(600, 4, triad_p, rng);
+    double c = metrics::AverageClustering(g);
+    EXPECT_GT(c, prev) << "triad_p=" << triad_p;
+    prev = c;
+  }
+}
+
+TEST(ConfigurationModelStatisticsTest, PreservesPowerLawShape) {
+  Rng rng(17);
+  auto degrees = PowerLawDegreeSequence(800, 2.5, 2, 60, rng);
+  Graph g = *ConfigurationModel(degrees, rng);
+  // Degrees are bounded by the request, and most of the sequence is
+  // realized (erasures only affect the few collision-prone hubs).
+  size_t realized = 0, requested = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_LE(g.Degree(v), degrees[v]);
+    realized += g.Degree(v);
+    requested += degrees[v];
+  }
+  EXPECT_GT(realized, requested * 9 / 10);
+}
+
+TEST(CoauthorshipStatisticsTest, FreshRecruitmentRaisesClustering) {
+  CoauthorshipParams base;
+  base.num_authors = 1500;
+  base.num_papers = 600;
+  base.min_authors = 3;
+  base.max_authors = 6;
+  base.fresh_p = 0.0;
+  Rng r1(19);
+  double low = metrics::AverageClustering(*Coauthorship(base, r1));
+  base.fresh_p = 0.8;
+  Rng r2(19);
+  double high = metrics::AverageClustering(*Coauthorship(base, r2));
+  EXPECT_GT(high, low + 0.1);
+}
+
+TEST(GnpStatisticsTest, ClusteringMatchesDensity) {
+  // For ER graphs the expected local clustering equals p.
+  Rng rng(23);
+  const double p = 0.05;
+  Graph g = *ErdosRenyiGnp(600, p, rng);
+  EXPECT_NEAR(metrics::AverageClustering(g), p, 0.02);
+}
+
+TEST(SummaryStatisticsTest, GeneratorsYieldConnectedCores) {
+  // BA and HK are connected by construction (each new node attaches).
+  Rng r1(29), r2(29);
+  metrics::GraphSummary ba = metrics::SummarizeGraph(
+      *BarabasiAlbert(300, 2, r1));
+  EXPECT_EQ(ba.num_components, 1u);
+  metrics::GraphSummary hk = metrics::SummarizeGraph(
+      *HolmeKim(300, 2, 0.5, r2));
+  EXPECT_EQ(hk.num_components, 1u);
+}
+
+}  // namespace
+}  // namespace tpp::graph

@@ -1,0 +1,247 @@
+// Unit and property tests for the random graph generators.
+
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/traversal.h"
+#include "metrics/clustering.h"
+
+namespace tpp::graph {
+namespace {
+
+TEST(ErdosRenyiGnmTest, ExactEdgeCount) {
+  Rng rng(1);
+  Result<Graph> g = ErdosRenyiGnm(50, 120, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 50u);
+  EXPECT_EQ(g->NumEdges(), 120u);
+}
+
+TEST(ErdosRenyiGnmTest, RejectsTooManyEdges) {
+  Rng rng(1);
+  EXPECT_FALSE(ErdosRenyiGnm(4, 7, rng).ok());
+  EXPECT_TRUE(ErdosRenyiGnm(4, 6, rng).ok());  // K4 exactly
+}
+
+TEST(ErdosRenyiGnmTest, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  Graph ga = *ErdosRenyiGnm(30, 60, a);
+  Graph gb = *ErdosRenyiGnm(30, 60, b);
+  EXPECT_TRUE(ga == gb);
+}
+
+TEST(ErdosRenyiGnpTest, EdgeCountNearExpectation) {
+  Rng rng(7);
+  const size_t n = 400;
+  const double p = 0.05;
+  Graph g = *ErdosRenyiGnp(n, p, rng);
+  double expected = p * n * (n - 1) / 2.0;
+  double sd = std::sqrt(expected * (1 - p));
+  EXPECT_NEAR(static_cast<double>(g.NumEdges()), expected, 6 * sd);
+}
+
+TEST(ErdosRenyiGnpTest, ExtremeProbabilities) {
+  Rng rng(3);
+  EXPECT_EQ(ErdosRenyiGnp(10, 0.0, rng)->NumEdges(), 0u);
+  EXPECT_EQ(ErdosRenyiGnp(10, 1.0, rng)->NumEdges(), 45u);
+  EXPECT_FALSE(ErdosRenyiGnp(10, -0.1, rng).ok());
+  EXPECT_FALSE(ErdosRenyiGnp(10, 1.1, rng).ok());
+}
+
+TEST(BarabasiAlbertTest, EdgeCountFormula) {
+  Rng rng(11);
+  const size_t n = 200, m = 3;
+  Graph g = *BarabasiAlbert(n, m, rng);
+  EXPECT_EQ(g.NumNodes(), n);
+  // Seed clique K_{m+1} plus m edges per remaining node.
+  size_t expected = (m + 1) * m / 2 + (n - (m + 1)) * m;
+  EXPECT_EQ(g.NumEdges(), expected);
+}
+
+TEST(BarabasiAlbertTest, MinDegreeIsM) {
+  Rng rng(13);
+  Graph g = *BarabasiAlbert(150, 4, rng);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_GE(g.Degree(v), 4u);
+  }
+}
+
+TEST(BarabasiAlbertTest, ProducesSkewedDegrees) {
+  Rng rng(17);
+  Graph g = *BarabasiAlbert(500, 2, rng);
+  size_t max_degree = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    max_degree = std::max(max_degree, g.Degree(v));
+  }
+  // Preferential attachment produces hubs far above the mean degree (~4).
+  EXPECT_GE(max_degree, 20u);
+}
+
+TEST(BarabasiAlbertTest, RejectsBadM) {
+  Rng rng(1);
+  EXPECT_FALSE(BarabasiAlbert(10, 0, rng).ok());
+  EXPECT_FALSE(BarabasiAlbert(10, 10, rng).ok());
+}
+
+TEST(HolmeKimTest, HigherTriadProbabilityRaisesClustering) {
+  Rng rng1(19), rng2(19);
+  Graph low = *HolmeKim(400, 4, 0.0, rng1);
+  Graph high = *HolmeKim(400, 4, 0.9, rng2);
+  double c_low = metrics::AverageClustering(low);
+  double c_high = metrics::AverageClustering(high);
+  EXPECT_GT(c_high, c_low + 0.05);
+}
+
+TEST(HolmeKimTest, EdgeCountMatchesBa) {
+  Rng rng(23);
+  const size_t n = 150, m = 5;
+  Graph g = *HolmeKim(n, m, 0.5, rng);
+  size_t expected = (m + 1) * m / 2 + (n - (m + 1)) * m;
+  EXPECT_EQ(g.NumEdges(), expected);
+}
+
+TEST(HolmeKimTest, RejectsBadParams) {
+  Rng rng(1);
+  EXPECT_FALSE(HolmeKim(10, 0, 0.5, rng).ok());
+  EXPECT_FALSE(HolmeKim(10, 3, 1.5, rng).ok());
+  EXPECT_FALSE(HolmeKim(10, 3, -0.5, rng).ok());
+}
+
+TEST(WattsStrogatzTest, ZeroBetaIsRingLattice) {
+  Rng rng(29);
+  Graph g = *WattsStrogatz(20, 4, 0.0, rng);
+  EXPECT_EQ(g.NumEdges(), 40u);  // n * k / 2
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_EQ(g.Degree(v), 4u);
+  }
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(0, 19));
+}
+
+TEST(WattsStrogatzTest, RewiringPreservesEdgeCount) {
+  Rng rng(31);
+  Graph g = *WattsStrogatz(100, 6, 0.3, rng);
+  EXPECT_EQ(g.NumEdges(), 300u);
+}
+
+TEST(WattsStrogatzTest, FullRewireStillSimpleGraph) {
+  Rng rng(37);
+  Graph g = *WattsStrogatz(60, 4, 1.0, rng);
+  EXPECT_EQ(g.NumEdges(), 120u);  // no duplicates or loops by construction
+}
+
+TEST(WattsStrogatzTest, RejectsOddOrOversizeK) {
+  Rng rng(1);
+  EXPECT_FALSE(WattsStrogatz(10, 3, 0.1, rng).ok());
+  EXPECT_FALSE(WattsStrogatz(10, 0, 0.1, rng).ok());
+  EXPECT_FALSE(WattsStrogatz(10, 10, 0.1, rng).ok());
+  EXPECT_FALSE(WattsStrogatz(10, 4, 2.0, rng).ok());
+}
+
+TEST(ConfigurationModelTest, RespectsDegreesApproximately) {
+  Rng rng(41);
+  std::vector<size_t> degrees(100, 4);
+  Graph g = *ConfigurationModel(degrees, rng);
+  // Erased configuration model discards collisions; realized degree never
+  // exceeds the request and the loss is small for sparse sequences.
+  size_t total = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_LE(g.Degree(v), 4u);
+    total += g.Degree(v);
+  }
+  EXPECT_GE(total, 350u);  // at most ~12% erased
+}
+
+TEST(ConfigurationModelTest, RejectsOddSum) {
+  Rng rng(1);
+  std::vector<size_t> degrees = {3, 2, 2};  // sum 7
+  EXPECT_FALSE(ConfigurationModel(degrees, rng).ok());
+}
+
+TEST(PowerLawDegreeSequenceTest, BoundsAndEvenSum) {
+  Rng rng(43);
+  auto degrees = PowerLawDegreeSequence(501, 2.5, 2, 40, rng);
+  ASSERT_EQ(degrees.size(), 501u);
+  size_t sum = 0;
+  for (size_t d : degrees) {
+    EXPECT_GE(d, 2u);
+    EXPECT_LE(d, 40u);
+    sum += d;
+  }
+  EXPECT_EQ(sum % 2, 0u);
+}
+
+TEST(CoauthorshipTest, ProducesCliqueHeavyGraph) {
+  Rng rng(47);
+  CoauthorshipParams params;
+  params.num_authors = 500;
+  params.num_papers = 400;
+  Graph g = *Coauthorship(params, rng);
+  EXPECT_EQ(g.NumNodes(), 500u);
+  EXPECT_GT(g.NumEdges(), 400u);
+  // Clique unions have high clustering.
+  EXPECT_GT(metrics::AverageClustering(g), 0.3);
+}
+
+TEST(CoauthorshipTest, RejectsBadParams) {
+  Rng rng(1);
+  CoauthorshipParams p;
+  p.num_authors = 0;
+  EXPECT_FALSE(Coauthorship(p, rng).ok());
+  p = {};
+  p.min_authors = 1;
+  EXPECT_FALSE(Coauthorship(p, rng).ok());
+  p = {};
+  p.min_authors = 6;
+  p.max_authors = 5;
+  EXPECT_FALSE(Coauthorship(p, rng).ok());
+  p = {};
+  p.num_authors = 3;
+  p.max_authors = 5;
+  EXPECT_FALSE(Coauthorship(p, rng).ok());
+  p = {};
+  p.preferential_p = 1.5;
+  EXPECT_FALSE(Coauthorship(p, rng).ok());
+}
+
+// All generators must produce simple graphs (no self-loops / multi-edges by
+// Graph's invariants) and be deterministic under a fixed seed.
+class GeneratorDeterminismTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorDeterminismTest, SameSeedSameGraph) {
+  const uint64_t seed = GetParam();
+  {
+    Rng a(seed), b(seed);
+    EXPECT_TRUE(*BarabasiAlbert(80, 3, a) == *BarabasiAlbert(80, 3, b));
+  }
+  {
+    Rng a(seed), b(seed);
+    EXPECT_TRUE(*HolmeKim(80, 3, 0.4, a) == *HolmeKim(80, 3, 0.4, b));
+  }
+  {
+    Rng a(seed), b(seed);
+    EXPECT_TRUE(*WattsStrogatz(80, 4, 0.2, a) ==
+                *WattsStrogatz(80, 4, 0.2, b));
+  }
+  {
+    Rng a(seed), b(seed);
+    EXPECT_TRUE(*ErdosRenyiGnp(80, 0.1, a) == *ErdosRenyiGnp(80, 0.1, b));
+  }
+  {
+    Rng a(seed), b(seed);
+    CoauthorshipParams p;
+    p.num_authors = 120;
+    p.num_papers = 100;
+    EXPECT_TRUE(*Coauthorship(p, a) == *Coauthorship(p, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorDeterminismTest,
+                         ::testing::Values(1, 7, 42, 1234, 99991));
+
+}  // namespace
+}  // namespace tpp::graph

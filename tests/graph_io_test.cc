@@ -1,0 +1,109 @@
+// Unit tests for edge-list parsing and serialization.
+
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "test_util.h"
+
+namespace tpp::graph {
+namespace {
+
+TEST(IoTest, ParsesSimpleEdgeList) {
+  Result<Graph> g = ParseEdgeList("0 1\n1 2\n2 0\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 3u);
+  EXPECT_EQ(g->NumEdges(), 3u);
+  EXPECT_TRUE(g->HasEdge(0, 2));
+}
+
+TEST(IoTest, SkipsCommentsAndBlankLines) {
+  Result<Graph> g = ParseEdgeList(
+      "# comment\n"
+      "% another comment\n"
+      "\n"
+      "0 1\n"
+      "  \n"
+      "1 2\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 2u);
+}
+
+TEST(IoTest, IgnoresExtraColumns) {
+  Result<Graph> g = ParseEdgeList("0 1 0.5 1234567\n1 2 0.25 888\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 2u);
+}
+
+TEST(IoTest, RemapsSparseIds) {
+  // KONECT-style 1-based ids with gaps.
+  Result<Graph> g = ParseEdgeList("100 200\n200 300\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 3u);
+  EXPECT_EQ(g->NumEdges(), 2u);
+}
+
+TEST(IoTest, LiteralIdsWithoutRemap) {
+  EdgeListOptions opts;
+  opts.remap_ids = false;
+  Result<Graph> g = ParseEdgeList("0 5\n", opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 6u);
+  EXPECT_TRUE(g->HasEdge(0, 5));
+}
+
+TEST(IoTest, LenientDropsDuplicatesAndSelfLoops) {
+  Result<Graph> g = ParseEdgeList("0 1\n1 0\n2 2\n1 2\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 2u);
+}
+
+TEST(IoTest, StrictRejectsDuplicates) {
+  EdgeListOptions opts;
+  opts.lenient = false;
+  Result<Graph> g = ParseEdgeList("0 1\n1 0\n", opts);
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(IoTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseEdgeList("0\n").ok());
+  EXPECT_FALSE(ParseEdgeList("a b\n").ok());
+  EXPECT_FALSE(ParseEdgeList("-1 2\n").ok());
+}
+
+TEST(IoTest, CommaSeparatedAccepted) {
+  Result<Graph> g = ParseEdgeList("0,1\n1,2\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 2u);
+}
+
+TEST(IoTest, SaveLoadRoundTrip) {
+  Graph g = ::tpp::testing::MakeGraph(5, {{0, 1}, {1, 2}, {3, 4}, {0, 4}});
+  std::string path = ::testing::TempDir() + "/tpp_io_roundtrip.edges";
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  Result<Graph> back = LoadEdgeList(path);
+  ASSERT_TRUE(back.ok());
+  // Ids are dense already, so remapping preserves structure.
+  EXPECT_EQ(back->NumNodes(), g.NumNodes());
+  EXPECT_EQ(back->NumEdges(), g.NumEdges());
+}
+
+TEST(IoTest, LoadMissingFileFails) {
+  Result<Graph> g = LoadEdgeList("/nonexistent/path/to/file.edges");
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+}
+
+TEST(IoTest, ToStringContainsHeaderAndEdges) {
+  Graph g = ::tpp::testing::MakeGraph(3, {{0, 1}, {1, 2}});
+  std::string s = ToEdgeListString(g);
+  EXPECT_NE(s.find("# undirected simple graph: 3 nodes, 2 edges"),
+            std::string::npos);
+  EXPECT_NE(s.find("0 1"), std::string::npos);
+  EXPECT_NE(s.find("1 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tpp::graph

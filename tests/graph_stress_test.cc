@@ -1,0 +1,111 @@
+// Model-based stress test: Graph must behave identically to a reference
+// implementation built on std::set under long random add/remove/query
+// sequences.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "metrics/paths.h"
+#include "graph/datasets.h"
+
+namespace tpp::graph {
+namespace {
+
+// Trivially correct reference: set of canonical edge keys.
+class ModelGraph {
+ public:
+  explicit ModelGraph(size_t n) : n_(n) {}
+
+  bool AddEdge(NodeId u, NodeId v) {
+    if (u >= n_ || v >= n_ || u == v) return false;
+    return edges_.insert(MakeEdgeKey(u, v)).second;
+  }
+  bool RemoveEdge(NodeId u, NodeId v) {
+    if (u >= n_ || v >= n_ || u == v) return false;
+    return edges_.erase(MakeEdgeKey(u, v)) > 0;
+  }
+  bool HasEdge(NodeId u, NodeId v) const {
+    if (u >= n_ || v >= n_ || u == v) return false;
+    return edges_.count(MakeEdgeKey(u, v)) > 0;
+  }
+  size_t Degree(NodeId u) const {
+    size_t d = 0;
+    for (EdgeKey k : edges_) {
+      if (EdgeKeyU(k) == u || EdgeKeyV(k) == u) ++d;
+    }
+    return d;
+  }
+  size_t NumEdges() const { return edges_.size(); }
+  std::vector<EdgeKey> EdgeKeys() const {
+    return std::vector<EdgeKey>(edges_.begin(), edges_.end());
+  }
+
+ private:
+  size_t n_;
+  std::set<EdgeKey> edges_;
+};
+
+class GraphStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphStressTest, MatchesModelUnderRandomOperations) {
+  const size_t n = 24;
+  Graph graph(n);
+  ModelGraph model(n);
+  Rng rng(GetParam());
+  for (int step = 0; step < 3000; ++step) {
+    NodeId u = static_cast<NodeId>(rng.UniformIndex(n));
+    NodeId v = static_cast<NodeId>(rng.UniformIndex(n));
+    switch (rng.UniformIndex(3)) {
+      case 0: {  // add
+        bool model_ok = model.AddEdge(u, v);
+        bool graph_ok = graph.AddEdge(u, v).ok();
+        ASSERT_EQ(model_ok, graph_ok) << "add (" << u << "," << v << ")";
+        break;
+      }
+      case 1: {  // remove
+        bool model_ok = model.RemoveEdge(u, v);
+        bool graph_ok = graph.RemoveEdge(u, v).ok();
+        ASSERT_EQ(model_ok, graph_ok) << "remove (" << u << "," << v << ")";
+        break;
+      }
+      case 2: {  // query
+        ASSERT_EQ(model.HasEdge(u, v), graph.HasEdge(u, v));
+        break;
+      }
+    }
+    if (step % 250 == 0) {
+      ASSERT_EQ(model.NumEdges(), graph.NumEdges());
+      ASSERT_EQ(model.EdgeKeys(), graph.EdgeKeys());
+      NodeId probe = static_cast<NodeId>(rng.UniformIndex(n));
+      ASSERT_EQ(model.Degree(probe), graph.Degree(probe));
+      // Adjacency must stay sorted at all times.
+      auto nbrs = graph.Neighbors(probe);
+      ASSERT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphStressTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 99, 12345));
+
+TEST(ThreadedAplTest, MatchesSequential) {
+  Graph g = *MakeArenasEmailLike(3);
+  metrics::AplOptions seq;
+  seq.sample_sources = 100;
+  metrics::AplOptions par = seq;
+  par.num_threads = 4;
+  double a = *metrics::AveragePathLength(g, seq);
+  double b = *metrics::AveragePathLength(g, par);
+  EXPECT_DOUBLE_EQ(a, b);  // bit-identical by construction
+  // More threads than sources also works.
+  metrics::AplOptions tiny;
+  tiny.sample_sources = 2;
+  tiny.num_threads = 64;
+  EXPECT_TRUE(metrics::AveragePathLength(g, tiny).ok());
+}
+
+}  // namespace
+}  // namespace tpp::graph

@@ -1,0 +1,193 @@
+// Unit tests for the Graph substrate.
+
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/edge.h"
+#include "test_util.h"
+
+namespace tpp::graph {
+namespace {
+
+using ::tpp::testing::E;
+using ::tpp::testing::MakeGraph;
+
+TEST(EdgeKeyTest, CanonicalAndInvertible) {
+  EdgeKey k1 = MakeEdgeKey(3, 7);
+  EdgeKey k2 = MakeEdgeKey(7, 3);
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(EdgeKeyU(k1), 3u);
+  EXPECT_EQ(EdgeKeyV(k1), 7u);
+}
+
+TEST(EdgeKeyTest, DistinctPairsDistinctKeys) {
+  EXPECT_NE(MakeEdgeKey(0, 1), MakeEdgeKey(0, 2));
+  EXPECT_NE(MakeEdgeKey(1, 2), MakeEdgeKey(0, 2));
+  // Large ids do not collide across the 32-bit split.
+  EXPECT_NE(MakeEdgeKey(0, 0xffffffff), MakeEdgeKey(1, 0xfffffffe));
+}
+
+TEST(EdgeTest, EqualityIsUnordered) {
+  EXPECT_EQ(E(1, 2), E(2, 1));
+  EXPECT_FALSE(E(1, 2) == E(1, 3));
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.NumNodes(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_TRUE(g.Edges().empty());
+}
+
+TEST(GraphTest, AddNodeGrows) {
+  Graph g(2);
+  NodeId id = g.AddNode();
+  EXPECT_EQ(id, 2u);
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(g.Degree(id), 0u);
+}
+
+TEST(GraphTest, AddEdgeBasics) {
+  Graph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(2, 1).ok());
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.Degree(3), 0u);
+}
+
+TEST(GraphTest, AddEdgeRejectsSelfLoop) {
+  Graph g(3);
+  Status s = g.AddEdge(1, 1);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GraphTest, AddEdgeRejectsOutOfRange) {
+  Graph g(3);
+  EXPECT_EQ(g.AddEdge(0, 3).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.AddEdge(9, 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, AddEdgeRejectsDuplicate) {
+  Graph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_EQ(g.AddEdge(1, 0).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphTest, RemoveEdge) {
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  ASSERT_TRUE(g.RemoveEdge(2, 1).ok());
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  EXPECT_EQ(g.Degree(1), 1u);
+  EXPECT_EQ(g.RemoveEdge(1, 2).code(), StatusCode::kNotFound);
+  EXPECT_EQ(g.RemoveEdge(0, 9).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, RemoveEdgeKeyRoundTrip) {
+  Graph g = MakeGraph(3, {{0, 2}});
+  EXPECT_TRUE(g.HasEdgeKey(MakeEdgeKey(2, 0)));
+  ASSERT_TRUE(g.RemoveEdgeKey(MakeEdgeKey(0, 2)).ok());
+  EXPECT_FALSE(g.HasEdgeKey(MakeEdgeKey(0, 2)));
+}
+
+TEST(GraphTest, NeighborsAreSorted) {
+  Graph g = MakeGraph(5, {{3, 0}, {3, 4}, {3, 1}, {3, 2}});
+  auto nbrs = g.Neighbors(3);
+  ASSERT_EQ(nbrs.size(), 4u);
+  for (size_t i = 1; i < nbrs.size(); ++i) {
+    EXPECT_LT(nbrs[i - 1], nbrs[i]);
+  }
+}
+
+TEST(GraphTest, CommonNeighbors) {
+  //    0
+  //   /|\            2 and 3 share {0, 1}.
+  //  2 1 3   edges: 0-2, 0-1, 0-3, 1-2, 1-3
+  Graph g = MakeGraph(4, {{0, 2}, {0, 1}, {0, 3}, {1, 2}, {1, 3}});
+  auto cn = g.CommonNeighbors(2, 3);
+  ASSERT_EQ(cn.size(), 2u);
+  EXPECT_EQ(cn[0], 0u);
+  EXPECT_EQ(cn[1], 1u);
+  EXPECT_EQ(g.CountCommonNeighbors(2, 3), 2u);
+  EXPECT_EQ(g.CountCommonNeighbors(0, 1), 2u);
+  EXPECT_TRUE(g.CommonNeighbors(0, 2).size() == 1);  // just node 1
+}
+
+TEST(GraphTest, EdgesSnapshotOrderedAndComplete) {
+  Graph g = MakeGraph(4, {{2, 3}, {0, 1}, {1, 3}});
+  std::vector<Edge> edges = g.Edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], E(0, 1));
+  EXPECT_EQ(edges[1], E(1, 3));
+  EXPECT_EQ(edges[2], E(2, 3));
+  std::vector<EdgeKey> keys = g.EdgeKeys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(GraphTest, RemoveEdgesBulkIgnoresAbsent) {
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  size_t removed = g.RemoveEdges({E(0, 1), E(0, 3), E(2, 1)});
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphTest, EqualityIsStructural) {
+  Graph a = MakeGraph(3, {{0, 1}, {1, 2}});
+  Graph b = MakeGraph(3, {{1, 2}, {0, 1}});
+  Graph c = MakeGraph(3, {{0, 1}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(GraphTest, DegreeSumIsTwiceEdges) {
+  Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  EXPECT_EQ(g.DegreeSum(), 2 * g.NumEdges());
+}
+
+TEST(GraphTest, DebugStringMentionsCounts) {
+  Graph g = MakeGraph(3, {{0, 1}});
+  EXPECT_EQ(g.DebugString(), "Graph(n=3, m=1)");
+}
+
+TEST(GraphTest, CopyIsIndependent) {
+  Graph a = MakeGraph(3, {{0, 1}, {1, 2}});
+  Graph b = a;
+  ASSERT_TRUE(b.RemoveEdge(0, 1).ok());
+  EXPECT_TRUE(a.HasEdge(0, 1));
+  EXPECT_EQ(a.NumEdges(), 2u);
+  EXPECT_EQ(b.NumEdges(), 1u);
+}
+
+TEST(BuildGraphTest, StrictRejectsBadEdges) {
+  EXPECT_FALSE(BuildGraph(3, {E(0, 0)}).ok());
+  EXPECT_FALSE(BuildGraph(3, {E(0, 5)}).ok());
+  EXPECT_FALSE(BuildGraph(3, {E(0, 1), E(1, 0)}).ok());
+  Result<Graph> ok = BuildGraph(3, {E(0, 1), E(1, 2)});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->NumEdges(), 2u);
+}
+
+TEST(BuildGraphTest, LenientSkipsBadEdges) {
+  Graph g = BuildGraphLenient(3, {E(0, 0), E(0, 1), E(1, 0), E(2, 5)});
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(GraphTest, HasEdgeOutOfRangeIsFalse) {
+  Graph g = MakeGraph(2, {{0, 1}});
+  EXPECT_FALSE(g.HasEdge(0, 5));
+  EXPECT_FALSE(g.HasEdge(5, 6));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+}  // namespace
+}  // namespace tpp::graph

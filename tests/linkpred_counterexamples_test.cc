@@ -1,0 +1,159 @@
+// Reproductions of the paper's Extended Discussion (§VI-D): dissimilarity
+// functions built from the classic similarity indices are NOT monotone
+// (Fig. 7 cases) and Resource Allocation is additionally NOT submodular —
+// which is exactly why the paper defines f over subgraph counts instead.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/fixtures.h"
+#include "linkpred/indices.h"
+#include "test_util.h"
+
+namespace tpp::linkpred {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using ::tpp::testing::MakeGraph;
+
+// Helper: score of the hidden pair after deleting a set of edges.
+double ScoreAfter(const graph::Fig7Gadget& fx,
+                  const std::vector<Edge>& deletions, IndexKind kind) {
+  Graph g = fx.graph;
+  for (const Edge& e : deletions) {
+    Status s = g.RemoveEdge(e.u, e.v);
+    TPP_CHECK(s.ok());
+  }
+  return Score(g, fx.u, fx.v, kind);
+}
+
+// For each index the paper lists three cases on Fig. 7:
+//  (a) a deletion that leaves the score unchanged,
+//  (b) a deletion that decreases the score (dissimilarity grows: good),
+//  (c) a deletion that INCREASES the score (dissimilarity drops):
+//      the monotonicity violation.
+struct Fig7Case {
+  IndexKind kind;
+  double initial;
+  double after_p2;        // case (b): score decreases
+  Edge violation_edge;    // case (c): which deletion raises the score
+  double after_violation;
+};
+
+class Fig7CounterexampleTest : public ::testing::Test {
+ protected:
+  graph::Fig7Gadget fx_ = graph::MakeFig7Gadget();
+};
+
+TEST_F(Fig7CounterexampleTest, JaccardNotMonotone) {
+  // Initial 2/5; delete p1 -> unchanged; p2 -> 1/5; p3 -> 2/4 (violation).
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {}, IndexKind::kJaccard), 0.4);
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {fx_.p1}, IndexKind::kJaccard), 0.4);
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {fx_.p2}, IndexKind::kJaccard), 0.2);
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {fx_.p3}, IndexKind::kJaccard), 0.5);
+}
+
+TEST_F(Fig7CounterexampleTest, SaltonNotMonotone) {
+  // Initial 2/sqrt(12); p2 -> 1/sqrt(9); p3 -> 2/sqrt(8) (violation).
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {}, IndexKind::kSalton),
+                   2.0 / std::sqrt(12.0));
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {fx_.p1}, IndexKind::kSalton),
+                   2.0 / std::sqrt(12.0));
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {fx_.p2}, IndexKind::kSalton),
+                   1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {fx_.p3}, IndexKind::kSalton),
+                   2.0 / std::sqrt(8.0));
+  EXPECT_GT(ScoreAfter(fx_, {fx_.p3}, IndexKind::kSalton),
+            ScoreAfter(fx_, {}, IndexKind::kSalton));
+}
+
+TEST_F(Fig7CounterexampleTest, SorensenNotMonotone) {
+  // Initial 4/7; p2 -> 2/6; p3 -> 4/6 (violation).
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {}, IndexKind::kSorensen), 4.0 / 7.0);
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {fx_.p2}, IndexKind::kSorensen),
+                   2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {fx_.p3}, IndexKind::kSorensen),
+                   4.0 / 6.0);
+}
+
+TEST_F(Fig7CounterexampleTest, HubPromotedNotMonotone) {
+  // Initial 2/3; p2 -> 1/3 (CN shrinks, min degree 3); p3 -> 2/2
+  // (violation: score reaches the maximum).
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {}, IndexKind::kHubPromoted), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {fx_.p2}, IndexKind::kHubPromoted),
+                   1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {fx_.p3}, IndexKind::kHubPromoted), 1.0);
+}
+
+TEST_F(Fig7CounterexampleTest, HubDepressedNotMonotone) {
+  // Initial 2/4; p2 -> 1/3; p4 -> 2/3 (violation via the u-side edge).
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {}, IndexKind::kHubDepressed), 0.5);
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {fx_.p2}, IndexKind::kHubDepressed),
+                   1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {fx_.p4}, IndexKind::kHubDepressed),
+                   2.0 / 3.0);
+}
+
+TEST_F(Fig7CounterexampleTest, LhnNotMonotone) {
+  // Initial 2/12; p2 -> 1/9; p3 -> 2/8 (violation).
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {}, IndexKind::kLeichtHolmeNewman),
+                   2.0 / 12.0);
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {fx_.p2}, IndexKind::kLeichtHolmeNewman),
+                   1.0 / 9.0);
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {fx_.p3}, IndexKind::kLeichtHolmeNewman),
+                   2.0 / 8.0);
+}
+
+TEST_F(Fig7CounterexampleTest, AdamicAdarNotMonotone) {
+  // Initial 1/log3 + 1/log4; deleting p1 (edge a-c) drops deg(a) to 2 and
+  // RAISES the score to 1/log2 + 1/log4 (violation); deleting p2 removes a
+  // from the common neighborhood entirely -> 1/log4.
+  const double initial = 1.0 / std::log(3.0) + 1.0 / std::log(4.0);
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {}, IndexKind::kAdamicAdar), initial);
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {fx_.p1}, IndexKind::kAdamicAdar),
+                   1.0 / std::log(2.0) + 1.0 / std::log(4.0));
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {fx_.p2}, IndexKind::kAdamicAdar),
+                   1.0 / std::log(4.0));
+  EXPECT_GT(ScoreAfter(fx_, {fx_.p1}, IndexKind::kAdamicAdar), initial);
+}
+
+TEST_F(Fig7CounterexampleTest, ResourceAllocationNotMonotone) {
+  // Initial 1/3 + 1/4; p1 -> 1/2 + 1/4 (violation); p2 -> 1/4.
+  const double initial = 1.0 / 3.0 + 0.25;
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {}, IndexKind::kResourceAllocation),
+                   initial);
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {fx_.p1}, IndexKind::kResourceAllocation),
+                   0.5 + 0.25);
+  EXPECT_DOUBLE_EQ(ScoreAfter(fx_, {fx_.p2}, IndexKind::kResourceAllocation),
+                   0.25);
+}
+
+// Resource Allocation also violates submodularity, even along deletion
+// sequences where every deletion helps (score decreases): the marginal
+// dissimilarity gain can GROW as the deleted set grows.
+TEST(RaSubmodularityTest, ViolationInstance) {
+  // Target (u,v) = (0,1) hidden; single common neighbor w=2 with degree 4:
+  // edges 2-0, 2-1, 2-3, 2-4.
+  Graph g = MakeGraph(5, {{0, 2}, {1, 2}, {2, 3}, {2, 4}});
+  auto ra = [&](const std::vector<Edge>& deletions) {
+    Graph h = g;
+    for (const Edge& e : deletions) {
+      TPP_CHECK(h.RemoveEdge(e.u, e.v).ok());
+    }
+    return Score(h, 0, 1, IndexKind::kResourceAllocation);
+  };
+  const Edge x(2, 3);  // the "B = A + {x}" extension
+  const Edge p(0, 2);  // the probe deletion
+  // s(empty) = 1/4; s({x}) = 1/3; s({p}) = 0; s({x,p}) = 0.
+  double gain_at_empty = ra({}) - ra({p});        // 1/4
+  double gain_at_x = ra({x}) - ra({x, p});        // 1/3
+  EXPECT_DOUBLE_EQ(gain_at_empty, 0.25);
+  EXPECT_DOUBLE_EQ(gain_at_x, 1.0 / 3.0);
+  // Submodularity would require gain_at_empty >= gain_at_x; it fails.
+  EXPECT_LT(gain_at_empty, gain_at_x);
+}
+
+}  // namespace
+}  // namespace tpp::linkpred

@@ -1,0 +1,156 @@
+// Tests for the link-prediction similarity indices and Katz.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/fixtures.h"
+#include "linkpred/indices.h"
+#include "linkpred/katz.h"
+#include "test_util.h"
+
+namespace tpp::linkpred {
+namespace {
+
+using graph::Graph;
+using ::tpp::testing::MakeGraph;
+
+TEST(IndexTest, NamesRoundTrip) {
+  for (IndexKind k : kAllIndices) {
+    Result<IndexKind> parsed = ParseIndexKind(IndexName(k));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(ParseIndexKind("Cosine").ok());
+}
+
+// The Fig. 7 gadget has hand-computable scores for the hidden pair (u,v):
+// |CN| = 2 (a and b), du = 4, dv = 3, union = 5, da = 3, db = 4.
+class Fig7ScoreTest : public ::testing::Test {
+ protected:
+  graph::Fig7Gadget fx_ = graph::MakeFig7Gadget();
+  double Score(IndexKind kind) {
+    return linkpred::Score(fx_.graph, fx_.u, fx_.v, kind);
+  }
+};
+
+TEST_F(Fig7ScoreTest, CommonNeighbors) {
+  EXPECT_DOUBLE_EQ(Score(IndexKind::kCommonNeighbors), 2.0);
+}
+
+TEST_F(Fig7ScoreTest, Jaccard) {
+  EXPECT_DOUBLE_EQ(Score(IndexKind::kJaccard), 2.0 / 5.0);
+}
+
+TEST_F(Fig7ScoreTest, Salton) {
+  EXPECT_DOUBLE_EQ(Score(IndexKind::kSalton), 2.0 / std::sqrt(12.0));
+}
+
+TEST_F(Fig7ScoreTest, Sorensen) {
+  EXPECT_DOUBLE_EQ(Score(IndexKind::kSorensen), 4.0 / 7.0);
+}
+
+TEST_F(Fig7ScoreTest, HubPromoted) {
+  EXPECT_DOUBLE_EQ(Score(IndexKind::kHubPromoted), 2.0 / 3.0);
+}
+
+TEST_F(Fig7ScoreTest, HubDepressed) {
+  EXPECT_DOUBLE_EQ(Score(IndexKind::kHubDepressed), 2.0 / 4.0);
+}
+
+TEST_F(Fig7ScoreTest, LeichtHolmeNewman) {
+  EXPECT_DOUBLE_EQ(Score(IndexKind::kLeichtHolmeNewman), 2.0 / 12.0);
+}
+
+TEST_F(Fig7ScoreTest, AdamicAdar) {
+  EXPECT_DOUBLE_EQ(Score(IndexKind::kAdamicAdar),
+                   1.0 / std::log(3.0) + 1.0 / std::log(4.0));
+}
+
+TEST_F(Fig7ScoreTest, ResourceAllocation) {
+  EXPECT_DOUBLE_EQ(Score(IndexKind::kResourceAllocation),
+                   1.0 / 3.0 + 1.0 / 4.0);
+}
+
+TEST(IndexTest, NoCommonNeighborsScoresZeroEverywhere) {
+  Graph g = graph::MakePath(4);
+  for (IndexKind k : kAllIndices) {
+    EXPECT_DOUBLE_EQ(Score(g, 0, 3, k), 0.0) << IndexName(k);
+  }
+}
+
+TEST(IndexTest, IsolatedEndpointsScoreZero) {
+  Graph g = MakeGraph(4, {{1, 2}});
+  for (IndexKind k : kAllIndices) {
+    EXPECT_DOUBLE_EQ(Score(g, 0, 3, k), 0.0) << IndexName(k);
+  }
+}
+
+TEST(IndexTest, AdamicAdarSkipsDegreeOneNeighbors) {
+  // Common neighbor of degree 2 contributes 1/log 2; a hypothetical
+  // degree-1 common neighbor is impossible (it has two incident edges),
+  // but log-guard also protects the degenerate self-built cases.
+  Graph g = MakeGraph(3, {{0, 2}, {2, 1}});
+  EXPECT_DOUBLE_EQ(Score(g, 0, 1, IndexKind::kAdamicAdar),
+                   1.0 / std::log(2.0));
+}
+
+// ------------------------------------------------------------------ Katz
+
+TEST(KatzTest, SingleEdgeWalkCounts) {
+  // P2: walks 0->1 have lengths 1, 3, 5, ... ; with max_length=4:
+  // katz = b + b^3.
+  Graph g = MakeGraph(2, {{0, 1}});
+  KatzParams params;
+  params.beta = 0.1;
+  params.max_length = 4;
+  EXPECT_NEAR(*KatzScore(g, 0, 1, params), 0.1 + 0.001, 1e-12);
+}
+
+TEST(KatzTest, PathTwoHops) {
+  // P3: walks 0->2: length 2 (one), length 4 (two).
+  Graph g = graph::MakePath(3);
+  KatzParams params;
+  params.beta = 0.1;
+  params.max_length = 4;
+  EXPECT_NEAR(*KatzScore(g, 0, 2, params),
+              0.01 + 2 * 0.0001, 1e-12);
+}
+
+TEST(KatzTest, ZeroForDisconnected) {
+  Graph g = MakeGraph(4, {{0, 1}, {2, 3}});
+  EXPECT_DOUBLE_EQ(*KatzScore(g, 0, 2), 0.0);
+}
+
+TEST(KatzTest, ScoresFromMatchPairwise) {
+  Graph g = graph::MakeKarateClub();
+  KatzParams params;
+  params.beta = 0.05;
+  params.max_length = 3;
+  auto from0 = *KatzScoresFrom(g, 0, params);
+  for (graph::NodeId v : {1u, 5u, 33u}) {
+    EXPECT_DOUBLE_EQ(from0[v], *KatzScore(g, 0, v, params));
+  }
+}
+
+TEST(KatzTest, RejectsBadParams) {
+  Graph g = graph::MakePath(3);
+  KatzParams params;
+  params.beta = 1.5;
+  EXPECT_FALSE(KatzScore(g, 0, 2, params).ok());
+  params.beta = 0.05;
+  EXPECT_FALSE(KatzScore(g, 0, 99, params).ok());
+  EXPECT_FALSE(KatzScoresFrom(g, 99, params).ok());
+}
+
+TEST(KatzTest, LongerHorizonNeverDecreasesScore) {
+  Graph g = graph::MakeKarateClub();
+  KatzParams short_params{0.05, 2};
+  KatzParams long_params{0.05, 5};
+  double s = *KatzScore(g, 0, 33, short_params);
+  double l = *KatzScore(g, 0, 33, long_params);
+  EXPECT_GE(l, s);
+}
+
+}  // namespace
+}  // namespace tpp::linkpred

@@ -1,0 +1,173 @@
+// Known-answer tests for the utility metrics (Table II).
+
+#include <gtest/gtest.h>
+
+#include "graph/fixtures.h"
+#include "metrics/assortativity.h"
+#include "metrics/clustering.h"
+#include "metrics/kcore.h"
+#include "metrics/paths.h"
+#include "test_util.h"
+
+namespace tpp::metrics {
+namespace {
+
+using graph::Graph;
+using ::tpp::testing::MakeGraph;
+
+// ------------------------------------------------------------ clustering
+
+TEST(ClusteringTest, TriangleIsFullyClustered) {
+  Graph g = graph::MakeComplete(3);
+  EXPECT_DOUBLE_EQ(LocalClustering(g, 0), 1.0);
+  EXPECT_DOUBLE_EQ(AverageClustering(g), 1.0);
+  EXPECT_DOUBLE_EQ(GlobalTransitivity(g), 1.0);
+}
+
+TEST(ClusteringTest, PathHasNoTriangles) {
+  Graph g = graph::MakePath(5);
+  EXPECT_DOUBLE_EQ(AverageClustering(g), 0.0);
+  EXPECT_DOUBLE_EQ(GlobalTransitivity(g), 0.0);
+}
+
+TEST(ClusteringTest, LowDegreeNodesContributeZero) {
+  // Triangle plus a pendant: pendant has degree 1 -> coefficient 0.
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+  EXPECT_DOUBLE_EQ(LocalClustering(g, 3), 0.0);
+  // Node 2 has neighbors {0,1,3}; one link (0,1) of three possible.
+  EXPECT_NEAR(LocalClustering(g, 2), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(AverageClustering(g), (1.0 + 1.0 + 1.0 / 3.0 + 0.0) / 4.0,
+              1e-12);
+}
+
+TEST(ClusteringTest, KarateClubMatchesPublishedValues) {
+  Graph g = graph::MakeKarateClub();
+  EXPECT_NEAR(AverageClustering(g), 0.5706, 1e-3);
+  EXPECT_NEAR(GlobalTransitivity(g), 0.2557, 1e-3);
+}
+
+TEST(ClusteringTest, CompleteGraphIsOne) {
+  EXPECT_DOUBLE_EQ(AverageClustering(graph::MakeComplete(7)), 1.0);
+}
+
+// ----------------------------------------------------------------- paths
+
+TEST(AplTest, PathGraphClosedForm) {
+  // Mean pairwise distance of the path on n nodes is (n+1)/3.
+  for (size_t n : {3u, 4u, 7u, 10u}) {
+    Graph g = graph::MakePath(n);
+    Result<double> apl = AveragePathLength(g);
+    ASSERT_TRUE(apl.ok());
+    EXPECT_NEAR(*apl, (static_cast<double>(n) + 1.0) / 3.0, 1e-12) << n;
+  }
+}
+
+TEST(AplTest, StarClosedForm) {
+  // Star with L leaves: APL = 2L / (L+1).
+  const size_t leaves = 6;
+  Graph g = graph::MakeStar(leaves + 1);
+  EXPECT_NEAR(*AveragePathLength(g),
+              2.0 * leaves / (static_cast<double>(leaves) + 1.0), 1e-12);
+}
+
+TEST(AplTest, CompleteGraphIsOne) {
+  EXPECT_DOUBLE_EQ(*AveragePathLength(graph::MakeComplete(6)), 1.0);
+}
+
+TEST(AplTest, KarateClubMatchesPublishedValue) {
+  EXPECT_NEAR(*AveragePathLength(graph::MakeKarateClub()), 2.4082, 1e-3);
+}
+
+TEST(AplTest, DisconnectedAveragesReachablePairsOnly) {
+  // Two disjoint edges: all reachable pairs have distance 1.
+  Graph g = MakeGraph(4, {{0, 1}, {2, 3}});
+  EXPECT_DOUBLE_EQ(*AveragePathLength(g), 1.0);
+}
+
+TEST(AplTest, ErrorsOnDegenerateInputs) {
+  EXPECT_FALSE(AveragePathLength(Graph(1)).ok());
+  EXPECT_FALSE(AveragePathLength(Graph(5)).ok());  // no edges at all
+}
+
+TEST(AplTest, SampledEstimateIsClose) {
+  Graph g = graph::MakeKarateClub();
+  double exact = *AveragePathLength(g);
+  AplOptions opts;
+  opts.sample_sources = 20;
+  opts.seed = 3;
+  double sampled = *AveragePathLength(g, opts);
+  EXPECT_NEAR(sampled, exact, 0.25);
+}
+
+// --------------------------------------------------------- assortativity
+
+TEST(AssortativityTest, StarIsPerfectlyDisassortative) {
+  Graph g = graph::MakeStar(8);
+  EXPECT_NEAR(*DegreeAssortativity(g), -1.0, 1e-12);
+}
+
+TEST(AssortativityTest, UndefinedOnRegularGraphs) {
+  // Every edge joins equal degrees: zero variance.
+  EXPECT_FALSE(DegreeAssortativity(graph::MakeComplete(5)).ok());
+  EXPECT_FALSE(DegreeAssortativity(graph::MakeCycle(6)).ok());
+  EXPECT_FALSE(DegreeAssortativity(Graph(3)).ok());  // no edges
+}
+
+TEST(AssortativityTest, KarateClubMatchesPublishedValue) {
+  EXPECT_NEAR(*DegreeAssortativity(graph::MakeKarateClub()), -0.4756, 1e-3);
+}
+
+TEST(AssortativityTest, InValidRange) {
+  Graph g = graph::MakeKarateClub();
+  double r = *DegreeAssortativity(g);
+  EXPECT_GE(r, -1.0);
+  EXPECT_LE(r, 1.0);
+}
+
+// ----------------------------------------------------------------- kcore
+
+TEST(KcoreTest, PathCoresAreOne) {
+  Graph g = graph::MakePath(6);
+  for (size_t c : CoreNumbers(g)) EXPECT_EQ(c, 1u);
+  EXPECT_DOUBLE_EQ(AverageCoreNumber(g), 1.0);
+  EXPECT_EQ(Degeneracy(g), 1u);
+}
+
+TEST(KcoreTest, CompleteGraphCore) {
+  Graph g = graph::MakeComplete(6);
+  for (size_t c : CoreNumbers(g)) EXPECT_EQ(c, 5u);
+  EXPECT_EQ(Degeneracy(g), 5u);
+}
+
+TEST(KcoreTest, PendantTriangle) {
+  // Triangle (core 2) with pendant chain (core 1).
+  Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}});
+  auto core = CoreNumbers(g);
+  EXPECT_EQ(core[0], 2u);
+  EXPECT_EQ(core[1], 2u);
+  EXPECT_EQ(core[2], 2u);
+  EXPECT_EQ(core[3], 1u);
+  EXPECT_EQ(core[4], 1u);
+}
+
+TEST(KcoreTest, KarateClubDegeneracyIsFour) {
+  EXPECT_EQ(Degeneracy(graph::MakeKarateClub()), 4u);
+}
+
+TEST(KcoreTest, IsolatedNodesHaveCoreZero) {
+  Graph g = MakeGraph(3, {{0, 1}});
+  auto core = CoreNumbers(g);
+  EXPECT_EQ(core[2], 0u);
+  EXPECT_EQ(Degeneracy(Graph(4)), 0u);
+}
+
+TEST(KcoreTest, CoreNumberLeDegree) {
+  Graph g = graph::MakeKarateClub();
+  auto core = CoreNumbers(g);
+  for (graph::NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_LE(core[v], g.Degree(v));
+  }
+}
+
+}  // namespace
+}  // namespace tpp::metrics

@@ -1,0 +1,195 @@
+// Known-answer tests for target-subgraph enumeration.
+
+#include "motif/enumerate.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/fixtures.h"
+#include "motif/motif.h"
+#include "test_util.h"
+
+namespace tpp::motif {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using graph::MakeEdgeKey;
+using ::tpp::testing::E;
+using ::tpp::testing::MakeGraph;
+
+TEST(MotifTest, NamesRoundTrip) {
+  for (MotifKind k : kAllMotifs) {
+    Result<MotifKind> parsed = ParseMotifKind(MotifName(k));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(ParseMotifKind("Hexagon").ok());
+  EXPECT_FALSE(ParseMotifKind("triangle").ok());  // case-sensitive
+}
+
+TEST(MotifTest, EdgeCounts) {
+  EXPECT_EQ(MotifEdgeCount(MotifKind::kTriangle), 2u);
+  EXPECT_EQ(MotifEdgeCount(MotifKind::kRectangle), 3u);
+  EXPECT_EQ(MotifEdgeCount(MotifKind::kRecTri), 4u);
+  EXPECT_EQ(MotifEdgeCount(MotifKind::kPentagon), 4u);
+}
+
+TEST(MotifTest, PaperMotifsExcludePentagon) {
+  for (MotifKind k : kPaperMotifs) {
+    EXPECT_NE(k, MotifKind::kPentagon);
+  }
+  EXPECT_EQ(kPaperMotifs.size() + 1, kAllMotifs.size());
+}
+
+// Complete graph K_n with target (0,1) removed has closed-form counts.
+class CompleteGraphCounts : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CompleteGraphCounts, MatchFormulas) {
+  const size_t n = GetParam();
+  Graph g = graph::MakeComplete(n);
+  ASSERT_TRUE(g.RemoveEdge(0, 1).ok());
+  Edge target = E(0, 1);
+  // Triangle: one per remaining node.
+  EXPECT_EQ(CountTargetSubgraphs(g, target, MotifKind::kTriangle), n - 2);
+  // Rectangle: ordered pairs (a, b) of distinct other nodes.
+  EXPECT_EQ(CountTargetSubgraphs(g, target, MotifKind::kRectangle),
+            (n - 2) * (n - 3));
+  // RecTri: per common neighbor w, (n-3) type-A plus (n-3) type-B.
+  EXPECT_EQ(CountTargetSubgraphs(g, target, MotifKind::kRecTri),
+            (n - 2) * 2 * (n - 3));
+  // Pentagon: ordered triples of distinct other nodes.
+  EXPECT_EQ(CountTargetSubgraphs(g, target, MotifKind::kPentagon),
+            (n - 2) * (n - 3) * (n - 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CompleteGraphCounts,
+                         ::testing::Values(4, 5, 6, 8, 12));
+
+TEST(EnumerateTest, TriangleInstancesOnDiamond) {
+  // 0-2, 2-1, 0-3, 3-1: target (0,1) participates in two triangles.
+  Graph g = MakeGraph(4, {{0, 2}, {2, 1}, {0, 3}, {3, 1}});
+  auto instances =
+      EnumerateTargetSubgraphs(g, E(0, 1), MotifKind::kTriangle, 5);
+  ASSERT_EQ(instances.size(), 2u);
+  for (const TargetSubgraph& inst : instances) {
+    EXPECT_EQ(inst.target, 5);
+    EXPECT_EQ(inst.num_edges, 2u);
+    EXPECT_TRUE(std::is_sorted(inst.edges.begin(),
+                               inst.edges.begin() + inst.num_edges));
+  }
+  EXPECT_TRUE(instances[0].ContainsEdge(MakeEdgeKey(0, 2)));
+  EXPECT_TRUE(instances[0].ContainsEdge(MakeEdgeKey(2, 1)));
+  EXPECT_FALSE(instances[0].ContainsEdge(MakeEdgeKey(0, 3)));
+}
+
+TEST(EnumerateTest, RectangleOnCycleFour) {
+  // Cycle 0-2-1-3-0 with target (0,1) missing: 3-paths 0-2-1? no, that is
+  // length 2. Build explicit: 0-2, 2-3, 3-1 => one 3-path 0-2-3-1.
+  Graph g = MakeGraph(4, {{0, 2}, {2, 3}, {3, 1}});
+  auto instances =
+      EnumerateTargetSubgraphs(g, E(0, 1), MotifKind::kRectangle);
+  ASSERT_EQ(instances.size(), 1u);
+  EXPECT_EQ(instances[0].num_edges, 3u);
+  EXPECT_TRUE(instances[0].ContainsEdge(MakeEdgeKey(0, 2)));
+  EXPECT_TRUE(instances[0].ContainsEdge(MakeEdgeKey(2, 3)));
+  EXPECT_TRUE(instances[0].ContainsEdge(MakeEdgeKey(3, 1)));
+}
+
+TEST(EnumerateTest, RectangleCountsDirectedPathsSeparately) {
+  // Both 0-2-3-1 and 0-3-2-1 exist when 2,3 are adjacent to both ends.
+  Graph g = MakeGraph(4, {{0, 2}, {0, 3}, {2, 3}, {2, 1}, {3, 1}});
+  EXPECT_EQ(CountTargetSubgraphs(g, E(0, 1), MotifKind::kRectangle), 2u);
+}
+
+TEST(EnumerateTest, RectangleExcludesEndpointReuse) {
+  // Path through the target's own endpoint must not count: 0-2-1 has
+  // length 2; 0-2, 2-1 exist but a==v or b==u paths excluded.
+  Graph g = MakeGraph(3, {{0, 2}, {2, 1}});
+  EXPECT_EQ(CountTargetSubgraphs(g, E(0, 1), MotifKind::kRectangle), 0u);
+}
+
+TEST(EnumerateTest, RecTriTypeAOnly) {
+  // 2-path 0-2-1 (w=2); 3-path 0-2-3-1 (type A via x=3).
+  Graph g = MakeGraph(4, {{0, 2}, {2, 1}, {2, 3}, {3, 1}});
+  auto instances = EnumerateTargetSubgraphs(g, E(0, 1), MotifKind::kRecTri);
+  ASSERT_EQ(instances.size(), 1u);
+  EXPECT_EQ(instances[0].num_edges, 4u);
+  EXPECT_TRUE(instances[0].ContainsEdge(MakeEdgeKey(0, 2)));
+  EXPECT_TRUE(instances[0].ContainsEdge(MakeEdgeKey(2, 1)));
+  EXPECT_TRUE(instances[0].ContainsEdge(MakeEdgeKey(2, 3)));
+  EXPECT_TRUE(instances[0].ContainsEdge(MakeEdgeKey(3, 1)));
+}
+
+TEST(EnumerateTest, RecTriTypeBOnly) {
+  // 2-path 0-2-1 (w=2); 3-path 0-3-2-1 (type B via x=3 adjacent to u).
+  Graph g = MakeGraph(4, {{0, 2}, {2, 1}, {0, 3}, {3, 2}});
+  auto instances = EnumerateTargetSubgraphs(g, E(0, 1), MotifKind::kRecTri);
+  ASSERT_EQ(instances.size(), 1u);
+  EXPECT_TRUE(instances[0].ContainsEdge(MakeEdgeKey(0, 3)));
+  EXPECT_TRUE(instances[0].ContainsEdge(MakeEdgeKey(3, 2)));
+}
+
+TEST(EnumerateTest, RecTriRequiresTheTwoPath) {
+  // A 3-path without any common neighbor is not a RecTri.
+  Graph g = MakeGraph(4, {{0, 2}, {2, 3}, {3, 1}});
+  EXPECT_EQ(CountTargetSubgraphs(g, E(0, 1), MotifKind::kRecTri), 0u);
+}
+
+TEST(EnumerateTest, PentagonOnSinglePath) {
+  // The 4-path 0-2-3-4-1 is the unique Pentagon instance completing the
+  // hidden link (0,1).
+  Graph g = MakeGraph(5, {{0, 2}, {2, 3}, {3, 4}, {4, 1}});
+  auto instances =
+      EnumerateTargetSubgraphs(g, E(0, 1), MotifKind::kPentagon);
+  ASSERT_EQ(instances.size(), 1u);
+  EXPECT_EQ(instances[0].num_edges, 4u);
+  EXPECT_TRUE(instances[0].ContainsEdge(MakeEdgeKey(0, 2)));
+  EXPECT_TRUE(instances[0].ContainsEdge(MakeEdgeKey(4, 1)));
+}
+
+TEST(EnumerateTest, PentagonExcludesRevisits) {
+  // The 4-walk 0-2-3-2-1 revisits node 2 and must not count; with edge
+  // (2,1) present, the only walks from 0 to 1 of length 4 revisit.
+  Graph g = MakeGraph(4, {{0, 2}, {2, 3}, {2, 1}});
+  EXPECT_EQ(CountTargetSubgraphs(g, E(0, 1), MotifKind::kPentagon), 0u);
+}
+
+TEST(EnumerateTest, NoInstancesOnSparseGraph) {
+  Graph g = graph::MakePath(6);
+  for (MotifKind kind : kAllMotifs) {
+    EXPECT_EQ(CountTargetSubgraphs(g, E(0, 5), kind), 0u);
+  }
+}
+
+TEST(EnumerateTest, TotalSimilaritySumsTargets) {
+  Graph g = graph::MakeComplete(6);
+  ASSERT_TRUE(g.RemoveEdge(0, 1).ok());
+  ASSERT_TRUE(g.RemoveEdge(2, 3).ok());
+  std::vector<Edge> targets = {E(0, 1), E(2, 3)};
+  size_t total = TotalSimilarity(g, targets, MotifKind::kTriangle);
+  size_t manual = CountTargetSubgraphs(g, targets[0], MotifKind::kTriangle) +
+                  CountTargetSubgraphs(g, targets[1], MotifKind::kTriangle);
+  EXPECT_EQ(total, manual);
+}
+
+TEST(TargetSubgraphTest, EdgesSortedAndContainWorks) {
+  TargetSubgraph inst(3, {MakeEdgeKey(9, 4), MakeEdgeKey(1, 2),
+                          MakeEdgeKey(7, 8), MakeEdgeKey(0, 5)});
+  EXPECT_EQ(inst.num_edges, 4u);
+  EXPECT_TRUE(std::is_sorted(inst.edges.begin(), inst.edges.end()));
+  EXPECT_TRUE(inst.ContainsEdge(MakeEdgeKey(4, 9)));
+  EXPECT_FALSE(inst.ContainsEdge(MakeEdgeKey(0, 1)));
+}
+
+TEST(TargetSubgraphTest, EqualityIsCanonical) {
+  TargetSubgraph a(0, {MakeEdgeKey(1, 2), MakeEdgeKey(3, 4)});
+  TargetSubgraph b(0, {MakeEdgeKey(3, 4), MakeEdgeKey(1, 2)});
+  TargetSubgraph c(1, {MakeEdgeKey(1, 2), MakeEdgeKey(3, 4)});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace tpp::motif

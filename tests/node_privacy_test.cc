@@ -1,0 +1,146 @@
+// Tests for target-node privacy (paper future work item 2), covering the
+// structural finding that FULL node hiding is trivially protected against
+// motif attacks and that PARTIAL hiding is the interesting case.
+
+#include "core/node_privacy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/greedy.h"
+#include "core/indexed_engine.h"
+#include "graph/fixtures.h"
+#include "linkpred/indices.h"
+#include "test_util.h"
+
+namespace tpp::core {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using graph::NodeId;
+using ::tpp::testing::MakeGraph;
+
+TEST(NodeInstanceTest, TargetsAreAllIncidentLinks) {
+  Graph g = graph::MakeKarateClub();
+  auto inst = MakeNodeInstance(g, 0, motif::MotifKind::kTriangle);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_EQ(inst->targets.size(), g.Degree(0));
+  // The node is fully isolated in the released graph.
+  EXPECT_EQ(inst->released.Degree(0), 0u);
+  for (const Edge& t : inst->targets) {
+    EXPECT_TRUE(t.u == 0 || t.v == 0);
+  }
+}
+
+TEST(NodeInstanceTest, RejectsBadNodes) {
+  Graph g = MakeGraph(3, {{0, 1}});
+  EXPECT_FALSE(MakeNodeInstance(g, 7, motif::MotifKind::kTriangle).ok());
+  // Node 2 is isolated.
+  auto r = MakeNodeInstance(g, 2, motif::MotifKind::kTriangle);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NodeInstanceTest, FullIsolationIsTriviallyProtected) {
+  // Every motif instance for a hidden link (0,v) contains another edge at
+  // node 0; hiding ALL incident links removes them all, so the motif
+  // attack surface is empty without any protector deletions.
+  Graph g = graph::MakeKarateClub();
+  for (motif::MotifKind kind : motif::kAllMotifs) {
+    auto inst = *MakeNodeInstance(g, 0, kind);
+    IndexedEngine engine = *IndexedEngine::Create(inst);
+    EXPECT_EQ(engine.TotalSimilarity(), 0u)
+        << motif::MotifName(kind);
+  }
+}
+
+TEST(PartialNodeInstanceTest, HidesOnlyListedLinks) {
+  Graph g = graph::MakeKarateClub();
+  std::vector<NodeId> sensitive = {8, 13, 19};
+  auto inst =
+      *MakePartialNodeInstance(g, 0, sensitive, motif::MotifKind::kTriangle);
+  EXPECT_EQ(inst.targets.size(), 3u);
+  EXPECT_EQ(inst.released.Degree(0), g.Degree(0) - 3);
+  for (NodeId v : sensitive) {
+    EXPECT_FALSE(inst.released.HasEdge(0, v));
+  }
+}
+
+TEST(PartialNodeInstanceTest, RejectsBadInput) {
+  Graph g = graph::MakeKarateClub();
+  EXPECT_FALSE(
+      MakePartialNodeInstance(g, 0, {}, motif::MotifKind::kTriangle).ok());
+  // Node 14 is not a neighbor of node 0.
+  EXPECT_FALSE(
+      MakePartialNodeInstance(g, 0, {14}, motif::MotifKind::kTriangle).ok());
+  EXPECT_FALSE(
+      MakePartialNodeInstance(g, 99, {1}, motif::MotifKind::kTriangle).ok());
+}
+
+TEST(NodeExposureTest, PartialHidingLeavesExposure) {
+  // With public links remaining at node 0, triangles through them expose
+  // the hidden links.
+  Graph g = graph::MakeKarateClub();
+  std::vector<NodeId> sensitive = {1, 2, 3};  // well-embedded friendships
+  auto inst =
+      *MakePartialNodeInstance(g, 0, sensitive, motif::MotifKind::kTriangle);
+  auto exposure = *MeasureNodeExposure(inst.released, inst.targets,
+                                       motif::MotifKind::kTriangle);
+  EXPECT_EQ(exposure.hidden_links, 3u);
+  EXPECT_GT(exposure.alive_subgraphs, 0u);
+  EXPECT_GT(exposure.exposed_links, 0u);
+  EXPECT_LT(exposure.protected_fraction(), 1.0);
+}
+
+TEST(NodeExposureTest, ProtectionZeroesPartialExposure) {
+  Graph g = graph::MakeKarateClub();
+  std::vector<NodeId> sensitive = {1, 2, 3};
+  auto inst =
+      *MakePartialNodeInstance(g, 0, sensitive, motif::MotifKind::kTriangle);
+  IndexedEngine engine = *IndexedEngine::Create(inst);
+  auto result = *FullProtection(engine);
+  ASSERT_EQ(result.final_similarity, 0u);
+  auto exposure = *MeasureNodeExposure(engine.CurrentGraph(), inst.targets,
+                                       motif::MotifKind::kTriangle);
+  EXPECT_EQ(exposure.alive_subgraphs, 0u);
+  EXPECT_DOUBLE_EQ(exposure.protected_fraction(), 1.0);
+  // The hidden links are invisible to the common-neighbor attacker too.
+  for (const Edge& t : inst.targets) {
+    EXPECT_DOUBLE_EQ(
+        linkpred::Score(engine.CurrentGraph(), t.u, t.v,
+                        linkpred::IndexKind::kCommonNeighbors),
+        0.0);
+  }
+}
+
+TEST(NodeExposureTest, PublicLinksAreNotMeasured) {
+  Graph g = graph::MakeKarateClub();
+  std::vector<NodeId> sensitive = {8};
+  auto inst =
+      *MakePartialNodeInstance(g, 0, sensitive, motif::MotifKind::kTriangle);
+  auto exposure = *MeasureNodeExposure(inst.released, inst.targets,
+                                       motif::MotifKind::kTriangle);
+  EXPECT_EQ(exposure.hidden_links, 1u);  // only (0,8), not the public rest
+}
+
+TEST(NodeExposureTest, RejectsPresentHiddenLink) {
+  Graph g = graph::MakeKarateClub();
+  auto r = MeasureNodeExposure(g, {Edge(0, 1)},
+                               motif::MotifKind::kTriangle);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(MeasureNodeExposure(g, {Edge(0, 999)},
+                                   motif::MotifKind::kTriangle)
+                   .ok());
+}
+
+TEST(NodeExposureTest, EmptyHiddenSetTriviallyProtected) {
+  Graph g = MakeGraph(4, {{1, 2}});
+  NodeExposure exposure =
+      *MeasureNodeExposure(g, {}, motif::MotifKind::kTriangle);
+  EXPECT_EQ(exposure.hidden_links, 0u);
+  EXPECT_DOUBLE_EQ(exposure.protected_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace tpp::core

@@ -1,0 +1,69 @@
+// Tests for TPP instance construction and target sampling.
+
+#include "core/problem.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/fixtures.h"
+#include "test_util.h"
+
+namespace tpp::core {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using ::tpp::testing::E;
+using ::tpp::testing::MakeGraph;
+
+TEST(MakeInstanceTest, RemovesTargets) {
+  Graph g = graph::MakeComplete(5);
+  auto inst = MakeInstance(g, {E(0, 1), E(2, 3)}, motif::MotifKind::kTriangle);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_EQ(inst->released.NumEdges(), g.NumEdges() - 2);
+  EXPECT_FALSE(inst->released.HasEdge(0, 1));
+  EXPECT_FALSE(inst->released.HasEdge(2, 3));
+  EXPECT_EQ(inst->targets.size(), 2u);
+  // The input graph is untouched.
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(MakeInstanceTest, RejectsNonEdgesAndDuplicates) {
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}});
+  EXPECT_FALSE(MakeInstance(g, {E(0, 3)}, motif::MotifKind::kTriangle).ok());
+  EXPECT_FALSE(
+      MakeInstance(g, {E(0, 1), E(1, 0)}, motif::MotifKind::kTriangle).ok());
+}
+
+TEST(SampleTargetsTest, DistinctExistingEdges) {
+  Graph g = graph::MakeKarateClub();
+  Rng rng(5);
+  auto targets = SampleTargets(g, 20, rng);
+  ASSERT_TRUE(targets.ok());
+  EXPECT_EQ(targets->size(), 20u);
+  std::set<graph::EdgeKey> keys;
+  for (const Edge& t : *targets) {
+    EXPECT_TRUE(g.HasEdge(t.u, t.v));
+    keys.insert(t.Key());
+  }
+  EXPECT_EQ(keys.size(), 20u);
+}
+
+TEST(SampleTargetsTest, RejectsOversample) {
+  Graph g = MakeGraph(3, {{0, 1}});
+  Rng rng(1);
+  EXPECT_FALSE(SampleTargets(g, 2, rng).ok());
+}
+
+TEST(SampleTargetsTest, DeterministicGivenSeed) {
+  Graph g = graph::MakeKarateClub();
+  Rng a(77), b(77);
+  auto ta = *SampleTargets(g, 10, a);
+  auto tb = *SampleTargets(g, 10, b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) EXPECT_EQ(ta[i], tb[i]);
+}
+
+}  // namespace
+}  // namespace tpp::core

@@ -1,0 +1,78 @@
+// Tests for node relabeling.
+
+#include "graph/relabel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/fixtures.h"
+#include "metrics/clustering.h"
+#include "metrics/degree_distribution.h"
+#include "test_util.h"
+
+namespace tpp::graph {
+namespace {
+
+using ::tpp::testing::MakeGraph;
+
+TEST(RelabelTest, ExplicitPermutation) {
+  Graph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  auto out = *RelabelNodes(g, {2, 0, 1});
+  EXPECT_EQ(out.graph.NumEdges(), 2u);
+  EXPECT_TRUE(out.graph.HasEdge(2, 0));  // (0,1) -> (2,0)
+  EXPECT_TRUE(out.graph.HasEdge(0, 1));  // (1,2) -> (0,1)
+  EXPECT_FALSE(out.graph.HasEdge(2, 1));
+}
+
+TEST(RelabelTest, RejectsNonPermutations) {
+  Graph g = MakeGraph(3, {{0, 1}});
+  EXPECT_FALSE(RelabelNodes(g, {0, 1}).ok());        // wrong size
+  EXPECT_FALSE(RelabelNodes(g, {0, 1, 1}).ok());     // duplicate
+  EXPECT_FALSE(RelabelNodes(g, {0, 1, 3}).ok());     // out of range
+}
+
+TEST(RelabelTest, IdentityPermutationIsNoOp) {
+  Graph g = MakeKarateClub();
+  auto out = *RelabelNodes(g, [&] {
+    std::vector<NodeId> id(g.NumNodes());
+    for (NodeId v = 0; v < g.NumNodes(); ++v) id[v] = v;
+    return id;
+  }());
+  EXPECT_TRUE(out.graph == g);
+}
+
+TEST(RelabelTest, RandomRelabelPreservesStructure) {
+  Graph g = MakeKarateClub();
+  Rng rng(7);
+  RelabeledGraph out = RandomRelabel(g, rng);
+  EXPECT_EQ(out.graph.NumNodes(), g.NumNodes());
+  EXPECT_EQ(out.graph.NumEdges(), g.NumEdges());
+  // Isomorphism through the known mapping: every original edge maps to a
+  // released edge and degrees transfer exactly.
+  for (const Edge& e : g.Edges()) {
+    Edge mapped = MapEdge(out, e);
+    EXPECT_TRUE(out.graph.HasEdge(mapped.u, mapped.v));
+  }
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_EQ(out.graph.Degree(out.new_id[v]), g.Degree(v));
+  }
+  // Structure-level invariants survive.
+  EXPECT_NEAR(metrics::AverageClustering(out.graph),
+              metrics::AverageClustering(g), 1e-12);
+  EXPECT_DOUBLE_EQ(*metrics::DegreeDistributionDistance(g, out.graph), 0.0);
+}
+
+TEST(RelabelTest, RandomRelabelActuallyShuffles) {
+  Graph g = MakeKarateClub();
+  Rng rng(7);
+  RelabeledGraph out = RandomRelabel(g, rng);
+  size_t moved = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (out.new_id[v] != v) ++moved;
+  }
+  EXPECT_GT(moved, g.NumNodes() / 2);
+}
+
+}  // namespace
+}  // namespace tpp::graph

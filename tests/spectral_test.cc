@@ -1,0 +1,148 @@
+// Tests for the dense Jacobi eigensolver and the Lanczos Laplacian solver.
+
+#include "metrics/spectral.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "graph/fixtures.h"
+#include "graph/generators.h"
+
+namespace tpp::metrics {
+namespace {
+
+using graph::Graph;
+
+TEST(DenseEigenTest, TwoByTwoKnownValues) {
+  // [[2,1],[1,2]] has eigenvalues {3, 1}.
+  auto eig = *DenseSymmetricEigenvalues({2, 1, 1, 2}, 2);
+  ASSERT_EQ(eig.size(), 2u);
+  EXPECT_NEAR(eig[0], 3.0, 1e-9);
+  EXPECT_NEAR(eig[1], 1.0, 1e-9);
+}
+
+TEST(DenseEigenTest, DiagonalMatrix) {
+  auto eig = *DenseSymmetricEigenvalues({5, 0, 0, 0, -2, 0, 0, 0, 1}, 3);
+  ASSERT_EQ(eig.size(), 3u);
+  EXPECT_NEAR(eig[0], 5.0, 1e-9);
+  EXPECT_NEAR(eig[1], 1.0, 1e-9);
+  EXPECT_NEAR(eig[2], -2.0, 1e-9);
+}
+
+TEST(DenseEigenTest, RejectsBadInput) {
+  EXPECT_FALSE(DenseSymmetricEigenvalues({1, 2, 3}, 2).ok());  // wrong size
+  EXPECT_FALSE(
+      DenseSymmetricEigenvalues({1, 2, 3, 4}, 2).ok());  // asymmetric
+}
+
+TEST(DenseEigenTest, TraceAndEigenSumAgree) {
+  Rng rng(5);
+  const size_t n = 8;
+  std::vector<double> m(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double v = rng.UniformReal() * 2 - 1;
+      m[i * n + j] = v;
+      m[j * n + i] = v;
+    }
+  }
+  double trace = 0;
+  for (size_t i = 0; i < n; ++i) trace += m[i * n + i];
+  auto eig = *DenseSymmetricEigenvalues(m, n);
+  double sum = 0;
+  for (double e : eig) sum += e;
+  EXPECT_NEAR(sum, trace, 1e-8);
+}
+
+TEST(LaplacianTest, DenseLaplacianRowsSumToZero) {
+  Graph g = graph::MakeKarateClub();
+  auto lap = DenseLaplacian(g);
+  const size_t n = g.NumNodes();
+  for (size_t i = 0; i < n; ++i) {
+    double row = 0;
+    for (size_t j = 0; j < n; ++j) row += lap[i * n + j];
+    EXPECT_NEAR(row, 0.0, 1e-12);
+  }
+}
+
+TEST(LanczosTest, CompleteGraphSpectrum) {
+  // L(K_n) eigenvalues: n with multiplicity n-1, and 0.
+  const size_t n = 10;
+  Graph g = graph::MakeComplete(n);
+  auto top = *TopLaplacianEigenvalues(g, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_NEAR(top[0], static_cast<double>(n), 1e-6);
+  EXPECT_NEAR(top[1], static_cast<double>(n), 1e-6);
+  EXPECT_NEAR(*SecondLargestLaplacianEigenvalue(g), static_cast<double>(n),
+              1e-6);
+}
+
+TEST(LanczosTest, StarSpectrum) {
+  // L(star with L leaves): {L+1, 1 (x L-1), 0} -> second largest is 1.
+  Graph g = graph::MakeStar(9);  // 8 leaves
+  auto top = *TopLaplacianEigenvalues(g, 2);
+  EXPECT_NEAR(top[0], 9.0, 1e-6);
+  EXPECT_NEAR(top[1], 1.0, 1e-6);
+}
+
+TEST(LanczosTest, CycleSpectrum) {
+  // L(C_6) eigenvalues: 2 - 2cos(2 pi k / 6) = {0,1,1,3,3,4}.
+  Graph g = graph::MakeCycle(6);
+  auto top = *TopLaplacianEigenvalues(g, 3);
+  EXPECT_NEAR(top[0], 4.0, 1e-6);
+  EXPECT_NEAR(top[1], 3.0, 1e-6);
+  EXPECT_NEAR(top[2], 3.0, 1e-6);
+}
+
+TEST(LanczosTest, PathSpectrum) {
+  // L(P_4) eigenvalues: 4 sin^2(k pi / 8), k=0..3.
+  Graph g = graph::MakePath(4);
+  auto top = *TopLaplacianEigenvalues(g, 2);
+  auto lam = [](int k) {
+    double s = std::sin(k * M_PI / 8.0);
+    return 4.0 * s * s;
+  };
+  EXPECT_NEAR(top[0], lam(3), 1e-6);
+  EXPECT_NEAR(top[1], lam(2), 1e-6);
+}
+
+TEST(LanczosTest, AgreesWithDenseSolverOnRandomGraphs) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    Graph g = *graph::ErdosRenyiGnp(24, 0.25, rng);
+    if (g.NumEdges() == 0) continue;
+    auto dense = *DenseSymmetricEigenvalues(DenseLaplacian(g), g.NumNodes());
+    auto lanczos = *TopLaplacianEigenvalues(g, 3);
+    ASSERT_GE(lanczos.size(), 3u);
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_NEAR(lanczos[i], dense[i], 1e-6) << "eigenvalue " << i;
+    }
+  }
+}
+
+TEST(LanczosTest, DeterministicGivenSeed) {
+  Rng rng(11);
+  Graph g = *graph::BarabasiAlbert(60, 3, rng);
+  auto a = *TopLaplacianEigenvalues(g, 2);
+  auto b = *TopLaplacianEigenvalues(g, 2);
+  EXPECT_DOUBLE_EQ(a[0], b[0]);
+  EXPECT_DOUBLE_EQ(a[1], b[1]);
+}
+
+TEST(LanczosTest, ErrorsOnEmptyAndTiny) {
+  EXPECT_FALSE(TopLaplacianEigenvalues(Graph(0), 2).ok());
+  EXPECT_FALSE(SecondLargestLaplacianEigenvalue(Graph(1)).ok());
+  EXPECT_TRUE(TopLaplacianEigenvalues(Graph(3), 0)->empty());
+}
+
+TEST(LanczosTest, KarateSecondEigenvalueStable) {
+  // Cross-check Lanczos against the dense solver on the karate club.
+  Graph g = graph::MakeKarateClub();
+  auto dense = *DenseSymmetricEigenvalues(DenseLaplacian(g), g.NumNodes());
+  EXPECT_NEAR(*SecondLargestLaplacianEigenvalue(g), dense[1], 1e-6);
+}
+
+}  // namespace
+}  // namespace tpp::metrics

@@ -1,0 +1,74 @@
+// Tests for induced-subgraph and ego-network extraction.
+
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/fixtures.h"
+#include "test_util.h"
+
+namespace tpp::graph {
+namespace {
+
+using ::tpp::testing::MakeGraph;
+
+TEST(InducedSubgraphTest, KeepsInternalEdgesOnly) {
+  // Triangle 0-1-2 plus pendant 3: induce on {0, 1, 3}.
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+  auto sub = *ExtractInducedSubgraph(g, {0, 1, 3});
+  EXPECT_EQ(sub.graph.NumNodes(), 3u);
+  EXPECT_EQ(sub.graph.NumEdges(), 1u);  // only (0,1) is internal
+  EXPECT_TRUE(sub.graph.HasEdge(0, 1));
+  EXPECT_EQ(sub.to_original[0], 0u);
+  EXPECT_EQ(sub.to_original[1], 1u);
+  EXPECT_EQ(sub.to_original[2], 3u);
+}
+
+TEST(InducedSubgraphTest, DeduplicatesAndValidates) {
+  Graph g = MakeGraph(3, {{0, 1}});
+  auto sub = *ExtractInducedSubgraph(g, {1, 1, 0});
+  EXPECT_EQ(sub.graph.NumNodes(), 2u);
+  EXPECT_EQ(sub.to_original[0], 1u);  // first-appearance order
+  EXPECT_FALSE(ExtractInducedSubgraph(g, {0, 9}).ok());
+}
+
+TEST(InducedSubgraphTest, FullNodeSetIsIsomorphicCopy) {
+  Graph g = MakeKarateClub();
+  std::vector<NodeId> all(g.NumNodes());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) all[v] = v;
+  auto sub = *ExtractInducedSubgraph(g, all);
+  EXPECT_TRUE(sub.graph == g);
+}
+
+TEST(KHopTest, GrowsWithRadius) {
+  Graph g = MakePath(7);  // 0-1-2-3-4-5-6
+  EXPECT_EQ(KHopNeighborhood(g, 3, 0), (std::vector<NodeId>{3}));
+  EXPECT_EQ(KHopNeighborhood(g, 3, 1), (std::vector<NodeId>{2, 3, 4}));
+  EXPECT_EQ(KHopNeighborhood(g, 3, 2),
+            (std::vector<NodeId>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(KHopNeighborhood(g, 3, 99).size(), 7u);
+  EXPECT_TRUE(KHopNeighborhood(g, 99, 1).empty());
+}
+
+TEST(KHopTest, RespectsComponents) {
+  Graph g = MakeGraph(5, {{0, 1}, {2, 3}});
+  auto ball = KHopNeighborhood(g, 0, 10);
+  EXPECT_EQ(ball, (std::vector<NodeId>{0, 1}));
+}
+
+TEST(EgoNetworkTest, OneHopEgoOfKarateHub) {
+  Graph g = MakeKarateClub();
+  auto ego = *ExtractEgoNetwork(g, 33, 1);
+  // Node 33 has degree 17: ego net is itself + 17 neighbors.
+  EXPECT_EQ(ego.graph.NumNodes(), 18u);
+  // The center must be connected to every other ego node.
+  NodeId center_new = 0;
+  for (NodeId v = 0; v < ego.to_original.size(); ++v) {
+    if (ego.to_original[v] == 33u) center_new = v;
+  }
+  EXPECT_EQ(ego.graph.Degree(center_new), 17u);
+  EXPECT_FALSE(ExtractEgoNetwork(g, 99, 1).ok());
+}
+
+}  // namespace
+}  // namespace tpp::graph

@@ -1,0 +1,64 @@
+// Tests for the graph summary statistics.
+
+#include "metrics/summary.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/fixtures.h"
+#include "test_util.h"
+
+namespace tpp::metrics {
+namespace {
+
+using graph::Graph;
+using ::tpp::testing::MakeGraph;
+
+TEST(SummaryTest, KarateClubProfile) {
+  GraphSummary s = SummarizeGraph(graph::MakeKarateClub());
+  EXPECT_EQ(s.num_nodes, 34u);
+  EXPECT_EQ(s.num_edges, 78u);
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_EQ(s.max_degree, 17u);
+  EXPECT_NEAR(s.avg_degree, 2.0 * 78 / 34, 1e-12);
+  EXPECT_EQ(s.num_components, 1u);
+  EXPECT_EQ(s.largest_component, 34u);
+  EXPECT_EQ(s.num_isolated, 0u);
+  EXPECT_NEAR(s.avg_clustering, 0.5706, 1e-3);
+  EXPECT_EQ(s.degeneracy, 4u);
+}
+
+TEST(SummaryTest, EmptyAndIsolated) {
+  GraphSummary empty = SummarizeGraph(Graph(0));
+  EXPECT_EQ(empty.num_nodes, 0u);
+  GraphSummary iso = SummarizeGraph(Graph(5));
+  EXPECT_EQ(iso.num_isolated, 5u);
+  EXPECT_EQ(iso.num_components, 5u);
+  EXPECT_DOUBLE_EQ(iso.density, 0.0);
+}
+
+TEST(SummaryTest, DensityOfComplete) {
+  GraphSummary s = SummarizeGraph(graph::MakeComplete(6));
+  EXPECT_DOUBLE_EQ(s.density, 1.0);
+}
+
+TEST(DegreeHistogramTest, CountsPerDegree) {
+  // Star with 4 leaves: one node of degree 4, four of degree 1.
+  auto hist = DegreeHistogram(graph::MakeStar(5));
+  ASSERT_EQ(hist.size(), 5u);
+  EXPECT_EQ(hist[0], 0u);
+  EXPECT_EQ(hist[1], 4u);
+  EXPECT_EQ(hist[4], 1u);
+  size_t total = 0;
+  for (size_t c : hist) total += c;
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(SummaryTest, ToStringMentionsFields) {
+  std::string s = SummaryToString(SummarizeGraph(graph::MakeKarateClub()));
+  EXPECT_NE(s.find("nodes:             34"), std::string::npos);
+  EXPECT_NE(s.find("edges:             78"), std::string::npos);
+  EXPECT_NE(s.find("degeneracy:        4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tpp::metrics

@@ -1,0 +1,37 @@
+// Shared helpers for the tpp test suite.
+
+#ifndef TPP_TESTS_TEST_UTIL_H_
+#define TPP_TESTS_TEST_UTIL_H_
+
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "graph/graph.h"
+
+namespace tpp::testing {
+
+/// Builds a graph from an initializer list of node pairs; aborts on
+/// invalid input (tests supply literals).
+inline graph::Graph MakeGraph(size_t n,
+                              std::initializer_list<std::pair<int, int>>
+                                  edges) {
+  graph::Graph g(n);
+  for (auto [u, v] : edges) {
+    Status s = g.AddEdge(static_cast<graph::NodeId>(u),
+                         static_cast<graph::NodeId>(v));
+    TPP_CHECK(s.ok());
+  }
+  return g;
+}
+
+/// Edge literal shorthand.
+inline graph::Edge E(int u, int v) {
+  return graph::Edge(static_cast<graph::NodeId>(u),
+                     static_cast<graph::NodeId>(v));
+}
+
+}  // namespace tpp::testing
+
+#endif  // TPP_TESTS_TEST_UTIL_H_

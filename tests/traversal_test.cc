@@ -1,0 +1,74 @@
+// Unit tests for BFS traversal and connected components.
+
+#include "graph/traversal.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/fixtures.h"
+#include "test_util.h"
+
+namespace tpp::graph {
+namespace {
+
+using ::tpp::testing::MakeGraph;
+
+TEST(BfsTest, DistancesOnPath) {
+  Graph g = MakePath(5);
+  auto dist = BfsDistances(g, 0);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(dist[i], i);
+  auto dist2 = BfsDistances(g, 2);
+  EXPECT_EQ(dist2[0], 2);
+  EXPECT_EQ(dist2[4], 2);
+}
+
+TEST(BfsTest, UnreachableMarked) {
+  Graph g = MakeGraph(4, {{0, 1}});
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(BfsTest, OutOfRangeSourceAllUnreachable) {
+  Graph g = MakeGraph(2, {{0, 1}});
+  auto dist = BfsDistances(g, 7);
+  EXPECT_EQ(dist[0], kUnreachable);
+  EXPECT_EQ(dist[1], kUnreachable);
+}
+
+TEST(ComponentsTest, SingleComponent) {
+  Graph g = MakeCycle(6);
+  Components c = ConnectedComponents(g);
+  EXPECT_EQ(c.num_components, 1u);
+  EXPECT_EQ(c.sizes[0], 6u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(ComponentsTest, MultipleComponentsAndIsolates) {
+  Graph g = MakeGraph(6, {{0, 1}, {2, 3}});
+  Components c = ConnectedComponents(g);
+  EXPECT_EQ(c.num_components, 4u);  // {0,1}, {2,3}, {4}, {5}
+  EXPECT_FALSE(IsConnected(g));
+}
+
+TEST(ComponentsTest, LargestComponent) {
+  Graph g = MakeGraph(7, {{0, 1}, {1, 2}, {3, 4}});
+  std::vector<NodeId> lc = LargestComponent(g);
+  ASSERT_EQ(lc.size(), 3u);
+  EXPECT_EQ(lc[0], 0u);
+  EXPECT_EQ(lc[1], 1u);
+  EXPECT_EQ(lc[2], 2u);
+}
+
+TEST(ComponentsTest, EmptyGraphNotConnected) {
+  Graph g(0);
+  EXPECT_FALSE(IsConnected(g));
+  EXPECT_TRUE(LargestComponent(g).empty());
+}
+
+TEST(ComponentsTest, KarateClubIsConnected) {
+  EXPECT_TRUE(IsConnected(MakeKarateClub()));
+}
+
+}  // namespace
+}  // namespace tpp::graph

@@ -1,0 +1,122 @@
+// Tests for the utility-metric bundle and the utility-loss ratio.
+
+#include "metrics/utility.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/fixtures.h"
+#include "test_util.h"
+
+namespace tpp::metrics {
+namespace {
+
+using graph::Graph;
+using ::tpp::testing::MakeGraph;
+
+TEST(UtilityMetricsTest, AllMetricsPresentOnKarate) {
+  UtilityMetrics m = ComputeUtilityMetrics(graph::MakeKarateClub());
+  EXPECT_TRUE(m.apl.has_value());
+  EXPECT_TRUE(m.clustering.has_value());
+  EXPECT_TRUE(m.assortativity.has_value());
+  EXPECT_TRUE(m.avg_core.has_value());
+  EXPECT_TRUE(m.mu.has_value());
+  EXPECT_TRUE(m.modularity.has_value());
+  EXPECT_NEAR(*m.apl, 2.4082, 1e-3);
+  EXPECT_NEAR(*m.clustering, 0.5706, 1e-3);
+}
+
+TEST(UtilityMetricsTest, DisabledMetricsAreNullopt) {
+  UtilityOptions opts;
+  opts.apl = false;
+  opts.mu = false;
+  opts.modularity = false;
+  UtilityMetrics m = ComputeUtilityMetrics(graph::MakeKarateClub(), opts);
+  EXPECT_FALSE(m.apl.has_value());
+  EXPECT_FALSE(m.mu.has_value());
+  EXPECT_FALSE(m.modularity.has_value());
+  EXPECT_TRUE(m.clustering.has_value());
+}
+
+TEST(UtilityMetricsTest, UncomputableMetricsDegradeGracefully) {
+  // Regular graph: assortativity undefined, everything else fine.
+  UtilityMetrics m = ComputeUtilityMetrics(graph::MakeCycle(8));
+  EXPECT_FALSE(m.assortativity.has_value());
+  EXPECT_TRUE(m.clustering.has_value());
+  EXPECT_TRUE(m.avg_core.has_value());
+}
+
+TEST(UtilityLossTest, IdenticalGraphsZeroLoss) {
+  UtilityMetrics m = ComputeUtilityMetrics(graph::MakeKarateClub());
+  UtilityLoss loss = UtilityLossRatio(m, m);
+  EXPECT_EQ(loss.per_metric.size(), 6u);
+  EXPECT_DOUBLE_EQ(loss.average, 0.0);
+  for (const auto& [name, v] : loss.per_metric) {
+    EXPECT_DOUBLE_EQ(v, 0.0) << name;
+  }
+}
+
+TEST(UtilityLossTest, PerturbationShowsPositiveLoss) {
+  Graph g = graph::MakeKarateClub();
+  UtilityMetrics before = ComputeUtilityMetrics(g);
+  Graph h = g;
+  // Remove a batch of edges.
+  auto edges = h.Edges();
+  for (size_t i = 0; i < 15; ++i) {
+    ASSERT_TRUE(h.RemoveEdge(edges[i * 5].u, edges[i * 5].v).ok());
+  }
+  UtilityMetrics after = ComputeUtilityMetrics(h);
+  UtilityLoss loss = UtilityLossRatio(before, after);
+  EXPECT_GT(loss.average, 0.0);
+}
+
+TEST(UtilityLossTest, MissingMetricsAreSkipped) {
+  UtilityMetrics a, b;
+  a.clustering = 0.5;
+  b.clustering = 0.4;
+  a.apl = 2.0;  // missing in b
+  UtilityLoss loss = UtilityLossRatio(a, b);
+  ASSERT_EQ(loss.per_metric.size(), 1u);
+  EXPECT_EQ(loss.per_metric[0].first, "clust");
+  EXPECT_NEAR(loss.per_metric[0].second, 0.2, 1e-12);
+  EXPECT_NEAR(loss.average, 0.2, 1e-12);
+}
+
+TEST(UtilityLossTest, ZeroBaselineHandling) {
+  UtilityMetrics a, b;
+  a.clustering = 0.0;
+  b.clustering = 0.0;
+  a.apl = 0.0;
+  b.apl = 1.0;
+  UtilityLoss loss = UtilityLossRatio(a, b);
+  // clust: 0 -> 0 is reported as 0 loss; apl: 0 -> 1 is skipped
+  // (cannot normalize).
+  ASSERT_EQ(loss.per_metric.size(), 1u);
+  EXPECT_EQ(loss.per_metric[0].first, "clust");
+  EXPECT_DOUBLE_EQ(loss.per_metric[0].second, 0.0);
+}
+
+TEST(UtilityLossTest, NegativeMetricsUseAbsoluteNormalization) {
+  UtilityMetrics a, b;
+  a.assortativity = -0.5;
+  b.assortativity = -0.4;
+  UtilityLoss loss = UtilityLossRatio(a, b);
+  ASSERT_EQ(loss.per_metric.size(), 1u);
+  EXPECT_NEAR(loss.per_metric[0].second, 0.2, 1e-12);
+}
+
+TEST(UtilityLossTest, EmptyBundlesYieldZeroAverage) {
+  UtilityLoss loss = UtilityLossRatio(UtilityMetrics{}, UtilityMetrics{});
+  EXPECT_TRUE(loss.per_metric.empty());
+  EXPECT_DOUBLE_EQ(loss.average, 0.0);
+}
+
+TEST(UtilityMetricsTest, SampledAplOnLargerGraph) {
+  UtilityOptions opts;
+  opts.apl_sample_sources = 8;
+  UtilityMetrics m = ComputeUtilityMetrics(graph::MakeKarateClub(), opts);
+  ASSERT_TRUE(m.apl.has_value());
+  EXPECT_NEAR(*m.apl, 2.4082, 0.4);
+}
+
+}  // namespace
+}  // namespace tpp::metrics

@@ -1,0 +1,202 @@
+// tpp — command-line interface to the TPP library.
+//
+// Subcommands:
+//   tpp protect --graph=G.edges --targets=k|--plan-targets=... [options]
+//       Samples or reads targets, runs a protection algorithm, writes the
+//       deletion plan and (optionally) the released graph.
+//   tpp attack  --graph=G.edges --plan=P.plan
+//       Mounts all similarity-index attacks against the hidden targets of
+//       a plan applied to a graph.
+//   tpp stats   --graph=G.edges
+//       Prints the graph summary profile.
+//
+// Examples:
+//   tpp protect --graph=social.edges --targets=20 --motif=Rectangle
+//       --algorithm=sgb --budget=50 --plan-out=social.plan
+//       --release-out=social.released.edges    (one line)
+//   tpp attack --graph=social.edges --plan=social.plan
+//   tpp stats --graph=social.released.edges
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/tpp.h"
+#include "graph/io.h"
+#include "graph/relabel.h"
+#include "linkpred/attack.h"
+#include "metrics/summary.h"
+#include "metrics/utility.h"
+
+namespace tpp {
+namespace {
+
+using core::IndexedEngine;
+using core::ProtectionResult;
+using core::TppInstance;
+using graph::Edge;
+using graph::Graph;
+
+int Usage() {
+  std::fprintf(stderr, "usage: tpp <protect|attack|stats> [--flags]\n"
+                       "see the header of tools/tpp_cli.cc for examples\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<Graph> LoadGraphFlag(const ParsedArgs& args) {
+  std::string path = args.GetString("graph", "");
+  if (path.empty()) return Status::InvalidArgument("--graph is required");
+  return graph::LoadEdgeList(path);
+}
+
+int RunProtect(const ParsedArgs& args) {
+  Result<Graph> g = LoadGraphFlag(args);
+  if (!g.ok()) return Fail(g.status());
+
+  Result<motif::MotifKind> motif_kind =
+      motif::ParseMotifKind(args.GetString("motif", "Triangle"));
+  if (!motif_kind.ok()) return Fail(motif_kind.status());
+
+  Result<int64_t> num_targets = args.GetInt("targets", 10);
+  Result<int64_t> seed = args.GetInt("seed", 1);
+  Result<int64_t> budget_flag = args.GetInt("budget", 0);
+  if (!num_targets.ok()) return Fail(num_targets.status());
+  if (!seed.ok()) return Fail(seed.status());
+  if (!budget_flag.ok()) return Fail(budget_flag.status());
+
+  Rng rng(static_cast<uint64_t>(*seed));
+  Result<std::vector<Edge>> targets =
+      core::SampleTargets(*g, static_cast<size_t>(*num_targets), rng);
+  if (!targets.ok()) return Fail(targets.status());
+
+  Result<TppInstance> instance = core::MakeInstance(*g, *targets,
+                                                    *motif_kind);
+  if (!instance.ok()) return Fail(instance.status());
+  Result<IndexedEngine> engine = IndexedEngine::Create(*instance);
+  if (!engine.ok()) return Fail(engine.status());
+
+  std::string algorithm = args.GetString("algorithm", "sgb");
+  core::GreedyOptions opts;
+  opts.scope = core::CandidateScope::kTargetSubgraphEdges;
+  size_t budget = *budget_flag > 0
+                      ? static_cast<size_t>(*budget_flag)
+                      : engine->TotalSimilarity();  // full protection
+  Result<ProtectionResult> result = Status::InvalidArgument(
+      "unknown --algorithm (want sgb|ct-tbd|ct-dbd|wt-tbd|wt-dbd|rd|rdt)");
+  if (algorithm == "sgb") {
+    result = core::SgbGreedy(*engine, budget, opts);
+  } else if (algorithm == "ct-tbd" || algorithm == "wt-tbd") {
+    std::vector<size_t> sims(engine->NumTargets());
+    for (size_t t = 0; t < sims.size(); ++t) {
+      sims[t] = engine->SimilarityOf(t);
+    }
+    std::vector<size_t> budgets = core::DivideBudgetTbd(sims, budget);
+    result = algorithm == "ct-tbd" ? core::CtGreedy(*engine, budgets, opts)
+                                   : core::WtGreedy(*engine, budgets, opts);
+  } else if (algorithm == "ct-dbd" || algorithm == "wt-dbd") {
+    std::vector<size_t> budgets = core::DivideBudgetDbd(*instance, budget);
+    result = algorithm == "ct-dbd" ? core::CtGreedy(*engine, budgets, opts)
+                                   : core::WtGreedy(*engine, budgets, opts);
+  } else if (algorithm == "rd") {
+    result = core::RandomDeletion(*engine, budget, rng);
+  } else if (algorithm == "rdt") {
+    result = core::RandomDeletionFromTargetSubgraphs(*engine, budget, rng);
+  }
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("%s", core::FormatProtectionReport(*instance, *result).c_str());
+
+  std::string plan_out = args.GetString("plan-out", "");
+  if (!plan_out.empty()) {
+    Status s = core::SaveDeletionPlan(*instance, *result, plan_out);
+    if (!s.ok()) return Fail(s);
+    std::printf("plan written to %s\n", plan_out.c_str());
+  }
+  std::string release_out = args.GetString("release-out", "");
+  if (!release_out.empty()) {
+    graph::Graph release = engine->CurrentGraph();
+    if (args.GetBool("relabel")) {
+      release = graph::RandomRelabel(release, rng).graph;
+    }
+    Status s = graph::SaveEdgeList(release, release_out);
+    if (!s.ok()) return Fail(s);
+    std::printf("released graph written to %s%s\n", release_out.c_str(),
+                args.GetBool("relabel") ? " (node ids permuted)" : "");
+  }
+  return 0;
+}
+
+int RunAttack(const ParsedArgs& args) {
+  Result<Graph> g = LoadGraphFlag(args);
+  if (!g.ok()) return Fail(g.status());
+  std::string plan_path = args.GetString("plan", "");
+  if (plan_path.empty()) {
+    return Fail(Status::InvalidArgument("--plan is required"));
+  }
+  Result<core::DeletionPlan> plan = core::LoadDeletionPlan(plan_path);
+  if (!plan.ok()) return Fail(plan.status());
+  Result<Graph> released = core::ApplyDeletionPlan(*g, *plan);
+  if (!released.ok()) return Fail(released.status());
+
+  Result<int64_t> seed = args.GetInt("seed", 1);
+  if (!seed.ok()) return Fail(seed.status());
+  Rng rng(static_cast<uint64_t>(*seed));
+  Result<std::vector<linkpred::AttackReport>> reports =
+      linkpred::EvaluateAllAttacks(*released, plan->targets, rng);
+  if (!reports.ok()) return Fail(reports.status());
+
+  TextTable table;
+  table.SetHeader({"index", "AUC", "precision@|T|", "zeroed targets"});
+  for (const auto& report : *reports) {
+    table.AddRow({std::string(linkpred::IndexName(report.index)),
+                  StrFormat("%.3f", report.auc),
+                  StrFormat("%.3f", report.precision_at_t),
+                  StrFormat("%zu/%zu", report.zero_score_targets,
+                            plan->targets.size())});
+  }
+  std::printf("attack evaluation of %zu hidden targets on %s:\n%s",
+              plan->targets.size(), released->DebugString().c_str(),
+              table.ToString().c_str());
+  return 0;
+}
+
+int RunStats(const ParsedArgs& args) {
+  Result<Graph> g = LoadGraphFlag(args);
+  if (!g.ok()) return Fail(g.status());
+  std::printf("%s",
+              metrics::SummaryToString(metrics::SummarizeGraph(*g)).c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Result<ParsedArgs> args = ParsedArgs::Parse(argc, argv);
+  if (!args.ok()) return Fail(args.status());
+  if (args->positional().empty()) return Usage();
+  const std::string& command = args->positional()[0];
+  int rc;
+  if (command == "protect") {
+    rc = RunProtect(*args);
+  } else if (command == "attack") {
+    rc = RunAttack(*args);
+  } else if (command == "stats") {
+    rc = RunStats(*args);
+  } else {
+    return Usage();
+  }
+  for (const std::string& key : args->UnreadFlags()) {
+    std::fprintf(stderr, "warning: unused flag --%s\n", key.c_str());
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace tpp
+
+int main(int argc, char** argv) { return tpp::Main(argc, argv); }
