@@ -1,5 +1,9 @@
 #include "common/flags.h"
 
+#include <atomic>
+#include <thread>
+
+#include "common/env.h"
 #include "common/strings.h"
 
 namespace tpp {
@@ -71,6 +75,34 @@ bool ParsedArgs::GetBool(const std::string& key, bool fallback) const {
   auto it = flags_.find(key);
   if (it == flags_.end()) return fallback;
   return it->second == "true" || it->second == "1";
+}
+
+namespace {
+
+// 0 = auto (TPP_THREADS env var, then hardware concurrency).
+std::atomic<int> g_thread_count{0};
+
+}  // namespace
+
+int GlobalThreadCount() {
+  int explicit_count = g_thread_count.load(std::memory_order_relaxed);
+  if (explicit_count > 0) return explicit_count;
+  int64_t env = EnvInt("TPP_THREADS", 0);
+  if (env > 0) return static_cast<int>(env);
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void SetGlobalThreadCount(int threads) {
+  g_thread_count.store(threads > 0 ? threads : 0,
+                       std::memory_order_relaxed);
+}
+
+Status ApplyThreadsFlag(const ParsedArgs& args) {
+  if (!args.Has("threads")) return Status::Ok();
+  TPP_ASSIGN_OR_RETURN(int64_t threads, args.GetInt("threads", 0));
+  SetGlobalThreadCount(static_cast<int>(threads));
+  return Status::Ok();
 }
 
 std::vector<std::string> ParsedArgs::UnreadFlags() const {

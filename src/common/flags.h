@@ -47,6 +47,21 @@ class ParsedArgs {
   mutable std::map<std::string, bool> read_;
 };
 
+/// Process-wide worker-thread budget for parallel batch evaluation
+/// (Engine::BatchGain). Resolution order: an explicit
+/// SetGlobalThreadCount(), else the TPP_THREADS environment variable, else
+/// std::thread::hardware_concurrency(). Always returns >= 1.
+int GlobalThreadCount();
+
+/// Installs an explicit global thread count; values <= 0 reset to the
+/// automatic TPP_THREADS / hardware-concurrency resolution.
+void SetGlobalThreadCount(int threads);
+
+/// Standard --threads flag hookup: when `args` carries --threads=N,
+/// installs N via SetGlobalThreadCount (N <= 0 resets to auto). Returns an
+/// error on unparsable values; absent flag leaves the setting untouched.
+Status ApplyThreadsFlag(const ParsedArgs& args);
+
 }  // namespace tpp
 
 #endif  // TPP_COMMON_FLAGS_H_

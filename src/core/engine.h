@@ -4,14 +4,24 @@
 //   * NaiveEngine  (naive_engine.h)   — recounts motifs on the live graph
 //     for every gain query, reproducing the paper's cost model;
 //   * IndexedEngine (indexed_engine.h) — answers from the precomputed
-//     edge->instance incidence index (our scalable engine).
+//     CSR incidence index (our scalable engine): Gain is an O(1) cached
+//     alive-count lookup, GainVector scans the edge's short per-target
+//     count segment, and DeleteEdge pays the index-maintenance cost once
+//     per killed instance (see motif/incidence_index.h for the layout and
+//     the alive-count invariant).
 // Both must return identical values for every query; this is enforced by
 // differential tests.
+//
+// Deletion contract: DeleteEdge on an edge that is absent from the current
+// graph — never present, or already deleted — returns 0 and changes
+// nothing. It must not CHECK-fail; greedy drivers and baselines rely on
+// deletions being safely re-issuable.
 
 #ifndef TPP_CORE_ENGINE_H_
 #define TPP_CORE_ENGINE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -48,6 +58,19 @@ class Engine {
   /// Does not commit the deletion.
   virtual size_t Gain(graph::EdgeKey e) = 0;
 
+  /// Batch form of Gain: out[i] == Gain(edges[i]), evaluated against the
+  /// current graph state (no deletion is committed between elements).
+  /// Counts one gain evaluation per queried edge. The base implementation
+  /// is a serial loop; IndexedEngine overrides it with a std::thread
+  /// partitioned evaluation so first-round full sweeps saturate cores
+  /// (thread budget: --threads / tpp::GlobalThreadCount()).
+  virtual std::vector<size_t> BatchGain(std::span<const graph::EdgeKey> edges) {
+    std::vector<size_t> out;
+    out.reserve(edges.size());
+    for (graph::EdgeKey e : edges) out.push_back(Gain(e));
+    return out;
+  }
+
   /// Gain split into the part benefiting target `t` (own) and everyone
   /// else (cross). own + cross == Gain(e).
   virtual motif::IncidenceIndex::SplitGain GainFor(graph::EdgeKey e,
@@ -60,19 +83,37 @@ class Engine {
   virtual std::vector<size_t> GainVector(graph::EdgeKey e) = 0;
 
   /// Commits the deletion of `e` from the released graph. Returns the
-  /// number of target subgraphs broken (== the gain it realized).
+  /// number of target subgraphs broken (== the gain it realized); returns
+  /// 0 without failing when `e` is absent or already deleted.
   virtual size_t DeleteEdge(graph::EdgeKey e) = 0;
 
   /// Candidate protector edges under `scope`, sorted ascending by key for
   /// deterministic tie-breaking. Already-deleted edges never appear.
   virtual std::vector<graph::EdgeKey> Candidates(CandidateScope scope) = 0;
 
+  /// The whole query side of one eager greedy round: fills `edges` with
+  /// Candidates(scope) and `gains` with the aligned Gain of each. Counts
+  /// one gain evaluation per returned edge, exactly like the historical
+  /// Candidates()+Gain() loop. Base implementation composes Candidates and
+  /// BatchGain; IndexedEngine answers the restricted scope with a single
+  /// hash-free scan of its cached alive-count array.
+  virtual void CandidateGains(CandidateScope scope,
+                              std::vector<graph::EdgeKey>* edges,
+                              std::vector<size_t>* gains) {
+    *edges = Candidates(scope);
+    *gains = BatchGain(*edges);
+  }
+
   /// The current (phase-1 + committed deletions) graph; used by the random
   /// baselines and by utility analysis of the final release.
   virtual const graph::Graph& CurrentGraph() const = 0;
 
-  /// Number of Gain/GainFor evaluations performed so far; the work metric
-  /// reported by the running-time experiments.
+  /// Number of gain evaluations performed so far; the work metric reported
+  /// by the running-time experiments. Each Gain/GainFor/GainVector call
+  /// counts 1, and the batch paths count one per queried edge (BatchGain)
+  /// or per returned edge (CandidateGains), so every greedy round still
+  /// reports |candidates| evaluations exactly as the historical serial
+  /// loops did — the paper's work metric stays comparable across PRs.
   virtual uint64_t GainEvaluations() const = 0;
 };
 

@@ -38,21 +38,27 @@ void FinalizeResult(Engine& engine, const WallTimer& timer,
   result.total_seconds = timer.Seconds();
 }
 
-// Plain SGB iteration: evaluate every candidate, take the best.
+// Plain SGB iteration: evaluate every candidate, take the best. The whole
+// round's query work goes through CandidateGains: IndexedEngine answers
+// the restricted scope with one scan of its alive-count cache, and the
+// full-edge scope falls back to a (possibly threaded) BatchGain sweep.
+// Candidate order is preserved, so the first-max tie-break is identical to
+// the historical serial loop.
 Result<ProtectionResult> SgbGreedyEager(Engine& engine, size_t budget,
                                         const GreedyOptions& options) {
   WallTimer timer;
   ProtectionResult result;
   result.initial_similarity = engine.TotalSimilarity();
+  std::vector<EdgeKey> candidates;
+  std::vector<size_t> gains;
   while (result.protectors.size() < budget) {
-    std::vector<EdgeKey> candidates = engine.Candidates(options.scope);
+    engine.CandidateGains(options.scope, &candidates, &gains);
     EdgeKey best_edge = 0;
     size_t best_gain = 0;
-    for (EdgeKey e : candidates) {
-      size_t gain = engine.Gain(e);
-      if (gain > best_gain) {  // strict: first max wins => smallest key
-        best_gain = gain;
-        best_edge = e;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (gains[i] > best_gain) {  // strict: first max wins => smallest key
+        best_gain = gains[i];
+        best_edge = candidates[i];
       }
     }
     if (best_gain == 0) break;
@@ -82,9 +88,14 @@ Result<ProtectionResult> SgbGreedyLazy(Engine& engine, size_t budget,
   };
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(cmp)> heap(
       cmp);
-  for (EdgeKey e : engine.Candidates(options.scope)) {
-    size_t gain = engine.Gain(e);
-    if (gain > 0) heap.push({gain, e, 0});
+  {
+    // Initial bounds come from one batched sweep (first-round full scan).
+    std::vector<EdgeKey> candidates;
+    std::vector<size_t> gains;
+    engine.CandidateGains(options.scope, &candidates, &gains);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (gains[i] > 0) heap.push({gains[i], candidates[i], 0});
+    }
   }
   uint64_t round = 0;
   while (result.protectors.size() < budget && !heap.empty()) {
@@ -143,7 +154,10 @@ Result<ProtectionResult> CtGreedy(Engine& engine,
     IncidenceIndex::SplitGain best_gain;
     for (EdgeKey e : candidates) {
       // One evaluation yields the per-target split for every (t, e) pair —
-      // this is what keeps CT at the paper's O(k n m (log N)^2).
+      // this is what keeps CT at the paper's O(k n m (log N)^2). No
+      // batched prefilter here: on the recount engine a total-gain sweep
+      // would double the per-round motif enumeration work and distort the
+      // paper-cost-model runtime benches (Figs. 5-6).
       std::vector<size_t> diffs = engine.GainVector(e);
       size_t total = 0;
       for (size_t d : diffs) total += d;
@@ -186,6 +200,7 @@ Result<ProtectionResult> WtGreedy(Engine& engine,
       EdgeKey best_edge = 0;
       IncidenceIndex::SplitGain best_gain;
       for (EdgeKey e : candidates) {
+        // Single GainVector per candidate, as in CT (see the note there).
         std::vector<size_t> diffs = engine.GainVector(e);
         if (diffs[t] == 0) continue;  // within-target: own gain required
         size_t total = 0;

@@ -4,6 +4,7 @@
 #define TPP_CORE_NAIVE_ENGINE_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/engine.h"
@@ -25,6 +26,13 @@ class NaiveEngine : public Engine {
   size_t SimilarityOf(size_t t) override;
   size_t TotalSimilarity() override;
   size_t Gain(graph::EdgeKey e) override;
+  /// Serial fallback: evaluates one candidate at a time through the
+  /// recount path, preserving the paper's per-query cost model (timing
+  /// experiments must not be accelerated by threading).
+  std::vector<size_t> BatchGain(std::span<const graph::EdgeKey> edges)
+      override {
+    return Engine::BatchGain(edges);
+  }
   motif::IncidenceIndex::SplitGain GainFor(graph::EdgeKey e,
                                            size_t t) override;
   std::vector<size_t> GainVector(graph::EdgeKey e) override;

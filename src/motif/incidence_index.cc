@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "common/strings.h"
 
 namespace tpp::motif {
@@ -29,88 +30,160 @@ Result<IncidenceIndex> IncidenceIndex::Build(
   }
   idx.alive_.assign(idx.instances_.size(), 1);
   idx.total_alive_ = idx.instances_.size();
+
+  // Intern participating edges in ascending key order so edge id order is
+  // key order (AliveCandidateEdges then never needs a sort).
+  for (const TargetSubgraph& inst : idx.instances_) {
+    for (uint8_t j = 0; j < inst.num_edges; ++j) {
+      idx.edge_keys_.push_back(inst.edges[j]);
+    }
+  }
+  std::sort(idx.edge_keys_.begin(), idx.edge_keys_.end());
+  idx.edge_keys_.erase(
+      std::unique(idx.edge_keys_.begin(), idx.edge_keys_.end()),
+      idx.edge_keys_.end());
+  idx.edge_id_.reserve(idx.edge_keys_.size());
+  for (uint32_t id = 0; id < idx.edge_keys_.size(); ++id) {
+    idx.edge_id_.emplace(idx.edge_keys_[id], id);
+  }
+  const size_t num_edges = idx.edge_keys_.size();
+
+  // CSR 1 (edge -> instances), counting pass then fill pass.
+  idx.inst_offsets_.assign(num_edges + 1, 0);
+  idx.inst_edge_ids_.resize(idx.instances_.size());
   for (uint32_t i = 0; i < idx.instances_.size(); ++i) {
     const TargetSubgraph& inst = idx.instances_[i];
     ++idx.alive_per_target_[inst.target];
     for (uint8_t j = 0; j < inst.num_edges; ++j) {
-      idx.edge_to_instances_[inst.edges[j]].push_back(i);
+      uint32_t e = idx.edge_id_.at(inst.edges[j]);
+      idx.inst_edge_ids_[i][j] = e;
+      ++idx.inst_offsets_[e + 1];
     }
+  }
+  for (size_t e = 0; e < num_edges; ++e) {
+    idx.inst_offsets_[e + 1] += idx.inst_offsets_[e];
+  }
+  idx.instance_ids_.resize(idx.inst_offsets_.back());
+  {
+    std::vector<uint32_t> cursor(idx.inst_offsets_.begin(),
+                                 idx.inst_offsets_.end() - 1);
+    for (uint32_t i = 0; i < idx.instances_.size(); ++i) {
+      const TargetSubgraph& inst = idx.instances_[i];
+      for (uint8_t j = 0; j < inst.num_edges; ++j) {
+        idx.instance_ids_[cursor[idx.inst_edge_ids_[i][j]]++] = i;
+      }
+    }
+  }
+
+  // Alive-count cache: everything is alive at build time, so the count is
+  // just the posting-list length.
+  idx.alive_count_.resize(num_edges);
+  for (size_t e = 0; e < num_edges; ++e) {
+    idx.alive_count_[e] = idx.inst_offsets_[e + 1] - idx.inst_offsets_[e];
+  }
+
+  // CSR 2 (edge -> per-target counts): aggregate each posting list into
+  // (target, count) pairs, kept in ascending target order.
+  idx.tgt_offsets_.assign(num_edges + 1, 0);
+  std::vector<uint32_t> tgts;  // scratch per edge
+  for (size_t e = 0; e < num_edges; ++e) {
+    tgts.clear();
+    for (uint32_t p = idx.inst_offsets_[e]; p < idx.inst_offsets_[e + 1];
+         ++p) {
+      tgts.push_back(
+          static_cast<uint32_t>(idx.instances_[idx.instance_ids_[p]].target));
+    }
+    std::sort(tgts.begin(), tgts.end());
+    for (size_t k = 0; k < tgts.size(); ++k) {
+      if (k > 0 && tgts[k] == tgts[k - 1]) {
+        ++idx.tgt_counts_.back();
+      } else {
+        idx.tgt_ids_.push_back(tgts[k]);
+        idx.tgt_counts_.push_back(1);
+      }
+    }
+    idx.tgt_offsets_[e + 1] = static_cast<uint32_t>(idx.tgt_ids_.size());
   }
   return idx;
 }
 
-size_t IncidenceIndex::Gain(EdgeKey e) const {
-  auto it = edge_to_instances_.find(e);
-  if (it == edge_to_instances_.end()) return 0;
-  size_t gain = 0;
-  for (uint32_t i : it->second) {
-    if (alive_[i]) ++gain;
-  }
-  return gain;
-}
-
 IncidenceIndex::SplitGain IncidenceIndex::GainFor(EdgeKey e, size_t t) const {
   SplitGain gain;
-  auto it = edge_to_instances_.find(e);
-  if (it == edge_to_instances_.end()) return gain;
-  for (uint32_t i : it->second) {
-    if (!alive_[i]) continue;
-    if (instances_[i].target == static_cast<int32_t>(t)) {
-      ++gain.own;
-    } else {
-      ++gain.cross;
+  auto it = edge_id_.find(e);
+  if (it == edge_id_.end()) return gain;
+  uint32_t id = it->second;
+  size_t total = alive_count_[id];
+  for (uint32_t p = tgt_offsets_[id]; p < tgt_offsets_[id + 1]; ++p) {
+    if (tgt_ids_[p] == static_cast<uint32_t>(t)) {
+      gain.own = tgt_counts_[p];
+      break;
     }
   }
+  gain.cross = total - gain.own;
   return gain;
 }
 
 void IncidenceIndex::AccumulateGains(EdgeKey e,
                                      std::vector<size_t>* out) const {
-  auto it = edge_to_instances_.find(e);
-  if (it == edge_to_instances_.end()) return;
-  for (uint32_t i : it->second) {
-    if (alive_[i]) ++(*out)[instances_[i].target];
+  auto it = edge_id_.find(e);
+  if (it == edge_id_.end()) return;
+  uint32_t id = it->second;
+  for (uint32_t p = tgt_offsets_[id]; p < tgt_offsets_[id + 1]; ++p) {
+    (*out)[tgt_ids_[p]] += tgt_counts_[p];
   }
 }
 
 size_t IncidenceIndex::DeleteEdge(EdgeKey e) {
-  auto it = edge_to_instances_.find(e);
-  if (it == edge_to_instances_.end()) return 0;
+  auto it = edge_id_.find(e);
+  if (it == edge_id_.end()) return 0;
+  uint32_t id = it->second;
+  if (alive_count_[id] == 0) return 0;  // already dead: O(1) no-op
   size_t killed = 0;
-  for (uint32_t i : it->second) {
+  for (uint32_t p = inst_offsets_[id]; p < inst_offsets_[id + 1]; ++p) {
+    uint32_t i = instance_ids_[p];
     if (!alive_[i]) continue;
     alive_[i] = 0;
-    --alive_per_target_[instances_[i].target];
+    const uint32_t target = static_cast<uint32_t>(instances_[i].target);
+    --alive_per_target_[target];
     --total_alive_;
     ++killed;
+    // Restore the invariant: every edge of the killed instance (including
+    // `id` itself) loses one alive instance, in both count structures.
+    for (uint8_t j = 0; j < instances_[i].num_edges; ++j) {
+      uint32_t sib = inst_edge_ids_[i][j];
+      TPP_CHECK_GT(alive_count_[sib], 0u);
+      --alive_count_[sib];
+      for (uint32_t q = tgt_offsets_[sib]; q < tgt_offsets_[sib + 1]; ++q) {
+        if (tgt_ids_[q] == target) {
+          --tgt_counts_[q];
+          break;
+        }
+      }
+    }
   }
   return killed;
 }
 
 std::vector<EdgeKey> IncidenceIndex::AliveCandidateEdges() const {
   std::vector<EdgeKey> out;
-  out.reserve(edge_to_instances_.size());
-  for (const auto& [e, insts] : edge_to_instances_) {
-    for (uint32_t i : insts) {
-      if (alive_[i]) {
-        out.push_back(e);
-        break;
-      }
-    }
+  for (size_t e = 0; e < alive_count_.size(); ++e) {
+    if (alive_count_[e] > 0) out.push_back(edge_keys_[e]);
   }
-  std::sort(out.begin(), out.end());
   return out;
 }
 
-std::vector<EdgeKey> IncidenceIndex::AllParticipatingEdges() const {
-  std::vector<EdgeKey> out;
-  out.reserve(edge_to_instances_.size());
-  for (const auto& [e, insts] : edge_to_instances_) {
-    (void)insts;
-    out.push_back(e);
+void IncidenceIndex::AliveCandidateGains(std::vector<EdgeKey>* edges,
+                                         std::vector<size_t>* gains) const {
+  edges->clear();
+  gains->clear();
+  edges->reserve(edge_keys_.size());
+  gains->reserve(edge_keys_.size());
+  for (size_t e = 0; e < alive_count_.size(); ++e) {
+    if (alive_count_[e] > 0) {
+      edges->push_back(edge_keys_[e]);
+      gains->push_back(alive_count_[e]);
+    }
   }
-  std::sort(out.begin(), out.end());
-  return out;
 }
 
 }  // namespace tpp::motif

@@ -1,17 +1,54 @@
-// IncidenceIndex: edge -> target-subgraph incidence with alive counts.
+// IncidenceIndex: CSR-flattened edge -> target-subgraph incidence with
+// cached per-edge alive counts.
 //
 // Because phase 2 only deletes edges, the set of target subgraphs is fixed
 // once enumerated; an instance dies permanently when any of its edges is
-// deleted. This index materializes all instances and answers the greedy
-// algorithms' core queries in time proportional to the number of instances
-// touching an edge:
-//   * Gain(e)        — how many alive instances break if e is deleted,
-//   * GainFor(e, t)  — the same, split into own-target and cross-target,
-//   * DeleteEdge(e)  — commit a protector deletion.
+// deleted. Build interns every participating edge into a dense edge id
+// (EdgeKey -> uint32, ids assigned in ascending key order) and lays the
+// incidence relation out in two contiguous CSR structures:
+//
+//   * inst_offsets_ / instance_ids_ — the posting list of edge id e is
+//     instance_ids_[inst_offsets_[e] .. inst_offsets_[e+1]). Walks are
+//     linear scans over contiguous memory, never hash-bucket chases.
+//   * tgt_offsets_ / tgt_ids_ / tgt_counts_ — the per-target split of each
+//     edge's alive count: for edge id e, the segment holds one
+//     (target, alive count) pair per target that had an instance through e
+//     at build time. GainFor and AccumulateGains scan one short segment
+//     instead of the full posting list.
+//
+// On top of the layout the index caches alive_count_[e], the number of
+// alive instances containing edge id e. The maintained invariant is
+//
+//   alive_count_[e] == |{i : alive_[i] and e in instance i}|, and
+//   tgt_counts_ partitions alive_count_[e] by instance target,
+//
+// so Gain(e) is a hash lookup plus an array read — O(1) — and DeleteEdge
+// pays the maintenance cost exactly once per killed instance by
+// decrementing the counts of the instance's surviving sibling edges. Total
+// greedy work is therefore proportional to instances actually killed, not
+// instances scanned.
+//
+// Complexity per query (E = interned edges, I(e) = instances through e,
+// T(e) = distinct targets through e, T(e) <= min(NumTargets(), I(e))):
+//   Gain                 O(1)
+//   GainFor              O(T(e))
+//   AccumulateGains      O(T(e))
+//   DeleteEdge           O(sum of arity over instances killed); O(1) when
+//                        the edge is already dead or unknown
+//   AliveCandidateEdges  O(E) scan of alive_count_ (ids are key-sorted, so
+//                        the result needs no sort)
+//   AliveCandidateGains  O(E) — candidates AND their gains in one scan,
+//                        the whole query side of an eager greedy round
+//   AllParticipatingEdges O(E) copy
+//
+// The previous unordered_map posting-list implementation is preserved as
+// LegacyIncidenceIndex (legacy_incidence_index.h) and serves as the
+// reference baseline in the gain-kernel benchmarks and differential tests.
 
 #ifndef TPP_MOTIF_INCIDENCE_INDEX_H_
 #define TPP_MOTIF_INCIDENCE_INDEX_H_
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -36,14 +73,18 @@ class IncidenceIndex {
   };
 
   /// Enumerates all target subgraphs of `kind` for every target and builds
-  /// the incidence map. `g` must already have the targets removed
-  /// (phase 1); an error is returned if any target edge is still present.
+  /// the CSR incidence layout plus the alive-count caches. `g` must
+  /// already have the targets removed (phase 1); an error is returned if
+  /// any target edge is still present.
   static Result<IncidenceIndex> Build(const graph::Graph& g,
                                       const std::vector<graph::Edge>& targets,
                                       MotifKind kind);
 
   /// Number of targets the index was built over.
   size_t NumTargets() const { return alive_per_target_.size(); }
+
+  /// Number of distinct edges interned at build time (the CSR width).
+  size_t NumInternedEdges() const { return edge_keys_.size(); }
 
   /// All enumerated instances (alive and dead).
   const std::vector<TargetSubgraph>& instances() const { return instances_; }
@@ -61,38 +102,75 @@ class IncidenceIndex {
   const std::vector<size_t>& AliveCounts() const { return alive_per_target_; }
 
   /// Number of alive instances containing `e` = dissimilarity gain of
-  /// deleting e. O(instances incident to e).
-  size_t Gain(graph::EdgeKey e) const;
+  /// deleting e. O(1): a cached count, not a posting-list walk.
+  size_t Gain(graph::EdgeKey e) const {
+    auto it = edge_id_.find(e);
+    return it == edge_id_.end() ? 0 : alive_count_[it->second];
+  }
 
-  /// Gain split into own-target (t) and cross-target parts.
+  /// Gain split into own-target (t) and cross-target parts. O(T(e)).
   SplitGain GainFor(graph::EdgeKey e, size_t t) const;
 
   /// Adds the per-target gains of deleting `e` into `out` (size
-  /// NumTargets()): one pass over the edge's posting list.
+  /// NumTargets()): one pass over the edge's per-target count segment.
   void AccumulateGains(graph::EdgeKey e, std::vector<size_t>* out) const;
 
   /// Commits the deletion of edge `e`: kills all alive instances containing
-  /// it. Returns the number killed. Idempotent (second call returns 0).
+  /// it and restores the alive-count invariant by decrementing the counts
+  /// of every killed instance's sibling edges. Returns the number killed.
+  /// Idempotent (second call returns 0).
   size_t DeleteEdge(graph::EdgeKey e);
 
   /// Edges that appear in at least one alive instance — exactly the
   /// restricted candidate set of Lemma 5 (the "-R" algorithms). Sorted
-  /// ascending for determinism.
+  /// ascending for determinism (edge ids are assigned in key order, so
+  /// this is a single scan of the alive-count array).
   std::vector<graph::EdgeKey> AliveCandidateEdges() const;
+
+  /// One-pass gain sweep: fills `edges` with every alive candidate edge
+  /// (sorted ascending, identical to AliveCandidateEdges()) and `gains`
+  /// with the aligned alive counts. This is the entire per-round query
+  /// work of an eager greedy iteration, answered by a single hash-free,
+  /// sort-free scan of the cached count array: O(E) total, not
+  /// O(E log E + sum I(e)) as the map-based layout required.
+  void AliveCandidateGains(std::vector<graph::EdgeKey>* edges,
+                           std::vector<size_t>* gains) const;
 
   /// Edges that appeared in any instance at build time (sorted); the RDT
   /// baseline samples from this set.
-  std::vector<graph::EdgeKey> AllParticipatingEdges() const;
+  std::vector<graph::EdgeKey> AllParticipatingEdges() const {
+    return edge_keys_;
+  }
 
  private:
   IncidenceIndex() = default;
 
+  // Instance storage (shared shape with LegacyIncidenceIndex).
   std::vector<TargetSubgraph> instances_;
   std::vector<uint8_t> alive_;
   std::vector<size_t> alive_per_target_;
   size_t total_alive_ = 0;
-  std::unordered_map<graph::EdgeKey, std::vector<uint32_t>>
-      edge_to_instances_;
+
+  // Edge interner: edge_keys_ is sorted ascending and edge_id_ maps a key
+  // to its position, so id order == key order.
+  std::vector<graph::EdgeKey> edge_keys_;
+  std::unordered_map<graph::EdgeKey, uint32_t> edge_id_;
+
+  // CSR 1: edge id -> instance ids.
+  std::vector<uint32_t> inst_offsets_;  // size NumInternedEdges() + 1
+  std::vector<uint32_t> instance_ids_;  // flat posting lists
+
+  // Cached gain: alive_count_[e] == alive instances containing edge id e.
+  std::vector<uint32_t> alive_count_;
+
+  // CSR 2: edge id -> (target, alive count) pairs.
+  std::vector<uint32_t> tgt_offsets_;  // size NumInternedEdges() + 1
+  std::vector<uint32_t> tgt_ids_;      // flat target indices
+  std::vector<uint32_t> tgt_counts_;   // flat alive counts, mutated
+
+  // Instance id -> interned edge ids (arity <= 4), so DeleteEdge updates
+  // sibling counts without hashing edge keys.
+  std::vector<std::array<uint32_t, 4>> inst_edge_ids_;
 };
 
 }  // namespace tpp::motif

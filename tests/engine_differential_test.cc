@@ -64,6 +64,80 @@ TEST_P(EngineDifferentialTest, IdenticalUnderRandomDeletions) {
   }
 }
 
+TEST_P(EngineDifferentialTest, BatchGainMatchesPointQueries) {
+  auto [kind, seed] = GetParam();
+  Rng rng(seed + 1000);
+  Graph g = *graph::ErdosRenyiGnp(25, 0.25, rng);
+  if (g.NumEdges() < 8) GTEST_SKIP();
+  std::vector<Edge> targets = rng.SampleK(g.Edges(), 4);
+  TppInstance inst = *MakeInstance(g, targets, kind);
+  NaiveEngine naive(inst);
+  IndexedEngine indexed = *IndexedEngine::Create(inst);
+
+  for (int round = 0; round < 3; ++round) {
+    std::vector<EdgeKey> candidates =
+        indexed.Candidates(CandidateScope::kAllEdges);
+    if (candidates.empty()) break;
+    // The batched sweep must agree elementwise with serial point queries
+    // on both engines.
+    std::vector<size_t> batch_naive = naive.BatchGain(candidates);
+    std::vector<size_t> batch_indexed = indexed.BatchGain(candidates);
+    ASSERT_EQ(batch_naive, batch_indexed);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      ASSERT_EQ(batch_indexed[i], indexed.Gain(candidates[i]));
+    }
+    // The single-scan restricted round must agree with the composed
+    // Candidates + BatchGain answer of the recount engine.
+    std::vector<EdgeKey> edges_naive, edges_indexed;
+    std::vector<size_t> gains_naive, gains_indexed;
+    naive.CandidateGains(CandidateScope::kTargetSubgraphEdges, &edges_naive,
+                         &gains_naive);
+    indexed.CandidateGains(CandidateScope::kTargetSubgraphEdges,
+                           &edges_indexed, &gains_indexed);
+    ASSERT_EQ(edges_naive, edges_indexed);
+    ASSERT_EQ(gains_naive, gains_indexed);
+    EdgeKey victim = candidates[rng.UniformIndex(candidates.size())];
+    ASSERT_EQ(naive.DeleteEdge(victim), indexed.DeleteEdge(victim));
+  }
+}
+
+TEST_P(EngineDifferentialTest, DeleteEdgeIsIdempotentOnBothEngines) {
+  auto [kind, seed] = GetParam();
+  Rng rng(seed + 2000);
+  Graph g = *graph::ErdosRenyiGnp(20, 0.3, rng);
+  if (g.NumEdges() < 5) GTEST_SKIP();
+  std::vector<Edge> targets = rng.SampleK(g.Edges(), 3);
+  TppInstance inst = *MakeInstance(g, targets, kind);
+  NaiveEngine naive(inst);
+  IndexedEngine indexed = *IndexedEngine::Create(inst);
+
+  // Deleting the same edge twice: the second call must return 0 on both
+  // engines without CHECK-failing, leaving similarities untouched.
+  std::vector<EdgeKey> candidates =
+      indexed.Candidates(CandidateScope::kAllEdges);
+  ASSERT_FALSE(candidates.empty());
+  EdgeKey victim = candidates[rng.UniformIndex(candidates.size())];
+  ASSERT_EQ(naive.DeleteEdge(victim), indexed.DeleteEdge(victim));
+  size_t sim = indexed.TotalSimilarity();
+  EXPECT_EQ(naive.DeleteEdge(victim), 0u);
+  EXPECT_EQ(indexed.DeleteEdge(victim), 0u);
+  EXPECT_EQ(naive.TotalSimilarity(), sim);
+  EXPECT_EQ(indexed.TotalSimilarity(), sim);
+
+  // An edge that never existed in the released graph behaves the same.
+  const graph::Graph& current = indexed.CurrentGraph();
+  for (graph::NodeId u = 0; u < current.NumNodes(); ++u) {
+    for (graph::NodeId v = u + 1; v < current.NumNodes(); ++v) {
+      if (current.HasEdge(u, v)) continue;
+      EdgeKey never = graph::MakeEdgeKey(u, v);
+      EXPECT_EQ(naive.DeleteEdge(never), 0u);
+      EXPECT_EQ(indexed.DeleteEdge(never), 0u);
+      EXPECT_EQ(naive.TotalSimilarity(), indexed.TotalSimilarity());
+      return;
+    }
+  }
+}
+
 TEST_P(EngineDifferentialTest, RestrictedCandidatesAgree) {
   auto [kind, seed] = GetParam();
   Rng rng(seed + 500);

@@ -77,6 +77,32 @@ TEST(FlagsTest, UnreadFlagsReported) {
   EXPECT_EQ(unread[0], "unused");
 }
 
+TEST(ThreadsFlagTest, AppliesAndResets) {
+  // Explicit count wins over the automatic resolution.
+  SetGlobalThreadCount(3);
+  EXPECT_EQ(GlobalThreadCount(), 3);
+  ParsedArgs args = MustParse({"--threads=2"});
+  ASSERT_TRUE(ApplyThreadsFlag(args).ok());
+  EXPECT_EQ(GlobalThreadCount(), 2);
+  // <= 0 resets to auto, which is always at least one worker.
+  ParsedArgs reset = MustParse({"--threads=0"});
+  ASSERT_TRUE(ApplyThreadsFlag(reset).ok());
+  EXPECT_GE(GlobalThreadCount(), 1);
+}
+
+TEST(ThreadsFlagTest, AbsentFlagLeavesSettingUntouched) {
+  SetGlobalThreadCount(5);
+  ParsedArgs args = MustParse({"--other=1"});
+  ASSERT_TRUE(ApplyThreadsFlag(args).ok());
+  EXPECT_EQ(GlobalThreadCount(), 5);
+  SetGlobalThreadCount(0);  // restore auto for other tests
+}
+
+TEST(ThreadsFlagTest, BadValueErrors) {
+  ParsedArgs args = MustParse({"--threads=lots"});
+  EXPECT_FALSE(ApplyThreadsFlag(args).ok());
+}
+
 TEST(FlagsTest, EmptyArgvIsFine) {
   const char* just_prog[] = {"prog"};
   Result<ParsedArgs> args = ParsedArgs::Parse(1, just_prog);

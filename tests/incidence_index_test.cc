@@ -96,6 +96,26 @@ TEST(IncidenceIndexTest, CandidateEdgesTrackAliveness) {
   EXPECT_EQ(idx.AllParticipatingEdges().size(), 4u);
 }
 
+TEST(IncidenceIndexTest, AliveCandidateGainsMatchesPointQueries) {
+  Graph g = Diamond();
+  auto idx = *IncidenceIndex::Build(g, {E(0, 1)}, MotifKind::kTriangle);
+  EXPECT_EQ(idx.NumInternedEdges(), 4u);  // pendant (3,4) never interned
+  std::vector<graph::EdgeKey> edges;
+  std::vector<size_t> gains;
+  idx.AliveCandidateGains(&edges, &gains);
+  EXPECT_EQ(edges, idx.AliveCandidateEdges());
+  ASSERT_EQ(gains.size(), edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(gains[i], idx.Gain(edges[i]));
+  }
+  // The sweep tracks deletions: dead edges drop out, counts shrink.
+  idx.DeleteEdge(MakeEdgeKey(0, 2));
+  idx.AliveCandidateGains(&edges, &gains);
+  EXPECT_EQ(edges.size(), 2u);
+  for (size_t gain : gains) EXPECT_EQ(gain, 1u);
+  EXPECT_EQ(idx.NumInternedEdges(), 4u);  // interning is immutable
+}
+
 TEST(IncidenceIndexTest, AliveCountsVectorMatchesQueries) {
   Graph g = Diamond();
   auto idx = *IncidenceIndex::Build(g, {E(0, 1)}, MotifKind::kTriangle);

@@ -179,6 +179,9 @@ int Main(int argc, char** argv) {
   Result<ParsedArgs> args = ParsedArgs::Parse(argc, argv);
   if (!args.ok()) return Fail(args.status());
   if (args->positional().empty()) return Usage();
+  // --threads caps the worker pool of parallel batch gain evaluation.
+  Status threads_status = ApplyThreadsFlag(*args);
+  if (!threads_status.ok()) return Fail(threads_status);
   const std::string& command = args->positional()[0];
   int rc;
   if (command == "protect") {
