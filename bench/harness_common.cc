@@ -15,24 +15,21 @@ using core::NaiveEngine;
 using core::ProtectionResult;
 using core::TppInstance;
 
+namespace {
+
+// Registry keys aligned with the Method enum values; all dispatch and
+// naming goes through core/solver.h.
+constexpr std::array<std::string_view, 7> kMethodSolverNames = {
+    "sgb", "ct-dbd", "ct-tbd", "wt-dbd", "wt-tbd", "rd", "rdt"};
+
+}  // namespace
+
+std::string_view MethodSolverName(Method method) {
+  return kMethodSolverNames[static_cast<size_t>(method)];
+}
+
 std::string_view MethodName(Method method) {
-  switch (method) {
-    case Method::kSgb:
-      return "SGB-Greedy";
-    case Method::kCtDbd:
-      return "CT-Greedy:DBD";
-    case Method::kCtTbd:
-      return "CT-Greedy:TBD";
-    case Method::kWtDbd:
-      return "WT-Greedy:DBD";
-    case Method::kWtTbd:
-      return "WT-Greedy:TBD";
-    case Method::kRd:
-      return "RD";
-    case Method::kRdt:
-      return "RDT";
-  }
-  return "Unknown";
+  return core::FindSolver(MethodSolverName(method))->DisplayName();
 }
 
 Result<std::unique_ptr<Engine>> MakeEngine(const TppInstance& instance,
@@ -45,49 +42,18 @@ Result<std::unique_ptr<Engine>> MakeEngine(const TppInstance& instance,
   return std::unique_ptr<Engine>(new IndexedEngine(std::move(engine)));
 }
 
-namespace {
-
-// Per-target initial similarities, needed by the TBD division.
-std::vector<size_t> InitialSimilarities(Engine& engine) {
-  std::vector<size_t> sims(engine.NumTargets());
-  for (size_t t = 0; t < sims.size(); ++t) sims[t] = engine.SimilarityOf(t);
-  return sims;
-}
-
-}  // namespace
-
 Result<ProtectionResult> RunMethod(const TppInstance& instance,
                                    Method method, size_t k,
                                    const RunConfig& config, Rng& rng) {
   TPP_ASSIGN_OR_RETURN(std::unique_ptr<Engine> engine,
                        MakeEngine(instance, config));
-  GreedyOptions opts;
-  opts.scope = config.restricted ? CandidateScope::kTargetSubgraphEdges
+  core::SolverSpec spec;
+  spec.algorithm = std::string(MethodSolverName(method));
+  spec.scope = config.restricted ? CandidateScope::kTargetSubgraphEdges
                                  : CandidateScope::kAllEdges;
-  opts.lazy = config.lazy;
-  switch (method) {
-    case Method::kSgb:
-      return core::SgbGreedy(*engine, k, opts);
-    case Method::kCtDbd:
-      return core::CtGreedy(*engine, core::DivideBudgetDbd(instance, k),
-                            opts);
-    case Method::kCtTbd:
-      return core::CtGreedy(
-          *engine, core::DivideBudgetTbd(InitialSimilarities(*engine), k),
-          opts);
-    case Method::kWtDbd:
-      return core::WtGreedy(*engine, core::DivideBudgetDbd(instance, k),
-                            opts);
-    case Method::kWtTbd:
-      return core::WtGreedy(
-          *engine, core::DivideBudgetTbd(InitialSimilarities(*engine), k),
-          opts);
-    case Method::kRd:
-      return core::RandomDeletion(*engine, k, rng);
-    case Method::kRdt:
-      return core::RandomDeletionFromTargetSubgraphs(*engine, k, rng);
-  }
-  return Status::InvalidArgument("unknown method");
+  spec.lazy = config.lazy;
+  spec.budget = k;
+  return core::RunSolver(spec, *engine, instance, rng);
 }
 
 Result<ProtectionResult> RunToFullProtection(const TppInstance& instance,

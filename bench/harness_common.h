@@ -1,11 +1,12 @@
 // Shared experiment harness for the paper-reproduction benchmarks.
 //
 // Every bench binary regenerates one table or figure of the paper
-// (see DESIGN.md §5 for the index). This header provides the method
-// registry (SGB / CT:TBD / CT:DBD / WT:TBD / WT:DBD / RD / RDT), the
-// engine selection (naive vs indexed, full vs restricted candidates), the
-// similarity-evolution sweeps, and output helpers (aligned tables on
-// stdout + CSV files under results/).
+// (see DESIGN.md §5 for the index). This header provides the paper's
+// method axis (SGB / CT:TBD / CT:DBD / WT:TBD / WT:DBD / RD / RDT) as an
+// enum over the core solver registry (core/solver.h, which owns all
+// dispatch), the engine selection (naive vs indexed, full vs restricted
+// candidates), the similarity-evolution sweeps, and output helpers
+// (aligned tables on stdout + CSV files under results/).
 
 #ifndef TPP_BENCH_HARNESS_COMMON_H_
 #define TPP_BENCH_HARNESS_COMMON_H_
@@ -42,6 +43,9 @@ inline constexpr std::array<Method, 7> kAllMethods = {
 inline constexpr std::array<Method, 5> kGreedyMethods = {
     Method::kSgb, Method::kCtDbd, Method::kCtTbd, Method::kWtDbd,
     Method::kWtTbd};
+
+/// Registry key of the method's solver (core/solver.h), e.g. "ct-tbd".
+std::string_view MethodSolverName(Method method);
 
 /// Display name in the paper's notation, e.g. "CT-Greedy:TBD".
 std::string_view MethodName(Method method);

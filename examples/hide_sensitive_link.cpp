@@ -48,9 +48,13 @@ int main() {
   auto before = *tpp::linkpred::EvaluateAllAttacks(instance.released,
                                                    {sensitive}, attack_rng);
 
-  // TPP phase 2: fully protect the link.
+  // TPP phase 2: fully protect the link, via the solver registry ("full"
+  // runs SGB-Greedy until no target subgraph survives).
   IndexedEngine engine = *IndexedEngine::Create(instance);
-  auto result = *tpp::core::FullProtection(engine);
+  tpp::core::SolverSpec spec;
+  spec.algorithm = "full";
+  Rng rng(0);  // deterministic solver; never drawn from
+  auto result = *tpp::core::RunSolver(spec, engine, instance, rng);
   std::printf("TPP deleted %zu protector links (of %zu total) to reach "
               "full protection\n\n",
               result.protectors.size(), g.NumEdges());

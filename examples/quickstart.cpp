@@ -47,7 +47,9 @@ int main() {
               engine->TotalSimilarity());
 
   // Phase 2: delete up to 6 protector links, greedily maximizing the
-  // dissimilarity gain (1-1/e approximation of optimal).
+  // dissimilarity gain (1-1/e approximation of optimal). This calls the
+  // algorithm directly to show the core API; production callers name a
+  // solver through the registry instead (core/solver.h, `tpp solvers`).
   tpp::Result<ProtectionResult> result = SgbGreedy(*engine, /*budget=*/6);
   if (!result.ok()) {
     std::fprintf(stderr, "SgbGreedy: %s\n",

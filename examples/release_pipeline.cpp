@@ -16,14 +16,11 @@
 #include "graph/relabel.h"
 #include "linkpred/attack.h"
 #include "metrics/utility.h"
+#include "service/plan_service.h"
 
 using tpp::Rng;
 using tpp::Status;
-using tpp::core::IndexedEngine;
-using tpp::core::TppInstance;
-using tpp::graph::Edge;
 using tpp::graph::Graph;
-using tpp::motif::MotifKind;
 
 int main(int argc, char** argv) {
   std::string input = argc > 1 ? argv[1] : "";
@@ -50,25 +47,32 @@ int main(int argc, char** argv) {
               g.DebugString().c_str());
 
   // The data owner's sensitive links: sampled here; in production this
-  // comes from user privacy settings.
-  Rng rng(20240610);
-  auto targets = *tpp::core::SampleTargets(g, 15, rng);
-  TppInstance instance =
-      *tpp::core::MakeInstance(g, targets, MotifKind::kTriangle);
-  IndexedEngine engine = *IndexedEngine::Create(instance);
+  // comes from user privacy settings. The whole protection step is one
+  // request to the plan service — the same path `tpp batch` uses to serve
+  // many target sets concurrently.
+  tpp::service::PlanService plan_service(g);
+  tpp::service::PlanRequest request;
+  request.sample = 15;
+  request.seed = 20240610;
+  request.spec.algorithm = "full";
+  tpp::service::PlanResponse response = plan_service.RunOne(request);
+  if (!response.status.ok()) {
+    std::fprintf(stderr, "protection failed: %s\n",
+                 response.status.ToString().c_str());
+    return 1;
+  }
   std::printf("[3/5] %zu sensitive links; exposure s({},T) = %zu\n",
-              targets.size(), engine.TotalSimilarity());
-
-  auto protection = *tpp::core::FullProtection(engine);
+              response.targets.size(),
+              response.result.initial_similarity);
   std::printf("[4/5] full protection with %zu protector deletions "
               "(%.2f%% of links)\n",
-              protection.protectors.size(),
-              100.0 * protection.protectors.size() / g.NumEdges());
+              response.result.protectors.size(),
+              100.0 * response.result.protectors.size() / g.NumEdges());
 
   // Release audit: strongest attacker score and utility loss.
   Rng attack_rng(1);
-  auto attacks = *tpp::linkpred::EvaluateAllAttacks(engine.CurrentGraph(),
-                                                    targets, attack_rng);
+  auto attacks = *tpp::linkpred::EvaluateAllAttacks(
+      response.released, response.targets, attack_rng);
   double worst_auc = 0;
   for (const auto& report : attacks) worst_auc = std::max(worst_auc,
                                                           report.auc);
@@ -76,14 +80,14 @@ int main(int argc, char** argv) {
   uopts.apl_sample_sources = 100;
   uopts.mu = false;
   auto before = tpp::metrics::ComputeUtilityMetrics(g, uopts);
-  auto after =
-      tpp::metrics::ComputeUtilityMetrics(engine.CurrentGraph(), uopts);
+  auto after = tpp::metrics::ComputeUtilityMetrics(response.released, uopts);
   auto loss = tpp::metrics::UtilityLossRatio(before, after);
 
   // A real release also permutes node ids so released ids carry no
   // meaning; the secret mapping stays with the owner.
+  Rng relabel_rng = tpp::service::RequestRng(request.seed + 1);
   tpp::graph::RelabeledGraph relabeled =
-      tpp::graph::RandomRelabel(engine.CurrentGraph(), rng);
+      tpp::graph::RandomRelabel(response.released, relabel_rng);
 
   std::string output = input + ".released";
   Status s = tpp::graph::SaveEdgeList(relabeled.graph, output);

@@ -63,41 +63,25 @@ int main() {
   std::printf("initial exposure s({},T) = %zu target subgraphs\n",
               probe.TotalSimilarity());
   const size_t budget = probe.TotalSimilarity() / 10;
-  std::vector<size_t> sims(probe.NumTargets());
-  for (size_t t = 0; t < sims.size(); ++t) sims[t] = probe.SimilarityOf(t);
 
+  // The solver registry (core/solver.h) owns all algorithm dispatch: name
+  // a solver, get a run. Per-target budget division happens inside the
+  // CT/WT solvers.
   struct Row {
-    const char* name;
+    std::string name;
     ProtectionResult result;
   };
   std::vector<Row> rows;
-  {
+  tpp::Rng rng(0);  // untouched: all five solvers are deterministic
+  for (const char* algorithm :
+       {"sgb", "ct-tbd", "ct-dbd", "wt-tbd", "wt-dbd"}) {
+    tpp::core::SolverSpec spec;
+    spec.algorithm = algorithm;
+    spec.budget = budget;
     IndexedEngine e = *IndexedEngine::Create(instance);
-    rows.push_back({"SGB (global budget)", *tpp::core::SgbGreedy(e, budget)});
-  }
-  {
-    IndexedEngine e = *IndexedEngine::Create(instance);
-    rows.push_back({"CT + TBD budgets",
-                    *tpp::core::CtGreedy(
-                        e, tpp::core::DivideBudgetTbd(sims, budget))});
-  }
-  {
-    IndexedEngine e = *IndexedEngine::Create(instance);
-    rows.push_back({"CT + DBD budgets",
-                    *tpp::core::CtGreedy(
-                        e, tpp::core::DivideBudgetDbd(instance, budget))});
-  }
-  {
-    IndexedEngine e = *IndexedEngine::Create(instance);
-    rows.push_back({"WT + TBD budgets",
-                    *tpp::core::WtGreedy(
-                        e, tpp::core::DivideBudgetTbd(sims, budget))});
-  }
-  {
-    IndexedEngine e = *IndexedEngine::Create(instance);
-    rows.push_back({"WT + DBD budgets",
-                    *tpp::core::WtGreedy(
-                        e, tpp::core::DivideBudgetDbd(instance, budget))});
+    rows.push_back(
+        {std::string(tpp::core::FindSolver(algorithm)->DisplayName()),
+         *tpp::core::RunSolver(spec, e, instance, rng)});
   }
 
   tpp::TextTable table;

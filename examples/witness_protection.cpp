@@ -49,9 +49,12 @@ int main() {
               naive.exposed_links, naive.hidden_links,
               naive.alive_subgraphs);
 
-  // TPP phase 2.
+  // TPP phase 2, through the solver registry.
+  tpp::core::SolverSpec spec;
+  spec.algorithm = "full";
+  Rng solver_rng(0);  // deterministic solver; never drawn from
   IndexedEngine engine = *IndexedEngine::Create(instance);
-  auto result = *tpp::core::FullProtection(engine);
+  auto result = *tpp::core::RunSolver(spec, engine, instance, solver_rng);
   NodeExposure protected_exposure = *tpp::core::MeasureNodeExposure(
       engine.CurrentGraph(), instance.targets, MotifKind::kTriangle);
   std::printf("after TPP (%zu protector deletions): %zu exposed, "

@@ -14,6 +14,19 @@
 
 namespace tpp {
 
+/// SplitMix64 finalizer: a bijective avalanche mix of a 64-bit value.
+/// Used to derive independent per-request RNG streams from small integer
+/// seeds — adjacent seeds (1, 2, 3...) land in unrelated parts of the
+/// mt19937_64 seed space, and the derivation depends on nothing but the
+/// seed itself, so equal seeds always yield identical streams no matter
+/// which thread or batch position runs the request.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 /// Deterministic pseudo-random generator (mt19937_64) with the sampling
 /// helpers the library needs. Not thread-safe; use one Rng per thread.
 class Rng {

@@ -61,9 +61,10 @@ class Engine {
   /// Batch form of Gain: out[i] == Gain(edges[i]), evaluated against the
   /// current graph state (no deletion is committed between elements).
   /// Counts one gain evaluation per queried edge. The base implementation
-  /// is a serial loop; IndexedEngine overrides it with a std::thread
-  /// partitioned evaluation so first-round full sweeps saturate cores
-  /// (thread budget: --threads / tpp::GlobalThreadCount()).
+  /// is a serial loop; IndexedEngine overrides it with a partitioned
+  /// evaluation on the shared process pool (common/thread_pool.h) so
+  /// first-round full sweeps saturate cores (thread budget: --threads /
+  /// tpp::GlobalThreadCount()).
   virtual std::vector<size_t> BatchGain(std::span<const graph::EdgeKey> edges) {
     std::vector<size_t> out;
     out.reserve(edges.size());

@@ -1,11 +1,10 @@
 #include "core/indexed_engine.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 #include "common/check.h"
 #include "common/flags.h"
+#include "common/thread_pool.h"
 
 namespace tpp::core {
 
@@ -41,24 +40,15 @@ std::vector<size_t> IndexedEngine::BatchGain(std::span<const EdgeKey> edges) {
     for (size_t i = 0; i < edges.size(); ++i) out[i] = index_.Gain(edges[i]);
     return out;
   }
-  // Chunked dynamic partition: workers claim contiguous ranges off a shared
-  // cursor, writing disjoint slots of `out` (no synchronization on reads —
-  // gain queries never mutate the index).
-  std::atomic<size_t> cursor{0};
-  constexpr size_t kChunk = 1024;
-  auto work = [&]() {
-    for (;;) {
-      size_t begin = cursor.fetch_add(kChunk, std::memory_order_relaxed);
-      if (begin >= edges.size()) return;
-      size_t end = std::min(begin + kChunk, edges.size());
-      for (size_t i = begin; i < end; ++i) out[i] = index_.Gain(edges[i]);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (size_t w = 1; w < workers; ++w) pool.emplace_back(work);
-  work();
-  for (std::thread& t : pool) t.join();
+  // Chunked dynamic partition on the shared process pool: workers claim
+  // contiguous ranges, writing disjoint slots of `out` (no synchronization
+  // on reads — gain queries never mutate the index). The pool's threads
+  // are created once per process, not once per sweep.
+  GlobalThreadPool().ParallelFor(
+      edges.size(), static_cast<int>(workers), /*grain=*/1024,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) out[i] = index_.Gain(edges[i]);
+      });
   return out;
 }
 

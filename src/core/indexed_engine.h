@@ -34,8 +34,8 @@ class IndexedEngine : public Engine {
     ++gain_evals_;
     return index_.Gain(e);
   }
-  /// Partitioned parallel batch evaluation: the candidate span is chunked
-  /// across worker std::threads (budget: set_threads(), default
+  /// Partitioned parallel batch evaluation on the shared process pool
+  /// (common/thread_pool.h; budget: set_threads(), default
   /// tpp::GlobalThreadCount(), i.e. the --threads flag). Safe because gain
   /// queries are pure reads of the index. Falls back to a serial loop for
   /// small batches or a thread budget of 1.

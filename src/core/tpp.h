@@ -28,6 +28,7 @@
 #include "core/node_privacy.h"   // IWYU pragma: export
 #include "core/problem.h"        // IWYU pragma: export
 #include "core/report.h"         // IWYU pragma: export
+#include "core/solver.h"         // IWYU pragma: export
 #include "core/weighted.h"       // IWYU pragma: export
 
 #endif  // TPP_CORE_TPP_H_

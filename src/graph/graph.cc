@@ -121,7 +121,7 @@ std::vector<EdgeKey> Graph::EdgeKeys() const {
   return out;
 }
 
-size_t Graph::RemoveEdges(const std::vector<Edge>& edges) {
+size_t Graph::RemoveEdges(std::span<const Edge> edges) {
   size_t removed = 0;
   for (const Edge& e : edges) {
     if (HasEdge(e.u, e.v)) {

@@ -86,8 +86,9 @@ class Graph {
   size_t DegreeSum() const { return 2 * num_edges_; }
 
   /// Removes every edge in `edges` that is present; ignores absent ones.
-  /// Returns the number actually removed.
-  size_t RemoveEdges(const std::vector<Edge>& edges);
+  /// Returns the number actually removed. Accepts any contiguous Edge
+  /// range (vector, array, subrange) without copying.
+  size_t RemoveEdges(std::span<const Edge> edges);
 
   /// Structural equality: same node count and same edge set.
   friend bool operator==(const Graph& a, const Graph& b);

@@ -1,8 +1,9 @@
 #include "metrics/paths.h"
 
+#include <atomic>
 #include <numeric>
-#include <thread>
 
+#include "common/thread_pool.h"
 #include "graph/traversal.h"
 
 namespace tpp::metrics {
@@ -65,23 +66,21 @@ Result<double> AveragePathLength(const Graph& g, const AplOptions& options) {
     total = sums.total;
     pairs = sums.pairs;
   } else {
-    std::vector<SliceSums> results(threads);
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
+    // Per-source BFS sweeps on the shared process pool; each chunk's
+    // sums fold into the totals atomically (order-independent, so the
+    // result stays deterministic).
+    std::atomic<uint64_t> atomic_total{0};
+    std::atomic<uint64_t> atomic_pairs{0};
     const size_t chunk = (sources.size() + threads - 1) / threads;
-    for (size_t t = 0; t < threads; ++t) {
-      size_t begin = t * chunk;
-      size_t end = std::min(sources.size(), begin + chunk);
-      if (begin >= end) break;
-      workers.emplace_back([&, t, begin, end] {
-        results[t] = SumDistances(g, sources, begin, end);
-      });
-    }
-    for (std::thread& w : workers) w.join();
-    for (const SliceSums& sums : results) {
-      total += sums.total;
-      pairs += sums.pairs;
-    }
+    GlobalThreadPool().ParallelFor(
+        sources.size(), static_cast<int>(threads), chunk,
+        [&](size_t begin, size_t end) {
+          SliceSums sums = SumDistances(g, sources, begin, end);
+          atomic_total.fetch_add(sums.total);
+          atomic_pairs.fetch_add(sums.pairs);
+        });
+    total = atomic_total.load();
+    pairs = atomic_pairs.load();
   }
   if (pairs == 0) {
     return Status::FailedPrecondition("graph has no connected pair");

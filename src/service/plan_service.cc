@@ -1,0 +1,214 @@
+#include "service/plan_service.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/flags.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/indexed_engine.h"
+
+namespace tpp::service {
+
+using core::IndexedEngine;
+using core::SolverSpec;
+using core::TppInstance;
+using graph::Edge;
+
+Rng RequestRng(uint64_t seed) { return Rng(SplitMix64(seed)); }
+
+PlanResponse PlanService::RunOne(const PlanRequest& request) const {
+  WallTimer timer;
+  PlanResponse response;
+  // Everything below depends only on the base graph and the request, so
+  // concurrent execution order cannot change any response.
+  Rng rng = RequestRng(request.seed);
+  if (request.targets.empty()) {
+    Result<std::vector<Edge>> sampled =
+        core::SampleTargets(base_, request.sample, rng);
+    if (!sampled.ok()) {
+      response.status = sampled.status();
+      return response;
+    }
+    response.targets = std::move(*sampled);
+  } else {
+    response.targets = request.targets;
+  }
+  Result<TppInstance> instance =
+      core::MakeInstance(base_, response.targets, request.motif);
+  if (!instance.ok()) {
+    response.status = instance.status();
+    return response;
+  }
+  Result<IndexedEngine> engine = IndexedEngine::Create(*instance);
+  if (!engine.ok()) {
+    response.status = engine.status();
+    return response;
+  }
+  Result<core::ProtectionResult> result =
+      core::RunSolver(request.spec, *engine, *instance, rng);
+  if (!result.ok()) {
+    response.status = result.status();
+    return response;
+  }
+  response.result = std::move(*result);
+  response.plan_text = core::SerializeDeletionPlan(*instance,
+                                                   response.result);
+  response.released = engine->CurrentGraph();
+  response.seconds = timer.Seconds();
+  return response;
+}
+
+std::vector<PlanResponse> PlanService::RunBatch(
+    std::span<const PlanRequest> requests, int max_workers) const {
+  std::vector<PlanResponse> responses(requests.size());
+  if (max_workers <= 0) max_workers = GlobalThreadCount();
+  // One request per chunk: requests are coarse units, and dynamic chunk
+  // claiming already balances uneven solver costs across workers.
+  GlobalThreadPool().ParallelFor(
+      requests.size(), max_workers, /*grain=*/1,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          responses[i] = RunOne(requests[i]);
+        }
+      });
+  return responses;
+}
+
+Result<std::vector<Edge>> ParseLinkList(std::string_view value) {
+  std::vector<Edge> links;
+  for (std::string_view pair : SplitNonEmpty(value, ";")) {
+    std::vector<std::string_view> ends = SplitNonEmpty(pair, "-");
+    if (ends.size() != 2) {
+      return Status::InvalidArgument(
+          StrFormat("link '%s' is not of the form u-v",
+                    std::string(pair).c_str()));
+    }
+    TPP_ASSIGN_OR_RETURN(int64_t u, ParseInt64(ends[0]));
+    TPP_ASSIGN_OR_RETURN(int64_t v, ParseInt64(ends[1]));
+    if (u < 0 || v < 0) {
+      return Status::InvalidArgument(
+          StrFormat("negative node id in '%s'",
+                    std::string(pair).c_str()));
+    }
+    links.emplace_back(static_cast<graph::NodeId>(u),
+                       static_cast<graph::NodeId>(v));
+  }
+  return links;
+}
+
+namespace {
+
+Result<PlanRequest> ParseRequestLine(std::string_view text, size_t line,
+                                     size_t index) {
+  PlanRequest request;
+  request.name = StrFormat("r%zu", index);
+  for (std::string_view token : SplitNonEmpty(text, " \t")) {
+    size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: token '%s' is not key=value", line,
+                    std::string(token).c_str()));
+    }
+    std::string_view key = token.substr(0, eq);
+    std::string_view value = token.substr(eq + 1);
+    if (key == "name") {
+      // Names become `<plan-dir>/<name>.plan` paths; restrict them so a
+      // request file cannot write outside the plan directory.
+      for (char c : value) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                  c == '-';
+        if (!ok) {
+          return Status::InvalidArgument(StrFormat(
+              "line %zu: name '%s' has characters outside [A-Za-z0-9._-]",
+              line, std::string(value).c_str()));
+        }
+      }
+      if (value == "." || value == "..") {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: name '%s' is reserved", line,
+                      std::string(value).c_str()));
+      }
+      request.name = std::string(value);
+    } else if (key == "algorithm") {
+      request.spec.algorithm = std::string(value);
+    } else if (key == "motif") {
+      TPP_ASSIGN_OR_RETURN(request.motif, motif::ParseMotifKind(value));
+    } else if (key == "sample") {
+      TPP_ASSIGN_OR_RETURN(int64_t n, ParseInt64(value));
+      request.sample = static_cast<size_t>(n);
+    } else if (key == "links") {
+      Result<std::vector<Edge>> links = ParseLinkList(value);
+      if (!links.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: %s", line,
+                      links.status().ToString().c_str()));
+      }
+      request.targets = std::move(*links);
+    } else if (key == "seed") {
+      TPP_ASSIGN_OR_RETURN(int64_t seed, ParseInt64(value));
+      request.seed = static_cast<uint64_t>(seed);
+    } else if (key == "budget") {
+      if (value == "full") {
+        request.spec.budget = SolverSpec::kFullProtection;
+      } else {
+        TPP_ASSIGN_OR_RETURN(int64_t budget, ParseInt64(value));
+        request.spec.budget = core::BudgetFromFlag(budget);
+      }
+    } else if (key == "scope") {
+      Result<core::CandidateScope> scope = core::ParseCandidateScope(value);
+      if (!scope.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: %s", line,
+                      scope.status().ToString().c_str()));
+      }
+      request.spec.scope = *scope;
+    } else if (key == "lazy") {
+      request.spec.lazy = value == "1" || value == "true";
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: unknown key '%s'", line,
+                    std::string(key).c_str()));
+    }
+  }
+  // Validate the whole spec early: a typo'd solver name or an
+  // unsupported flag combination should fail at parse time, not
+  // mid-batch.
+  Status valid = core::ValidateSolverSpec(request.spec);
+  if (!valid.ok()) {
+    return Status::InvalidArgument(
+        StrFormat("line %zu: %s", line, valid.ToString().c_str()));
+  }
+  return request;
+}
+
+}  // namespace
+
+Result<std::vector<PlanRequest>> ParsePlanRequests(const std::string& text) {
+  std::vector<PlanRequest> requests;
+  size_t line_number = 0;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    TPP_ASSIGN_OR_RETURN(
+        PlanRequest request,
+        ParseRequestLine(stripped, line_number, requests.size()));
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+Result<std::vector<PlanRequest>> LoadPlanRequests(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return ParsePlanRequests(buf.str());
+}
+
+}  // namespace tpp::service

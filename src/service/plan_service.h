@@ -1,0 +1,107 @@
+// PlanService: one loaded base graph serving batches of TPP protection
+// requests concurrently.
+//
+// The deployment story of target privacy preserving is a stream of
+// designated users ("protect these links before the next release") hitting
+// one released network. The service loads the base graph once; each
+// PlanRequest names its targets (explicitly or by sample count), a motif,
+// and a SolverSpec, and RunBatch executes the requests concurrently on
+// the shared process thread pool (common/thread_pool.h).
+//
+// Determinism: every request derives its own RNG stream purely from its
+// seed (Rng(SplitMix64(seed)), see common/rng.h), so responses are
+// bit-identical whether the batch runs on 1 thread or 8, in any order,
+// and a batch of one request equals a standalone `tpp protect` run with
+// the same parameters. Two requests with equal seeds produce identical
+// plans; distinct seeds produce independent streams even when adjacent.
+//
+// Request-file format (docs/SERVICE.md): one request per line of
+// whitespace-separated key=value tokens, e.g.
+//
+//   # tpp batch request file v1
+//   name=r0 algorithm=sgb motif=Triangle sample=20 seed=1 budget=10
+//   name=r1 algorithm=ct-tbd links=3-14;15-92 budget=6 scope=all
+
+#ifndef TPP_SERVICE_PLAN_SERVICE_H_
+#define TPP_SERVICE_PLAN_SERVICE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/problem.h"
+#include "core/report.h"
+#include "core/solver.h"
+#include "graph/graph.h"
+#include "motif/motif.h"
+
+namespace tpp::service {
+
+/// One unit of work: protect one target set of the base graph.
+struct PlanRequest {
+  /// Request id, used in reports and plan file names. Parsed files default
+  /// it to "r<line-index>".
+  std::string name;
+  /// Explicit target links. When empty, `sample` links are drawn
+  /// uniformly from the base graph's edges instead.
+  std::vector<graph::Edge> targets;
+  size_t sample = 10;  ///< number of targets to sample (targets empty)
+  motif::MotifKind motif = motif::MotifKind::kTriangle;
+  core::SolverSpec spec;  ///< algorithm, scope, lazy flag, budget
+  uint64_t seed = 1;      ///< per-request RNG stream seed
+};
+
+/// Outcome of one request. Failures are isolated: a bad request yields a
+/// non-OK status in its slot and the rest of the batch proceeds.
+struct PlanResponse {
+  Status status = Status::Ok();
+  std::vector<graph::Edge> targets;  ///< realized targets (sampled or given)
+  core::ProtectionResult result;
+  std::string plan_text;      ///< SerializeDeletionPlan output
+  graph::Graph released{0};   ///< base minus targets minus protectors
+  double seconds = 0;         ///< wall time of this request
+};
+
+/// Derives the request's RNG stream from its seed; the single derivation
+/// rule shared by the service and the CLI so batch and standalone runs
+/// agree bit-for-bit.
+Rng RequestRng(uint64_t seed);
+
+/// Serves protection requests against one base graph. Thread-compatible:
+/// RunBatch may be called repeatedly (sequentially); each call fans its
+/// requests out over the shared pool.
+class PlanService {
+ public:
+  explicit PlanService(graph::Graph base) : base_(std::move(base)) {}
+
+  const graph::Graph& base() const { return base_; }
+
+  /// Executes one request: sample/validate targets, build the TppInstance
+  /// and IndexedEngine, run the spec'd solver, serialize the plan.
+  PlanResponse RunOne(const PlanRequest& request) const;
+
+  /// Executes all requests concurrently (at most `max_workers` at a time;
+  /// <= 0 uses GlobalThreadCount()) and returns responses in input order.
+  /// Output is bit-identical to a sequential RunOne loop.
+  std::vector<PlanResponse> RunBatch(std::span<const PlanRequest> requests,
+                                     int max_workers = 0) const;
+
+ private:
+  graph::Graph base_;
+};
+
+/// Parses an explicit link list "u-v;u-v;..." (the `links=` value of the
+/// request-file format and the CLI's --links flag).
+Result<std::vector<graph::Edge>> ParseLinkList(std::string_view value);
+
+/// Parses a request file (format above; see docs/SERVICE.md). Errors name
+/// the offending line.
+Result<std::vector<PlanRequest>> ParsePlanRequests(const std::string& text);
+
+/// Loads and parses a request file from disk.
+Result<std::vector<PlanRequest>> LoadPlanRequests(const std::string& path);
+
+}  // namespace tpp::service
+
+#endif  // TPP_SERVICE_PLAN_SERVICE_H_

@@ -135,9 +135,20 @@ TEST(GraphTest, EdgesSnapshotOrderedAndComplete) {
 
 TEST(GraphTest, RemoveEdgesBulkIgnoresAbsent) {
   Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
-  size_t removed = g.RemoveEdges({E(0, 1), E(0, 3), E(2, 1)});
+  const std::vector<Edge> doomed = {E(0, 1), E(0, 3), E(2, 1)};
+  size_t removed = g.RemoveEdges(doomed);
   EXPECT_EQ(removed, 2u);
   EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphTest, RemoveEdgesAcceptsSubspanWithoutCopy) {
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  const std::vector<Edge> plan = {E(0, 1), E(1, 2), E(2, 3)};
+  // A plan suffix applies directly as a view; no vector is materialized.
+  size_t removed = g.RemoveEdges(std::span<const Edge>(plan).subspan(1));
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
 }
 
 TEST(GraphTest, EqualityIsStructural) {

@@ -1,0 +1,122 @@
+// Tests for the shared worker pool (common/thread_pool.h).
+
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace tpp {
+namespace {
+
+TEST(ThreadPoolTest, RunExecutesEnqueuedTasks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.NumThreads(), 2);
+  std::promise<int> promise;
+  pool.Run([&] { promise.set_value(42); });
+  EXPECT_EQ(promise.get_future().get(), 42);
+}
+
+TEST(ThreadPoolTest, DestructorFinishesQueuedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) {
+      pool.Run([&] { done.fetch_add(1); });
+    }
+  }  // ~ThreadPool drains the queue before joining
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 10'000;
+  std::vector<int> hits(kN, 0);
+  pool.ParallelFor(kN, /*max_workers=*/4, /*grain=*/64,
+                   [&](size_t begin, size_t end) {
+                     for (size_t i = begin; i < end; ++i) ++hits[i];
+                   });
+  // Disjoint chunk writes need no synchronization; after the blocking
+  // return every slot must read exactly 1.
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(kN));
+  EXPECT_EQ(*std::min_element(hits.begin(), hits.end()), 1);
+  EXPECT_EQ(*std::max_element(hits.begin(), hits.end()), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEdgeCases) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, 4, 8, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);  // empty range: body never runs
+
+  // Grain larger than n degrades to one serial call on the caller.
+  std::vector<int> hits(5, 0);
+  pool.ParallelFor(5, 4, 1024, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 5);
+
+  // grain=0 is clamped to 1 rather than spinning forever.
+  std::atomic<int> sum{0};
+  pool.ParallelFor(3, 2, 0, [&](size_t begin, size_t end) {
+    sum.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ThreadPoolTest, ZeroThreadPoolRunsOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.NumThreads(), 0);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(100, 8, 16, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPoolTest, EnsureThreadsGrowsOnDemand) {
+  ThreadPool pool(1);
+  // Asking ParallelFor for more workers than the pool holds grows it
+  // (threads are created once, then reused by later sweeps).
+  std::atomic<int> sum{0};
+  pool.ParallelFor(1000, 4, 10, [&](size_t begin, size_t end) {
+    sum.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(sum.load(), 1000);
+  EXPECT_GE(pool.NumThreads(), 3);
+  pool.EnsureThreads(2);  // never shrinks
+  EXPECT_GE(pool.NumThreads(), 3);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // A service request running a batched gain sweep is exactly this shape:
+  // outer ParallelFor over requests, inner ParallelFor over edges, both
+  // on the same pool. The calling thread always participates, so the
+  // inner loops complete even when every pool thread is busy.
+  ThreadPool pool(2);
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 500;
+  std::vector<std::atomic<int>> inner_sums(kOuter);
+  pool.ParallelFor(kOuter, 4, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      pool.ParallelFor(kInner, 4, 32, [&, i](size_t b, size_t e) {
+        inner_sums[i].fetch_add(static_cast<int>(e - b));
+      });
+    }
+  });
+  for (size_t i = 0; i < kOuter; ++i) {
+    EXPECT_EQ(inner_sums[i].load(), static_cast<int>(kInner));
+  }
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsOneInstance) {
+  EXPECT_EQ(&GlobalThreadPool(), &GlobalThreadPool());
+}
+
+}  // namespace
+}  // namespace tpp

@@ -1,9 +1,20 @@
 // tpp — command-line interface to the TPP library.
 //
 // Subcommands:
-//   tpp protect --graph=G.edges --targets=k|--plan-targets=... [options]
-//       Samples or reads targets, runs a protection algorithm, writes the
-//       deletion plan and (optionally) the released graph.
+//   tpp protect --graph=G.edges [--targets=k|--links=u-v;u-v] [options]
+//       Samples or reads targets, runs a solver from the registry
+//       (core/solver.h), writes the deletion plan and (optionally) the
+//       released graph. Flags: --algorithm=NAME (see `tpp solvers`),
+//       --motif=Triangle|Rectangle|RecTri|Pentagon, --budget=K (<= 0 =
+//       protect fully), --seed=N, --scope=all|subgraph, --lazy,
+//       --plan-out=FILE, --release-out=FILE, --relabel.
+//   tpp batch --requests=FILE [--plan-dir=DIR] [--threads=N]
+//       Runs a whole file of protection requests concurrently against one
+//       base graph through the plan service (service/plan_service.h; file
+//       format in docs/SERVICE.md). Output plans are bit-identical to
+//       running each request through `tpp protect` on its own.
+//   tpp solvers
+//       Lists the registered solvers (key, display name, budgeting).
 //   tpp attack  --graph=G.edges --plan=P.plan
 //       Mounts all similarity-index attacks against the hidden targets of
 //       a plan applied to a graph.
@@ -14,6 +25,7 @@
 //   tpp protect --graph=social.edges --targets=20 --motif=Rectangle
 //       --algorithm=sgb --budget=50 --plan-out=social.plan
 //       --release-out=social.released.edges    (one line)
+//   tpp batch --requests=night_batch.txt --plan-dir=plans --threads=8
 //   tpp attack --graph=social.edges --plan=social.plan
 //   tpp stats --graph=social.released.edges
 
@@ -29,19 +41,23 @@
 #include "linkpred/attack.h"
 #include "metrics/summary.h"
 #include "metrics/utility.h"
+#include "service/plan_service.h"
 
 namespace tpp {
 namespace {
 
-using core::IndexedEngine;
 using core::ProtectionResult;
-using core::TppInstance;
+using core::SolverSpec;
 using graph::Edge;
 using graph::Graph;
+using service::PlanRequest;
+using service::PlanResponse;
+using service::PlanService;
 
 int Usage() {
-  std::fprintf(stderr, "usage: tpp <protect|attack|stats> [--flags]\n"
-                       "see the header of tools/tpp_cli.cc for examples\n");
+  std::fprintf(stderr,
+               "usage: tpp <protect|batch|solvers|attack|stats> [--flags]\n"
+               "see the header of tools/tpp_cli.cc for examples\n");
   return 2;
 }
 
@@ -56,80 +72,155 @@ Result<Graph> LoadGraphFlag(const ParsedArgs& args) {
   return graph::LoadEdgeList(path);
 }
 
+// Reads the solver-selection flags shared by `protect` into a SolverSpec.
+Result<SolverSpec> SpecFromFlags(const ParsedArgs& args) {
+  SolverSpec spec;
+  spec.algorithm = args.GetString("algorithm", "sgb");
+  TPP_ASSIGN_OR_RETURN(int64_t budget, args.GetInt("budget", 0));
+  spec.budget = core::BudgetFromFlag(budget);
+  TPP_ASSIGN_OR_RETURN(
+      spec.scope,
+      core::ParseCandidateScope(args.GetString("scope", "subgraph")));
+  spec.lazy = args.GetBool("lazy");
+  TPP_RETURN_IF_ERROR(core::ValidateSolverSpec(spec));
+  return spec;
+}
+
 int RunProtect(const ParsedArgs& args) {
   Result<Graph> g = LoadGraphFlag(args);
   if (!g.ok()) return Fail(g.status());
 
+  // One request through the same service path as `tpp batch`, so a
+  // standalone run and a batch line with equal parameters produce
+  // byte-identical plans.
+  PlanRequest request;
   Result<motif::MotifKind> motif_kind =
       motif::ParseMotifKind(args.GetString("motif", "Triangle"));
   if (!motif_kind.ok()) return Fail(motif_kind.status());
+  request.motif = *motif_kind;
 
   Result<int64_t> num_targets = args.GetInt("targets", 10);
   Result<int64_t> seed = args.GetInt("seed", 1);
-  Result<int64_t> budget_flag = args.GetInt("budget", 0);
   if (!num_targets.ok()) return Fail(num_targets.status());
   if (!seed.ok()) return Fail(seed.status());
-  if (!budget_flag.ok()) return Fail(budget_flag.status());
-
-  Rng rng(static_cast<uint64_t>(*seed));
-  Result<std::vector<Edge>> targets =
-      core::SampleTargets(*g, static_cast<size_t>(*num_targets), rng);
-  if (!targets.ok()) return Fail(targets.status());
-
-  Result<TppInstance> instance = core::MakeInstance(*g, *targets,
-                                                    *motif_kind);
-  if (!instance.ok()) return Fail(instance.status());
-  Result<IndexedEngine> engine = IndexedEngine::Create(*instance);
-  if (!engine.ok()) return Fail(engine.status());
-
-  std::string algorithm = args.GetString("algorithm", "sgb");
-  core::GreedyOptions opts;
-  opts.scope = core::CandidateScope::kTargetSubgraphEdges;
-  size_t budget = *budget_flag > 0
-                      ? static_cast<size_t>(*budget_flag)
-                      : engine->TotalSimilarity();  // full protection
-  Result<ProtectionResult> result = Status::InvalidArgument(
-      "unknown --algorithm (want sgb|ct-tbd|ct-dbd|wt-tbd|wt-dbd|rd|rdt)");
-  if (algorithm == "sgb") {
-    result = core::SgbGreedy(*engine, budget, opts);
-  } else if (algorithm == "ct-tbd" || algorithm == "wt-tbd") {
-    std::vector<size_t> sims(engine->NumTargets());
-    for (size_t t = 0; t < sims.size(); ++t) {
-      sims[t] = engine->SimilarityOf(t);
-    }
-    std::vector<size_t> budgets = core::DivideBudgetTbd(sims, budget);
-    result = algorithm == "ct-tbd" ? core::CtGreedy(*engine, budgets, opts)
-                                   : core::WtGreedy(*engine, budgets, opts);
-  } else if (algorithm == "ct-dbd" || algorithm == "wt-dbd") {
-    std::vector<size_t> budgets = core::DivideBudgetDbd(*instance, budget);
-    result = algorithm == "ct-dbd" ? core::CtGreedy(*engine, budgets, opts)
-                                   : core::WtGreedy(*engine, budgets, opts);
-  } else if (algorithm == "rd") {
-    result = core::RandomDeletion(*engine, budget, rng);
-  } else if (algorithm == "rdt") {
-    result = core::RandomDeletionFromTargetSubgraphs(*engine, budget, rng);
+  request.sample = static_cast<size_t>(*num_targets);
+  request.seed = static_cast<uint64_t>(*seed);
+  std::string links = args.GetString("links", "");
+  if (!links.empty()) {
+    Result<std::vector<Edge>> parsed = service::ParseLinkList(links);
+    if (!parsed.ok()) return Fail(parsed.status());
+    request.targets = std::move(*parsed);
   }
-  if (!result.ok()) return Fail(result.status());
 
-  std::printf("%s", core::FormatProtectionReport(*instance, *result).c_str());
+  Result<SolverSpec> spec = SpecFromFlags(args);
+  if (!spec.ok()) return Fail(spec.status());
+  request.spec = *spec;
+
+  PlanService plan_service(*g);
+  PlanResponse response = plan_service.RunOne(request);
+  if (!response.status.ok()) return Fail(response.status);
+
+  core::TppInstance instance = {
+      plan_service.base(), response.targets, request.motif};
+  // Re-derive the phase-1 graph for the report (the response carries the
+  // final released graph, after protector deletions).
+  instance.released.RemoveEdges(response.targets);
+  std::printf("%s",
+              core::FormatProtectionReport(instance,
+                                           response.result).c_str());
 
   std::string plan_out = args.GetString("plan-out", "");
   if (!plan_out.empty()) {
-    Status s = core::SaveDeletionPlan(*instance, *result, plan_out);
+    Status s = core::SaveDeletionPlan(instance, response.result, plan_out);
     if (!s.ok()) return Fail(s);
     std::printf("plan written to %s\n", plan_out.c_str());
   }
   std::string release_out = args.GetString("release-out", "");
   if (!release_out.empty()) {
-    graph::Graph release = engine->CurrentGraph();
+    Graph release = response.released;
     if (args.GetBool("relabel")) {
-      release = graph::RandomRelabel(release, rng).graph;
+      // The relabeling permutation draws from its own stream so it cannot
+      // perturb (or be perturbed by) the protection run.
+      Rng relabel_rng = service::RequestRng(request.seed + 1);
+      release = graph::RandomRelabel(release, relabel_rng).graph;
     }
     Status s = graph::SaveEdgeList(release, release_out);
     if (!s.ok()) return Fail(s);
     std::printf("released graph written to %s%s\n", release_out.c_str(),
                 args.GetBool("relabel") ? " (node ids permuted)" : "");
   }
+  return 0;
+}
+
+int RunBatch(const ParsedArgs& args) {
+  Result<Graph> g = LoadGraphFlag(args);
+  if (!g.ok()) return Fail(g.status());
+  std::string requests_path = args.GetString("requests", "");
+  if (requests_path.empty()) {
+    return Fail(Status::InvalidArgument("--requests is required"));
+  }
+  Result<std::vector<PlanRequest>> requests =
+      service::LoadPlanRequests(requests_path);
+  if (!requests.ok()) return Fail(requests.status());
+
+  PlanService plan_service(std::move(*g));
+  std::vector<PlanResponse> responses = plan_service.RunBatch(*requests);
+
+  std::string plan_dir = args.GetString("plan-dir", "");
+  TextTable table;
+  table.SetHeader({"request", "solver", "motif", "|T|", "s({},T)",
+                   "deleted", "s(P,T)", "seconds", "status"});
+  int failures = 0;
+  for (size_t i = 0; i < responses.size(); ++i) {
+    const PlanRequest& request = (*requests)[i];
+    const PlanResponse& response = responses[i];
+    if (!response.status.ok()) {
+      ++failures;
+      table.AddRow({request.name, request.spec.algorithm,
+                    std::string(motif::MotifName(request.motif)), "-", "-",
+                    "-", "-", "-", response.status.ToString()});
+      continue;
+    }
+    table.AddRow(
+        {request.name, request.spec.algorithm,
+         std::string(motif::MotifName(request.motif)),
+         std::to_string(response.targets.size()),
+         std::to_string(response.result.initial_similarity),
+         std::to_string(response.result.protectors.size()),
+         std::to_string(response.result.final_similarity),
+         StrFormat("%.3f", response.seconds), "ok"});
+    if (!plan_dir.empty()) {
+      std::string path = plan_dir + "/" + request.name + ".plan";
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (!f) return Fail(Status::IoError("cannot write " + path));
+      std::fputs(response.plan_text.c_str(), f);
+      std::fclose(f);
+    }
+  }
+  std::printf("%zu requests against %s:\n%s", responses.size(),
+              plan_service.base().DebugString().c_str(),
+              table.ToString().c_str());
+  if (!plan_dir.empty()) {
+    std::printf("plans written to %s/<request>.plan\n", plan_dir.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int RunSolvers() {
+  TextTable table;
+  table.SetHeader({"solver", "display name", "budgeting", "randomized"});
+  for (std::string_view name : core::SolverNames()) {
+    const core::Solver* solver = core::FindSolver(name);
+    const char* budgeting = "global k";
+    if (solver->Budgeting() == core::BudgetModel::kPerTarget) {
+      budgeting = "per-target K";
+    } else if (solver->Budgeting() == core::BudgetModel::kUnbudgeted) {
+      budgeting = "unbudgeted";
+    }
+    table.AddRow({std::string(name), std::string(solver->DisplayName()),
+                  budgeting, solver->Randomized() ? "yes" : "no"});
+  }
+  std::printf("%s", table.ToString().c_str());
   return 0;
 }
 
@@ -179,13 +270,18 @@ int Main(int argc, char** argv) {
   Result<ParsedArgs> args = ParsedArgs::Parse(argc, argv);
   if (!args.ok()) return Fail(args.status());
   if (args->positional().empty()) return Usage();
-  // --threads caps the worker pool of parallel batch gain evaluation.
+  // --threads caps the shared worker pool (batch requests and parallel
+  // batch gain evaluation both draw from it).
   Status threads_status = ApplyThreadsFlag(*args);
   if (!threads_status.ok()) return Fail(threads_status);
   const std::string& command = args->positional()[0];
   int rc;
   if (command == "protect") {
     rc = RunProtect(*args);
+  } else if (command == "batch") {
+    rc = RunBatch(*args);
+  } else if (command == "solvers") {
+    rc = RunSolvers();
   } else if (command == "attack") {
     rc = RunAttack(*args);
   } else if (command == "stats") {
