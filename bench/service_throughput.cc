@@ -8,8 +8,17 @@
 // sequential plans bit-for-bit (the service's determinism contract), so
 // the bench doubles as a stress test of per-request RNG stream isolation.
 //
+// A second scenario models the nightly repeated-request workload: a
+// batch with 50% duplicate requests run on two consecutive "nights",
+// served by the staged pipeline (in-batch dedup + instance sharing +
+// content-addressed PlanCache) vs the uncached build-per-request path.
+// Emits BENCH_plan_cache.json with the cache hit-rate and the aggregate
+// speedup, and cross-checks that every cached/shared response is
+// bit-identical to the uncached one.
+//
 // Flags: --quick (smaller batch, CI smoke mode), --requests=N,
-//        --out=PATH (default BENCH_service_throughput.json).
+//        --out=PATH (default BENCH_service_throughput.json),
+//        --cache-out=PATH (default BENCH_plan_cache.json).
 
 #include <algorithm>
 #include <cstdio>
@@ -23,6 +32,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "graph/datasets.h"
+#include "service/plan_cache.h"
 #include "service/plan_service.h"
 
 namespace tpp::bench {
@@ -67,6 +77,8 @@ std::vector<PlanRequest> MakeRequests(size_t count, size_t budget,
     request.spec.lazy = mix.lazy;
     request.spec.budget = budget;
     request.seed = 1000 + i;
+    // Carry the released graph so the bit-identity checks compare it too.
+    request.want_released = true;
     requests.push_back(std::move(request));
   }
   return requests;
@@ -86,6 +98,132 @@ struct ScalingPoint {
   double requests_per_sec = 0;
   double speedup = 0;  ///< vs the sequential loop
 };
+
+// Nightly repeated-request scenario: `unique` distinct requests, each
+// issued twice per night (50% duplicates), run on two consecutive nights.
+// The uncached PR 2 path (no cache, build-per-request) re-solves all of
+// it; the staged pipeline dedups within the night and serves the second
+// night from the PlanCache. Responses are cross-checked bit-identical.
+int RunPlanCacheScenario(const PlanService& plan_service, size_t unique,
+                         size_t budget, bool quick,
+                         const std::string& out_path) {
+  std::vector<PlanRequest> night = MakeRequests(unique, budget,
+                                                /*heavy=*/!quick);
+  for (PlanRequest& request : night) {
+    // Nightly batches use the lean default: no released-graph copies
+    // (the plan files are the artifact). Identity below compares plans.
+    request.want_released = false;
+  }
+  for (size_t i = 0; i < unique; ++i) {
+    PlanRequest duplicate = night[i];  // same payload, different name
+    duplicate.name += "-dup";
+    night.push_back(std::move(duplicate));
+  }
+  constexpr int kNights = 2;
+  std::printf(
+      "== plan cache: %d nights x %zu requests (50%% duplicates) ==\n",
+      kNights, night.size());
+
+  // Baseline: the uncached PR 2 call pattern — every request solved from
+  // scratch, no dedup, no sharing, no memo.
+  service::BatchOptions uncached;
+  uncached.share_instances = false;
+  uncached.dedup = false;
+  std::vector<std::vector<PlanResponse>> reference;
+  WallTimer uncached_timer;
+  for (int n = 0; n < kNights; ++n) {
+    reference.push_back(plan_service.RunBatch(night, uncached));
+  }
+  const double uncached_seconds = uncached_timer.Seconds();
+  for (const auto& responses : reference) {
+    for (const PlanResponse& response : responses) {
+      TPP_CHECK(response.status.ok());
+    }
+  }
+  std::printf("uncached path: %.3fs (%.1f req/s)\n", uncached_seconds,
+              kNights * night.size() / uncached_seconds);
+
+  // Staged pipeline: dedup + instance sharing + content-addressed cache
+  // warm across nights.
+  service::PlanCache cache(/*capacity=*/4 * night.size());
+  service::BatchStats stats;
+  service::BatchOptions cached;
+  cached.cache = &cache;
+  cached.stats = &stats;
+  bool identical = true;
+  size_t dedup_shared = 0;
+  size_t instance_builds = 0;
+  WallTimer cached_timer;
+  std::vector<std::vector<PlanResponse>> piped;
+  for (int n = 0; n < kNights; ++n) {
+    piped.push_back(plan_service.RunBatch(night, cached));
+    dedup_shared += stats.dedup_shared;
+    instance_builds += stats.instance_builds;
+  }
+  const double cached_seconds = cached_timer.Seconds();
+  for (int n = 0; n < kNights; ++n) {
+    for (size_t i = 0; i < night.size(); ++i) {
+      if (piped[n][i].plan_text != reference[n][i].plan_text ||
+          !(piped[n][i].released == reference[n][i].released)) {
+        identical = false;
+      }
+    }
+  }
+  service::PlanCache::Stats cs = cache.stats();
+  const double hit_rate =
+      cs.hits + cs.misses > 0
+          ? static_cast<double>(cs.hits) / (cs.hits + cs.misses)
+          : 0;
+  const double speedup = uncached_seconds / cached_seconds;
+  std::printf("staged pipeline: %.3fs (%.1f req/s, %.2fx aggregate)\n",
+              cached_seconds, kNights * night.size() / cached_seconds,
+              speedup);
+  std::printf(
+      "cache: %llu hits / %llu misses (%.0f%% hit-rate), %zu "
+      "dedup-shared, %zu instance builds\n",
+      static_cast<unsigned long long>(cs.hits),
+      static_cast<unsigned long long>(cs.misses), 100 * hit_rate,
+      dedup_shared, instance_builds);
+  std::printf(identical
+                  ? "all cached/shared responses bit-identical to the "
+                    "uncached path\n"
+                  : "DETERMINISM VIOLATION: pipeline output differs from "
+                    "the uncached path\n");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write %s\n", out_path.c_str());
+    TPP_CHECK(identical);
+    return 0;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"plan_cache\",\n");
+  std::fprintf(f, "  \"fixture\": \"arenas_email_like\",\n");
+  std::fprintf(f, "  \"nights\": %d,\n", kNights);
+  std::fprintf(f, "  \"requests_per_night\": %zu,\n", night.size());
+  std::fprintf(f, "  \"duplicate_fraction\": 0.5,\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"identical_to_uncached\": %s,\n",
+               identical ? "true" : "false");
+  std::fprintf(f, "  \"uncached_seconds\": %.4f,\n", uncached_seconds);
+  std::fprintf(f, "  \"cached_seconds\": %.4f,\n", cached_seconds);
+  std::fprintf(f, "  \"aggregate_speedup\": %.2f,\n", speedup);
+  std::fprintf(f, "  \"cache_hits\": %llu,\n",
+               static_cast<unsigned long long>(cs.hits));
+  std::fprintf(f, "  \"cache_misses\": %llu,\n",
+               static_cast<unsigned long long>(cs.misses));
+  std::fprintf(f, "  \"cache_evictions\": %llu,\n",
+               static_cast<unsigned long long>(cs.evictions));
+  std::fprintf(f, "  \"cache_hit_rate\": %.4f,\n", hit_rate);
+  std::fprintf(f, "  \"dedup_shared\": %zu,\n", dedup_shared);
+  std::fprintf(f, "  \"instance_builds\": %zu\n", instance_builds);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("[json] %s\n", out_path.c_str());
+  // Fail AFTER writing so a determinism regression still uploads the
+  // JSON evidence from CI.
+  TPP_CHECK(identical);
+  return 0;
+}
 
 int Run(int argc, char** argv) {
   Result<ParsedArgs> args = ParsedArgs::Parse(argc, argv);
@@ -110,6 +248,8 @@ int Run(int argc, char** argv) {
   const size_t num_requests = static_cast<size_t>(*requests_flag);
   const std::string out_path =
       args->GetString("out", "BENCH_service_throughput.json");
+  const std::string cache_out_path =
+      args->GetString("cache-out", "BENCH_plan_cache.json");
   const size_t reps = quick ? 1 : 3;
 
   PlanService plan_service(*graph::MakeArenasEmailLike(1));
@@ -199,10 +339,14 @@ int Run(int argc, char** argv) {
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("[json] %s\n", out_path.c_str());
+
+  int cache_rc = RunPlanCacheScenario(plan_service, num_requests,
+                                      /*budget=*/quick ? 8 : 24, quick,
+                                      cache_out_path);
   // Fail AFTER writing so a determinism regression still uploads the
   // JSON evidence (with identical_to_sequential: false) from CI.
   TPP_CHECK(identical);
-  return 0;
+  return cache_rc;
 }
 
 }  // namespace

@@ -55,6 +55,9 @@ int main(int argc, char** argv) {
   request.sample = 15;
   request.seed = 20240610;
   request.spec.algorithm = "full";
+  // The audit below inspects the released graph, so ask the service to
+  // carry it in the response (off by default to keep batches lean).
+  request.want_released = true;
   tpp::service::PlanResponse response = plan_service.RunOne(request);
   if (!response.status.ok()) {
     std::fprintf(stderr, "protection failed: %s\n",

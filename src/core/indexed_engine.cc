@@ -26,7 +26,6 @@ Result<IndexedEngine> IndexedEngine::Create(const TppInstance& instance) {
 }
 
 std::vector<size_t> IndexedEngine::BatchGain(std::span<const EdgeKey> edges) {
-  gain_evals_ += edges.size();
   std::vector<size_t> out(edges.size());
   // An explicit set_threads() is honored exactly (benchmarks and tests
   // exercise the parallel partition on small batches); the global default
@@ -38,6 +37,7 @@ std::vector<size_t> IndexedEngine::BatchGain(std::span<const EdgeKey> edges) {
                      edges.size() / kMinEdgesPerThread);
   if (workers <= 1) {
     for (size_t i = 0; i < edges.size(); ++i) out[i] = index_.Gain(edges[i]);
+    gain_evals_ += edges.size();
     return out;
   }
   // Chunked dynamic partition on the shared process pool: workers claim
@@ -49,6 +49,10 @@ std::vector<size_t> IndexedEngine::BatchGain(std::span<const EdgeKey> edges) {
       [&](size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) out[i] = index_.Gain(edges[i]);
       });
+  // Work accounting folds in after the parallel region: ParallelFor
+  // covers all of [0, n) before returning, so the count is exactly the
+  // batch size and pool workers never write unsynchronized engine state.
+  gain_evals_ += edges.size();
   return out;
 }
 

@@ -59,6 +59,19 @@ class IndexedEngine : public Engine {
   const graph::Graph& CurrentGraph() const override { return g_; }
   uint64_t GainEvaluations() const override { return gain_evals_; }
 
+  /// Cheap private copy for shared-instance batching: duplicates the
+  /// current graph and the index's alive-count state so the clone can
+  /// commit deletions without touching this engine. Cloning a
+  /// freshly-built engine is indistinguishable from building a second
+  /// engine from the same instance — same graph, same index contents,
+  /// work counter at zero — at the cost of a flat-array copy instead of a
+  /// full motif re-enumeration. The thread budget is inherited.
+  IndexedEngine Clone() const {
+    IndexedEngine copy(*this);
+    copy.gain_evals_ = 0;
+    return copy;
+  }
+
   /// Overrides the worker-thread budget for BatchGain on this engine and
   /// disables the batch-size heuristic (exactly this many workers, capped
   /// by the batch length); 0 (the default) defers to

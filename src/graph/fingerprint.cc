@@ -1,0 +1,22 @@
+#include "graph/fingerprint.h"
+
+#include "common/rng.h"
+
+namespace tpp::graph {
+
+uint64_t Fingerprint(const Graph& g) {
+  // Chained SplitMix64 over the canonical edge enumeration. The chain is
+  // order-sensitive, but adjacency lists are always sorted, so the
+  // enumeration order — and therefore the value — is a pure function of
+  // the structure.
+  uint64_t h = SplitMix64(0x9a7fb55ad05f6a21ull ^ g.NumNodes());
+  h = SplitMix64(h ^ g.NumEdges());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      if (v > u) h = SplitMix64(h ^ MakeEdgeKey(u, v));
+    }
+  }
+  return h;
+}
+
+}  // namespace tpp::graph

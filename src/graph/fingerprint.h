@@ -1,0 +1,26 @@
+// Structural graph fingerprint for content-addressed caching.
+
+#ifndef TPP_GRAPH_FINGERPRINT_H_
+#define TPP_GRAPH_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace tpp::graph {
+
+/// 64-bit fingerprint of a graph's exact structure: node count plus the
+/// full edge set, chained through the SplitMix64 avalanche mix in
+/// canonical (sorted-adjacency) order. Two graphs compare equal under
+/// operator== iff they fingerprint equal (up to 64-bit collisions, which
+/// the plan cache accepts because its keys also embed the request
+/// payload). Any AddEdge/RemoveEdge changes the value, which is what lets
+/// cache entries keyed on the fingerprint self-invalidate when the base
+/// graph of a service changes.
+///
+/// Cost: one mix per edge, O(n + m), no allocation.
+uint64_t Fingerprint(const Graph& g);
+
+}  // namespace tpp::graph
+
+#endif  // TPP_GRAPH_FINGERPRINT_H_

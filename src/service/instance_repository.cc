@@ -1,0 +1,52 @@
+#include "service/instance_repository.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace tpp::service {
+
+using core::IndexedEngine;
+using core::TppInstance;
+
+size_t InstanceRepository::Intern(const std::vector<graph::Edge>& targets,
+                                  motif::MotifKind motif) {
+  std::string key =
+      StrFormat("%d|", static_cast<int>(motif));
+  for (const graph::Edge& e : targets) {
+    key += StrFormat("%u-%u;", e.u, e.v);
+  }
+  auto [it, inserted] = ids_.try_emplace(std::move(key), groups_.size());
+  if (inserted) {
+    Group& group = groups_.emplace_back();
+    group.targets = targets;
+    group.motif = motif;
+  }
+  return it->second;
+}
+
+Result<IndexedEngine> InstanceRepository::AcquireEngine(size_t group_id) {
+  Group& group = groups_[group_id];
+  std::call_once(group.built, [&] {
+    builds_.fetch_add(1, std::memory_order_relaxed);
+    Result<TppInstance> instance =
+        core::MakeInstance(*base_, group.targets, group.motif);
+    if (!instance.ok()) {
+      group.status = instance.status();
+      return;
+    }
+    group.instance.emplace(std::move(*instance));
+    Result<IndexedEngine> engine = IndexedEngine::Create(*group.instance);
+    if (!engine.ok()) {
+      group.status = engine.status();
+      group.instance.reset();
+      return;
+    }
+    group.engine.emplace(std::move(*engine));
+  });
+  acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  if (!group.status.ok()) return group.status;
+  return group.engine->Clone();
+}
+
+}  // namespace tpp::service

@@ -1,0 +1,102 @@
+// InstanceRepository: build-once sharing of (targets, motif) problem
+// instances within a batch.
+//
+// Requests naming the same resolved target list and motif would each
+// rebuild the same TppInstance and CSR IncidenceIndex — the dominant
+// serving cost on large graphs (a full motif enumeration per request).
+// The repository interns each distinct (ordered target list, motif) pair
+// into a group, builds the group's instance and a prototype IndexedEngine
+// exactly once (thread-safe: the first acquirer builds, concurrent
+// acquirers wait on the same once_flag), and hands every request a
+// private engine clone (IndexedEngine::Clone) whose committed deletions
+// cannot leak across requests.
+//
+// Target ORDER is part of the group identity: per-target budget division
+// and plan serialization follow target positions, so reordered target
+// lists are distinct instances — collapsing them would change responses.
+//
+// A repository lives for one RunBatch pipeline execution; build errors
+// (e.g. a target link absent from the base) are memoized per group so
+// every member request reports the same status a standalone run would.
+
+#ifndef TPP_SERVICE_INSTANCE_REPOSITORY_H_
+#define TPP_SERVICE_INSTANCE_REPOSITORY_H_
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/indexed_engine.h"
+#include "core/problem.h"
+#include "graph/graph.h"
+#include "motif/motif.h"
+
+namespace tpp::service {
+
+class InstanceRepository {
+ public:
+  /// `base` must outlive the repository.
+  explicit InstanceRepository(const graph::Graph* base) : base_(base) {}
+
+  InstanceRepository(const InstanceRepository&) = delete;
+  InstanceRepository& operator=(const InstanceRepository&) = delete;
+
+  /// Interns (targets, motif) and returns its group id; the same pair
+  /// always returns the same id. Not thread-safe — call from the
+  /// single-threaded group-by stage of the pipeline.
+  size_t Intern(const std::vector<graph::Edge>& targets,
+                motif::MotifKind motif);
+
+  /// Builds the group's TppInstance + prototype engine on first call
+  /// (thread-safe build-once) and returns a private clone. Build errors
+  /// are memoized: every acquirer of a failed group gets the same status.
+  Result<core::IndexedEngine> AcquireEngine(size_t group);
+
+  /// The group's problem instance; valid only after AcquireEngine(group)
+  /// returned OK, immutable from then on (safe to read concurrently).
+  const core::TppInstance& instance(size_t group) const {
+    return *groups_[group].instance;
+  }
+
+  /// Distinct (targets, motif) groups interned.
+  size_t NumGroups() const { return groups_.size(); }
+
+  /// Prototype builds performed (<= NumGroups(): only acquired groups
+  /// build).
+  size_t NumBuilds() const {
+    return builds_.load(std::memory_order_relaxed);
+  }
+
+  /// Engine clones handed out; NumAcquisitions() - NumBuilds() full index
+  /// builds were avoided by sharing.
+  size_t NumAcquisitions() const {
+    return acquisitions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Group {
+    std::vector<graph::Edge> targets;
+    motif::MotifKind motif = motif::MotifKind::kTriangle;
+    std::once_flag built;
+    Status status = Status::Ok();
+    std::optional<core::TppInstance> instance;
+    std::optional<core::IndexedEngine> engine;  // the shared prototype
+  };
+
+  const graph::Graph* base_;
+  // deque: push_back never moves existing groups, so once_flags and
+  // handed-out instance references stay valid as interning continues.
+  std::deque<Group> groups_;
+  std::unordered_map<std::string, size_t> ids_;
+  std::atomic<size_t> builds_{0};
+  std::atomic<size_t> acquisitions_{0};
+};
+
+}  // namespace tpp::service
+
+#endif  // TPP_SERVICE_INSTANCE_REPOSITORY_H_

@@ -1,0 +1,94 @@
+#include "service/plan_cache.h"
+
+#include "common/strings.h"
+
+namespace tpp::service {
+
+std::string CanonicalRequestKey(uint64_t base_fingerprint,
+                                const PlanRequest& request) {
+  std::string key = StrFormat(
+      "tpp-plan-v1|fp=%016llx|motif=%s|alg=%s|scope=%d|lazy=%d|seed=%llu|"
+      "rel=%d|",
+      static_cast<unsigned long long>(base_fingerprint),
+      std::string(motif::MotifName(request.motif)).c_str(),
+      request.spec.algorithm.c_str(), static_cast<int>(request.spec.scope),
+      request.spec.lazy ? 1 : 0,
+      static_cast<unsigned long long>(request.seed),
+      request.want_released ? 1 : 0);
+  if (request.spec.budget == core::SolverSpec::kFullProtection) {
+    key += "budget=full|";
+  } else {
+    key += StrFormat("budget=%llu|",
+                     static_cast<unsigned long long>(request.spec.budget));
+  }
+  if (request.targets.empty()) {
+    key += StrFormat("sample=%llu",
+                     static_cast<unsigned long long>(request.sample));
+  } else {
+    // Endpoint order is preserved: targets are carried through to plan
+    // serialization as written, so (2,1) and (1,2) are distinct payloads.
+    key += "links=";
+    for (const graph::Edge& e : request.targets) {
+      key += StrFormat("%u-%u;", e.u, e.v);
+    }
+  }
+  return key;
+}
+
+bool PlanCache::Lookup(const std::string& key, PlanResponse* out) {
+  Entry entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    entry = it->second->second;
+  }
+  // The deep copy (possibly a whole released graph) runs unlocked; the
+  // shared_ptr keeps the payload alive past any concurrent eviction.
+  *out = *entry;
+  return true;
+}
+
+void PlanCache::Insert(const std::string& key, PlanResponse response) {
+  Entry entry = std::make_shared<const PlanResponse>(std::move(response));
+  Entry evicted;  // destroyed outside the lock
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    evicted = std::exchange(it->second->second, std::move(entry));
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(entry));
+  index_[key] = lru_.begin();
+  if (capacity_ > 0 && lru_.size() > capacity_) {
+    evicted = std::move(lru_.back().second);
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.size = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  index_.clear();
+  lru_.clear();
+}
+
+}  // namespace tpp::service

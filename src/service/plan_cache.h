@@ -1,0 +1,102 @@
+// PlanCache: content-addressed LRU memo of plan responses.
+//
+// Nightly protection batches re-issue identical (targets, motif, spec,
+// seed) requests against the same released base graph over and over. The
+// cache memoizes the full PlanResponse under a canonical key string that
+// embeds graph::Fingerprint(base) plus every response-relevant request
+// field (the request name is excluded — it never reaches the payload).
+// Keying on the fingerprint makes entries self-invalidate when the base
+// graph changes: a modified base produces a new fingerprint, so stale
+// entries simply never match again and age out of the LRU ring. Keys are
+// compared by full string equality, so a hit is exact over the key
+// itself — the request-payload fields cannot collide; the graph is
+// abbreviated by its 64-bit fingerprint, whose ~2^-64 collision risk the
+// cache accepts (see graph/fingerprint.h).
+//
+// Failed responses are cached too: a request that deterministically fails
+// (e.g. sampling more targets than the graph has edges) fails identically
+// on recomputation, so serving the memoized status preserves bit-identity.
+//
+// Thread-safe: PlanService pipeline workers probe and fill one cache
+// concurrently; a single mutex suffices because entries are coarse (one
+// solved plan) and the guarded work is a hash lookup plus a splice.
+
+#ifndef TPP_SERVICE_PLAN_CACHE_H_
+#define TPP_SERVICE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "service/plan_service.h"
+
+namespace tpp::service {
+
+/// Canonical content key of one request against one base graph: a pure
+/// function of the fingerprint and the request payload (name excluded).
+/// Equal keys imply bit-identical responses; any field that can change
+/// the response — including seed, scope, lazy, budget, and whether the
+/// released graph is wanted — changes the key.
+std::string CanonicalRequestKey(uint64_t base_fingerprint,
+                                const PlanRequest& request);
+
+/// LRU-bounded response memo. See file comment.
+class PlanCache {
+ public:
+  /// Running totals; size/capacity are a snapshot at stats() time.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t size = 0;
+    size_t capacity = 0;
+  };
+
+  /// `capacity` bounds the number of memoized responses; 0 means
+  /// unbounded (no evictions).
+  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Copies the memoized response for `key` into `*out` and marks the
+  /// entry most-recently-used. Counts a hit or a miss. The payload copy
+  /// (which may embed a released graph) happens outside the lock —
+  /// entries are immutable and shared_ptr-owned, so the critical section
+  /// is just the hash lookup plus the LRU splice.
+  bool Lookup(const std::string& key, PlanResponse* out);
+
+  /// Memoizes `response` under `key`, evicting the least-recently-used
+  /// entry when at capacity. Inserting an existing key refreshes the
+  /// entry (last writer wins — with deterministic responses both writers
+  /// carry the same payload).
+  void Insert(const std::string& key, PlanResponse response);
+
+  Stats stats() const;
+
+  /// Drops every entry (counters keep running).
+  void Clear();
+
+ private:
+  // Entries are immutable once inserted; shared_ptr ownership lets
+  // Lookup hand the payload out of the critical section safely even if
+  // the entry is evicted a moment later.
+  using Entry = std::shared_ptr<const PlanResponse>;
+  using LruList = std::list<std::pair<std::string, Entry>>;
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace tpp::service
+
+#endif  // TPP_SERVICE_PLAN_CACHE_H_

@@ -1,13 +1,24 @@
 #include "service/plan_service.h"
 
+#include <atomic>
+#include <condition_variable>
 #include <fstream>
+#include <limits>
+#include <mutex>
+#include <optional>
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 #include "common/flags.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/indexed_engine.h"
+#include "graph/fingerprint.h"
+#include "service/instance_repository.h"
+#include "service/plan_cache.h"
 
 namespace tpp::service {
 
@@ -16,7 +27,35 @@ using core::SolverSpec;
 using core::TppInstance;
 using graph::Edge;
 
+namespace {
+
+constexpr size_t kNoGroup = std::numeric_limits<size_t>::max();
+
+// The solve tail shared by RunOne and the batch pipeline: everything
+// after the targets are resolved and an engine over the instance exists.
+// Keeping it one function makes "pipeline output == sequential RunOne
+// loop" an identity by construction, not by coincidence.
+void SolveWithEngine(const PlanRequest& request, const TppInstance& instance,
+                     IndexedEngine& engine, Rng& rng,
+                     PlanResponse* response) {
+  Result<core::ProtectionResult> result =
+      core::RunSolver(request.spec, engine, instance, rng);
+  if (!result.ok()) {
+    response->status = result.status();
+    return;
+  }
+  response->result = std::move(*result);
+  response->plan_text =
+      core::SerializeDeletionPlan(instance, response->result);
+  if (request.want_released) response->released = engine.CurrentGraph();
+}
+
+}  // namespace
+
 Rng RequestRng(uint64_t seed) { return Rng(SplitMix64(seed)); }
+
+PlanService::PlanService(graph::Graph base)
+    : base_(std::move(base)), fingerprint_(graph::Fingerprint(base_)) {}
 
 PlanResponse PlanService::RunOne(const PlanRequest& request) const {
   WallTimer timer;
@@ -46,62 +85,287 @@ PlanResponse PlanService::RunOne(const PlanRequest& request) const {
     response.status = engine.status();
     return response;
   }
-  Result<core::ProtectionResult> result =
-      core::RunSolver(request.spec, *engine, *instance, rng);
-  if (!result.ok()) {
-    response.status = result.status();
-    return response;
-  }
-  response.result = std::move(*result);
-  response.plan_text = core::SerializeDeletionPlan(*instance,
-                                                   response.result);
-  response.released = engine->CurrentGraph();
+  SolveWithEngine(request, *instance, *engine, rng, &response);
+  if (!response.status.ok()) return response;
   response.seconds = timer.Seconds();
   return response;
 }
 
+std::vector<PlanResponse> PlanService::RunPipeline(
+    std::span<const PlanRequest> requests, const BatchOptions& options,
+    const ResponseSink* sink) const {
+  const size_t n = requests.size();
+  std::vector<PlanResponse> responses(n);
+  BatchStats stats;
+  stats.requests = n;
+  if (n == 0) {
+    if (options.stats) *options.stats = stats;
+    return responses;
+  }
+
+  // -- Stage 1: canonicalize. One content key per request, a pure
+  // function of the base-graph fingerprint and the request payload.
+  // Keys feed dedup and the cache only; with both disabled the stage is
+  // skipped entirely.
+  const bool need_keys = options.dedup || options.cache != nullptr;
+  std::vector<std::string> keys(need_keys ? n : 0);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = CanonicalRequestKey(fingerprint_, requests[i]);
+  }
+
+  // -- Stage 2: dedup. The first occurrence of a key is the
+  // representative; later occurrences share its response. Identical keys
+  // imply identical payloads, so sharing is bit-identical to re-solving.
+  std::vector<size_t> rep(n);
+  if (options.dedup) {
+    std::unordered_map<std::string_view, size_t> first;
+    first.reserve(n * 2);
+    for (size_t i = 0; i < n; ++i) {
+      auto [it, inserted] = first.try_emplace(keys[i], i);
+      rep[i] = it->second;
+      if (!inserted) ++stats.dedup_shared;
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) rep[i] = i;
+  }
+
+  // -- Stage 3: cache probe (representatives only). Hits are final
+  // immediately; misses become solve units.
+  struct Unit {
+    size_t index = 0;        // the representative's input position
+    std::optional<Rng> rng;  // stream already advanced past sampling
+    size_t group = kNoGroup;
+    bool failed = false;     // resolution failed; status already recorded
+  };
+  std::vector<char> done(n, 0);  // representative slots that are final
+  std::vector<Unit> units;
+  for (size_t i = 0; i < n; ++i) {
+    if (rep[i] != i) continue;
+    if (options.cache && options.cache->Lookup(keys[i], &responses[i])) {
+      responses[i].from_cache = true;
+      done[i] = 1;
+      ++stats.cache_hits;
+      continue;
+    }
+    Unit unit;
+    unit.index = i;
+    units.push_back(std::move(unit));
+  }
+  stats.solved = units.size();
+
+  // -- Stage 4: resolve targets and group by instance. Sampling draws
+  // come from the request's own stream exactly as RunOne draws them, and
+  // the advanced stream is kept for the solve stage. Units with the same
+  // resolved (targets, motif) land in one repository group and will share
+  // a single TppInstance + IncidenceIndex build.
+  InstanceRepository repository(&base_);
+  for (Unit& unit : units) {
+    const PlanRequest& request = requests[unit.index];
+    PlanResponse& response = responses[unit.index];
+    unit.rng.emplace(RequestRng(request.seed));
+    if (request.targets.empty()) {
+      Result<std::vector<Edge>> sampled =
+          core::SampleTargets(base_, request.sample, *unit.rng);
+      if (!sampled.ok()) {
+        response.status = sampled.status();
+        unit.failed = true;
+        continue;
+      }
+      response.targets = std::move(*sampled);
+    } else {
+      response.targets = request.targets;
+    }
+    if (options.share_instances) {
+      unit.group = repository.Intern(response.targets, request.motif);
+    }
+  }
+
+  // -- Stages 5-7: build-once, solve, serialize, cache-fill. Units are
+  // claimed dynamically by up to max_workers workers. Mirroring
+  // ThreadPool::ParallelFor, the calling thread always participates, so
+  // progress never depends on a free pool thread; between its own units
+  // (and while waiting at the end) it also delivers the completed
+  // in-order prefix to the sink.
+  int max_workers =
+      options.max_workers > 0 ? options.max_workers : GlobalThreadCount();
+  std::mutex mu;
+  std::condition_variable cv;
+  int helpers_left = 0;  // guarded by mu
+  std::atomic<size_t> next{0};
+
+  auto run_unit = [&](Unit& unit) {
+    WallTimer timer;
+    const PlanRequest& request = requests[unit.index];
+    PlanResponse& response = responses[unit.index];
+    if (!unit.failed) {
+      if (unit.group != kNoGroup) {
+        Result<IndexedEngine> engine = repository.AcquireEngine(unit.group);
+        if (!engine.ok()) {
+          response.status = engine.status();
+        } else {
+          SolveWithEngine(request, repository.instance(unit.group), *engine,
+                          *unit.rng, &response);
+        }
+      } else {
+        // Unshared path (share_instances off): the per-request build of
+        // RunOne.
+        Result<TppInstance> instance =
+            core::MakeInstance(base_, response.targets, request.motif);
+        if (!instance.ok()) {
+          response.status = instance.status();
+        } else {
+          Result<IndexedEngine> engine = IndexedEngine::Create(*instance);
+          if (!engine.ok()) {
+            response.status = engine.status();
+          } else {
+            SolveWithEngine(request, *instance, *engine, *unit.rng,
+                            &response);
+          }
+        }
+      }
+      if (response.status.ok()) response.seconds = timer.Seconds();
+    }
+    // Failed responses are memoized too: deterministic inputs fail
+    // deterministically, so a cached failure equals a recomputed one.
+    if (options.cache) options.cache->Insert(keys[unit.index], response);
+  };
+  // -- Stage 8 (interleaved): deliver in input order. `delivered` is only
+  // touched by the calling thread; a done flag observed under the mutex
+  // happens-after the worker's writes to that response slot, and final
+  // slots are never written again, so the copy/sink below runs unlocked.
+  size_t delivered = 0;
+  auto deliver_ready = [&] {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (delivered >= n || !done[rep[delivered]]) return;
+      }
+      size_t i = delivered++;
+      if (rep[i] != i) responses[i] = responses[rep[i]];
+      if (sink) (*sink)(i, responses[i]);
+    }
+  };
+  // `deliver` is true only on the calling thread: it flushes the ready
+  // prefix between its own units, so a 1-worker run streams
+  // solve-one-deliver-one and a parallel run streams at request
+  // granularity.
+  auto claim_units = [&](bool deliver) {
+    for (;;) {
+      if (deliver) deliver_ready();
+      size_t k = next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= units.size()) break;
+      run_unit(units[k]);
+      {
+        // Notify under the lock: the caller destroys cv right after its
+        // exit predicate holds, so a notify outside the critical section
+        // could touch a dead condition variable.
+        std::lock_guard<std::mutex> lock(mu);
+        done[units[k].index] = 1;
+        cv.notify_all();
+      }
+    }
+  };
+
+  int helpers = 0;
+  if (units.size() > 1 && max_workers > 1) {
+    helpers = static_cast<int>(std::min<size_t>(
+        static_cast<size_t>(max_workers - 1), units.size() - 1));
+  }
+  if (helpers > 0) {
+    helpers_left = helpers;
+    ThreadPool& pool = GlobalThreadPool();
+    pool.EnsureThreads(helpers);
+    for (int h = 0; h < helpers; ++h) {
+      // Helpers capture the local pipeline state by reference; the final
+      // wait below does not return until every helper task has finished,
+      // so nothing of this frame escapes the call.
+      pool.Run([&] {
+        claim_units(/*deliver=*/false);
+        // Notify under the lock (see claim_units): after the caller sees
+        // helpers_left == 0 this frame — cv included — may be gone.
+        std::lock_guard<std::mutex> lock(mu);
+        --helpers_left;
+        cv.notify_all();
+      });
+    }
+  }
+
+  claim_units(/*deliver=*/true);  // the caller is always worker 0
+  for (;;) {
+    deliver_ready();
+    std::unique_lock<std::mutex> lock(mu);
+    if (delivered == n && helpers_left == 0) break;
+    cv.wait(lock, [&] {
+      return helpers_left == 0 ||
+             (delivered < n && done[rep[delivered]]);
+    });
+  }
+
+  stats.instance_groups = repository.NumGroups();
+  stats.instance_builds = repository.NumBuilds();
+  if (options.stats) *options.stats = stats;
+  return responses;
+}
+
 std::vector<PlanResponse> PlanService::RunBatch(
     std::span<const PlanRequest> requests, int max_workers) const {
-  std::vector<PlanResponse> responses(requests.size());
-  if (max_workers <= 0) max_workers = GlobalThreadCount();
-  // One request per chunk: requests are coarse units, and dynamic chunk
-  // claiming already balances uneven solver costs across workers.
-  GlobalThreadPool().ParallelFor(
-      requests.size(), max_workers, /*grain=*/1,
-      [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          responses[i] = RunOne(requests[i]);
-        }
-      });
-  return responses;
+  BatchOptions options;
+  options.max_workers = max_workers;
+  return RunPipeline(requests, options, nullptr);
+}
+
+std::vector<PlanResponse> PlanService::RunBatch(
+    std::span<const PlanRequest> requests,
+    const BatchOptions& options) const {
+  return RunPipeline(requests, options, nullptr);
+}
+
+void PlanService::RunBatch(std::span<const PlanRequest> requests,
+                           const BatchOptions& options,
+                           const ResponseSink& sink) const {
+  RunPipeline(requests, options, &sink);
 }
 
 Result<std::vector<Edge>> ParseLinkList(std::string_view value) {
   std::vector<Edge> links;
+  std::unordered_set<graph::EdgeKey> seen;
   for (std::string_view pair : SplitNonEmpty(value, ";")) {
-    std::vector<std::string_view> ends = SplitNonEmpty(pair, "-");
-    if (ends.size() != 2) {
+    // Exactly one '-' with a non-empty id on each side; a lenient split
+    // would silently accept "-1-2" or "1--2" as "1-2".
+    size_t dash = pair.find('-');
+    if (dash == 0 || dash == std::string_view::npos ||
+        dash + 1 == pair.size() ||
+        pair.find('-', dash + 1) != std::string_view::npos) {
       return Status::InvalidArgument(
           StrFormat("link '%s' is not of the form u-v",
                     std::string(pair).c_str()));
     }
-    TPP_ASSIGN_OR_RETURN(int64_t u, ParseInt64(ends[0]));
-    TPP_ASSIGN_OR_RETURN(int64_t v, ParseInt64(ends[1]));
-    if (u < 0 || v < 0) {
+    // The strict split above means neither operand can carry a sign, so
+    // the parsed values are non-negative by construction.
+    TPP_ASSIGN_OR_RETURN(int64_t u, ParseInt64(pair.substr(0, dash)));
+    TPP_ASSIGN_OR_RETURN(int64_t v, ParseInt64(pair.substr(dash + 1)));
+    constexpr int64_t kMaxNodeId = std::numeric_limits<graph::NodeId>::max();
+    if (u > kMaxNodeId || v > kMaxNodeId) {
       return Status::InvalidArgument(
-          StrFormat("negative node id in '%s'",
+          StrFormat("node id out of range in '%s'",
                     std::string(pair).c_str()));
     }
-    links.emplace_back(static_cast<graph::NodeId>(u),
-                       static_cast<graph::NodeId>(v));
+    if (u == v) {
+      return Status::InvalidArgument(
+          StrFormat("link '%s' is a self-loop", std::string(pair).c_str()));
+    }
+    Edge link(static_cast<graph::NodeId>(u), static_cast<graph::NodeId>(v));
+    if (!seen.insert(link.Key()).second) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate link '%s'", std::string(pair).c_str()));
+    }
+    links.push_back(link);
   }
   return links;
 }
 
-namespace {
-
-Result<PlanRequest> ParseRequestLine(std::string_view text, size_t line,
-                                     size_t index) {
+Result<PlanRequest> ParsePlanRequestLine(std::string_view text, size_t line,
+                                         size_t index) {
   PlanRequest request;
   request.name = StrFormat("r%zu", index);
   for (std::string_view token : SplitNonEmpty(text, " \t")) {
@@ -167,6 +431,10 @@ Result<PlanRequest> ParseRequestLine(std::string_view text, size_t line,
       request.spec.scope = *scope;
     } else if (key == "lazy") {
       request.spec.lazy = value == "1" || value == "true";
+    } else if (key == "released") {
+      // Carrying the released graph costs O(graph) memory per response;
+      // batches opt in per request.
+      request.want_released = value == "1" || value == "true";
     } else {
       return Status::InvalidArgument(
           StrFormat("line %zu: unknown key '%s'", line,
@@ -184,12 +452,9 @@ Result<PlanRequest> ParseRequestLine(std::string_view text, size_t line,
   return request;
 }
 
-}  // namespace
-
-Result<std::vector<PlanRequest>> ParsePlanRequests(const std::string& text) {
+Result<std::vector<PlanRequest>> ParsePlanRequests(std::istream& stream) {
   std::vector<PlanRequest> requests;
   size_t line_number = 0;
-  std::istringstream stream(text);
   std::string line;
   while (std::getline(stream, line)) {
     ++line_number;
@@ -197,18 +462,21 @@ Result<std::vector<PlanRequest>> ParsePlanRequests(const std::string& text) {
     if (stripped.empty() || stripped.front() == '#') continue;
     TPP_ASSIGN_OR_RETURN(
         PlanRequest request,
-        ParseRequestLine(stripped, line_number, requests.size()));
+        ParsePlanRequestLine(stripped, line_number, requests.size()));
     requests.push_back(std::move(request));
   }
   return requests;
 }
 
+Result<std::vector<PlanRequest>> ParsePlanRequests(const std::string& text) {
+  std::istringstream stream(text);
+  return ParsePlanRequests(stream);
+}
+
 Result<std::vector<PlanRequest>> LoadPlanRequests(const std::string& path) {
   std::ifstream f(path);
   if (!f) return Status::IoError("cannot open " + path);
-  std::ostringstream buf;
-  buf << f.rdbuf();
-  return ParsePlanRequests(buf.str());
+  return ParsePlanRequests(f);
 }
 
 }  // namespace tpp::service

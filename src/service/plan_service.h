@@ -1,12 +1,30 @@
 // PlanService: one loaded base graph serving batches of TPP protection
-// requests concurrently.
+// requests through a staged pipeline.
 //
 // The deployment story of target privacy preserving is a stream of
 // designated users ("protect these links before the next release") hitting
-// one released network. The service loads the base graph once; each
-// PlanRequest names its targets (explicitly or by sample count), a motif,
-// and a SolverSpec, and RunBatch executes the requests concurrently on
-// the shared process thread pool (common/thread_pool.h).
+// one released network, and nightly batches repeat much of the same work.
+// The service loads the base graph once; each PlanRequest names its
+// targets (explicitly or by sample count), a motif, and a SolverSpec, and
+// RunBatch executes the requests through an explicit pipeline:
+//
+//   canonicalize  — derive each request's content key (base-graph
+//                   fingerprint + request payload; plan_cache.h)
+//   cache-probe   — serve repeats of earlier batches from the optional
+//                   PlanCache
+//   dedup         — requests with identical keys inside the batch solve
+//                   once and share the response
+//   group-by-instance — requests with the same (targets, motif) share one
+//                   TppInstance + IncidenceIndex build
+//                   (instance_repository.h)
+//   build-once / solve / serialize — build each group's prototype engine
+//                   once, hand every request a private IndexedEngine
+//                   clone, run the spec'd solver, serialize the plan
+//   cache-fill    — insert fresh responses into the cache
+//
+// Every stage is a pure optimization: responses are bit-identical to a
+// sequential RunOne loop at any worker count, cache state, or sharing
+// group (regression-tested in tests/plan_pipeline_test.cc).
 //
 // Determinism: every request derives its own RNG stream purely from its
 // seed (Rng(SplitMix64(seed)), see common/rng.h), so responses are
@@ -25,6 +43,8 @@
 #ifndef TPP_SERVICE_PLAN_SERVICE_H_
 #define TPP_SERVICE_PLAN_SERVICE_H_
 
+#include <functional>
+#include <istream>
 #include <span>
 #include <string>
 #include <vector>
@@ -38,10 +58,13 @@
 
 namespace tpp::service {
 
+class PlanCache;  // plan_cache.h
+
 /// One unit of work: protect one target set of the base graph.
 struct PlanRequest {
   /// Request id, used in reports and plan file names. Parsed files default
-  /// it to "r<line-index>".
+  /// it to "r<line-index>". Excluded from the cache key: two requests that
+  /// differ only in name produce the same response payload.
   std::string name;
   /// Explicit target links. When empty, `sample` links are drawn
   /// uniformly from the base graph's edges instead.
@@ -50,6 +73,10 @@ struct PlanRequest {
   motif::MotifKind motif = motif::MotifKind::kTriangle;
   core::SolverSpec spec;  ///< algorithm, scope, lazy flag, budget
   uint64_t seed = 1;      ///< per-request RNG stream seed
+  /// Copy the final released graph into PlanResponse::released. Off by
+  /// default so large batches do not hold O(batch x graph) memory; `tpp
+  /// protect` and the request-file key `released=1` turn it on.
+  bool want_released = false;
 };
 
 /// Outcome of one request. Failures are isolated: a bad request yields a
@@ -59,9 +86,53 @@ struct PlanResponse {
   std::vector<graph::Edge> targets;  ///< realized targets (sampled or given)
   core::ProtectionResult result;
   std::string plan_text;      ///< SerializeDeletionPlan output
-  graph::Graph released{0};   ///< base minus targets minus protectors
+  /// Base minus targets minus protectors; only populated when the request
+  /// set want_released (empty Graph(0) otherwise).
+  graph::Graph released{0};
   double seconds = 0;         ///< wall time of this request
+  bool from_cache = false;    ///< served by a PlanCache hit
 };
+
+/// Counters one pipeline run fills when BatchOptions::stats is set. Every
+/// request is accounted exactly once among cache_hits, dedup_shared, and
+/// solved.
+struct BatchStats {
+  size_t requests = 0;        ///< batch size
+  size_t cache_hits = 0;      ///< served straight from the PlanCache
+  size_t dedup_shared = 0;    ///< shared an in-batch representative's work
+  size_t solved = 0;          ///< executed by the solve stage (incl. failures)
+  size_t instance_groups = 0; ///< distinct (targets, motif) groups solved
+  size_t instance_builds = 0; ///< TppInstance + index builds performed
+};
+
+/// Knobs of one RunBatch pipeline execution.
+struct BatchOptions {
+  /// Concurrent requests at a time; <= 0 uses GlobalThreadCount().
+  int max_workers = 0;
+  /// Optional response memo shared across batches (and across services:
+  /// keys embed the base-graph fingerprint). nullptr disables the
+  /// cache-probe and cache-fill stages.
+  PlanCache* cache = nullptr;
+  /// Build each distinct (targets, motif) instance once and clone engines
+  /// (instance_repository.h). Off reproduces the build-per-request path,
+  /// kept for benchmarking the sharing gain; output is identical either
+  /// way.
+  bool share_instances = true;
+  /// Solve identical in-batch requests once and share the response. Off
+  /// solves every request individually (with dedup, sharing, and cache
+  /// all off, the pipeline degenerates to the historical
+  /// one-solve-per-request batch); output is identical either way.
+  bool dedup = true;
+  /// Optional out-param for pipeline counters.
+  BatchStats* stats = nullptr;
+};
+
+/// Streaming delivery callback: invoked once per request, in input order,
+/// on the calling thread, as the completed prefix of the batch grows —
+/// response i is delivered as soon as requests 0..i have all finished, so
+/// long batches can be tailed without waiting for the slowest request.
+using ResponseSink =
+    std::function<void(size_t index, const PlanResponse& response)>;
 
 /// Derives the request's RNG stream from its seed; the single derivation
 /// rule shared by the service and the CLI so batch and standalone runs
@@ -73,33 +144,70 @@ Rng RequestRng(uint64_t seed);
 /// requests out over the shared pool.
 class PlanService {
  public:
-  explicit PlanService(graph::Graph base) : base_(std::move(base)) {}
+  explicit PlanService(graph::Graph base);
 
   const graph::Graph& base() const { return base_; }
 
-  /// Executes one request: sample/validate targets, build the TppInstance
-  /// and IndexedEngine, run the spec'd solver, serialize the plan.
+  /// graph::Fingerprint of the base, computed once at construction; the
+  /// content-address prefix of every cache key this service produces.
+  uint64_t fingerprint() const { return fingerprint_; }
+
+  /// Executes one request cold: sample/validate targets, build the
+  /// TppInstance and IndexedEngine, run the spec'd solver, serialize the
+  /// plan. No cache, no sharing — this is the reference semantics every
+  /// pipeline configuration must reproduce bit-for-bit.
   PlanResponse RunOne(const PlanRequest& request) const;
 
-  /// Executes all requests concurrently (at most `max_workers` at a time;
-  /// <= 0 uses GlobalThreadCount()) and returns responses in input order.
-  /// Output is bit-identical to a sequential RunOne loop.
+  /// Executes all requests through the pipeline (default BatchOptions
+  /// with `max_workers`) and returns responses in input order.
   std::vector<PlanResponse> RunBatch(std::span<const PlanRequest> requests,
                                      int max_workers = 0) const;
 
+  /// Pipeline execution with explicit options; responses in input order.
+  std::vector<PlanResponse> RunBatch(std::span<const PlanRequest> requests,
+                                     const BatchOptions& options) const;
+
+  /// Streaming pipeline execution: delivers each response to `sink` (see
+  /// ResponseSink for the ordering contract) instead of collecting them.
+  /// The calling thread participates in solving, so delivery granularity
+  /// is one request; with max_workers == 1 this is exact
+  /// solve-one-deliver-one streaming.
+  void RunBatch(std::span<const PlanRequest> requests,
+                const BatchOptions& options, const ResponseSink& sink) const;
+
  private:
+  std::vector<PlanResponse> RunPipeline(std::span<const PlanRequest> requests,
+                                        const BatchOptions& options,
+                                        const ResponseSink* sink) const;
+
   graph::Graph base_;
+  uint64_t fingerprint_ = 0;
 };
 
 /// Parses an explicit link list "u-v;u-v;..." (the `links=` value of the
-/// request-file format and the CLI's --links flag).
+/// request-file format and the CLI's --links flag). Rejects malformed
+/// pairs, negative or > 32-bit node ids, self-loops, and duplicate links
+/// (including reversed duplicates like "1-2;2-1").
 Result<std::vector<graph::Edge>> ParseLinkList(std::string_view value);
 
-/// Parses a request file (format above; see docs/SERVICE.md). Errors name
-/// the offending line.
+/// Parses one request line (the format above, already stripped of
+/// comments and surrounding whitespace). `line` is the 1-based line
+/// number used in error messages; `index` names the request "r<index>"
+/// when the line has no name= token. The building block of the stream
+/// overload below, exposed for feeds that arrive a line at a time.
+Result<PlanRequest> ParsePlanRequestLine(std::string_view text, size_t line,
+                                         size_t index);
+
+/// Parses a request stream line by line (format above; see
+/// docs/SERVICE.md) — each line is read, validated, and appended before
+/// the next is pulled from the stream, so arbitrarily long files never
+/// need a second in-memory copy. Errors name the offending line.
+Result<std::vector<PlanRequest>> ParsePlanRequests(std::istream& stream);
+
+/// Parses an in-memory request file.
 Result<std::vector<PlanRequest>> ParsePlanRequests(const std::string& text);
 
-/// Loads and parses a request file from disk.
+/// Loads and parses a request file from disk (line by line).
 Result<std::vector<PlanRequest>> LoadPlanRequests(const std::string& path);
 
 }  // namespace tpp::service

@@ -1,0 +1,61 @@
+// Tests for the structural graph fingerprint (graph/fingerprint.h).
+
+#include "graph/fingerprint.h"
+
+#include "graph/datasets.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace tpp::graph {
+namespace {
+
+using testing::MakeGraph;
+
+TEST(FingerprintTest, EqualGraphsFingerprintEqual) {
+  Graph a = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  // Same structure built in a different insertion order.
+  Graph b = MakeGraph(5, {{3, 4}, {2, 3}, {0, 1}, {1, 2}});
+  ASSERT_TRUE(a == b);
+  EXPECT_EQ(Fingerprint(a), Fingerprint(b));
+}
+
+TEST(FingerprintTest, AnyStructuralChangeChangesTheValue) {
+  Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const uint64_t base = Fingerprint(g);
+
+  Graph extra_edge = g;
+  ASSERT_TRUE(extra_edge.AddEdge(0, 4).ok());
+  EXPECT_NE(Fingerprint(extra_edge), base);
+
+  Graph removed = g;
+  ASSERT_TRUE(removed.RemoveEdge(1, 2).ok());
+  EXPECT_NE(Fingerprint(removed), base);
+
+  // Same edges, one more isolated node: still a different graph.
+  Graph more_nodes = MakeGraph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  EXPECT_NE(Fingerprint(more_nodes), base);
+
+  // Remove-then-re-add restores the structure and the value.
+  Graph round_trip = g;
+  ASSERT_TRUE(round_trip.RemoveEdge(1, 2).ok());
+  ASSERT_TRUE(round_trip.AddEdge(1, 2).ok());
+  EXPECT_EQ(Fingerprint(round_trip), base);
+}
+
+TEST(FingerprintTest, EmptyAndSingletonGraphsAreDistinct) {
+  EXPECT_NE(Fingerprint(Graph(0)), Fingerprint(Graph(1)));
+  EXPECT_NE(Fingerprint(Graph(1)), Fingerprint(Graph(2)));
+}
+
+TEST(FingerprintTest, StableOnRealFixture) {
+  // Deterministic across separate constructions of the same fixture —
+  // the property that makes cache keys reproducible across processes.
+  Graph a = *MakeArenasEmailLike(1);
+  Graph b = *MakeArenasEmailLike(1);
+  EXPECT_EQ(Fingerprint(a), Fingerprint(b));
+  Graph other_seed = *MakeArenasEmailLike(2);
+  EXPECT_NE(Fingerprint(a), Fingerprint(other_seed));
+}
+
+}  // namespace
+}  // namespace tpp::graph

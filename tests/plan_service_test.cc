@@ -39,6 +39,9 @@ std::vector<PlanRequest> MixedBatch() {
     request.spec.budget = i % 8 == 7 ? SolverSpec::kFullProtection
                                      : 4 + i % 3;
     request.seed = 100 + i;
+    // Carry the released graph so the bit-identity checks below compare
+    // it too (batches leave this off by default).
+    request.want_released = true;
     requests.push_back(std::move(request));
   }
   // One request with explicit targets instead of sampling.
@@ -193,6 +196,60 @@ TEST(PlanServiceTest, ParseLinkListRoundTrip) {
   ASSERT_EQ(links->size(), 3u);
   EXPECT_EQ((*links)[2], Edge(5, 3));
   EXPECT_FALSE(ParseLinkList("1-2;x-y").ok());
+}
+
+TEST(PlanServiceTest, ParseLinkListRejectsMalformedAndDegenerateLinks) {
+  // Malformed u-v tokens.
+  EXPECT_FALSE(ParseLinkList("1-2;3").ok());
+  EXPECT_FALSE(ParseLinkList("1-2-3").ok());
+  EXPECT_FALSE(ParseLinkList("-1-2").ok());
+  // Node ids must fit the 32-bit NodeId space; silently truncating a
+  // too-large id would target a different user's link.
+  EXPECT_FALSE(ParseLinkList("1-99999999999").ok());
+  EXPECT_FALSE(ParseLinkList("4294967296-2").ok());
+  EXPECT_TRUE(ParseLinkList("4294967295-2").ok());  // max NodeId is fine
+  // Self-loops are not representable links.
+  EXPECT_FALSE(ParseLinkList("5-5").ok());
+  // Duplicate links, including reversed duplicates: an undirected link
+  // listed twice is a request-file mistake, not two targets.
+  EXPECT_FALSE(ParseLinkList("1-2;1-2").ok());
+  EXPECT_FALSE(ParseLinkList("1-2;3-4;2-1").ok());
+}
+
+TEST(PlanServiceTest, ParseRequestLineEdgeCases) {
+  // Duplicate/degenerate links= values fail at parse time, naming the
+  // line.
+  Result<std::vector<PlanRequest>> dup =
+      ParsePlanRequests("# header\nalgorithm=sgb links=1-2;2-1\n");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.status().ToString().find("line 2"), std::string::npos);
+  EXPECT_FALSE(ParsePlanRequests("links=7-7\n").ok());
+  EXPECT_FALSE(ParsePlanRequests("links=1-99999999999\n").ok());
+
+  // released= toggles the want_released payload flag (off by default).
+  Result<std::vector<PlanRequest>> parsed = ParsePlanRequests(
+      "algorithm=sgb sample=5\n"
+      "algorithm=sgb sample=5 released=1\n"
+      "algorithm=sgb sample=5 released=0\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE((*parsed)[0].want_released);
+  EXPECT_TRUE((*parsed)[1].want_released);
+  EXPECT_FALSE((*parsed)[2].want_released);
+}
+
+TEST(PlanServiceTest, OutOfRangeNodeIdsFailPerRequestNotPerBatch) {
+  // Ids that parse but exceed the base graph are a runtime failure of
+  // that request alone; the batch proceeds.
+  PlanService plan_service(ArenasBase());
+  PlanRequest good;
+  good.sample = 5;
+  good.spec.budget = 3;
+  PlanRequest out_of_range = good;
+  out_of_range.targets = {Edge(3000000, 3000001)};
+  std::vector<PlanRequest> requests = {good, out_of_range};
+  std::vector<PlanResponse> responses = plan_service.RunBatch(requests, 2);
+  EXPECT_TRUE(responses[0].status.ok());
+  EXPECT_FALSE(responses[1].status.ok());
 }
 
 }  // namespace

@@ -9,10 +9,20 @@
 //       protect fully), --seed=N, --scope=all|subgraph, --lazy,
 //       --plan-out=FILE, --release-out=FILE, --relabel.
 //   tpp batch --requests=FILE [--plan-dir=DIR] [--threads=N]
-//       Runs a whole file of protection requests concurrently against one
-//       base graph through the plan service (service/plan_service.h; file
-//       format in docs/SERVICE.md). Output plans are bit-identical to
-//       running each request through `tpp protect` on its own.
+//             [--stream] [--cache-size=N]
+//       Runs a whole file of protection requests (parsed and validated
+//       line by line) concurrently against one base graph through the
+//       staged plan pipeline (service/plan_service.h; file format in
+//       docs/SERVICE.md). --stream prints one result line per request,
+//       in input order, as each finishes (plan files are written
+//       incrementally too), so long batches can be tailed.
+//       --cache-size=N attaches a content-addressed plan cache
+//       (service/plan_cache.h) and prints its counters; within a single
+//       invocation duplicate requests are already deduped before the
+//       probe, so the flag is mostly a way to observe the memo that
+//       long-lived embedders share across batches. Output plans are
+//       bit-identical to running each request through `tpp protect` on
+//       its own, at any worker count, cache state, or sharing group.
 //   tpp solvers
 //       Lists the registered solvers (key, display name, budgeting).
 //   tpp attack  --graph=G.edges --plan=P.plan
@@ -30,6 +40,7 @@
 //   tpp stats --graph=social.released.edges
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "common/flags.h"
@@ -41,6 +52,7 @@
 #include "linkpred/attack.h"
 #include "metrics/summary.h"
 #include "metrics/utility.h"
+#include "service/plan_cache.h"
 #include "service/plan_service.h"
 
 namespace tpp {
@@ -115,6 +127,9 @@ int RunProtect(const ParsedArgs& args) {
   Result<SolverSpec> spec = SpecFromFlags(args);
   if (!spec.ok()) return Fail(spec.status());
   request.spec = *spec;
+  // A standalone protect run inspects (and may save) the released graph;
+  // batches leave this off per request to keep memory flat.
+  request.want_released = true;
 
   PlanService plan_service(*g);
   PlanResponse response = plan_service.RunOne(request);
@@ -159,49 +174,121 @@ int RunBatch(const ParsedArgs& args) {
   if (requests_path.empty()) {
     return Fail(Status::InvalidArgument("--requests is required"));
   }
-  Result<std::vector<PlanRequest>> requests =
+  const bool stream = args.GetBool("stream");
+  Result<int64_t> cache_size = args.GetInt("cache-size", 0);
+  if (!cache_size.ok()) return Fail(cache_size.status());
+
+  // LoadPlanRequests reads and validates the file line by line; a
+  // malformed line fails before any work starts, naming the line.
+  Result<std::vector<PlanRequest>> loaded =
       service::LoadPlanRequests(requests_path);
-  if (!requests.ok()) return Fail(requests.status());
+  if (!loaded.ok()) return Fail(loaded.status());
+  std::vector<PlanRequest> requests = std::move(*loaded);
 
   PlanService plan_service(std::move(*g));
-  std::vector<PlanResponse> responses = plan_service.RunBatch(*requests);
+  std::unique_ptr<service::PlanCache> cache;
+  if (*cache_size > 0) {
+    cache = std::make_unique<service::PlanCache>(
+        static_cast<size_t>(*cache_size));
+  }
+  service::BatchStats stats;
+  service::BatchOptions options;
+  options.cache = cache.get();
+  options.stats = &stats;
 
   std::string plan_dir = args.GetString("plan-dir", "");
-  TextTable table;
-  table.SetHeader({"request", "solver", "motif", "|T|", "s({},T)",
-                   "deleted", "s(P,T)", "seconds", "status"});
+  Status plan_io = Status::Ok();
+  auto write_plan = [&](const PlanRequest& request,
+                        const PlanResponse& response) {
+    if (plan_dir.empty()) return;
+    // Every plan is attempted even after an earlier write failed (a full
+    // disk mid-batch should not drop the remaining plans); the first
+    // error is remembered and fails the exit code.
+    std::string path = plan_dir + "/" + request.name + ".plan";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      if (plan_io.ok()) plan_io = Status::IoError("cannot write " + path);
+      return;
+    }
+    std::fputs(response.plan_text.c_str(), f);
+    std::fclose(f);
+  };
+
   int failures = 0;
-  for (size_t i = 0; i < responses.size(); ++i) {
-    const PlanRequest& request = (*requests)[i];
-    const PlanResponse& response = responses[i];
-    if (!response.status.ok()) {
-      ++failures;
-      table.AddRow({request.name, request.spec.algorithm,
-                    std::string(motif::MotifName(request.motif)), "-", "-",
-                    "-", "-", "-", response.status.ToString()});
-      continue;
+  if (stream) {
+    // One line per request, in input order, flushed as the completed
+    // prefix grows — `tail -f` friendly. Plan files are written at the
+    // same moment, so a crashed batch keeps every finished plan.
+    std::printf("%zu requests against %s (streaming)\n", requests.size(),
+                plan_service.base().DebugString().c_str());
+    plan_service.RunBatch(
+        requests, options,
+        [&](size_t i, const PlanResponse& response) {
+          const PlanRequest& request = requests[i];
+          if (!response.status.ok()) {
+            ++failures;
+            std::printf("%s error %s\n", request.name.c_str(),
+                        response.status.ToString().c_str());
+          } else {
+            std::printf(
+                "%s ok solver=%s motif=%s targets=%zu deleted=%zu "
+                "similarity=%zu->%zu seconds=%.3f%s\n",
+                request.name.c_str(), request.spec.algorithm.c_str(),
+                std::string(motif::MotifName(request.motif)).c_str(),
+                response.targets.size(),
+                response.result.protectors.size(),
+                response.result.initial_similarity,
+                response.result.final_similarity, response.seconds,
+                response.from_cache ? " (cached)" : "");
+            write_plan(request, response);
+          }
+          std::fflush(stdout);
+        });
+  } else {
+    std::vector<PlanResponse> responses =
+        plan_service.RunBatch(requests, options);
+    TextTable table;
+    table.SetHeader({"request", "solver", "motif", "|T|", "s({},T)",
+                     "deleted", "s(P,T)", "seconds", "status"});
+    for (size_t i = 0; i < responses.size(); ++i) {
+      const PlanRequest& request = requests[i];
+      const PlanResponse& response = responses[i];
+      if (!response.status.ok()) {
+        ++failures;
+        table.AddRow({request.name, request.spec.algorithm,
+                      std::string(motif::MotifName(request.motif)), "-", "-",
+                      "-", "-", "-", response.status.ToString()});
+        continue;
+      }
+      table.AddRow(
+          {request.name, request.spec.algorithm,
+           std::string(motif::MotifName(request.motif)),
+           std::to_string(response.targets.size()),
+           std::to_string(response.result.initial_similarity),
+           std::to_string(response.result.protectors.size()),
+           std::to_string(response.result.final_similarity),
+           StrFormat("%.3f", response.seconds),
+           response.from_cache ? "ok (cached)" : "ok"});
+      write_plan(request, response);
     }
-    table.AddRow(
-        {request.name, request.spec.algorithm,
-         std::string(motif::MotifName(request.motif)),
-         std::to_string(response.targets.size()),
-         std::to_string(response.result.initial_similarity),
-         std::to_string(response.result.protectors.size()),
-         std::to_string(response.result.final_similarity),
-         StrFormat("%.3f", response.seconds), "ok"});
-    if (!plan_dir.empty()) {
-      std::string path = plan_dir + "/" + request.name + ".plan";
-      std::FILE* f = std::fopen(path.c_str(), "w");
-      if (!f) return Fail(Status::IoError("cannot write " + path));
-      std::fputs(response.plan_text.c_str(), f);
-      std::fclose(f);
-    }
+    std::printf("%zu requests against %s:\n%s", responses.size(),
+                plan_service.base().DebugString().c_str(),
+                table.ToString().c_str());
   }
-  std::printf("%zu requests against %s:\n%s", responses.size(),
-              plan_service.base().DebugString().c_str(),
-              table.ToString().c_str());
+  if (!plan_io.ok()) return Fail(plan_io);
   if (!plan_dir.empty()) {
     std::printf("plans written to %s/<request>.plan\n", plan_dir.c_str());
+  }
+  if (cache) {
+    service::PlanCache::Stats cs = cache->stats();
+    std::printf("plan cache: %llu hits, %llu misses, %llu evictions "
+                "(%zu dedup-shared, %zu instance builds for %zu groups)\n",
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.misses),
+                static_cast<unsigned long long>(cs.evictions),
+                stats.dedup_shared, stats.instance_builds,
+                stats.instance_groups);
   }
   return failures == 0 ? 0 : 1;
 }
