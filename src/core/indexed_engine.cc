@@ -18,10 +18,17 @@ constexpr size_t kMinEdgesPerThread = 2048;
 }  // namespace
 
 Result<IndexedEngine> IndexedEngine::Create(const TppInstance& instance) {
+  return Create(instance, motif::IncidenceIndex::BuildOptions{});
+}
+
+Result<IndexedEngine> IndexedEngine::Create(
+    const TppInstance& instance,
+    const motif::IncidenceIndex::BuildOptions& build_options,
+    motif::IncidenceIndex::BuildStats* build_stats) {
   TPP_ASSIGN_OR_RETURN(motif::IncidenceIndex index,
                        motif::IncidenceIndex::Build(
                            instance.released, instance.targets,
-                           instance.motif));
+                           instance.motif, build_options, build_stats));
   return IndexedEngine(instance.released, std::move(index));
 }
 

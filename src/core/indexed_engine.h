@@ -23,9 +23,17 @@ namespace tpp::core {
 /// study.
 class IndexedEngine : public Engine {
  public:
-  /// Builds the incidence index; fails if a target is still present in the
-  /// released graph.
+  /// Builds the incidence index (parallel over the shared pool at the
+  /// global thread budget; bit-identical at any thread count); fails if a
+  /// target is still present in the released graph.
   static Result<IndexedEngine> Create(const TppInstance& instance);
+
+  /// Create with an explicit index-build thread budget and optional
+  /// per-stage build timings (motif::IncidenceIndex::BuildStats).
+  static Result<IndexedEngine> Create(
+      const TppInstance& instance,
+      const motif::IncidenceIndex::BuildOptions& build_options,
+      motif::IncidenceIndex::BuildStats* build_stats = nullptr);
 
   size_t NumTargets() const override { return index_.NumTargets(); }
   size_t SimilarityOf(size_t t) override { return index_.AliveForTarget(t); }

@@ -73,29 +73,14 @@ bool Graph::HasEdge(NodeId u, NodeId v) const {
 
 std::vector<NodeId> Graph::CommonNeighbors(NodeId u, NodeId v) const {
   std::vector<NodeId> out;
-  const auto& a = adj_[u];
-  const auto& b = adj_[v];
-  out.reserve(std::min(a.size(), b.size()));
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
+  out.reserve(std::min(adj_[u].size(), adj_[v].size()));
+  ForEachCommonNeighbor(u, v, [&](NodeId w) { out.push_back(w); });
   return out;
 }
 
 size_t Graph::CountCommonNeighbors(NodeId u, NodeId v) const {
-  const auto& a = adj_[u];
-  const auto& b = adj_[v];
-  size_t i = 0, j = 0, count = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
+  size_t count = 0;
+  ForEachCommonNeighbor(u, v, [&](NodeId) { ++count; });
   return count;
 }
 

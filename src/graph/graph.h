@@ -76,6 +76,28 @@ class Graph {
   /// Number of common neighbors without materializing them.
   size_t CountCommonNeighbors(NodeId u, NodeId v) const;
 
+  /// Invokes `fn(w)` for every common neighbor w of u and v, in ascending
+  /// order, without materializing a vector — the allocation-free form of
+  /// CommonNeighbors the motif-enumeration hot path uses. Requires
+  /// u, v < NumNodes(). `fn` must not mutate the graph.
+  template <typename Fn>
+  void ForEachCommonNeighbor(NodeId u, NodeId v, Fn&& fn) const {
+    const std::vector<NodeId>& a = adj_[u];
+    const std::vector<NodeId>& b = adj_[v];
+    size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] < b[j]) {
+        ++i;
+      } else if (a[i] > b[j]) {
+        ++j;
+      } else {
+        fn(a[i]);
+        ++i;
+        ++j;
+      }
+    }
+  }
+
   /// Snapshot of all edges with u < v, ordered by (u, v).
   std::vector<Edge> Edges() const;
 

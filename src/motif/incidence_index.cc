@@ -1,9 +1,13 @@
 #include "motif/incidence_index.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/check.h"
+#include "common/flags.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
 
 namespace tpp::motif {
 
@@ -11,28 +15,307 @@ using graph::Edge;
 using graph::EdgeKey;
 using graph::Graph;
 
-Result<IncidenceIndex> IncidenceIndex::Build(
-    const Graph& g, const std::vector<Edge>& targets, MotifKind kind) {
-  IncidenceIndex idx;
-  idx.alive_per_target_.assign(targets.size(), 0);
-  for (size_t t = 0; t < targets.size(); ++t) {
-    const Edge& target = targets[t];
+namespace {
+
+// Upper bound on the contiguous item blocks of BlockedStableScatter:
+// each block keeps one uint32 cursor per digit, so the bound caps the
+// transient memory at 8 x num_digits.
+constexpr int kMaxScatterBlocks = 8;
+
+// The one piece of counting-sort scaffolding every build pass shares: a
+// stable blocked counting scatter. Items [0, n) each emit (digit, value)
+// pairs through `for_each(i, sink)` (digit < num_digits); the returned
+// vector holds every value grouped by digit, preserving emission order
+// within equal digits. Blocks parallelize the count and scatter passes;
+// the serial cursor transform between them makes the output independent
+// of the block count — it is exactly the serial emission order. When
+// `offsets` is non-null it receives the num_digits + 1 group boundaries
+// (offsets[d] .. offsets[d+1] brackets digit d). Used with one pair per
+// key for the LSD intern sort (O(K + NumNodes) per pass, no comparison
+// sort — previously the hottest serial stretch after enumeration) and
+// with arity pairs per instance to lay out the CSR-1 posting lists.
+template <typename Value, typename ForEachPair>
+std::vector<Value> BlockedStableScatter(size_t n, size_t num_digits,
+                                        int workers, ThreadPool& pool,
+                                        std::vector<uint32_t>* offsets,
+                                        ForEachPair for_each) {
+  if (offsets) offsets->assign(num_digits + 1, 0);
+  if (n == 0) return {};
+  const int num_blocks = static_cast<int>(std::min<size_t>(
+      std::max(workers, 1),
+      std::min<size_t>(kMaxScatterBlocks, n)));
+  const size_t block_size =
+      (n + static_cast<size_t>(num_blocks) - 1) /
+      static_cast<size_t>(num_blocks);
+  std::vector<std::vector<uint32_t>> block_counts(
+      static_cast<size_t>(num_blocks),
+      std::vector<uint32_t>(num_digits, 0));
+  pool.ParallelFor(static_cast<size_t>(num_blocks), workers, /*grain=*/1,
+                   [&](size_t bbegin, size_t bend) {
+                     for (size_t b = bbegin; b < bend; ++b) {
+                       std::vector<uint32_t>& counts = block_counts[b];
+                       const size_t lo = b * block_size;
+                       const size_t hi = std::min(lo + block_size, n);
+                       for (size_t k = lo; k < hi; ++k) {
+                         for_each(k, [&](uint32_t digit, const Value&) {
+                           ++counts[digit];
+                         });
+                       }
+                     }
+                   });
+  uint32_t running = 0;
+  for (size_t d = 0; d < num_digits; ++d) {
+    if (offsets) (*offsets)[d] = running;
+    for (int b = 0; b < num_blocks; ++b) {
+      const uint32_t count = block_counts[b][d];
+      block_counts[b][d] = running;  // becomes block b's cursor for d
+      running += count;
+    }
+  }
+  if (offsets) (*offsets)[num_digits] = running;
+  std::vector<Value> out(running);
+  pool.ParallelFor(static_cast<size_t>(num_blocks), workers, /*grain=*/1,
+                   [&](size_t bbegin, size_t bend) {
+                     for (size_t b = bbegin; b < bend; ++b) {
+                       std::vector<uint32_t>& cursor = block_counts[b];
+                       const size_t lo = b * block_size;
+                       const size_t hi = std::min(lo + block_size, n);
+                       for (size_t k = lo; k < hi; ++k) {
+                         for_each(k, [&](uint32_t digit, const Value& value) {
+                           out[cursor[digit]++] = value;
+                         });
+                       }
+                     }
+                   });
+  return out;
+}
+
+Status ValidateTargetsAbsent(const Graph& g,
+                             const std::vector<Edge>& targets) {
+  for (const Edge& target : targets) {
     if (g.HasEdge(target.u, target.v)) {
       return Status::FailedPrecondition(
           StrFormat("target (%u,%u) still present; run phase-1 deletion first",
                     target.u, target.v));
     }
-    std::vector<TargetSubgraph> ts = EnumerateTargetSubgraphs(
-        g, target, kind, static_cast<int32_t>(t));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<IncidenceIndex> IncidenceIndex::Build(
+    const Graph& g, const std::vector<Edge>& targets, MotifKind kind) {
+  return Build(g, targets, kind, BuildOptions{});
+}
+
+Result<IncidenceIndex> IncidenceIndex::Build(const Graph& g,
+                                             const std::vector<Edge>& targets,
+                                             MotifKind kind,
+                                             const BuildOptions& options,
+                                             BuildStats* stats) {
+  TPP_RETURN_IF_ERROR(ValidateTargetsAbsent(g, targets));
+  IncidenceIndex idx;
+  const int workers =
+      options.threads > 0 ? options.threads : GlobalThreadCount();
+  ThreadPool& pool = GlobalThreadPool();
+  WallTimer timer;
+
+  // -- Stage 1: enumerate. Per-target tasks (hub targets split by
+  // first-neighbor chunk) fan out over the shared pool; the merged array
+  // is in the serial (target, emit) order at any thread count.
+  size_t num_tasks = 0;
+  idx.instances_ =
+      EnumerateAllTargetSubgraphs(g, targets, kind, workers, &num_tasks);
+  const size_t num_instances = idx.instances_.size();
+  if (stats) {
+    stats->enumerate_seconds = timer.Seconds();
+    stats->tasks = num_tasks;
+    stats->instances = num_instances;
+  }
+
+  // -- Stage 2: intern participating edges. Every instance of one motif
+  // kind has the same arity, so the flat key array is sized exactly and
+  // filled with disjoint writes; a two-pass stable counting sort over the
+  // node-id digits (larger endpoint, then smaller) plus unique assigns
+  // ids in ascending key order in O(K + NumNodes) — no comparison sort.
+  // No hash map is built at all: the keyed query API and the CSR fill
+  // passes both resolve ids through the per-endpoint bucket table.
+  timer.Restart();
+  const size_t arity = MotifEdgeCount(kind);
+  std::vector<EdgeKey> flat_keys(num_instances * arity);
+  pool.ParallelFor(num_instances, workers, /*grain=*/4096,
+                   [&](size_t begin, size_t end) {
+                     for (size_t i = begin; i < end; ++i) {
+                       const TargetSubgraph& inst = idx.instances_[i];
+                       for (size_t j = 0; j < arity; ++j) {
+                         flat_keys[i * arity + j] = inst.edges[j];
+                       }
+                     }
+                   });
+  {
+    std::vector<EdgeKey> by_v = BlockedStableScatter<EdgeKey>(
+        flat_keys.size(), g.NumNodes(), workers, pool, nullptr,
+        [&](size_t k, auto sink) {
+          sink(graph::EdgeKeyV(flat_keys[k]), flat_keys[k]);
+        });
+    flat_keys = BlockedStableScatter<EdgeKey>(
+        by_v.size(), g.NumNodes(), workers, pool, nullptr,
+        [&](size_t k, auto sink) {
+          sink(graph::EdgeKeyU(by_v[k]), by_v[k]);
+        });
+  }
+  flat_keys.erase(std::unique(flat_keys.begin(), flat_keys.end()),
+                  flat_keys.end());
+  // Release the pre-dedup capacity (instances x arity keys) before the
+  // buffer becomes a long-lived member — prototype indexes live for a
+  // whole batch inside InstanceRepository.
+  flat_keys.shrink_to_fit();
+  idx.edge_keys_ = std::move(flat_keys);
+  const size_t num_edges = idx.edge_keys_.size();
+  if (stats) {
+    stats->intern_seconds = timer.Seconds();
+    stats->interned_edges = num_edges;
+  }
+
+  // -- Stage 3: CSR layouts, each a parallel count pass, a serial prefix
+  // sum, and a parallel fill pass into disjoint slots.
+  timer.Restart();
+
+  // The bucket table EdgeIdOf resolves through: edge_keys_ is sorted by
+  // (u, v), so all keys sharing a smaller endpoint form one short
+  // contiguous run located by two array reads. Built here, kept for the
+  // life of the index (it replaces the old hash-map interner).
+  idx.u_offsets_.assign(g.NumNodes() + 1, 0);
+  for (EdgeKey key : idx.edge_keys_) {
+    ++idx.u_offsets_[graph::EdgeKeyU(key) + 1];
+  }
+  for (size_t u = 0; u < g.NumNodes(); ++u) {
+    idx.u_offsets_[u + 1] += idx.u_offsets_[u];
+  }
+  // The maintenance records densify instance -> (target, edge ids) for
+  // the posting-list walks below and for DeleteEdge: compact sequential
+  // reads instead of chasing 40-byte TargetSubgraphs.
+  idx.arity_ = static_cast<uint8_t>(arity);
+  idx.maint_.resize(num_instances);
+  pool.ParallelFor(
+      num_instances, workers, /*grain=*/2048, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const TargetSubgraph& inst = idx.instances_[i];
+          InstanceMaintenance& maint = idx.maint_[i];
+          maint.target = static_cast<uint32_t>(inst.target);
+          for (size_t j = 0; j < arity; ++j) {
+            const EdgeKey key = inst.edges[j];
+            maint.edge_ids[j] = idx.EdgeIdOf(key);
+          }
+        }
+      });
+
+  // CSR 1 (edge -> instances): the same stable blocked scatter, emitting
+  // arity (edge id, instance id) pairs per instance. Posting lists hold
+  // ascending instance ids — exactly the serial fill order — at any
+  // block count, and the scatter's group boundaries are the CSR offsets.
+  idx.instance_ids_ = BlockedStableScatter<uint32_t>(
+      num_instances, num_edges, workers, pool, &idx.inst_offsets_,
+      [&](size_t i, auto sink) {
+        for (size_t j = 0; j < arity; ++j) {
+          sink(idx.maint_[i].edge_ids[j], static_cast<uint32_t>(i));
+        }
+      });
+
+  // Alive-count cache: everything is alive at build time, so the count is
+  // just the posting-list length.
+  idx.alive_count_.resize(num_edges);
+  for (size_t e = 0; e < num_edges; ++e) {
+    idx.alive_count_[e] = idx.inst_offsets_[e + 1] - idx.inst_offsets_[e];
+  }
+
+  // CSR 2 (edge -> per-target counts): instances are laid out in target
+  // order and posting lists hold ascending instance ids, so each posting
+  // list's target sequence is already ascending — a run-length encode
+  // reproduces the serial sorted aggregation without any per-edge scratch.
+  idx.tgt_offsets_.assign(num_edges + 1, 0);
+  pool.ParallelFor(
+      num_edges, workers, /*grain=*/2048, [&](size_t begin, size_t end) {
+        for (size_t e = begin; e < end; ++e) {
+          uint32_t runs = 0;
+          uint32_t prev_target = 0;
+          for (uint32_t p = idx.inst_offsets_[e]; p < idx.inst_offsets_[e + 1];
+               ++p) {
+            const uint32_t target = idx.maint_[idx.instance_ids_[p]].target;
+            if (runs == 0 || target != prev_target) {
+              ++runs;
+              prev_target = target;
+            }
+          }
+          idx.tgt_offsets_[e + 1] = runs;
+        }
+      });
+  for (size_t e = 0; e < num_edges; ++e) {
+    idx.tgt_offsets_[e + 1] += idx.tgt_offsets_[e];
+  }
+  idx.tgt_ids_.resize(idx.tgt_offsets_.back());
+  idx.tgt_counts_.resize(idx.tgt_ids_.size());
+  pool.ParallelFor(
+      num_edges, workers, /*grain=*/2048, [&](size_t begin, size_t end) {
+        for (size_t e = begin; e < end; ++e) {
+          uint32_t slot = idx.tgt_offsets_[e];
+          for (uint32_t p = idx.inst_offsets_[e]; p < idx.inst_offsets_[e + 1];
+               ++p) {
+            const uint32_t target = idx.maint_[idx.instance_ids_[p]].target;
+            if (slot == idx.tgt_offsets_[e] ||
+                idx.tgt_ids_[slot - 1] != target) {
+              idx.tgt_ids_[slot] = target;
+              idx.tgt_counts_[slot] = 1;
+              ++slot;
+            } else {
+              ++idx.tgt_counts_[slot - 1];
+            }
+          }
+        }
+      });
+
+  // Slot table: the CSR-2 cell of (edge j of instance i, target of i),
+  // found once here by binary search over the edge's ascending target
+  // segment so DeleteEdge never scans it.
+  pool.ParallelFor(
+      num_instances, workers, /*grain=*/2048, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          InstanceMaintenance& maint = idx.maint_[i];
+          for (size_t j = 0; j < arity; ++j) {
+            const uint32_t e = maint.edge_ids[j];
+            const uint32_t* seg_begin = idx.tgt_ids_.data() +
+                                        idx.tgt_offsets_[e];
+            const uint32_t* seg_end =
+                idx.tgt_ids_.data() + idx.tgt_offsets_[e + 1];
+            const uint32_t* it =
+                std::lower_bound(seg_begin, seg_end, maint.target);
+            TPP_CHECK(it != seg_end && *it == maint.target);
+            maint.slots[j] = static_cast<uint32_t>(
+                idx.tgt_offsets_[e] + (it - seg_begin));
+          }
+        }
+      });
+
+  idx.FinishAliveState(targets.size());
+  if (stats) stats->csr_seconds = timer.Seconds();
+  return idx;
+}
+
+Result<IncidenceIndex> IncidenceIndex::BuildSerialReference(
+    const Graph& g, const std::vector<Edge>& targets, MotifKind kind) {
+  TPP_RETURN_IF_ERROR(ValidateTargetsAbsent(g, targets));
+  IncidenceIndex idx;
+  for (size_t t = 0; t < targets.size(); ++t) {
+    std::vector<TargetSubgraph> ts = EnumerateTargetSubgraphsReference(
+        g, targets[t], kind, static_cast<int32_t>(t));
     for (TargetSubgraph& inst : ts) {
       idx.instances_.push_back(inst);
     }
   }
-  idx.alive_.assign(idx.instances_.size(), 1);
-  idx.total_alive_ = idx.instances_.size();
 
   // Intern participating edges in ascending key order so edge id order is
-  // key order (AliveCandidateEdges then never needs a sort).
+  // key order.
   for (const TargetSubgraph& inst : idx.instances_) {
     for (uint8_t j = 0; j < inst.num_edges; ++j) {
       idx.edge_keys_.push_back(inst.edges[j]);
@@ -42,21 +325,27 @@ Result<IncidenceIndex> IncidenceIndex::Build(
   idx.edge_keys_.erase(
       std::unique(idx.edge_keys_.begin(), idx.edge_keys_.end()),
       idx.edge_keys_.end());
-  idx.edge_id_.reserve(idx.edge_keys_.size());
+  // The old hash-map interner, kept local: the reference pays its
+  // construction and per-occurrence lookups exactly as the pre-parallel
+  // build did, then derives the bucket table the final layout carries.
+  std::unordered_map<EdgeKey, uint32_t> edge_id;
+  edge_id.reserve(idx.edge_keys_.size());
   for (uint32_t id = 0; id < idx.edge_keys_.size(); ++id) {
-    idx.edge_id_.emplace(idx.edge_keys_[id], id);
+    edge_id.emplace(idx.edge_keys_[id], id);
   }
   const size_t num_edges = idx.edge_keys_.size();
 
-  // CSR 1 (edge -> instances), counting pass then fill pass.
+  // CSR 1 (edge -> instances), counting pass then fill pass, resolving
+  // ids through the hash map.
   idx.inst_offsets_.assign(num_edges + 1, 0);
-  idx.inst_edge_ids_.resize(idx.instances_.size());
+  idx.arity_ = static_cast<uint8_t>(MotifEdgeCount(kind));
+  idx.maint_.resize(idx.instances_.size());
   for (uint32_t i = 0; i < idx.instances_.size(); ++i) {
     const TargetSubgraph& inst = idx.instances_[i];
-    ++idx.alive_per_target_[inst.target];
+    idx.maint_[i].target = static_cast<uint32_t>(inst.target);
     for (uint8_t j = 0; j < inst.num_edges; ++j) {
-      uint32_t e = idx.edge_id_.at(inst.edges[j]);
-      idx.inst_edge_ids_[i][j] = e;
+      uint32_t e = edge_id.at(inst.edges[j]);
+      idx.maint_[i].edge_ids[j] = e;
       ++idx.inst_offsets_[e + 1];
     }
   }
@@ -70,7 +359,7 @@ Result<IncidenceIndex> IncidenceIndex::Build(
     for (uint32_t i = 0; i < idx.instances_.size(); ++i) {
       const TargetSubgraph& inst = idx.instances_[i];
       for (uint8_t j = 0; j < inst.num_edges; ++j) {
-        idx.instance_ids_[cursor[idx.inst_edge_ids_[i][j]]++] = i;
+        idx.instance_ids_[cursor[idx.maint_[i].edge_ids[j]]++] = i;
       }
     }
   }
@@ -104,14 +393,45 @@ Result<IncidenceIndex> IncidenceIndex::Build(
     }
     idx.tgt_offsets_[e + 1] = static_cast<uint32_t>(idx.tgt_ids_.size());
   }
+
+  // Slot table (the serial form of the parallel build's last pass).
+  for (uint32_t i = 0; i < idx.instances_.size(); ++i) {
+    InstanceMaintenance& maint = idx.maint_[i];
+    for (uint8_t j = 0; j < idx.instances_[i].num_edges; ++j) {
+      const uint32_t e = maint.edge_ids[j];
+      uint32_t slot = idx.tgt_offsets_[e];
+      while (idx.tgt_ids_[slot] != maint.target) ++slot;
+      maint.slots[j] = slot;
+    }
+  }
+
+  // Bucket table for the keyed query API (see EdgeIdOf).
+  idx.u_offsets_.assign(g.NumNodes() + 1, 0);
+  for (EdgeKey key : idx.edge_keys_) {
+    ++idx.u_offsets_[graph::EdgeKeyU(key) + 1];
+  }
+  for (size_t u = 0; u < g.NumNodes(); ++u) {
+    idx.u_offsets_[u + 1] += idx.u_offsets_[u];
+  }
+
+  idx.FinishAliveState(targets.size());
   return idx;
+}
+
+void IncidenceIndex::FinishAliveState(size_t num_targets) {
+  alive_.assign(instances_.size(), 1);
+  total_alive_ = instances_.size();
+  alive_per_target_.assign(num_targets, 0);
+  for (const TargetSubgraph& inst : instances_) {
+    ++alive_per_target_[inst.target];
+  }
+  alive_edges_ = edge_keys_.size();  // every interned edge has an instance
 }
 
 IncidenceIndex::SplitGain IncidenceIndex::GainFor(EdgeKey e, size_t t) const {
   SplitGain gain;
-  auto it = edge_id_.find(e);
-  if (it == edge_id_.end()) return gain;
-  uint32_t id = it->second;
+  const uint32_t id = EdgeIdOf(e);
+  if (id == kNoEdge) return gain;
   size_t total = alive_count_[id];
   for (uint32_t p = tgt_offsets_[id]; p < tgt_offsets_[id + 1]; ++p) {
     if (tgt_ids_[p] == static_cast<uint32_t>(t)) {
@@ -125,47 +445,74 @@ IncidenceIndex::SplitGain IncidenceIndex::GainFor(EdgeKey e, size_t t) const {
 
 void IncidenceIndex::AccumulateGains(EdgeKey e,
                                      std::vector<size_t>* out) const {
-  auto it = edge_id_.find(e);
-  if (it == edge_id_.end()) return;
-  uint32_t id = it->second;
+  const uint32_t id = EdgeIdOf(e);
+  if (id == kNoEdge) return;
   for (uint32_t p = tgt_offsets_[id]; p < tgt_offsets_[id + 1]; ++p) {
     (*out)[tgt_ids_[p]] += tgt_counts_[p];
   }
 }
 
-size_t IncidenceIndex::DeleteEdge(EdgeKey e) {
-  auto it = edge_id_.find(e);
-  if (it == edge_id_.end()) return 0;
-  uint32_t id = it->second;
-  if (alive_count_[id] == 0) return 0;  // already dead: O(1) no-op
+template <int kArity>
+size_t IncidenceIndex::DeleteEdgeImpl(uint32_t id) {
+  // Hot loop of every greedy commit: all bounds and bases live in locals
+  // so the stores below cannot force their reload, and the compile-time
+  // arity fully unrolls the sibling updates. The alive-count invariant
+  // itself is enforced by construction (differential-tested), not by
+  // per-decrement checks.
+  const uint32_t pend = inst_offsets_[id + 1];
+  const uint32_t* const inst_ids = instance_ids_.data();
+  const InstanceMaintenance* const maint = maint_.data();
+  uint8_t* const alive = alive_.data();
+  uint32_t* const alive_count = alive_count_.data();
+  uint32_t* const tgt_counts = tgt_counts_.data();
   size_t killed = 0;
-  for (uint32_t p = inst_offsets_[id]; p < inst_offsets_[id + 1]; ++p) {
-    uint32_t i = instance_ids_[p];
-    if (!alive_[i]) continue;
-    alive_[i] = 0;
-    const uint32_t target = static_cast<uint32_t>(instances_[i].target);
-    --alive_per_target_[target];
-    --total_alive_;
+  for (uint32_t p = inst_offsets_[id]; p < pend; ++p) {
+    const uint32_t i = inst_ids[p];
+    if (!alive[i]) continue;
+    alive[i] = 0;
+    const InstanceMaintenance& m = maint[i];
+    --alive_per_target_[m.target];
     ++killed;
-    // Restore the invariant: every edge of the killed instance (including
-    // `id` itself) loses one alive instance, in both count structures.
-    for (uint8_t j = 0; j < instances_[i].num_edges; ++j) {
-      uint32_t sib = inst_edge_ids_[i][j];
-      TPP_CHECK_GT(alive_count_[sib], 0u);
-      --alive_count_[sib];
-      for (uint32_t q = tgt_offsets_[sib]; q < tgt_offsets_[sib + 1]; ++q) {
-        if (tgt_ids_[q] == target) {
-          --tgt_counts_[q];
-          break;
-        }
-      }
+    // Restore the invariant: every SIBLING edge of the killed instance
+    // loses one alive instance, in both count structures. The CSR-2 cell
+    // comes from the build-time slot table — no scan of the sibling's
+    // target segment. `id` itself is skipped: its counts collapse to zero
+    // wholesale below instead of one decrement per killed instance.
+    for (int j = 0; j < kArity; ++j) {
+      const uint32_t sib = m.edge_ids[j];
+      if (sib == id) continue;
+      if (--alive_count[sib] == 0) --alive_edges_;
+      --tgt_counts[m.slots[j]];
     }
   }
+  // Every alive instance through `id` just died, so every (id, target)
+  // count and the cached total are now zero by definition.
+  for (uint32_t q = tgt_offsets_[id]; q < tgt_offsets_[id + 1]; ++q) {
+    tgt_counts[q] = 0;
+  }
+  alive_count[id] = 0;
+  --alive_edges_;
+  total_alive_ -= killed;
   return killed;
+}
+
+size_t IncidenceIndex::DeleteEdge(EdgeKey e) {
+  const uint32_t id = EdgeIdOf(e);
+  if (id == kNoEdge) return 0;
+  if (alive_count_[id] == 0) return 0;  // already dead: O(1) no-op
+  switch (arity_) {
+    case 2:
+      return DeleteEdgeImpl<2>(id);
+    case 3:
+      return DeleteEdgeImpl<3>(id);
+    default:
+      return DeleteEdgeImpl<4>(id);
+  }
 }
 
 std::vector<EdgeKey> IncidenceIndex::AliveCandidateEdges() const {
   std::vector<EdgeKey> out;
+  out.reserve(alive_edges_);
   for (size_t e = 0; e < alive_count_.size(); ++e) {
     if (alive_count_[e] > 0) out.push_back(edge_keys_[e]);
   }
@@ -176,14 +523,29 @@ void IncidenceIndex::AliveCandidateGains(std::vector<EdgeKey>* edges,
                                          std::vector<size_t>* gains) const {
   edges->clear();
   gains->clear();
-  edges->reserve(edge_keys_.size());
-  gains->reserve(edge_keys_.size());
+  edges->reserve(alive_edges_);
+  gains->reserve(alive_edges_);
   for (size_t e = 0; e < alive_count_.size(); ++e) {
     if (alive_count_[e] > 0) {
       edges->push_back(edge_keys_[e]);
       gains->push_back(alive_count_[e]);
     }
   }
+}
+
+bool IncidenceIndex::BitIdentical(const IncidenceIndex& other) const {
+  return instances_ == other.instances_ && alive_ == other.alive_ &&
+         alive_per_target_ == other.alive_per_target_ &&
+         total_alive_ == other.total_alive_ &&
+         edge_keys_ == other.edge_keys_ &&
+         u_offsets_ == other.u_offsets_ &&
+         inst_offsets_ == other.inst_offsets_ &&
+         instance_ids_ == other.instance_ids_ &&
+         alive_count_ == other.alive_count_ &&
+         alive_edges_ == other.alive_edges_ &&
+         tgt_offsets_ == other.tgt_offsets_ && tgt_ids_ == other.tgt_ids_ &&
+         tgt_counts_ == other.tgt_counts_ &&
+         arity_ == other.arity_ && maint_ == other.maint_;
 }
 
 }  // namespace tpp::motif

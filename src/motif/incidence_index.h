@@ -4,8 +4,10 @@
 // Because phase 2 only deletes edges, the set of target subgraphs is fixed
 // once enumerated; an instance dies permanently when any of its edges is
 // deleted. Build interns every participating edge into a dense edge id
-// (EdgeKey -> uint32, ids assigned in ascending key order) and lays the
-// incidence relation out in two contiguous CSR structures:
+// (EdgeKey -> uint32, ids assigned in ascending key order; keyed queries
+// resolve ids through a per-endpoint bucket table over the sorted key
+// array — the index carries no hash map) and lays the incidence relation
+// out in two contiguous CSR structures:
 //
 //   * inst_offsets_ / instance_ids_ — the posting list of edge id e is
 //     instance_ids_[inst_offsets_[e] .. inst_offsets_[e+1]). Walks are
@@ -22,11 +24,23 @@
 //   alive_count_[e] == |{i : alive_[i] and e in instance i}|, and
 //   tgt_counts_ partitions alive_count_[e] by instance target,
 //
-// so Gain(e) is a hash lookup plus an array read — O(1) — and DeleteEdge
-// pays the maintenance cost exactly once per killed instance by
-// decrementing the counts of the instance's surviving sibling edges. Total
-// greedy work is therefore proportional to instances actually killed, not
-// instances scanned.
+// so Gain(e) is a bucket lookup plus an array read — O(1) — and DeleteEdge
+// pays the maintenance cost exactly once per killed instance: each killed
+// instance decrements its sibling edges' alive counts and, via the
+// build-time slot table (InstanceMaintenance::slots in maint_), the exact
+// (edge, target) cell of CSR 2 — no per-sibling scan of the target
+// segment. Total greedy work is therefore proportional to instances
+// actually killed, not instances scanned.
+//
+// Construction is parallel and deterministic: enumeration fans out over
+// the shared thread pool in per-target tasks (hub targets split by
+// first-neighbor chunk, see motif/enumerate.h) whose outputs merge in the
+// serial (target, emit) order; edge interning is sort+unique over the flat
+// instance-edge array with binary-search id resolution in the fill passes;
+// and both CSR structures are built with parallel count-then-fill passes
+// whose stable per-block cursors reproduce the serial layout exactly. The
+// result is bit-identical to BuildSerialReference at any thread count
+// (differential-tested in tests/index_build_parallel_test.cc).
 //
 // Complexity per query (E = interned edges, I(e) = instances through e,
 // T(e) = distinct targets through e, T(e) <= min(NumTargets(), I(e))):
@@ -36,7 +50,9 @@
 //   DeleteEdge           O(sum of arity over instances killed); O(1) when
 //                        the edge is already dead or unknown
 //   AliveCandidateEdges  O(E) scan of alive_count_ (ids are key-sorted, so
-//                        the result needs no sort)
+//                        the result needs no sort); the result vector is
+//                        reserved from the maintained alive-edge count,
+//                        not the build-time edge count
 //   AliveCandidateGains  O(E) — candidates AND their gains in one scan,
 //                        the whole query side of an eager greedy round
 //   AllParticipatingEdges O(E) copy
@@ -48,9 +64,9 @@
 #ifndef TPP_MOTIF_INCIDENCE_INDEX_H_
 #define TPP_MOTIF_INCIDENCE_INDEX_H_
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -72,13 +88,49 @@ class IncidenceIndex {
     size_t total() const { return own + cross; }
   };
 
+  /// Knobs of one Build call.
+  struct BuildOptions {
+    /// Worker budget for the enumeration and CSR passes; <= 0 resolves to
+    /// tpp::GlobalThreadCount() (the --threads flag / TPP_THREADS). The
+    /// built index is bit-identical at any value.
+    int threads = 0;
+  };
+
+  /// Per-stage wall-time breakdown of one Build call (the index_build
+  /// bench reports these).
+  struct BuildStats {
+    double enumerate_seconds = 0;  ///< task fan-out + instance merge
+    double intern_seconds = 0;     ///< sort+unique edge keys + id map
+    double csr_seconds = 0;        ///< CSR 1/2 count-then-fill + slot table
+    size_t instances = 0;          ///< enumerated instances
+    size_t interned_edges = 0;     ///< distinct participating edges
+    size_t tasks = 0;              ///< enumeration work units
+  };
+
   /// Enumerates all target subgraphs of `kind` for every target and builds
-  /// the CSR incidence layout plus the alive-count caches. `g` must
+  /// the CSR incidence layout plus the alive-count caches, fanning the
+  /// enumeration and CSR passes out over the shared thread pool. `g` must
   /// already have the targets removed (phase 1); an error is returned if
   /// any target edge is still present.
   static Result<IncidenceIndex> Build(const graph::Graph& g,
                                       const std::vector<graph::Edge>& targets,
                                       MotifKind kind);
+
+  /// Build with an explicit thread budget and optional per-stage timings.
+  static Result<IncidenceIndex> Build(const graph::Graph& g,
+                                      const std::vector<graph::Edge>& targets,
+                                      MotifKind kind,
+                                      const BuildOptions& options,
+                                      BuildStats* stats = nullptr);
+
+  /// The single-threaded pre-parallel build: serial per-target enumeration
+  /// with materialized common-neighbor vectors and hash-map edge-id
+  /// resolution. Kept verbatim as the baseline of the index_build bench
+  /// and the reference of the parallel-vs-serial differential tests; its
+  /// result is required to be bit-identical to Build at any thread count.
+  static Result<IncidenceIndex> BuildSerialReference(
+      const graph::Graph& g, const std::vector<graph::Edge>& targets,
+      MotifKind kind);
 
   /// Number of targets the index was built over.
   size_t NumTargets() const { return alive_per_target_.size(); }
@@ -101,11 +153,18 @@ class IncidenceIndex {
   /// Alive counts for all targets.
   const std::vector<size_t>& AliveCounts() const { return alive_per_target_; }
 
+  /// Edges that still appear in at least one alive instance — the exact
+  /// size of AliveCandidateEdges(). Maintained by DeleteEdge, so late
+  /// greedy rounds reserve what they return instead of the build-time
+  /// edge count.
+  size_t NumAliveEdges() const { return alive_edges_; }
+
   /// Number of alive instances containing `e` = dissimilarity gain of
-  /// deleting e. O(1): a cached count, not a posting-list walk.
+  /// deleting e: a cached count behind the bucketed key lookup, not a
+  /// posting-list walk.
   size_t Gain(graph::EdgeKey e) const {
-    auto it = edge_id_.find(e);
-    return it == edge_id_.end() ? 0 : alive_count_[it->second];
+    const uint32_t id = EdgeIdOf(e);
+    return id == kNoEdge ? 0 : alive_count_[id];
   }
 
   /// Gain split into own-target (t) and cross-target parts. O(T(e)).
@@ -142,8 +201,50 @@ class IncidenceIndex {
     return edge_keys_;
   }
 
+  /// True iff every internal structure of this index equals `other`'s —
+  /// instances, interning, both CSR layouts, slot tables, and all alive
+  /// state. The check behind "parallel build == serial build" in the
+  /// differential tests and the index_build bench.
+  bool BitIdentical(const IncidenceIndex& other) const;
+
  private:
   IncidenceIndex() = default;
+
+  /// Sentinel of EdgeIdOf: the key was never interned.
+  static constexpr uint32_t kNoEdge = 0xffffffffu;
+
+  /// Dense id of key `e`, or kNoEdge. Two reads of the smaller-endpoint
+  /// bucket table plus a scan of the bucket's few keys — measurably
+  /// cheaper than a hash find on the keyed query hot paths (Gain,
+  /// DeleteEdge), and the index needs no hash map at all. Buckets are a
+  /// node's interned edges, so they average a handful of keys; a
+  /// predictable linear scan wins there, with a binary-search fallback
+  /// for hub buckets.
+  uint32_t EdgeIdOf(graph::EdgeKey e) const {
+    const size_t u = graph::EdgeKeyU(e);
+    if (u + 1 >= u_offsets_.size()) return kNoEdge;
+    uint32_t id = u_offsets_[u];
+    uint32_t end = u_offsets_[u + 1];
+    if (end - id > 16) {
+      const graph::EdgeKey* it = std::lower_bound(
+          edge_keys_.data() + id, edge_keys_.data() + end, e);
+      id = static_cast<uint32_t>(it - edge_keys_.data());
+    } else {
+      while (id < end && edge_keys_[id] < e) ++id;
+    }
+    if (id == end || edge_keys_[id] != e) return kNoEdge;
+    return id;
+  }
+
+  // DeleteEdge's kill loop, specialized on the motif arity so the sibling
+  // count updates fully unroll.
+  template <int kArity>
+  size_t DeleteEdgeImpl(uint32_t id);
+
+  // Shared tail of Build and BuildSerialReference: sizes and fills the
+  // alive state (alive_, total_alive_, alive_per_target_, alive_edges_)
+  // from the enumerated instances in O(instances + E).
+  void FinishAliveState(size_t num_targets);
 
   // Instance storage (shared shape with LegacyIncidenceIndex).
   std::vector<TargetSubgraph> instances_;
@@ -151,26 +252,42 @@ class IncidenceIndex {
   std::vector<size_t> alive_per_target_;
   size_t total_alive_ = 0;
 
-  // Edge interner: edge_keys_ is sorted ascending and edge_id_ maps a key
-  // to its position, so id order == key order.
+  // Edge interner: edge_keys_ is sorted ascending (id order == key
+  // order) and u_offsets_[u] .. u_offsets_[u+1] brackets the keys whose
+  // smaller endpoint is u — the bucket table EdgeIdOf resolves through.
   std::vector<graph::EdgeKey> edge_keys_;
-  std::unordered_map<graph::EdgeKey, uint32_t> edge_id_;
+  std::vector<uint32_t> u_offsets_;  // size NumNodes() + 1
 
   // CSR 1: edge id -> instance ids.
   std::vector<uint32_t> inst_offsets_;  // size NumInternedEdges() + 1
   std::vector<uint32_t> instance_ids_;  // flat posting lists
 
-  // Cached gain: alive_count_[e] == alive instances containing edge id e.
+  // Cached gain: alive_count_[e] == alive instances containing edge id e,
+  // and alive_edges_ == |{e : alive_count_[e] > 0}|.
   std::vector<uint32_t> alive_count_;
+  size_t alive_edges_ = 0;
 
   // CSR 2: edge id -> (target, alive count) pairs.
   std::vector<uint32_t> tgt_offsets_;  // size NumInternedEdges() + 1
   std::vector<uint32_t> tgt_ids_;      // flat target indices
   std::vector<uint32_t> tgt_counts_;   // flat alive counts, mutated
 
-  // Instance id -> interned edge ids (arity <= 4), so DeleteEdge updates
-  // sibling counts without hashing edge keys.
-  std::vector<std::array<uint32_t, 4>> inst_edge_ids_;
+  // Everything DeleteEdge needs per killed instance, in one compact
+  // record (one cache line instead of three scattered structures): the
+  // instance's target, its interned edge ids, and the flat CSR-2 slot of
+  // (edge_ids[j], target) — so the per-target count is decremented
+  // directly instead of scanning the sibling edge's target segment.
+  struct InstanceMaintenance {
+    uint32_t target = 0;
+    std::array<uint32_t, 4> edge_ids{};
+    std::array<uint32_t, 4> slots{};
+    friend bool operator==(const InstanceMaintenance& a,
+                           const InstanceMaintenance& b) = default;
+  };
+  std::vector<InstanceMaintenance> maint_;
+  // Edges per instance — uniform for one motif kind (MotifEdgeCount), so
+  // DeleteEdge never reads the 40-byte TargetSubgraph.
+  uint8_t arity_ = 0;
 };
 
 }  // namespace tpp::motif

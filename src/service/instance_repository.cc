@@ -36,7 +36,10 @@ Result<IndexedEngine> InstanceRepository::AcquireEngine(size_t group_id) {
       return;
     }
     group.instance.emplace(std::move(*instance));
-    Result<IndexedEngine> engine = IndexedEngine::Create(*group.instance);
+    motif::IncidenceIndex::BuildOptions build_options;
+    build_options.threads = build_threads_;
+    Result<IndexedEngine> engine =
+        IndexedEngine::Create(*group.instance, build_options);
     if (!engine.ok()) {
       group.status = engine.status();
       group.instance.reset();

@@ -43,6 +43,13 @@ class InstanceRepository {
   /// `base` must outlive the repository.
   explicit InstanceRepository(const graph::Graph* base) : base_(base) {}
 
+  /// Worker budget for each group's one-time IncidenceIndex build
+  /// (<= 0: tpp::GlobalThreadCount()). The pipeline sets this to its own
+  /// max_workers so a cold batch's build stage uses the same pool budget
+  /// as its solve stage; nested ParallelFor keeps that safe even when the
+  /// build runs inside a pool worker. Set before the first AcquireEngine.
+  void set_build_threads(int threads) { build_threads_ = threads; }
+
   InstanceRepository(const InstanceRepository&) = delete;
   InstanceRepository& operator=(const InstanceRepository&) = delete;
 
@@ -89,6 +96,7 @@ class InstanceRepository {
   };
 
   const graph::Graph* base_;
+  int build_threads_ = 0;
   // deque: push_back never moves existing groups, so once_flags and
   // handed-out instance references stay valid as interning continues.
   std::deque<Group> groups_;

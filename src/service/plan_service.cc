@@ -158,7 +158,13 @@ std::vector<PlanResponse> PlanService::RunPipeline(
   // the advanced stream is kept for the solve stage. Units with the same
   // resolved (targets, motif) land in one repository group and will share
   // a single TppInstance + IncidenceIndex build.
+  int max_workers =
+      options.max_workers > 0 ? options.max_workers : GlobalThreadCount();
   InstanceRepository repository(&base_);
+  // A cold group's one-time index build parallelizes over the same pool
+  // budget the solve stage gets; nesting inside a pool worker is safe
+  // (the building worker drains its own ParallelFor chunks).
+  repository.set_build_threads(max_workers);
   for (Unit& unit : units) {
     const PlanRequest& request = requests[unit.index];
     PlanResponse& response = responses[unit.index];
@@ -186,8 +192,6 @@ std::vector<PlanResponse> PlanService::RunPipeline(
   // progress never depends on a free pool thread; between its own units
   // (and while waiting at the end) it also delivers the completed
   // in-order prefix to the sink.
-  int max_workers =
-      options.max_workers > 0 ? options.max_workers : GlobalThreadCount();
   std::mutex mu;
   std::condition_variable cv;
   int helpers_left = 0;  // guarded by mu
