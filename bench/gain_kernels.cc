@@ -15,16 +15,15 @@
 //                    hash+cached-count read.
 //   gain_vector    — sweep AccumulateGains(e) (the CT/WT inner query);
 //   delete_commit  — delete every alive candidate in key order (kills all
-//                    instances), measuring the maintenance cost the CSR
-//                    index pays to keep Gain O(1). The build-time slot
-//                    table (no per-sibling target-segment scan), the
-//                    bucketed key lookup (no hash find), and the
-//                    wholesale collapse of the deleted edge's own counts
-//                    bring this near legacy parity; any residual < 1
-//                    speedup is the eager sibling-count upkeep itself,
-//                    paid once per committed pick while the gain sweep it
-//                    buys runs once per candidate per round — net-positive
-//                    by ~|candidates| to 1.
+//                    instances), measuring the commit cost of the CSR
+//                    index. Since the deferred-maintenance rework a
+//                    commit is kill marks plus an O(1) queue append —
+//                    count and CSR-2 cell upkeep replays batched at the
+//                    next flush boundary, where a greedy round was going
+//                    to read anyway — and the keyed lookup goes through
+//                    the static probe table, so the CSR side now beats
+//                    the legacy map on every motif instead of paying
+//                    ~0.8x for eager sibling-count upkeep.
 // Each kernel reports ns/op for legacy and CSR and the speedup ratio; the
 // JSON also records the batch_gain sweep at 1 and GlobalThreadCount()
 // threads.

@@ -1,0 +1,272 @@
+// Round-loop benchmark of the incremental round engine: SGB/CT/WT greedy
+// runs with dirty-set gain maintenance (Engine::BeginRound on the
+// persistent GainTable) against the historical cold sweep that re-evaluates
+// every candidate every round. Emits a machine-readable
+// BENCH_solver_rounds.json so the perf trajectory of the solve loop — the
+// half of serving the incremental engine owns — is tracked across PRs.
+//
+// For every (solver, motif) pair on the Fig. 5 Arenas-like fixture the
+// bench times:
+//   cold         — GreedyOptions{rounds = kColdSweep}: the hoisted
+//                  candidate sweep (CandidatesInto + GainVectorInto /
+//                  CandidateGains) re-evaluating every candidate each
+//                  round.
+//   incremental  — GreedyOptions{rounds = kIncremental}: per-candidate
+//                  gains persist across rounds; each committed deletion's
+//                  dirty set (IncidenceIndex::DeleteEdge) is the only
+//                  re-evaluation work, and CSR-2 upkeep is deferred to the
+//                  next per-target read.
+// EVERY rep cross-checks bit-identity: picks, realized gains, charged
+// targets, similarity trajectory, final similarity, and the
+// gain-evaluation work metric must match between the two paths, so the
+// speedups never come from computing something different (a mismatch
+// aborts the bench, failing CI).
+//
+// The bench also replays the incremental run's picks through a fresh
+// IncidenceIndex collecting each round's dirty set, reporting its
+// mean/max size next to the live candidate count — the measured locality
+// that makes incremental rounds pay off.
+//
+// Flags: --quick (fewer repetitions, CI smoke mode), --threads=N,
+//        --out=PATH (default BENCH_solver_rounds.json). TPP_PIN_THREADS=1
+//        pins pool workers (recorded in the JSON).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/tpp.h"
+#include "graph/datasets.h"
+#include "motif/incidence_index.h"
+
+namespace tpp::bench {
+namespace {
+
+using core::CandidateScope;
+using core::CtGreedy;
+using core::GreedyOptions;
+using core::IndexedEngine;
+using core::ProtectionResult;
+using core::RoundMode;
+using core::SgbGreedy;
+using core::TppInstance;
+using core::WtGreedy;
+using graph::EdgeKey;
+using motif::IncidenceIndex;
+using motif::MotifKind;
+
+// 200 sampled targets, like bench/index_build: the round loops only
+// differentiate on candidate sets big enough that a per-round sweep is
+// real work (the 20-target gain_kernels fixture has 26 Triangle
+// candidates — setup noise dominates there).
+constexpr size_t kNumTargets = 200;
+constexpr size_t kSgbBudget = 60;
+constexpr size_t kPerTargetBudget = 2;
+
+struct SolverResult {
+  std::string solver;
+  std::string motif;
+  size_t rounds = 0;          ///< committed picks
+  size_t universe = 0;        ///< round-view universe size
+  double candidates_mean = 0; ///< live candidates per round
+  double dirty_mean = 0;      ///< dirty-set size per committed pick
+  size_t dirty_max = 0;
+  double cold_ms = 0;
+  double incremental_ms = 0;
+  double Speedup() const {
+    return incremental_ms > 0 ? cold_ms / incremental_ms : 0;
+  }
+};
+
+TppInstance MakeArenas(MotifKind kind) {
+  Result<graph::Graph> g = graph::MakeArenasEmailLike(1);
+  TPP_CHECK(g.ok());
+  Rng rng(7);
+  auto targets = *core::SampleTargets(*g, kNumTargets, rng);
+  return *core::MakeInstance(*g, targets, kind);
+}
+
+Result<ProtectionResult> RunSolverOnce(std::string_view solver,
+                                       IndexedEngine& engine,
+                                       const GreedyOptions& options) {
+  if (solver == "sgb") return SgbGreedy(engine, kSgbBudget, options);
+  std::vector<size_t> budgets(kNumTargets, kPerTargetBudget);
+  if (solver == "ct") return CtGreedy(engine, budgets, options);
+  TPP_CHECK(solver == "wt");
+  return WtGreedy(engine, budgets, options);
+}
+
+// The bit-identity contract of the incremental engine: everything the
+// cold sweep reports except wall-clock timestamps.
+void CheckBitIdentical(const ProtectionResult& cold,
+                       const ProtectionResult& incremental,
+                       std::string_view what) {
+  TPP_CHECK_EQ(cold.initial_similarity, incremental.initial_similarity);
+  TPP_CHECK_EQ(cold.final_similarity, incremental.final_similarity);
+  TPP_CHECK_EQ(cold.gain_evaluations, incremental.gain_evaluations);
+  TPP_CHECK_EQ(cold.picks.size(), incremental.picks.size());
+  for (size_t i = 0; i < cold.picks.size(); ++i) {
+    TPP_CHECK(cold.protectors[i] == incremental.protectors[i]);
+    TPP_CHECK_EQ(cold.picks[i].edge, incremental.picks[i].edge);
+    TPP_CHECK_EQ(cold.picks[i].realized_gain,
+                 incremental.picks[i].realized_gain);
+    TPP_CHECK_EQ(cold.picks[i].for_target, incremental.picks[i].for_target);
+    TPP_CHECK_EQ(cold.picks[i].similarity_after,
+                 incremental.picks[i].similarity_after);
+  }
+  (void)what;
+}
+
+SolverResult RunConfig(std::string_view solver, MotifKind kind, bool quick) {
+  const TppInstance inst = MakeArenas(kind);
+  const IndexedEngine prototype = *IndexedEngine::Create(inst);
+  GreedyOptions cold_opts, incr_opts;
+  cold_opts.scope = incr_opts.scope = CandidateScope::kTargetSubgraphEdges;
+  cold_opts.rounds = RoundMode::kColdSweep;
+  incr_opts.rounds = RoundMode::kIncremental;
+
+  SolverResult out;
+  out.solver = std::string(solver);
+  out.motif = std::string(motif::MotifName(kind));
+  out.universe = prototype.index().NumInternedEdges();
+
+  const size_t reps = quick ? 3 : 12;
+  double cold_ms = 0, incr_ms = 0;
+  ProtectionResult reference;
+  for (size_t r = 0; r < reps; ++r) {
+    IndexedEngine cold_engine = prototype.Clone();
+    WallTimer cold_timer;
+    ProtectionResult cold = *RunSolverOnce(solver, cold_engine, cold_opts);
+    cold_ms += cold_timer.Millis();
+
+    IndexedEngine incr_engine = prototype.Clone();
+    WallTimer incr_timer;
+    ProtectionResult incr = *RunSolverOnce(solver, incr_engine, incr_opts);
+    incr_ms += incr_timer.Millis();
+
+    CheckBitIdentical(cold, incr, solver);
+    if (r == 0) reference = std::move(incr);
+  }
+  out.cold_ms = cold_ms / static_cast<double>(reps);
+  out.incremental_ms = incr_ms / static_cast<double>(reps);
+  out.rounds = reference.picks.size();
+
+  // Replay the picks on a fresh index to measure each round's dirty set
+  // and live candidate count — the locality the incremental engine
+  // exploits (untimed; diagnostics only).
+  IncidenceIndex replay =
+      *IncidenceIndex::Build(inst.released, inst.targets, inst.motif);
+  std::vector<uint32_t> dirty;
+  size_t dirty_total = 0, candidates_total = 0;
+  for (const core::PickTrace& pick : reference.picks) {
+    candidates_total += replay.NumAliveEdges();
+    dirty.clear();
+    replay.DeleteEdge(pick.edge, &dirty);
+    dirty_total += dirty.size();
+    out.dirty_max = std::max(out.dirty_max, dirty.size());
+  }
+  if (!reference.picks.empty()) {
+    out.dirty_mean = static_cast<double>(dirty_total) /
+                     static_cast<double>(reference.picks.size());
+    out.candidates_mean = static_cast<double>(candidates_total) /
+                          static_cast<double>(reference.picks.size());
+  }
+  return out;
+}
+
+// Total cold vs incremental time of the CT/WT round loops across motifs —
+// the acceptance headline of the incremental engine (SGB rounds were
+// already a single flat scan, so they gain little and are excluded).
+double AggregateCtWtSpeedup(const std::vector<SolverResult>& results) {
+  double cold = 0, incr = 0;
+  for (const SolverResult& result : results) {
+    if (result.solver == "sgb") continue;
+    cold += result.cold_ms;
+    incr += result.incremental_ms;
+  }
+  return incr > 0 ? cold / incr : 0;
+}
+
+void WriteJson(const std::string& path, bool quick,
+               const std::vector<SolverResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"solver_rounds\",\n");
+  std::fprintf(f, "  \"fixture\": \"arenas_email_like\",\n");
+  std::fprintf(f, "  \"num_targets\": %zu,\n", kNumTargets);
+  std::fprintf(f, "  \"scope\": \"subgraph\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"threads\": %d,\n", GlobalThreadCount());
+  std::fprintf(f, "  \"pinned_threads\": %s,\n",
+               ThreadPinningEnabled() ? "true" : "false");
+  std::fprintf(f, "  \"bit_identical_to_cold_sweep\": true,\n");
+  std::fprintf(f, "  \"runs\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SolverResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"solver\": \"%s\", \"motif\": \"%s\", \"rounds\": %zu, "
+        "\"universe_edges\": %zu, \"candidates_mean\": %.1f, "
+        "\"dirty_mean\": %.1f, \"dirty_max\": %zu, \"cold_ms\": %.3f, "
+        "\"incremental_ms\": %.3f, \"speedup\": %.2f}%s\n",
+        r.solver.c_str(), r.motif.c_str(), r.rounds, r.universe,
+        r.candidates_mean, r.dirty_mean, r.dirty_max, r.cold_ms,
+        r.incremental_ms, r.Speedup(), i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"ct_wt_aggregate_speedup\": %.2f\n}\n",
+               AggregateCtWtSpeedup(results));
+  std::fclose(f);
+  std::printf("[json] %s\n", path.c_str());
+}
+
+int Run(int argc, char** argv) {
+  Result<ParsedArgs> args = ParsedArgs::Parse(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "error: %s\n", args.status().ToString().c_str());
+    return 2;
+  }
+  Status threads_status = ApplyThreadsFlag(*args);
+  if (!threads_status.ok()) {
+    std::fprintf(stderr, "error: %s\n", threads_status.ToString().c_str());
+    return 2;
+  }
+  const bool quick = args->GetBool("quick");
+  const std::string out_path =
+      args->GetString("out", "BENCH_solver_rounds.json");
+
+  std::printf("== solver rounds: incremental (dirty-set) vs cold sweep, "
+              "Arenas-email-like, |T|=%zu, scope=subgraph%s ==\n\n",
+              kNumTargets, quick ? ", quick" : "");
+  std::vector<SolverResult> results;
+  for (std::string_view solver : {"sgb", "ct", "wt"}) {
+    for (MotifKind kind : motif::kPaperMotifs) {
+      SolverResult result = RunConfig(solver, kind, quick);
+      std::printf("%-4s %-9s %3zu rounds  %6zu edges  "
+                  "cand %8.1f  dirty %7.1f (max %5zu)  "
+                  "cold %9.3f ms  incr %8.3f ms  speedup %6.2fx\n",
+                  result.solver.c_str(), result.motif.c_str(), result.rounds,
+                  result.universe, result.candidates_mean, result.dirty_mean,
+                  result.dirty_max, result.cold_ms, result.incremental_ms,
+                  result.Speedup());
+      results.push_back(std::move(result));
+    }
+  }
+  std::printf("\nct/wt aggregate round-loop speedup: %.2fx, every run "
+              "bit-identical to the cold sweep\n",
+              AggregateCtWtSpeedup(results));
+  WriteJson(out_path, quick, results);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tpp::bench
+
+int main(int argc, char** argv) { return tpp::bench::Run(argc, argv); }

@@ -1,0 +1,93 @@
+// GainTable: the persistent per-candidate gain state of an incremental
+// round session (core/engine.h BeginRound).
+//
+// The cold greedy loops re-evaluate every candidate every round, although a
+// committed deletion only changes the gains of edges that co-occurred with
+// it in a killed target subgraph. An incremental round session keeps the
+// previous round's gains alive in this table and re-evaluates only the
+// DIRTY candidates the deletion reported (IncidenceIndex::DeleteEdge's
+// dirty set, or everything for engines that cannot track dirtiness).
+//
+// RoundGains is the per-round view greedy loops consume: a STATIC,
+// ascending candidate universe with aligned total gains (and per-target
+// rows when requested), plus the dirty row indices since the previous
+// round. The universe may be a superset of the live candidate set — dead
+// or deleted candidates keep a total of zero, which no greedy selection
+// rule can pick (every pick requires a positive gain), so scanning the
+// full universe reproduces the cold sweep's first-max tie-breaking
+// exactly. `num_candidates` is the live candidate count — the cold
+// sweep's |Candidates(scope)| — which is what the engine charges to the
+// gain-evaluation work metric per round, keeping the paper's accounting
+// identical between the incremental and cold paths.
+
+#ifndef TPP_CORE_GAIN_TABLE_H_
+#define TPP_CORE_GAIN_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/engine_scope.h"
+#include "graph/edge.h"
+
+namespace tpp::core {
+
+/// One round's gain view. Spans point into engine-owned storage and stay
+/// valid until the next BeginRound/DeleteEdge on that engine.
+struct RoundGains {
+  /// Candidate universe, ascending by edge key. Identical across rounds of
+  /// one session unless `all_dirty` is set (an engine that rebuilds its
+  /// universe each round always sets all_dirty).
+  std::span<const graph::EdgeKey> edges;
+  /// totals[i] == Gain(edges[i]) against the current graph state.
+  std::span<const uint32_t> totals;
+  /// Per-target gains, row-major with stride `num_targets`:
+  /// rows[i * num_targets + t] == GainVector(edges[i])[t]. Empty unless
+  /// the round was begun with per_target set.
+  std::span<const uint32_t> rows;
+  /// Row stride of `rows`.
+  size_t num_targets = 0;
+  /// Universe indices whose totals/rows changed since the previous round
+  /// (sorted ascending, deduplicated). Meaningful only when !all_dirty.
+  std::span<const uint32_t> dirty;
+  /// True when every row must be treated as changed: the session's first
+  /// round, a scope switch, or an engine without dirty tracking.
+  bool all_dirty = true;
+  /// Live candidates this round == |Candidates(scope)| of the cold sweep;
+  /// the engine charges exactly this many gain evaluations for the round.
+  size_t num_candidates = 0;
+};
+
+/// Engine-owned storage behind RoundGains. Engines that answer from an
+/// index may alias `view` spans straight into index internals and leave
+/// the vectors here empty; the base-class fallback fills them per round.
+struct GainTable {
+  std::vector<graph::EdgeKey> edges;
+  std::vector<uint32_t> totals;
+  std::vector<uint32_t> rows;
+  std::vector<uint32_t> dirty;
+  RoundGains view;
+
+  /// Session key: a BeginRound under a different scope/per_target restarts
+  /// the session (all_dirty) instead of serving stale state.
+  bool active = false;
+  CandidateScope scope = CandidateScope::kAllEdges;
+  bool per_target = false;
+
+  /// Forgets the session (the next BeginRound is a full evaluation) and
+  /// releases the storage — what IndexedEngine::Clone applies to the copy
+  /// so prototype sessions never leak into per-request clones.
+  void Reset() {
+    edges = {};
+    totals = {};
+    rows = {};
+    dirty = {};
+    view = RoundGains{};
+    active = false;
+    per_target = false;
+  }
+};
+
+}  // namespace tpp::core
+
+#endif  // TPP_CORE_GAIN_TABLE_H_

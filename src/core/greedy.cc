@@ -38,14 +38,14 @@ void FinalizeResult(Engine& engine, const WallTimer& timer,
   result.total_seconds = timer.Seconds();
 }
 
-// Plain SGB iteration: evaluate every candidate, take the best. The whole
+// Cold SGB iteration: evaluate every candidate, take the best. The whole
 // round's query work goes through CandidateGains: IndexedEngine answers
 // the restricted scope with one scan of its alive-count cache, and the
 // full-edge scope falls back to a (possibly threaded) BatchGain sweep.
 // Candidate order is preserved, so the first-max tie-break is identical to
 // the historical serial loop.
-Result<ProtectionResult> SgbGreedyEager(Engine& engine, size_t budget,
-                                        const GreedyOptions& options) {
+Result<ProtectionResult> SgbGreedyEagerCold(Engine& engine, size_t budget,
+                                            const GreedyOptions& options) {
   WallTimer timer;
   ProtectionResult result;
   result.initial_similarity = engine.TotalSimilarity();
@@ -66,6 +66,44 @@ Result<ProtectionResult> SgbGreedyEager(Engine& engine, size_t budget,
   }
   FinalizeResult(engine, timer, result);
   return result;
+}
+
+// Incremental SGB: one BeginRound per pick. The round view's universe is a
+// static ascending superset of the cold candidate set in which dead or
+// deleted candidates hold total 0, so the first-strict-max scan reproduces
+// the cold sweep's smallest-key tie-break exactly; on the indexed engine
+// the totals alias the eagerly-maintained alive counts and a round costs
+// one flat scan, with no candidate-vector rebuild at all.
+Result<ProtectionResult> SgbGreedyEagerIncremental(
+    Engine& engine, size_t budget, const GreedyOptions& options) {
+  WallTimer timer;
+  ProtectionResult result;
+  result.initial_similarity = engine.TotalSimilarity();
+  while (result.protectors.size() < budget) {
+    const RoundGains& round = engine.BeginRound(options.scope,
+                                                /*per_target=*/false);
+    uint32_t best_gain = 0;
+    size_t best_i = 0;
+    for (size_t i = 0; i < round.totals.size(); ++i) {
+      if (round.totals[i] > best_gain) {  // strict: first max wins
+        best_gain = round.totals[i];
+        best_i = i;
+      }
+    }
+    if (best_gain == 0) break;
+    CommitPick(engine, round.edges[best_i], PickTrace::kNoTarget, timer,
+               result);
+  }
+  FinalizeResult(engine, timer, result);
+  return result;
+}
+
+Result<ProtectionResult> SgbGreedyEager(Engine& engine, size_t budget,
+                                        const GreedyOptions& options) {
+  if (options.rounds == RoundMode::kColdSweep) {
+    return SgbGreedyEagerCold(engine, budget, options);
+  }
+  return SgbGreedyEagerIncremental(engine, budget, options);
 }
 
 // CELF lazy-greedy SGB: keep stale upper bounds in a max-heap; re-evaluate
@@ -122,22 +160,12 @@ bool SplitGainLess(const IncidenceIndex::SplitGain& a,
   return a.cross < b.cross;
 }
 
-}  // namespace
-
-Result<ProtectionResult> SgbGreedy(Engine& engine, size_t budget,
-                                   const GreedyOptions& options) {
-  if (options.lazy) return SgbGreedyLazy(engine, budget, options);
-  return SgbGreedyEager(engine, budget, options);
-}
-
-Result<ProtectionResult> CtGreedy(Engine& engine,
-                                  const std::vector<size_t>& budgets,
-                                  const GreedyOptions& options) {
-  if (budgets.size() != engine.NumTargets()) {
-    return Status::InvalidArgument(
-        StrFormat("budget vector size %zu != target count %zu",
-                  budgets.size(), engine.NumTargets()));
-  }
+// Cold CT rounds: one GainVector per candidate per round, with the
+// candidate list and the diff buffer hoisted out of the loops (reused
+// capacity, no per-candidate allocation).
+Result<ProtectionResult> CtGreedyCold(Engine& engine,
+                                      const std::vector<size_t>& budgets,
+                                      const GreedyOptions& options) {
   WallTimer timer;
   ProtectionResult result;
   result.initial_similarity = engine.TotalSimilarity();
@@ -146,8 +174,10 @@ Result<ProtectionResult> CtGreedy(Engine& engine,
   size_t total_budget = 0;
   for (size_t b : budgets) total_budget += b;
 
+  std::vector<EdgeKey> candidates;
+  std::vector<size_t> diffs(budgets.size());
   while (result.protectors.size() < total_budget) {
-    std::vector<EdgeKey> candidates = engine.Candidates(options.scope);
+    engine.CandidatesInto(options.scope, &candidates);
     bool found = false;
     size_t best_target = 0;
     EdgeKey best_edge = 0;
@@ -158,7 +188,7 @@ Result<ProtectionResult> CtGreedy(Engine& engine,
       // batched prefilter here: on the recount engine a total-gain sweep
       // would double the per-round motif enumeration work and distort the
       // paper-cost-model runtime benches (Figs. 5-6).
-      std::vector<size_t> diffs = engine.GainVector(e);
+      engine.GainVectorInto(e, diffs);
       size_t total = 0;
       for (size_t d : diffs) total += d;
       if (total == 0) continue;
@@ -181,27 +211,126 @@ Result<ProtectionResult> CtGreedy(Engine& engine,
   return result;
 }
 
-Result<ProtectionResult> WtGreedy(Engine& engine,
-                                  const std::vector<size_t>& budgets,
-                                  const GreedyOptions& options) {
-  if (budgets.size() != engine.NumTargets()) {
-    return Status::InvalidArgument(
-        StrFormat("budget vector size %zu != target count %zu",
-                  budgets.size(), engine.NumTargets()));
-  }
+// Incremental CT. Each candidate's winning (target, own, cross) triple is
+// determined by its per-target gain row and the unspent-target set, both
+// of which change rarely: rows change only for the committed deletion's
+// dirty set, the unspent set only when a pick exhausts a target. The loop
+// caches (own, best target) per universe row and patches exactly those
+// events, so a round is one flat (own, cross) scan instead of a
+// |candidates| x |targets| re-evaluation.
+//
+// Equivalence to the cold loop: for a fixed candidate the pairs
+// (row[t], total - row[t]) over unspent t are lexicographically maximized
+// at the FIRST argmax of row[t] (larger own implies smaller cross), which
+// is exactly what the cold (e, t) scan's strict-improvement rule selects;
+// across candidates both loops take the first strict maximum in ascending
+// key order. Removing an exhausted target re-seats only rows whose cached
+// best target was that target (values are unchanged and a first-argmax
+// elsewhere stays the first argmax), which is the re-seat set below.
+Result<ProtectionResult> CtGreedyIncremental(
+    Engine& engine, const std::vector<size_t>& budgets,
+    const GreedyOptions& options) {
   WallTimer timer;
   ProtectionResult result;
   result.initial_similarity = engine.TotalSimilarity();
 
+  const size_t num_targets = budgets.size();
+  std::vector<size_t> spent(num_targets, 0);
+  size_t total_budget = 0;
+  for (size_t b : budgets) total_budget += b;
+
+  constexpr uint32_t kNoExhaust = 0xffffffffu;
+  std::vector<uint32_t> own;     // cached best own gain per universe row
+  std::vector<uint32_t> best_t;  // cached first-argmax target per row
+  bool rebuild_all = true;
+  uint32_t exhausted = kNoExhaust;
+
+  while (result.protectors.size() < total_budget) {
+    const RoundGains& round = engine.BeginRound(options.scope,
+                                                /*per_target=*/true);
+    const size_t universe = round.edges.size();
+    auto recompute = [&](size_t i) {
+      const uint32_t* row = round.rows.data() + i * round.num_targets;
+      uint32_t o = 0;
+      uint32_t bt = 0;
+      bool seen = false;
+      for (size_t t = 0; t < num_targets; ++t) {
+        if (spent[t] >= budgets[t]) continue;
+        if (!seen || row[t] > o) {
+          seen = true;
+          o = row[t];
+          bt = static_cast<uint32_t>(t);
+        }
+      }
+      own[i] = seen ? o : 0;
+      best_t[i] = seen ? bt : kNoExhaust;
+    };
+    if (round.all_dirty || rebuild_all || own.size() != universe) {
+      own.assign(universe, 0);
+      best_t.assign(universe, kNoExhaust);
+      for (size_t i = 0; i < universe; ++i) {
+        if (round.totals[i] > 0) recompute(i);
+      }
+      rebuild_all = false;
+    } else {
+      for (uint32_t i : round.dirty) {
+        if (round.totals[i] > 0) recompute(i);
+      }
+      if (exhausted != kNoExhaust) {
+        for (size_t i = 0; i < universe; ++i) {
+          if (round.totals[i] > 0 && best_t[i] == exhausted) recompute(i);
+        }
+      }
+    }
+    exhausted = kNoExhaust;
+
+    bool found = false;
+    size_t best_i = 0;
+    uint32_t bo = 0;
+    uint32_t bc = 0;
+    for (size_t i = 0; i < universe; ++i) {
+      const uint32_t total = round.totals[i];
+      if (total == 0) continue;
+      const uint32_t o = own[i];
+      const uint32_t c = total - o;
+      if (!found || bo < o || (bo == o && bc < c)) {  // SplitGainLess
+        found = true;
+        bo = o;
+        bc = c;
+        best_i = i;
+      }
+    }
+    if (!found) break;  // best delta is zero everywhere
+    const size_t best_target = best_t[best_i];
+    ++spent[best_target];
+    if (spent[best_target] >= budgets[best_target]) {
+      exhausted = static_cast<uint32_t>(best_target);
+    }
+    CommitPick(engine, round.edges[best_i], best_target, timer, result);
+  }
+  FinalizeResult(engine, timer, result);
+  return result;
+}
+
+// Cold WT rounds, with the same buffer hoisting as CtGreedyCold.
+Result<ProtectionResult> WtGreedyCold(Engine& engine,
+                                      const std::vector<size_t>& budgets,
+                                      const GreedyOptions& options) {
+  WallTimer timer;
+  ProtectionResult result;
+  result.initial_similarity = engine.TotalSimilarity();
+
+  std::vector<EdgeKey> candidates;
+  std::vector<size_t> diffs(budgets.size());
   for (size_t t = 0; t < budgets.size(); ++t) {
     for (size_t b = 0; b < budgets[t]; ++b) {
-      std::vector<EdgeKey> candidates = engine.Candidates(options.scope);
+      engine.CandidatesInto(options.scope, &candidates);
       bool found = false;
       EdgeKey best_edge = 0;
       IncidenceIndex::SplitGain best_gain;
       for (EdgeKey e : candidates) {
         // Single GainVector per candidate, as in CT (see the note there).
-        std::vector<size_t> diffs = engine.GainVector(e);
+        engine.GainVectorInto(e, diffs);
         if (diffs[t] == 0) continue;  // within-target: own gain required
         size_t total = 0;
         for (size_t d : diffs) total += d;
@@ -218,6 +347,96 @@ Result<ProtectionResult> WtGreedy(Engine& engine,
   }
   FinalizeResult(engine, timer, result);
   return result;
+}
+
+// Incremental WT: the focal target is fixed until its budget is spent, so
+// the cached own gain of a row is just its rows[] cell for that target —
+// re-read for the dirty set each round and for every row on a target
+// switch. Selection is the same first-strict-max scan as CT restricted to
+// candidates with positive own gain (the cold loop's diffs[t] == 0 skip).
+Result<ProtectionResult> WtGreedyIncremental(
+    Engine& engine, const std::vector<size_t>& budgets,
+    const GreedyOptions& options) {
+  WallTimer timer;
+  ProtectionResult result;
+  result.initial_similarity = engine.TotalSimilarity();
+
+  std::vector<uint32_t> own;
+  for (size_t t = 0; t < budgets.size(); ++t) {
+    bool target_cached = false;
+    for (size_t b = 0; b < budgets[t]; ++b) {
+      const RoundGains& round = engine.BeginRound(options.scope,
+                                                  /*per_target=*/true);
+      const size_t universe = round.edges.size();
+      const uint32_t* rows = round.rows.data();
+      const size_t stride = round.num_targets;
+      if (round.all_dirty || !target_cached || own.size() != universe) {
+        own.resize(universe);
+        for (size_t i = 0; i < universe; ++i) own[i] = rows[i * stride + t];
+        target_cached = true;
+      } else {
+        for (uint32_t i : round.dirty) own[i] = rows[i * stride + t];
+      }
+
+      bool found = false;
+      size_t best_i = 0;
+      uint32_t bo = 0;
+      uint32_t bc = 0;
+      for (size_t i = 0; i < universe; ++i) {
+        const uint32_t total = round.totals[i];
+        if (total == 0) continue;
+        const uint32_t o = own[i];
+        if (o == 0) continue;  // within-target: own gain required
+        const uint32_t c = total - o;
+        if (!found || bo < o || (bo == o && bc < c)) {  // SplitGainLess
+          found = true;
+          bo = o;
+          bc = c;
+          best_i = i;
+        }
+      }
+      if (!found) break;  // target t fully protected; move to next target
+      CommitPick(engine, round.edges[best_i], t, timer, result);
+    }
+  }
+  FinalizeResult(engine, timer, result);
+  return result;
+}
+
+}  // namespace
+
+Result<ProtectionResult> SgbGreedy(Engine& engine, size_t budget,
+                                   const GreedyOptions& options) {
+  if (options.lazy) return SgbGreedyLazy(engine, budget, options);
+  return SgbGreedyEager(engine, budget, options);
+}
+
+Result<ProtectionResult> CtGreedy(Engine& engine,
+                                  const std::vector<size_t>& budgets,
+                                  const GreedyOptions& options) {
+  if (budgets.size() != engine.NumTargets()) {
+    return Status::InvalidArgument(
+        StrFormat("budget vector size %zu != target count %zu",
+                  budgets.size(), engine.NumTargets()));
+  }
+  if (options.rounds == RoundMode::kColdSweep) {
+    return CtGreedyCold(engine, budgets, options);
+  }
+  return CtGreedyIncremental(engine, budgets, options);
+}
+
+Result<ProtectionResult> WtGreedy(Engine& engine,
+                                  const std::vector<size_t>& budgets,
+                                  const GreedyOptions& options) {
+  if (budgets.size() != engine.NumTargets()) {
+    return Status::InvalidArgument(
+        StrFormat("budget vector size %zu != target count %zu",
+                  budgets.size(), engine.NumTargets()));
+  }
+  if (options.rounds == RoundMode::kColdSweep) {
+    return WtGreedyCold(engine, budgets, options);
+  }
+  return WtGreedyIncremental(engine, budgets, options);
 }
 
 Result<ProtectionResult> FullProtection(Engine& engine,

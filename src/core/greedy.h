@@ -23,6 +23,19 @@
 
 namespace tpp::core {
 
+/// Round evaluation strategy of the eager greedy loops.
+enum class RoundMode {
+  /// Incremental rounds on Engine::BeginRound: per-candidate gains
+  /// persist across rounds and only the dirty set of each committed
+  /// deletion is re-evaluated. Picks, traces, and gain-evaluation
+  /// accounting are bit-identical to the cold sweep; only wall time
+  /// differs (bench/solver_rounds tracks the gap).
+  kIncremental,
+  /// The historical loop: re-evaluate every candidate every round. Kept
+  /// as the differential baseline of the incremental engine.
+  kColdSweep,
+};
+
 /// Shared knobs for the greedy algorithms.
 struct GreedyOptions {
   /// Candidate protector scope; kTargetSubgraphEdges gives the "-R"
@@ -30,6 +43,9 @@ struct GreedyOptions {
   CandidateScope scope = CandidateScope::kAllEdges;
   /// SGB only: use CELF lazy evaluation (upper bounds from submodularity).
   bool lazy = false;
+  /// Eager rounds only (SGB non-lazy, CT, WT, FullProtection): how each
+  /// round's candidate gains are produced.
+  RoundMode rounds = RoundMode::kIncremental;
 };
 
 /// One committed protector deletion, for evolution plots and audits.

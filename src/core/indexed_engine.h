@@ -3,6 +3,7 @@
 #ifndef TPP_CORE_INDEXED_ENGINE_H_
 #define TPP_CORE_INDEXED_ENGINE_H_
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -55,8 +56,19 @@ class IndexedEngine : public Engine {
     return index_.GainFor(e, t);
   }
   std::vector<size_t> GainVector(graph::EdgeKey e) override;
+  /// In-place GainVector: zero-fill plus one pass over the edge's CSR-2
+  /// segment, no allocation. Counts one evaluation.
+  void GainVectorInto(graph::EdgeKey e, std::span<size_t> out) override;
+  /// Parallel pure-read row fill on the shared pool: deferred index
+  /// maintenance is flushed once up front, then every row is a read of
+  /// the edge's CSR-2 segment into a disjoint output slice. Falls back to
+  /// a serial loop for small batches (same heuristic as BatchGain).
+  void BatchGainVector(std::span<const graph::EdgeKey> edges,
+                       std::vector<uint32_t>* out) override;
   size_t DeleteEdge(graph::EdgeKey e) override;
   std::vector<graph::EdgeKey> Candidates(CandidateScope scope) override;
+  void CandidatesInto(CandidateScope scope,
+                      std::vector<graph::EdgeKey>* out) override;
   /// Restricted scope: one hash-free scan of the index's alive-count
   /// array produces the candidate set and every gain simultaneously (see
   /// IncidenceIndex::AliveCandidateGains). Full-edge scope falls back to
@@ -64,6 +76,16 @@ class IndexedEngine : public Engine {
   void CandidateGains(CandidateScope scope,
                       std::vector<graph::EdgeKey>* edges,
                       std::vector<size_t>* gains) override;
+  /// Incremental rounds on the persistent gain table. The candidate
+  /// universe is static for a whole session — the interned edge set
+  /// (restricted scope, where totals alias the index's eagerly-maintained
+  /// alive counts and need no per-round work at all) or the graph's edge
+  /// set at session start (full scope) — and per-target rows are patched
+  /// only for the dirty ids the round's deferred-count flush reports,
+  /// through the parallel row fill when the dirty set is wide. Charges
+  /// one evaluation per live candidate (see Engine::BeginRound).
+  const RoundGains& BeginRound(CandidateScope scope,
+                               bool per_target) override;
   const graph::Graph& CurrentGraph() const override { return g_; }
   uint64_t GainEvaluations() const override { return gain_evals_; }
 
@@ -73,10 +95,18 @@ class IndexedEngine : public Engine {
   /// freshly-built engine is indistinguishable from building a second
   /// engine from the same instance — same graph, same index contents,
   /// work counter at zero — at the cost of a flat-array copy instead of a
-  /// full motif re-enumeration. The thread budget is inherited.
+  /// full motif re-enumeration. The thread budget is inherited; any
+  /// incremental round session is RESET on the copy (the clone's first
+  /// BeginRound is a full evaluation), so prototype engines shared by the
+  /// batch pipeline never leak round state into per-request clones.
   IndexedEngine Clone() const {
     IndexedEngine copy(*this);
     copy.gain_evals_ = 0;
+    copy.table_.Reset();
+    copy.session_dirty_.clear();
+    copy.row_ids_ = {};
+    copy.id_to_row_ = {};
+    copy.session_flush_epoch_ = 0;
     return copy;
   }
 
@@ -87,17 +117,49 @@ class IndexedEngine : public Engine {
   /// enough to amortize thread spawns.
   void set_threads(int threads) { threads_ = threads; }
 
-  /// Read access to the underlying index (for reporting).
+  /// Access to the underlying index (for reporting and differential
+  /// tests). Non-const because count-level reads flush the index's
+  /// deferred maintenance; the const overload serves flush-free
+  /// inspection (BitIdentical, instances()).
+  motif::IncidenceIndex& index() { return index_; }
   const motif::IncidenceIndex& index() const { return index_; }
 
  private:
   IndexedEngine(graph::Graph g, motif::IncidenceIndex index)
       : g_(std::move(g)), index_(std::move(index)) {}
 
+  // Shared worker-sizing and dispatch of the row-granular parallel jobs
+  // (FillGainRows, BeginRound's dirty-row patch): honors set_threads()
+  // exactly, otherwise parallelizes only jobs big enough to amortize the
+  // fan-out (kMinRowsPerThread).
+  void ParallelRowJob(size_t n,
+                      const std::function<void(size_t, size_t)>& body);
+
+  // Parallel CSR-2 row fill behind BatchGainVector and the dirty-row
+  // refresh of BeginRound: ids[i] is written to out[i * stride] (kNoEdge
+  // ids produce zero rows). Flushes deferred maintenance, then fans out.
+  void FillGainRows(std::span<const uint32_t> ids, size_t stride,
+                    uint32_t* out);
+
+  // (Re)starts an incremental round session for (scope, per_target).
+  void InitRoundSession(CandidateScope scope, bool per_target);
+
   graph::Graph g_;
   motif::IncidenceIndex index_;
   uint64_t gain_evals_ = 0;
   int threads_ = 0;
+
+  // Incremental round session state (see BeginRound). table_.edges /
+  // totals stay empty under the restricted scope: the view aliases the
+  // index's interned key and alive-count arrays directly.
+  GainTable table_;
+  std::vector<uint32_t> session_dirty_;  // flush-emitted ids, per round
+  std::vector<uint32_t> row_ids_;    // full scope: row -> interned id
+  std::vector<uint32_t> id_to_row_;  // full scope: interned id -> row
+  // Index count-flush epoch as of this session's last BeginRound; a
+  // mismatch means a non-dirty flush intervened (its dirty set is lost)
+  // and the session restarts. See BeginRound.
+  uint64_t session_flush_epoch_ = 0;
 };
 
 }  // namespace tpp::core

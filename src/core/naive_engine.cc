@@ -58,7 +58,13 @@ motif::IncidenceIndex::SplitGain NaiveEngine::GainFor(EdgeKey e, size_t t) {
 
 std::vector<size_t> NaiveEngine::GainVector(EdgeKey e) {
   std::vector<size_t> diffs(targets_.size(), 0);
-  if (!g_.HasEdgeKey(e)) return diffs;
+  GainVectorInto(e, diffs);
+  return diffs;
+}
+
+void NaiveEngine::GainVectorInto(EdgeKey e, std::span<size_t> out) {
+  std::fill(out.begin(), out.end(), size_t{0});
+  if (!g_.HasEdgeKey(e)) return;
   RefreshSimilarities();
   ++gain_evals_;
   // Temporarily delete e and recount every target, as the paper's greedy
@@ -68,11 +74,10 @@ std::vector<size_t> NaiveEngine::GainVector(EdgeKey e) {
   for (size_t i = 0; i < targets_.size(); ++i) {
     size_t after = motif::CountTargetSubgraphs(g_, targets_[i], motif_);
     TPP_CHECK_LE(after, sims_[i]);
-    diffs[i] = sims_[i] - after;
+    out[i] = sims_[i] - after;
   }
   Status as = g_.AddEdge(EdgeKeyU(e), EdgeKeyV(e));
   TPP_CHECK(as.ok());
-  return diffs;
 }
 
 size_t NaiveEngine::DeleteEdge(EdgeKey e) {

@@ -36,8 +36,17 @@ class NaiveEngine : public Engine {
   motif::IncidenceIndex::SplitGain GainFor(graph::EdgeKey e,
                                            size_t t) override;
   std::vector<size_t> GainVector(graph::EdgeKey e) override;
+  /// In-place recount: same temporary-deletion sweep as GainVector,
+  /// written straight into `out` — the hoisted cold CT/WT loops reuse one
+  /// buffer instead of allocating a vector per (candidate, round).
+  void GainVectorInto(graph::EdgeKey e, std::span<size_t> out) override;
   size_t DeleteEdge(graph::EdgeKey e) override;
   std::vector<graph::EdgeKey> Candidates(CandidateScope scope) override;
+  // BeginRound is intentionally NOT overridden: the base class's trivial
+  // always-dirty fallback re-enumerates every candidate's gain each round
+  // through the counting recount queries above, which is exactly the
+  // paper's cost model — incremental callers get bit-identical picks and
+  // work accounting, and the timing experiments stay honest.
   const graph::Graph& CurrentGraph() const override { return g_; }
   uint64_t GainEvaluations() const override { return gain_evals_; }
 

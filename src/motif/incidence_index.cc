@@ -1,6 +1,7 @@
 #include "motif/incidence_index.h"
 
 #include <algorithm>
+#include <bit>
 #include <unordered_map>
 
 #include "common/check.h"
@@ -139,8 +140,8 @@ Result<IncidenceIndex> IncidenceIndex::Build(const Graph& g,
   // filled with disjoint writes; a two-pass stable counting sort over the
   // node-id digits (larger endpoint, then smaller) plus unique assigns
   // ids in ascending key order in O(K + NumNodes) — no comparison sort.
-  // No hash map is built at all: the keyed query API and the CSR fill
-  // passes both resolve ids through the per-endpoint bucket table.
+  // The keyed query API and the CSR fill passes resolve ids through the
+  // static flat probe table built from the sorted keys (see EdgeIdOf).
   timer.Restart();
   const size_t arity = MotifEdgeCount(kind);
   std::vector<EdgeKey> flat_keys(num_instances * arity);
@@ -172,6 +173,7 @@ Result<IncidenceIndex> IncidenceIndex::Build(const Graph& g,
   // whole batch inside InstanceRepository.
   flat_keys.shrink_to_fit();
   idx.edge_keys_ = std::move(flat_keys);
+  idx.BuildProbeTable();
   const size_t num_edges = idx.edge_keys_.size();
   if (stats) {
     stats->intern_seconds = timer.Seconds();
@@ -328,6 +330,7 @@ Result<IncidenceIndex> IncidenceIndex::BuildSerialReference(
   // The old hash-map interner, kept local: the reference pays its
   // construction and per-occurrence lookups exactly as the pre-parallel
   // build did, then derives the bucket table the final layout carries.
+  idx.BuildProbeTable();
   std::unordered_map<EdgeKey, uint32_t> edge_id;
   edge_id.reserve(idx.edge_keys_.size());
   for (uint32_t id = 0; id < idx.edge_keys_.size(); ++id) {
@@ -426,9 +429,37 @@ void IncidenceIndex::FinishAliveState(size_t num_targets) {
     ++alive_per_target_[inst.target];
   }
   alive_edges_ = edge_keys_.size();  // every interned edge has an instance
+  // Sized here so the deferral queues never allocate — including on fresh
+  // copies of the index, whose vector copies keep this size.
+  counts_queue_.assign(edge_keys_.size(), 0);
+  cells_queue_.assign(edge_keys_.size(), 0);
+  counts_pending_ = 0;
+  cells_pending_ = 0;
 }
 
-IncidenceIndex::SplitGain IncidenceIndex::GainFor(EdgeKey e, size_t t) const {
+void IncidenceIndex::BuildProbeTable() {
+  // The static probe table of EdgeIdOf: power-of-two capacity at <= 50%
+  // load (minimum 16 so lookups on an empty index terminate on an empty
+  // slot), keys inserted in ascending id order with linear probing —
+  // fully determined by edge_keys_. Built immediately after interning:
+  // the CSR fill passes already resolve ids through it.
+  size_t capacity = 16;
+  while (capacity < edge_keys_.size() * 2) capacity <<= 1;
+  probe_mask_ = capacity - 1;
+  probe_shift_ = 64 - std::countr_zero(capacity);
+  probe_keys_.assign(capacity, 0);
+  probe_ids_.assign(capacity, 0);
+  for (uint32_t id = 0; id < edge_keys_.size(); ++id) {
+    const EdgeKey key = edge_keys_[id];
+    uint64_t slot = (key * 0x9E3779B97F4A7C15ull) >> probe_shift_;
+    while (probe_keys_[slot] != 0) slot = (slot + 1) & probe_mask_;
+    probe_keys_[slot] = key;
+    probe_ids_[slot] = id;
+  }
+}
+
+IncidenceIndex::SplitGain IncidenceIndex::GainFor(EdgeKey e, size_t t) {
+  FlushDeferredMaintenance();
   SplitGain gain;
   const uint32_t id = EdgeIdOf(e);
   if (id == kNoEdge) return gain;
@@ -443,84 +474,199 @@ IncidenceIndex::SplitGain IncidenceIndex::GainFor(EdgeKey e, size_t t) const {
   return gain;
 }
 
-void IncidenceIndex::AccumulateGains(EdgeKey e,
-                                     std::vector<size_t>* out) const {
+size_t IncidenceIndex::DeleteEdge(EdgeKey e) {
   const uint32_t id = EdgeIdOf(e);
-  if (id == kNoEdge) return;
-  for (uint32_t p = tgt_offsets_[id]; p < tgt_offsets_[id + 1]; ++p) {
-    (*out)[tgt_ids_[p]] += tgt_counts_[p];
+  if (id == kNoEdge) return 0;
+  // Start the posting-list metadata load before the liveness check below
+  // resolves: when the edge is alive both lines are needed, and the check
+  // stalls on its own cache line either way.
+  __builtin_prefetch(&inst_offsets_[id]);
+  // Counts only decrease, so a cached zero is definitely dead even with
+  // maintenance queued; a stale positive just means the walk below finds
+  // nothing alive and kills zero.
+  if (alive_count_[id] == 0) return 0;
+  // Kill marks only: every alive instance through `id` flips to state 2
+  // (dead, all maintenance queued). No count array, maintenance record,
+  // or CSR-2 cell is touched here — the flushes replay this edge's
+  // posting list later, once per granularity.
+  const uint32_t pend = inst_offsets_[id + 1];
+  const uint32_t* const inst_ids = instance_ids_.data();
+  uint8_t* const alive = alive_.data();
+  size_t killed = 0;
+  for (uint32_t p = inst_offsets_[id]; p < pend; ++p) {
+    const uint32_t i = inst_ids[p];
+    if (alive[i] != 1) continue;
+    alive[i] = 2;
+    ++killed;
   }
+  if (killed == 0) return 0;  // stale positive count: nothing was alive
+  total_alive_ -= killed;  // eager: similarity traces read without flush
+  // The only delete that can kill instances through `id` is this one
+  // (everything through it is dead now), so the queue sees each id at
+  // most once and its fixed capacity of NumInternedEdges() is exact.
+  counts_queue_[counts_pending_++] = id;
+  return killed;
 }
 
-template <int kArity>
-size_t IncidenceIndex::DeleteEdgeImpl(uint32_t id) {
-  // Hot loop of every greedy commit: all bounds and bases live in locals
-  // so the stores below cannot force their reload, and the compile-time
-  // arity fully unrolls the sibling updates. The alive-count invariant
-  // itself is enforced by construction (differential-tested), not by
-  // per-decrement checks.
-  const uint32_t pend = inst_offsets_[id + 1];
+size_t IncidenceIndex::DeleteEdge(EdgeKey e, std::vector<uint32_t>* dirty) {
+  TPP_CHECK(dirty != nullptr);
+  const size_t killed = DeleteEdge(e);
+  FlushDeferredCounts(dirty);
+  return killed;
+}
+
+template <int kArity, bool kDirty>
+void IncidenceIndex::FlushCountsImpl(std::vector<uint32_t>* dirty) {
   const uint32_t* const inst_ids = instance_ids_.data();
   const InstanceMaintenance* const maint = maint_.data();
   uint8_t* const alive = alive_.data();
   uint32_t* const alive_count = alive_count_.data();
-  uint32_t* const tgt_counts = tgt_counts_.data();
-  size_t killed = 0;
-  for (uint32_t p = inst_offsets_[id]; p < pend; ++p) {
-    const uint32_t i = inst_ids[p];
-    if (!alive[i]) continue;
-    alive[i] = 0;
-    const InstanceMaintenance& m = maint[i];
-    --alive_per_target_[m.target];
-    ++killed;
-    // Restore the invariant: every SIBLING edge of the killed instance
-    // loses one alive instance, in both count structures. The CSR-2 cell
-    // comes from the build-time slot table — no scan of the sibling's
-    // target segment. `id` itself is skipped: its counts collapse to zero
-    // wholesale below instead of one decrement per killed instance.
-    for (int j = 0; j < kArity; ++j) {
-      const uint32_t sib = m.edge_ids[j];
-      if (sib == id) continue;
-      if (--alive_count[sib] == 0) --alive_edges_;
-      --tgt_counts[m.slots[j]];
+  size_t* const per_target = alive_per_target_.data();
+  [[maybe_unused]] uint32_t* const stamp = dirty_stamp_.data();
+  [[maybe_unused]] const uint32_t epoch = dirty_epoch_;
+  size_t died_edges = 0;
+  for (size_t k = 0; k < counts_pending_; ++k) {
+    const uint32_t id = counts_queue_[k];
+    for (uint32_t p = inst_offsets_[id]; p < inst_offsets_[id + 1]; ++p) {
+      const uint32_t i = inst_ids[p];
+      if (alive[i] != 2) continue;  // alive, or counts already applied
+      alive[i] = 3;  // counts applied below; cell upkeep still queued
+      const InstanceMaintenance& m = maint[i];
+      --per_target[m.target];
+      // Every edge of the killed instance loses one alive instance — the
+      // queued edge itself included: all its alive instances die across
+      // the queued walks, so its count reaches exactly zero with no
+      // special case.
+      for (int j = 0; j < kArity; ++j) {
+        const uint32_t sib = m.edge_ids[j];
+        if (--alive_count[sib] == 0) ++died_edges;
+        if constexpr (kDirty) {
+          if (stamp[sib] != epoch) {
+            stamp[sib] = epoch;
+            dirty->push_back(sib);
+          }
+        }
+      }
+    }
+    cells_queue_[cells_pending_++] = id;
+  }
+  alive_edges_ -= died_edges;
+  counts_pending_ = 0;
+}
+
+void IncidenceIndex::FlushDeferredCounts(std::vector<uint32_t>* dirty) {
+  if (counts_pending_ == 0) return;
+  ++counts_flush_epoch_;
+  if (dirty != nullptr) {
+    // Fresh stamp epoch so earlier emissions do not suppress this one.
+    if (dirty_stamp_.size() < alive_count_.size()) {
+      dirty_stamp_.assign(alive_count_.size(), 0);
+      dirty_epoch_ = 0;
+    }
+    ++dirty_epoch_;
+    switch (arity_) {
+      case 2:
+        FlushCountsImpl<2, true>(dirty);
+        return;
+      case 3:
+        FlushCountsImpl<3, true>(dirty);
+        return;
+      default:
+        FlushCountsImpl<4, true>(dirty);
+        return;
     }
   }
-  // Every alive instance through `id` just died, so every (id, target)
-  // count and the cached total are now zero by definition.
-  for (uint32_t q = tgt_offsets_[id]; q < tgt_offsets_[id + 1]; ++q) {
-    tgt_counts[q] = 0;
-  }
-  alive_count[id] = 0;
-  --alive_edges_;
-  total_alive_ -= killed;
-  return killed;
-}
-
-size_t IncidenceIndex::DeleteEdge(EdgeKey e) {
-  const uint32_t id = EdgeIdOf(e);
-  if (id == kNoEdge) return 0;
-  if (alive_count_[id] == 0) return 0;  // already dead: O(1) no-op
   switch (arity_) {
     case 2:
-      return DeleteEdgeImpl<2>(id);
+      FlushCountsImpl<2, false>(nullptr);
+      return;
     case 3:
-      return DeleteEdgeImpl<3>(id);
+      FlushCountsImpl<3, false>(nullptr);
+      return;
     default:
-      return DeleteEdgeImpl<4>(id);
+      FlushCountsImpl<4, false>(nullptr);
+      return;
   }
 }
 
-std::vector<EdgeKey> IncidenceIndex::AliveCandidateEdges() const {
-  std::vector<EdgeKey> out;
-  out.reserve(alive_edges_);
-  for (size_t e = 0; e < alive_count_.size(); ++e) {
-    if (alive_count_[e] > 0) out.push_back(edge_keys_[e]);
+void IncidenceIndex::FlushDeferredMaintenance() {
+  FlushDeferredCounts();
+  if (cells_pending_ == 0) return;
+  uint32_t* const tgt_counts = tgt_counts_.data();
+  const InstanceMaintenance* const maint = maint_.data();
+  const uint32_t* const inst_ids = instance_ids_.data();
+  uint8_t* const alive = alive_.data();
+  const int arity = arity_;
+  // Pass 1: every queued (deleted) edge's segment collapses to zero
+  // wholesale — the edge is dead, so all its per-target counts are zero
+  // by definition, and zeroing first lets the guard below absorb the
+  // decrements its kills would have applied to it.
+  for (size_t k = 0; k < cells_pending_; ++k) {
+    const uint32_t id = cells_queue_[k];
+    for (uint32_t q = tgt_offsets_[id]; q < tgt_offsets_[id + 1]; ++q) {
+      tgt_counts[q] = 0;
+    }
   }
+  // Pass 2: walk each queued edge's posting list and apply the queued
+  // kills (state 3).
+  for (size_t k = 0; k < cells_pending_; ++k) {
+    const uint32_t id = cells_queue_[k];
+    for (uint32_t p = inst_offsets_[id]; p < inst_offsets_[id + 1]; ++p) {
+      const uint32_t i = inst_ids[p];
+      if (alive[i] != 3) continue;  // alive, or already fully flushed
+      alive[i] = 0;
+      const InstanceMaintenance& m = maint[i];
+      for (int j = 0; j < arity; ++j) {
+        // The cell > 0 guard absorbs decrements against wholesale-zeroed
+        // (deleted) edges — including this instance's killer — see the
+        // queue comment in the header.
+        uint32_t& cell = tgt_counts[m.slots[j]];
+        if (cell > 0) --cell;
+      }
+    }
+  }
+  cells_pending_ = 0;
+}
+
+void IncidenceIndex::AccumulateGains(EdgeKey e, std::vector<size_t>* out) {
+  AccumulateGains(e, std::span<size_t>(*out));
+}
+
+void IncidenceIndex::AccumulateGains(EdgeKey e, std::span<size_t> out) {
+  FlushDeferredMaintenance();
+  const uint32_t id = EdgeIdOf(e);
+  if (id == kNoEdge) return;
+  for (uint32_t p = tgt_offsets_[id]; p < tgt_offsets_[id + 1]; ++p) {
+    out[tgt_ids_[p]] += tgt_counts_[p];
+  }
+}
+
+void IncidenceIndex::ReadGainRow(uint32_t id, std::span<uint32_t> out) const {
+  std::fill(out.begin(), out.end(), 0u);
+  for (uint32_t p = tgt_offsets_[id]; p < tgt_offsets_[id + 1]; ++p) {
+    out[tgt_ids_[p]] = tgt_counts_[p];
+  }
+}
+
+
+std::vector<EdgeKey> IncidenceIndex::AliveCandidateEdges() {
+  std::vector<EdgeKey> out;
+  AliveCandidateEdgesInto(&out);
   return out;
 }
 
+void IncidenceIndex::AliveCandidateEdgesInto(std::vector<EdgeKey>* out) {
+  FlushDeferredCounts();
+  out->clear();
+  out->reserve(alive_edges_);
+  for (size_t e = 0; e < alive_count_.size(); ++e) {
+    if (alive_count_[e] > 0) out->push_back(edge_keys_[e]);
+  }
+}
+
 void IncidenceIndex::AliveCandidateGains(std::vector<EdgeKey>* edges,
-                                         std::vector<size_t>* gains) const {
+                                         std::vector<size_t>* gains) {
+  FlushDeferredCounts();
   edges->clear();
   gains->clear();
   edges->reserve(alive_edges_);
@@ -534,18 +680,34 @@ void IncidenceIndex::AliveCandidateGains(std::vector<EdgeKey>* edges,
 }
 
 bool IncidenceIndex::BitIdentical(const IncidenceIndex& other) const {
-  return instances_ == other.instances_ && alive_ == other.alive_ &&
-         alive_per_target_ == other.alive_per_target_ &&
-         total_alive_ == other.total_alive_ &&
-         edge_keys_ == other.edge_keys_ &&
-         u_offsets_ == other.u_offsets_ &&
-         inst_offsets_ == other.inst_offsets_ &&
-         instance_ids_ == other.instance_ids_ &&
-         alive_count_ == other.alive_count_ &&
-         alive_edges_ == other.alive_edges_ &&
-         tgt_offsets_ == other.tgt_offsets_ && tgt_ids_ == other.tgt_ids_ &&
-         tgt_counts_ == other.tgt_counts_ &&
-         arity_ == other.arity_ && maint_ == other.maint_;
+  // Deferred maintenance is compared by EFFECT: a side with queued work
+  // is replaced by a flushed value copy, then every structure compares
+  // raw. Freshly built or already-flushed indexes — the common case in
+  // the build benches — pay no copy at all.
+  if (HasDeferredMaintenance()) {
+    IncidenceIndex flushed = *this;
+    flushed.FlushDeferredMaintenance();
+    return flushed.BitIdentical(other);
+  }
+  if (other.HasDeferredMaintenance()) {
+    IncidenceIndex flushed = other;
+    flushed.FlushDeferredMaintenance();
+    return BitIdentical(flushed);
+  }
+  const IncidenceIndex& a = *this;
+  const IncidenceIndex& b = other;
+  return a.instances_ == b.instances_ && a.alive_ == b.alive_ &&
+         a.alive_per_target_ == b.alive_per_target_ &&
+         a.total_alive_ == b.total_alive_ &&
+         a.edge_keys_ == b.edge_keys_ &&
+         a.u_offsets_ == b.u_offsets_ &&
+         a.inst_offsets_ == b.inst_offsets_ &&
+         a.instance_ids_ == b.instance_ids_ &&
+         a.alive_count_ == b.alive_count_ &&
+         a.alive_edges_ == b.alive_edges_ &&
+         a.tgt_offsets_ == b.tgt_offsets_ && a.tgt_ids_ == b.tgt_ids_ &&
+         a.tgt_counts_ == b.tgt_counts_ &&
+         a.arity_ == b.arity_ && a.maint_ == b.maint_;
 }
 
 }  // namespace tpp::motif

@@ -5,9 +5,10 @@
 // once enumerated; an instance dies permanently when any of its edges is
 // deleted. Build interns every participating edge into a dense edge id
 // (EdgeKey -> uint32, ids assigned in ascending key order; keyed queries
-// resolve ids through a per-endpoint bucket table over the sorted key
-// array — the index carries no hash map) and lays the incidence relation
-// out in two contiguous CSR structures:
+// resolve ids through a static flat open-addressing probe table built
+// once from the sorted key array — multiply-shift hash, no node chase,
+// immutable after build) and lays the incidence relation out in two
+// contiguous CSR structures:
 //
 //   * inst_offsets_ / instance_ids_ — the posting list of edge id e is
 //     instance_ids_[inst_offsets_[e] .. inst_offsets_[e+1]). Walks are
@@ -24,13 +25,44 @@
 //   alive_count_[e] == |{i : alive_[i] and e in instance i}|, and
 //   tgt_counts_ partitions alive_count_[e] by instance target,
 //
-// so Gain(e) is a bucket lookup plus an array read — O(1) — and DeleteEdge
-// pays the maintenance cost exactly once per killed instance: each killed
-// instance decrements its sibling edges' alive counts and, via the
-// build-time slot table (InstanceMaintenance::slots in maint_), the exact
-// (edge, target) cell of CSR 2 — no per-sibling scan of the target
-// segment. Total greedy work is therefore proportional to instances
-// actually killed, not instances scanned.
+// so Gain(e) is a probe lookup plus an array read — O(1) — and the
+// maintenance restoring the invariant after a deletion is paid exactly
+// once per killed instance: each killed instance decrements its edges'
+// alive counts and, via the build-time slot table
+// (InstanceMaintenance::slots in maint_), the exact (edge, target) cell
+// of CSR 2 — no per-sibling scan of the target segment. Total greedy
+// work is therefore proportional to instances actually killed, not
+// instances scanned.
+//
+// Count upkeep is DEFERRED: DeleteEdge only marks the killed instances
+// (tri-state alive flags) and queues the deleted edge id — two O(1)
+// stores beyond the kill marks, touching neither maintenance records nor
+// count arrays — while total_alive_ stays eager so similarity traces read
+// without any flush. The queued maintenance replays in two granularities,
+// each before the reads that need it:
+//
+//   * FlushDeferredCounts — restores alive_count_, alive_per_target_, and
+//     alive_edges_ by walking the queued edges' posting lists once per
+//     killed instance. Runs implicitly before every count-level read
+//     (Gain, AliveCandidateGains, NumAliveEdges, AliveForTarget, ...) and
+//     can emit the DIRTY SET: the ids of every edge whose cached count
+//     changed — exactly the candidates an incremental round engine must
+//     re-evaluate (core/gain_table.h).
+//   * FlushDeferredMaintenance — additionally restores the CSR-2 per-
+//     target cells (zero the dead edges' segments wholesale, then replay
+//     the queued kills against the slot table). Runs implicitly before
+//     every per-target read (GainFor, AccumulateGains); ReadGainRow
+//     assumes it already ran so parallel row fans stay pure reads.
+//
+// The deferral costs nothing it would not pay eagerly — each killed
+// instance is processed exactly once per granularity — but moves the work
+// out of the commit: a greedy round flushes once before its first gain
+// read instead of scattering decrements inside every DeleteEdge, a run
+// that never reads per-target splits (SGB, the random baselines) never
+// pays the CSR-2 half at all, and delete-only bursts (the delete_commit
+// kernel, bulk phase-1 deletions) pay only the kill marks. Steady-state
+// Gain stays an O(1) cached read, and BatchGain flushes once up front so
+// its parallel partition remains synchronization-free.
 //
 // Construction is parallel and deterministic: enumeration fans out over
 // the shared thread pool in per-target tasks (hub targets split by
@@ -44,11 +76,14 @@
 //
 // Complexity per query (E = interned edges, I(e) = instances through e,
 // T(e) = distinct targets through e, T(e) <= min(NumTargets(), I(e))):
-//   Gain                 O(1)
-//   GainFor              O(T(e))
-//   AccumulateGains      O(T(e))
-//   DeleteEdge           O(sum of arity over instances killed); O(1) when
-//                        the edge is already dead or unknown
+//   Gain                 O(1) flushed (amortized: the first call after a
+//                        delete pays that delete's count flush)
+//   GainFor              O(T(e)) flushed
+//   AccumulateGains      O(T(e)) flushed
+//   DeleteEdge           O(I(e)) kill marks; the deferred flushes later
+//                        pay O(arity) per killed instance per
+//                        granularity; O(1) when the edge is already dead
+//                        or unknown
 //   AliveCandidateEdges  O(E) scan of alive_count_ (ids are key-sorted, so
 //                        the result needs no sort); the result vector is
 //                        reserved from the maintained alive-edge count,
@@ -67,6 +102,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -141,50 +177,119 @@ class IncidenceIndex {
   /// All enumerated instances (alive and dead).
   const std::vector<TargetSubgraph>& instances() const { return instances_; }
 
-  /// True iff instance `i` has not lost any edge yet.
-  bool IsAlive(size_t i) const { return alive_[i] != 0; }
+  /// True iff instance `i` has not lost any edge yet. (Internally a dead
+  /// instance may still carry queued CSR-2 upkeep — state 2 below — but it
+  /// is dead either way.)
+  bool IsAlive(size_t i) const { return alive_[i] == 1; }
 
   /// Total alive instances: s(P, T) for the deletions committed so far.
   size_t TotalAlive() const { return total_alive_; }
 
-  /// Alive instances serving target `t`: s(P, t).
-  size_t AliveForTarget(size_t t) const { return alive_per_target_[t]; }
+  /// Alive instances serving target `t`: s(P, t). Flushes deferred count
+  /// maintenance first (hence non-const).
+  size_t AliveForTarget(size_t t) {
+    FlushDeferredCounts();
+    return alive_per_target_[t];
+  }
 
-  /// Alive counts for all targets.
-  const std::vector<size_t>& AliveCounts() const { return alive_per_target_; }
+  /// Alive counts for all targets (flushes deferred count maintenance).
+  const std::vector<size_t>& AliveCounts() {
+    FlushDeferredCounts();
+    return alive_per_target_;
+  }
 
   /// Edges that still appear in at least one alive instance — the exact
-  /// size of AliveCandidateEdges(). Maintained by DeleteEdge, so late
-  /// greedy rounds reserve what they return instead of the build-time
-  /// edge count.
-  size_t NumAliveEdges() const { return alive_edges_; }
+  /// size of AliveCandidateEdges(), so late greedy rounds reserve what
+  /// they return instead of the build-time edge count. Flushes deferred
+  /// count maintenance.
+  size_t NumAliveEdges() {
+    FlushDeferredCounts();
+    return alive_edges_;
+  }
 
   /// Number of alive instances containing `e` = dissimilarity gain of
   /// deleting e: a cached count behind the bucketed key lookup, not a
-  /// posting-list walk.
-  size_t Gain(graph::EdgeKey e) const {
+  /// posting-list walk. O(1) whenever deferred count maintenance is
+  /// flushed (one predictable branch checks); the first call after a
+  /// DeleteEdge pays that delete's count upkeep.
+  size_t Gain(graph::EdgeKey e) {
+    FlushDeferredCounts();
     const uint32_t id = EdgeIdOf(e);
     return id == kNoEdge ? 0 : alive_count_[id];
   }
 
   /// Gain split into own-target (t) and cross-target parts. O(T(e)).
-  SplitGain GainFor(graph::EdgeKey e, size_t t) const;
+  /// Flushes deferred CSR-2 maintenance first (hence non-const).
+  SplitGain GainFor(graph::EdgeKey e, size_t t);
 
   /// Adds the per-target gains of deleting `e` into `out` (size
   /// NumTargets()): one pass over the edge's per-target count segment.
-  void AccumulateGains(graph::EdgeKey e, std::vector<size_t>* out) const;
+  /// Flushes deferred CSR-2 maintenance first (hence non-const).
+  void AccumulateGains(graph::EdgeKey e, std::vector<size_t>* out);
 
-  /// Commits the deletion of edge `e`: kills all alive instances containing
-  /// it and restores the alive-count invariant by decrementing the counts
-  /// of every killed instance's sibling edges. Returns the number killed.
-  /// Idempotent (second call returns 0).
+  /// Span form of AccumulateGains (out.size() == NumTargets()); the
+  /// allocation-free inner query of the hoisted CT/WT loops.
+  void AccumulateGains(graph::EdgeKey e, std::span<size_t> out);
+
+  /// Commits the deletion of edge `e`: kills all alive instances
+  /// containing it (marks only — count and cell upkeep is queued, see the
+  /// file comment; total_alive_ stays current). Returns the number
+  /// killed. Idempotent (second call returns 0).
   size_t DeleteEdge(graph::EdgeKey e);
+
+  /// DeleteEdge followed by a dirty-emitting count flush: appends to
+  /// `dirty` the dense id of every edge whose cached alive count changed
+  /// since the last count flush — the killed instances' edges, this
+  /// call's and any earlier unflushed deletes' alike — deduplicated. The
+  /// dirty set is exactly the candidates an incremental round engine must
+  /// re-evaluate; everything else kept its gain from the previous round.
+  size_t DeleteEdge(graph::EdgeKey e, std::vector<uint32_t>* dirty);
+
+  /// Applies the queued count maintenance (alive_count_,
+  /// alive_per_target_, alive_edges_), appending the dirty set to `dirty`
+  /// when non-null. O(sum of arity over unflushed kills); idempotent and
+  /// O(1) when nothing is queued.
+  void FlushDeferredCounts(std::vector<uint32_t>* dirty = nullptr);
+
+  /// FlushDeferredCounts plus the queued CSR-2 cell maintenance. Reading
+  /// cells concurrently (ReadGainRow from a parallel fan-out) is safe
+  /// only after this returns and before the next DeleteEdge. Idempotent.
+  void FlushDeferredMaintenance();
+
+  /// True iff any maintenance (counts or cells) is queued but unapplied.
+  bool HasDeferredMaintenance() const {
+    return counts_pending_ > 0 || cells_pending_ > 0;
+  }
+
+  /// Number of count flushes that have applied queued kills so far. An
+  /// incremental round session records this after its own dirty-emitting
+  /// flush; a different value at the next round means some other read
+  /// flushed in between — consuming kills whose dirty set the session
+  /// never saw — so the session must restart (full re-evaluation)
+  /// instead of serving stale gains. See IndexedEngine::BeginRound.
+  uint64_t CountsFlushEpoch() const { return counts_flush_epoch_; }
+
+  /// Writes edge id `id`'s per-target gains into `out` (size
+  /// NumTargets()), zero-filling targets without alive instances through
+  /// the edge. PURE READ: requires !HasDeferredMaintenance() (call
+  /// FlushDeferredMaintenance first); safe to call concurrently from pool
+  /// workers under that precondition — the row fill of BatchGainVector.
+  void ReadGainRow(uint32_t id, std::span<uint32_t> out) const;
+
+  /// The cached per-edge-id alive counts, indexed by dense edge id. PURE
+  /// READ of the incremental round session's total-gain table: requires a
+  /// prior FlushDeferredCounts, after which entry id equals
+  /// Gain(InternedEdgeKeys()[id]) until the next DeleteEdge.
+  const std::vector<uint32_t>& PerEdgeAliveCounts() const {
+    return alive_count_;
+  }
 
   /// Edges that appear in at least one alive instance — exactly the
   /// restricted candidate set of Lemma 5 (the "-R" algorithms). Sorted
   /// ascending for determinism (edge ids are assigned in key order, so
-  /// this is a single scan of the alive-count array).
-  std::vector<graph::EdgeKey> AliveCandidateEdges() const;
+  /// this is a single scan of the alive-count array, after a count
+  /// flush).
+  std::vector<graph::EdgeKey> AliveCandidateEdges();
 
   /// One-pass gain sweep: fills `edges` with every alive candidate edge
   /// (sorted ascending, identical to AliveCandidateEdges()) and `gains`
@@ -193,7 +298,11 @@ class IncidenceIndex {
   /// sort-free scan of the cached count array: O(E) total, not
   /// O(E log E + sum I(e)) as the map-based layout required.
   void AliveCandidateGains(std::vector<graph::EdgeKey>* edges,
-                           std::vector<size_t>* gains) const;
+                           std::vector<size_t>* gains);
+
+  /// Fill form of AliveCandidateEdges: reuses `out`'s capacity across
+  /// rounds instead of allocating a fresh vector per call.
+  void AliveCandidateEdgesInto(std::vector<graph::EdgeKey>* out);
 
   /// Edges that appeared in any instance at build time (sorted); the RDT
   /// baseline samples from this set.
@@ -201,52 +310,74 @@ class IncidenceIndex {
     return edge_keys_;
   }
 
+  /// The interned edge keys themselves, ascending — the STATIC candidate
+  /// universe of an incremental round session (dense ids are positions in
+  /// this vector). Lives as long as the index.
+  const std::vector<graph::EdgeKey>& InternedEdgeKeys() const {
+    return edge_keys_;
+  }
+
+  /// Dense id of `e`, or kNoEdge when it was never interned.
+  uint32_t InternedIdOf(graph::EdgeKey e) const { return EdgeIdOf(e); }
+
+  /// Sentinel of InternedIdOf: the key was never interned.
+  static constexpr uint32_t kNoEdge = 0xffffffffu;
+
   /// True iff every internal structure of this index equals `other`'s —
   /// instances, interning, both CSR layouts, slot tables, and all alive
-  /// state. The check behind "parallel build == serial build" in the
-  /// differential tests and the index_build bench.
+  /// state. Deferred CSR-2 maintenance is compared by EFFECT, not by
+  /// queue state: an index with queued decrements equals its flushed twin.
+  /// The check behind "parallel build == serial build" in the differential
+  /// tests and the index_build bench.
   bool BitIdentical(const IncidenceIndex& other) const;
 
  private:
   IncidenceIndex() = default;
 
-  /// Sentinel of EdgeIdOf: the key was never interned.
-  static constexpr uint32_t kNoEdge = 0xffffffffu;
-
-  /// Dense id of key `e`, or kNoEdge. Two reads of the smaller-endpoint
-  /// bucket table plus a scan of the bucket's few keys — measurably
-  /// cheaper than a hash find on the keyed query hot paths (Gain,
-  /// DeleteEdge), and the index needs no hash map at all. Buckets are a
-  /// node's interned edges, so they average a handful of keys; a
-  /// predictable linear scan wins there, with a binary-search fallback
-  /// for hub buckets.
+  /// Dense id of key `e`, or kNoEdge, resolved through a STATIC open-
+  /// addressing table built once after interning: multiply-shift hash
+  /// into a power-of-two slot array (no prime modulus, so no hardware
+  /// division like std::unordered_map pays), linear probing at <= 50%
+  /// load, keys and ids in parallel flat arrays (8 keys per cache line,
+  /// no node chase). The table never changes after build — deletions
+  /// maintain counts, not the interning — so the keyed query hot paths
+  /// (Gain, DeleteEdge) pay one multiply plus typically one cache line.
+  /// The per-endpoint bucket table (u_offsets_) remains as the sorted
+  /// view of the interning for the CSR fill passes and differential
+  /// checks.
   uint32_t EdgeIdOf(graph::EdgeKey e) const {
-    const size_t u = graph::EdgeKeyU(e);
-    if (u + 1 >= u_offsets_.size()) return kNoEdge;
-    uint32_t id = u_offsets_[u];
-    uint32_t end = u_offsets_[u + 1];
-    if (end - id > 16) {
-      const graph::EdgeKey* it = std::lower_bound(
-          edge_keys_.data() + id, edge_keys_.data() + end, e);
-      id = static_cast<uint32_t>(it - edge_keys_.data());
-    } else {
-      while (id < end && edge_keys_[id] < e) ++id;
+    // Fibonacci multiply-shift: the product's high bits index the table.
+    uint64_t slot = (e * 0x9E3779B97F4A7C15ull) >> probe_shift_;
+    for (;; slot = (slot + 1) & probe_mask_) {
+      const graph::EdgeKey k = probe_keys_[slot];
+      if (k == e) return probe_ids_[slot];
+      if (k == 0) return kNoEdge;  // 0 is no valid key (u < v => v >= 1)
     }
-    if (id == end || edge_keys_[id] != e) return kNoEdge;
-    return id;
   }
 
-  // DeleteEdge's kill loop, specialized on the motif arity so the sibling
-  // count updates fully unroll.
-  template <int kArity>
-  size_t DeleteEdgeImpl(uint32_t id);
+  // FlushDeferredCounts' kill walk, specialized on the motif arity so the
+  // count updates fully unroll, and on dirty collection so the plain
+  // flush carries no per-edge branch for it. The kDirty instantiation
+  // appends changed edge ids to `dirty` (deduplicated through the stamp
+  // array).
+  template <int kArity, bool kDirty>
+  void FlushCountsImpl(std::vector<uint32_t>* dirty);
+
+  // Builds the static EdgeIdOf probe table from the finished edge_keys_;
+  // both build paths call it right after interning.
+  void BuildProbeTable();
 
   // Shared tail of Build and BuildSerialReference: sizes and fills the
   // alive state (alive_, total_alive_, alive_per_target_, alive_edges_)
   // from the enumerated instances in O(instances + E).
   void FinishAliveState(size_t num_targets);
 
-  // Instance storage (shared shape with LegacyIncidenceIndex).
+  // Instance storage (shared shape with LegacyIncidenceIndex). alive_ is
+  // a four-state flag: 1 = alive; 2 = dead, count AND cell maintenance
+  // queued (set by DeleteEdge); 3 = dead, counts applied, cell
+  // maintenance still queued (set by FlushDeferredCounts, consumed by
+  // FlushDeferredMaintenance); 0 = dead and fully flushed. Everything
+  // outside the flush machinery treats any non-1 state as dead.
   std::vector<TargetSubgraph> instances_;
   std::vector<uint8_t> alive_;
   std::vector<size_t> alive_per_target_;
@@ -254,9 +385,20 @@ class IncidenceIndex {
 
   // Edge interner: edge_keys_ is sorted ascending (id order == key
   // order) and u_offsets_[u] .. u_offsets_[u+1] brackets the keys whose
-  // smaller endpoint is u — the bucket table EdgeIdOf resolves through.
+  // smaller endpoint is u.
   std::vector<graph::EdgeKey> edge_keys_;
   std::vector<uint32_t> u_offsets_;  // size NumNodes() + 1
+
+  // The static probe table behind EdgeIdOf (see its comment): power-of-
+  // two capacity at <= 50% load, key 0 = empty slot, ids aligned with
+  // probe_keys_. Built by BuildProbeTable right after interning in both
+  // build paths (the CSR fill passes already resolve through it),
+  // immutable afterwards; deterministic (insertion in ascending id order
+  // with linear probing), so equal edge_keys_ imply an equal table.
+  std::vector<graph::EdgeKey> probe_keys_;
+  std::vector<uint32_t> probe_ids_;
+  uint64_t probe_mask_ = 0;
+  int probe_shift_ = 63;
 
   // CSR 1: edge id -> instance ids.
   std::vector<uint32_t> inst_offsets_;  // size NumInternedEdges() + 1
@@ -267,10 +409,38 @@ class IncidenceIndex {
   std::vector<uint32_t> alive_count_;
   size_t alive_edges_ = 0;
 
-  // CSR 2: edge id -> (target, alive count) pairs.
+  // CSR 2: edge id -> (target, alive count) pairs. tgt_counts_ cells may
+  // lag behind the eager alive state by the queued decrements in pending_;
+  // FlushDeferredMaintenance() restores them before any per-target read.
   std::vector<uint32_t> tgt_offsets_;  // size NumInternedEdges() + 1
   std::vector<uint32_t> tgt_ids_;      // flat target indices
   std::vector<uint32_t> tgt_counts_;   // flat alive counts, mutated
+
+  // Deferred-maintenance queues: fixed-size arrays (sized
+  // NumInternedEdges() at build, so even a fresh index copy queues
+  // without ever allocating) used as stacks of deleted edge ids. An edge
+  // enters counts_queue_ at most once — only the delete that kills its
+  // last alive instances queues it — so the bound is exact.
+  // FlushDeferredCounts drains counts_queue_ (walking each queued edge's
+  // posting list for state-2 instances) and moves the ids to
+  // cells_queue_; FlushDeferredMaintenance drains cells_queue_ (zeroing
+  // the dead edges' segments wholesale, then replaying state-3 instances
+  // against the slot table, each cell decrement guarded by cell > 0 — a
+  // zero cell belongs to a wholesale-zeroed edge whose decrements are
+  // already absorbed, while cells of live edges are always >= the
+  // decrements queued against them, so the guard never skips a real
+  // update).
+  std::vector<uint32_t> counts_queue_;  // [0, counts_pending_) are queued
+  std::vector<uint32_t> cells_queue_;   // [0, cells_pending_) are queued
+  size_t counts_pending_ = 0;
+  size_t cells_pending_ = 0;
+  uint64_t counts_flush_epoch_ = 0;  // see CountsFlushEpoch()
+
+  // Dirty-set dedup scratch: stamp[e] == dirty_epoch_ iff edge id e was
+  // already emitted by the current dirty-collecting count flush. Lazily
+  // sized on first use; epoch bumps make clearing O(1).
+  std::vector<uint32_t> dirty_stamp_;
+  uint32_t dirty_epoch_ = 0;
 
   // Everything DeleteEdge needs per killed instance, in one compact
   // record (one cache line instead of three scattered structures): the

@@ -9,7 +9,10 @@
 // exactly once (thread-safe: the first acquirer builds, concurrent
 // acquirers wait on the same once_flag), and hands every request a
 // private engine clone (IndexedEngine::Clone) whose committed deletions
-// cannot leak across requests.
+// cannot leak across requests. Clone carries the graph and index state
+// but RESETS the incremental round session (the persistent gain table of
+// Engine::BeginRound), so every request's solver starts its rounds from
+// a full evaluation rather than a sibling request's dirty tracking.
 //
 // Target ORDER is part of the group identity: per-target budget division
 // and plan serialization follow target positions, so reordered target
