@@ -1,0 +1,69 @@
+// Blob I/O: mmap'd read-only file views, atomic whole-file writes, and
+// the byte checksum the on-disk store formats share.
+//
+// These are the platform-facing primitives of the warm-start store
+// (service/store/): snapshot files are written atomically (tmp + fsync +
+// rename, so a crash never leaves a half-written file under the final
+// name) and read back through a shared mapping whose bytes the
+// IncidenceIndex snapshot codec adopts in place (common/flat_array.h).
+// On platforms without mmap the mapping degrades to one aligned heap
+// read of the whole file — same interface, one extra copy.
+
+#ifndef TPP_COMMON_BLOB_IO_H_
+#define TPP_COMMON_BLOB_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace tpp {
+
+/// A read-only view of a whole file, mmap'd where the platform supports
+/// it (POSIX) and heap-loaded otherwise. Shared-ptr owned so array views
+/// adopted out of the mapping keep it alive past the loading scope.
+class MappedBlob {
+ public:
+  /// Maps (or reads) `path`. IoError when the file cannot be opened,
+  /// stat'd, or read. An empty file maps to a valid zero-size blob.
+  static Result<std::shared_ptr<const MappedBlob>> Open(
+      const std::string& path);
+
+  ~MappedBlob();
+  MappedBlob(const MappedBlob&) = delete;
+  MappedBlob& operator=(const MappedBlob&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  /// True when the bytes are a live mmap rather than a heap copy.
+  bool mapped() const { return mapped_; }
+
+ private:
+  MappedBlob() = default;
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::unique_ptr<uint8_t[]> heap_;  // fallback ownership when !mapped_
+};
+
+/// Writes `bytes` to `path` atomically: the data lands in a same-directory
+/// temp file first, is fsync'd, and is renamed over the final name (the
+/// directory is fsync'd too). Readers therefore see either the previous
+/// complete file or the new complete file, never a torn write. IoError on
+/// any failure; the temp file is cleaned up on error paths.
+Status AtomicWriteFile(const std::string& path, std::string_view bytes);
+
+/// 64-bit checksum of a byte range: four interleaved SplitMix64 chains
+/// over 8-byte words (zero-padded tail), seeded with the length and folded
+/// together at the end. Deterministic across runs and platforms of equal
+/// endianness; this is an integrity check against torn or bit-flipped
+/// files, not a cryptographic MAC.
+uint64_t HashBytes64(const void* data, size_t size);
+
+}  // namespace tpp
+
+#endif  // TPP_COMMON_BLOB_IO_H_

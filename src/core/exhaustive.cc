@@ -92,7 +92,7 @@ Result<ExhaustiveResult> ExhaustiveOptimal(const TppInstance& instance,
 
   // Flatten the incidence into dense ids for the searcher.
   std::vector<std::vector<uint32_t>> edge_instances(candidates.size());
-  const std::vector<TargetSubgraph>& instances = index.instances();
+  const std::span<const TargetSubgraph> instances = index.instances();
   for (size_t e = 0; e < candidates.size(); ++e) {
     for (uint32_t i = 0; i < instances.size(); ++i) {
       if (instances[i].ContainsEdge(candidates[e])) {

@@ -38,6 +38,15 @@ Result<IndexedEngine> IndexedEngine::Create(
   return IndexedEngine(instance.released, std::move(index));
 }
 
+Result<IndexedEngine> IndexedEngine::Adopt(const TppInstance& instance,
+                                           motif::IncidenceIndex index) {
+  if (index.NumTargets() != instance.targets.size()) {
+    return Status::InvalidArgument(
+        "adopted index was built over a different target count");
+  }
+  return IndexedEngine(instance.released, std::move(index));
+}
+
 std::vector<size_t> IndexedEngine::BatchGain(std::span<const EdgeKey> edges) {
   std::vector<size_t> out(edges.size());
   // An explicit set_threads() is honored exactly (benchmarks and tests

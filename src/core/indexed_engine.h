@@ -36,6 +36,13 @@ class IndexedEngine : public Engine {
       const motif::IncidenceIndex::BuildOptions& build_options,
       motif::IncidenceIndex::BuildStats* build_stats = nullptr);
 
+  /// Wraps an already-built index around `instance`'s released graph —
+  /// the warm-start path: the index came from a snapshot file
+  /// (motif/index_snapshot.h) instead of a cold Build. Fails when the
+  /// index's target count does not match the instance's.
+  static Result<IndexedEngine> Adopt(const TppInstance& instance,
+                                     motif::IncidenceIndex index);
+
   size_t NumTargets() const override { return index_.NumTargets(); }
   size_t SimilarityOf(size_t t) override { return index_.AliveForTarget(t); }
   size_t TotalSimilarity() override { return index_.TotalAlive(); }

@@ -19,4 +19,12 @@ uint64_t Fingerprint(const Graph& g) {
   return h;
 }
 
+uint64_t TargetSetHash(std::span<const Edge> targets) {
+  uint64_t h = SplitMix64(0x7467747365744831ull ^ targets.size());  // "tgtsetH1"
+  for (const Edge& e : targets) {
+    h = SplitMix64(h ^ MakeEdgeKey(e.u, e.v));
+  }
+  return h;
+}
+
 }  // namespace tpp::graph

@@ -4,6 +4,7 @@
 #define TPP_GRAPH_FINGERPRINT_H_
 
 #include <cstdint>
+#include <span>
 
 #include "graph/graph.h"
 
@@ -20,6 +21,13 @@ namespace tpp::graph {
 ///
 /// Cost: one mix per edge, O(n + m), no allocation.
 uint64_t Fingerprint(const Graph& g);
+
+/// 64-bit hash of a target edge list, order-SENSITIVE (targets index the
+/// per-target count arrays positionally, so a reordered set is a
+/// different instance). Together with Fingerprint and the motif kind this
+/// addresses one built IncidenceIndex — the key of the warm-start
+/// snapshot store.
+uint64_t TargetSetHash(std::span<const Edge> targets);
 
 }  // namespace tpp::graph
 

@@ -144,11 +144,12 @@ Result<IncidenceIndex> IncidenceIndex::Build(const Graph& g,
   // static flat probe table built from the sorted keys (see EdgeIdOf).
   timer.Restart();
   const size_t arity = MotifEdgeCount(kind);
+  const TargetSubgraph* const instances = idx.instances_.data();
   std::vector<EdgeKey> flat_keys(num_instances * arity);
   pool.ParallelFor(num_instances, workers, /*grain=*/4096,
                    [&](size_t begin, size_t end) {
                      for (size_t i = begin; i < end; ++i) {
-                       const TargetSubgraph& inst = idx.instances_[i];
+                       const TargetSubgraph& inst = instances[i];
                        for (size_t j = 0; j < arity; ++j) {
                          flat_keys[i * arity + j] = inst.edges[j];
                        }
@@ -181,34 +182,37 @@ Result<IncidenceIndex> IncidenceIndex::Build(const Graph& g,
   }
 
   // -- Stage 3: CSR layouts, each a parallel count pass, a serial prefix
-  // sum, and a parallel fill pass into disjoint slots.
+  // sum, and a parallel fill pass into disjoint slots. The structures
+  // under construction live in local vectors and move into the immutable
+  // FlatArray members once finished.
   timer.Restart();
 
   // The bucket table EdgeIdOf resolves through: edge_keys_ is sorted by
   // (u, v), so all keys sharing a smaller endpoint form one short
   // contiguous run located by two array reads. Built here, kept for the
   // life of the index (it replaces the old hash-map interner).
-  idx.u_offsets_.assign(g.NumNodes() + 1, 0);
+  std::vector<uint32_t> u_offsets(g.NumNodes() + 1, 0);
   for (EdgeKey key : idx.edge_keys_) {
-    ++idx.u_offsets_[graph::EdgeKeyU(key) + 1];
+    ++u_offsets[graph::EdgeKeyU(key) + 1];
   }
   for (size_t u = 0; u < g.NumNodes(); ++u) {
-    idx.u_offsets_[u + 1] += idx.u_offsets_[u];
+    u_offsets[u + 1] += u_offsets[u];
   }
+  idx.u_offsets_ = std::move(u_offsets);
   // The maintenance records densify instance -> (target, edge ids) for
   // the posting-list walks below and for DeleteEdge: compact sequential
   // reads instead of chasing 40-byte TargetSubgraphs.
   idx.arity_ = static_cast<uint8_t>(arity);
-  idx.maint_.resize(num_instances);
+  std::vector<InstanceMaintenance> maint(num_instances);
   pool.ParallelFor(
       num_instances, workers, /*grain=*/2048, [&](size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) {
-          const TargetSubgraph& inst = idx.instances_[i];
-          InstanceMaintenance& maint = idx.maint_[i];
-          maint.target = static_cast<uint32_t>(inst.target);
+          const TargetSubgraph& inst = instances[i];
+          InstanceMaintenance& m = maint[i];
+          m.target = static_cast<uint32_t>(inst.target);
           for (size_t j = 0; j < arity; ++j) {
             const EdgeKey key = inst.edges[j];
-            maint.edge_ids[j] = idx.EdgeIdOf(key);
+            m.edge_ids[j] = idx.EdgeIdOf(key);
           }
         }
       });
@@ -217,11 +221,12 @@ Result<IncidenceIndex> IncidenceIndex::Build(const Graph& g,
   // arity (edge id, instance id) pairs per instance. Posting lists hold
   // ascending instance ids — exactly the serial fill order — at any
   // block count, and the scatter's group boundaries are the CSR offsets.
-  idx.instance_ids_ = BlockedStableScatter<uint32_t>(
-      num_instances, num_edges, workers, pool, &idx.inst_offsets_,
+  std::vector<uint32_t> inst_offsets;
+  std::vector<uint32_t> instance_ids = BlockedStableScatter<uint32_t>(
+      num_instances, num_edges, workers, pool, &inst_offsets,
       [&](size_t i, auto sink) {
         for (size_t j = 0; j < arity; ++j) {
-          sink(idx.maint_[i].edge_ids[j], static_cast<uint32_t>(i));
+          sink(maint[i].edge_ids[j], static_cast<uint32_t>(i));
         }
       });
 
@@ -229,45 +234,42 @@ Result<IncidenceIndex> IncidenceIndex::Build(const Graph& g,
   // just the posting-list length.
   idx.alive_count_.resize(num_edges);
   for (size_t e = 0; e < num_edges; ++e) {
-    idx.alive_count_[e] = idx.inst_offsets_[e + 1] - idx.inst_offsets_[e];
+    idx.alive_count_[e] = inst_offsets[e + 1] - inst_offsets[e];
   }
 
   // CSR 2 (edge -> per-target counts): instances are laid out in target
   // order and posting lists hold ascending instance ids, so each posting
   // list's target sequence is already ascending — a run-length encode
   // reproduces the serial sorted aggregation without any per-edge scratch.
-  idx.tgt_offsets_.assign(num_edges + 1, 0);
+  std::vector<uint32_t> tgt_offsets(num_edges + 1, 0);
   pool.ParallelFor(
       num_edges, workers, /*grain=*/2048, [&](size_t begin, size_t end) {
         for (size_t e = begin; e < end; ++e) {
           uint32_t runs = 0;
           uint32_t prev_target = 0;
-          for (uint32_t p = idx.inst_offsets_[e]; p < idx.inst_offsets_[e + 1];
-               ++p) {
-            const uint32_t target = idx.maint_[idx.instance_ids_[p]].target;
+          for (uint32_t p = inst_offsets[e]; p < inst_offsets[e + 1]; ++p) {
+            const uint32_t target = maint[instance_ids[p]].target;
             if (runs == 0 || target != prev_target) {
               ++runs;
               prev_target = target;
             }
           }
-          idx.tgt_offsets_[e + 1] = runs;
+          tgt_offsets[e + 1] = runs;
         }
       });
   for (size_t e = 0; e < num_edges; ++e) {
-    idx.tgt_offsets_[e + 1] += idx.tgt_offsets_[e];
+    tgt_offsets[e + 1] += tgt_offsets[e];
   }
-  idx.tgt_ids_.resize(idx.tgt_offsets_.back());
-  idx.tgt_counts_.resize(idx.tgt_ids_.size());
+  std::vector<uint32_t> tgt_ids(tgt_offsets.back());
+  idx.tgt_counts_.resize(tgt_ids.size());
   pool.ParallelFor(
       num_edges, workers, /*grain=*/2048, [&](size_t begin, size_t end) {
         for (size_t e = begin; e < end; ++e) {
-          uint32_t slot = idx.tgt_offsets_[e];
-          for (uint32_t p = idx.inst_offsets_[e]; p < idx.inst_offsets_[e + 1];
-               ++p) {
-            const uint32_t target = idx.maint_[idx.instance_ids_[p]].target;
-            if (slot == idx.tgt_offsets_[e] ||
-                idx.tgt_ids_[slot - 1] != target) {
-              idx.tgt_ids_[slot] = target;
+          uint32_t slot = tgt_offsets[e];
+          for (uint32_t p = inst_offsets[e]; p < inst_offsets[e + 1]; ++p) {
+            const uint32_t target = maint[instance_ids[p]].target;
+            if (slot == tgt_offsets[e] || tgt_ids[slot - 1] != target) {
+              tgt_ids[slot] = target;
               idx.tgt_counts_[slot] = 1;
               ++slot;
             } else {
@@ -283,22 +285,25 @@ Result<IncidenceIndex> IncidenceIndex::Build(const Graph& g,
   pool.ParallelFor(
       num_instances, workers, /*grain=*/2048, [&](size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) {
-          InstanceMaintenance& maint = idx.maint_[i];
+          InstanceMaintenance& m = maint[i];
           for (size_t j = 0; j < arity; ++j) {
-            const uint32_t e = maint.edge_ids[j];
-            const uint32_t* seg_begin = idx.tgt_ids_.data() +
-                                        idx.tgt_offsets_[e];
-            const uint32_t* seg_end =
-                idx.tgt_ids_.data() + idx.tgt_offsets_[e + 1];
+            const uint32_t e = m.edge_ids[j];
+            const uint32_t* seg_begin = tgt_ids.data() + tgt_offsets[e];
+            const uint32_t* seg_end = tgt_ids.data() + tgt_offsets[e + 1];
             const uint32_t* it =
-                std::lower_bound(seg_begin, seg_end, maint.target);
-            TPP_CHECK(it != seg_end && *it == maint.target);
-            maint.slots[j] = static_cast<uint32_t>(
-                idx.tgt_offsets_[e] + (it - seg_begin));
+                std::lower_bound(seg_begin, seg_end, m.target);
+            TPP_CHECK(it != seg_end && *it == m.target);
+            m.slots[j] =
+                static_cast<uint32_t>(tgt_offsets[e] + (it - seg_begin));
           }
         }
       });
 
+  idx.inst_offsets_ = std::move(inst_offsets);
+  idx.instance_ids_ = std::move(instance_ids);
+  idx.tgt_offsets_ = std::move(tgt_offsets);
+  idx.tgt_ids_ = std::move(tgt_ids);
+  idx.maint_ = std::move(maint);
   idx.FinishAliveState(targets.size());
   if (stats) stats->csr_seconds = timer.Seconds();
   return idx;
@@ -308,25 +313,28 @@ Result<IncidenceIndex> IncidenceIndex::BuildSerialReference(
     const Graph& g, const std::vector<Edge>& targets, MotifKind kind) {
   TPP_RETURN_IF_ERROR(ValidateTargetsAbsent(g, targets));
   IncidenceIndex idx;
+  std::vector<TargetSubgraph> instances;
   for (size_t t = 0; t < targets.size(); ++t) {
     std::vector<TargetSubgraph> ts = EnumerateTargetSubgraphsReference(
         g, targets[t], kind, static_cast<int32_t>(t));
     for (TargetSubgraph& inst : ts) {
-      idx.instances_.push_back(inst);
+      instances.push_back(inst);
     }
   }
 
   // Intern participating edges in ascending key order so edge id order is
   // key order.
-  for (const TargetSubgraph& inst : idx.instances_) {
+  std::vector<EdgeKey> edge_keys;
+  for (const TargetSubgraph& inst : instances) {
     for (uint8_t j = 0; j < inst.num_edges; ++j) {
-      idx.edge_keys_.push_back(inst.edges[j]);
+      edge_keys.push_back(inst.edges[j]);
     }
   }
-  std::sort(idx.edge_keys_.begin(), idx.edge_keys_.end());
-  idx.edge_keys_.erase(
-      std::unique(idx.edge_keys_.begin(), idx.edge_keys_.end()),
-      idx.edge_keys_.end());
+  std::sort(edge_keys.begin(), edge_keys.end());
+  edge_keys.erase(std::unique(edge_keys.begin(), edge_keys.end()),
+                  edge_keys.end());
+  edge_keys.shrink_to_fit();
+  idx.edge_keys_ = std::move(edge_keys);
   // The old hash-map interner, kept local: the reference pays its
   // construction and per-occurrence lookups exactly as the pre-parallel
   // build did, then derives the bucket table the final layout carries.
@@ -340,29 +348,29 @@ Result<IncidenceIndex> IncidenceIndex::BuildSerialReference(
 
   // CSR 1 (edge -> instances), counting pass then fill pass, resolving
   // ids through the hash map.
-  idx.inst_offsets_.assign(num_edges + 1, 0);
+  std::vector<uint32_t> inst_offsets(num_edges + 1, 0);
   idx.arity_ = static_cast<uint8_t>(MotifEdgeCount(kind));
-  idx.maint_.resize(idx.instances_.size());
-  for (uint32_t i = 0; i < idx.instances_.size(); ++i) {
-    const TargetSubgraph& inst = idx.instances_[i];
-    idx.maint_[i].target = static_cast<uint32_t>(inst.target);
+  std::vector<InstanceMaintenance> maint(instances.size());
+  for (uint32_t i = 0; i < instances.size(); ++i) {
+    const TargetSubgraph& inst = instances[i];
+    maint[i].target = static_cast<uint32_t>(inst.target);
     for (uint8_t j = 0; j < inst.num_edges; ++j) {
       uint32_t e = edge_id.at(inst.edges[j]);
-      idx.maint_[i].edge_ids[j] = e;
-      ++idx.inst_offsets_[e + 1];
+      maint[i].edge_ids[j] = e;
+      ++inst_offsets[e + 1];
     }
   }
   for (size_t e = 0; e < num_edges; ++e) {
-    idx.inst_offsets_[e + 1] += idx.inst_offsets_[e];
+    inst_offsets[e + 1] += inst_offsets[e];
   }
-  idx.instance_ids_.resize(idx.inst_offsets_.back());
+  std::vector<uint32_t> instance_ids(inst_offsets.back());
   {
-    std::vector<uint32_t> cursor(idx.inst_offsets_.begin(),
-                                 idx.inst_offsets_.end() - 1);
-    for (uint32_t i = 0; i < idx.instances_.size(); ++i) {
-      const TargetSubgraph& inst = idx.instances_[i];
+    std::vector<uint32_t> cursor(inst_offsets.begin(),
+                                 inst_offsets.end() - 1);
+    for (uint32_t i = 0; i < instances.size(); ++i) {
+      const TargetSubgraph& inst = instances[i];
       for (uint8_t j = 0; j < inst.num_edges; ++j) {
-        idx.instance_ids_[cursor[idx.maint_[i].edge_ids[j]]++] = i;
+        instance_ids[cursor[maint[i].edge_ids[j]]++] = i;
       }
     }
   }
@@ -371,52 +379,59 @@ Result<IncidenceIndex> IncidenceIndex::BuildSerialReference(
   // just the posting-list length.
   idx.alive_count_.resize(num_edges);
   for (size_t e = 0; e < num_edges; ++e) {
-    idx.alive_count_[e] = idx.inst_offsets_[e + 1] - idx.inst_offsets_[e];
+    idx.alive_count_[e] = inst_offsets[e + 1] - inst_offsets[e];
   }
 
   // CSR 2 (edge -> per-target counts): aggregate each posting list into
   // (target, count) pairs, kept in ascending target order.
-  idx.tgt_offsets_.assign(num_edges + 1, 0);
+  std::vector<uint32_t> tgt_offsets(num_edges + 1, 0);
+  std::vector<uint32_t> tgt_ids;
   std::vector<uint32_t> tgts;  // scratch per edge
   for (size_t e = 0; e < num_edges; ++e) {
     tgts.clear();
-    for (uint32_t p = idx.inst_offsets_[e]; p < idx.inst_offsets_[e + 1];
-         ++p) {
+    for (uint32_t p = inst_offsets[e]; p < inst_offsets[e + 1]; ++p) {
       tgts.push_back(
-          static_cast<uint32_t>(idx.instances_[idx.instance_ids_[p]].target));
+          static_cast<uint32_t>(instances[instance_ids[p]].target));
     }
     std::sort(tgts.begin(), tgts.end());
     for (size_t k = 0; k < tgts.size(); ++k) {
       if (k > 0 && tgts[k] == tgts[k - 1]) {
         ++idx.tgt_counts_.back();
       } else {
-        idx.tgt_ids_.push_back(tgts[k]);
+        tgt_ids.push_back(tgts[k]);
         idx.tgt_counts_.push_back(1);
       }
     }
-    idx.tgt_offsets_[e + 1] = static_cast<uint32_t>(idx.tgt_ids_.size());
+    tgt_offsets[e + 1] = static_cast<uint32_t>(tgt_ids.size());
   }
 
   // Slot table (the serial form of the parallel build's last pass).
-  for (uint32_t i = 0; i < idx.instances_.size(); ++i) {
-    InstanceMaintenance& maint = idx.maint_[i];
-    for (uint8_t j = 0; j < idx.instances_[i].num_edges; ++j) {
-      const uint32_t e = maint.edge_ids[j];
-      uint32_t slot = idx.tgt_offsets_[e];
-      while (idx.tgt_ids_[slot] != maint.target) ++slot;
-      maint.slots[j] = slot;
+  for (uint32_t i = 0; i < instances.size(); ++i) {
+    InstanceMaintenance& m = maint[i];
+    for (uint8_t j = 0; j < instances[i].num_edges; ++j) {
+      const uint32_t e = m.edge_ids[j];
+      uint32_t slot = tgt_offsets[e];
+      while (tgt_ids[slot] != m.target) ++slot;
+      m.slots[j] = slot;
     }
   }
 
   // Bucket table for the keyed query API (see EdgeIdOf).
-  idx.u_offsets_.assign(g.NumNodes() + 1, 0);
+  std::vector<uint32_t> u_offsets(g.NumNodes() + 1, 0);
   for (EdgeKey key : idx.edge_keys_) {
-    ++idx.u_offsets_[graph::EdgeKeyU(key) + 1];
+    ++u_offsets[graph::EdgeKeyU(key) + 1];
   }
   for (size_t u = 0; u < g.NumNodes(); ++u) {
-    idx.u_offsets_[u + 1] += idx.u_offsets_[u];
+    u_offsets[u + 1] += u_offsets[u];
   }
 
+  idx.instances_ = std::move(instances);
+  idx.inst_offsets_ = std::move(inst_offsets);
+  idx.instance_ids_ = std::move(instance_ids);
+  idx.tgt_offsets_ = std::move(tgt_offsets);
+  idx.tgt_ids_ = std::move(tgt_ids);
+  idx.maint_ = std::move(maint);
+  idx.u_offsets_ = std::move(u_offsets);
   idx.FinishAliveState(targets.size());
   return idx;
 }
@@ -447,15 +462,17 @@ void IncidenceIndex::BuildProbeTable() {
   while (capacity < edge_keys_.size() * 2) capacity <<= 1;
   probe_mask_ = capacity - 1;
   probe_shift_ = 64 - std::countr_zero(capacity);
-  probe_keys_.assign(capacity, 0);
-  probe_ids_.assign(capacity, 0);
+  std::vector<EdgeKey> keys(capacity, 0);
+  std::vector<uint32_t> ids(capacity, 0);
   for (uint32_t id = 0; id < edge_keys_.size(); ++id) {
     const EdgeKey key = edge_keys_[id];
     uint64_t slot = (key * 0x9E3779B97F4A7C15ull) >> probe_shift_;
-    while (probe_keys_[slot] != 0) slot = (slot + 1) & probe_mask_;
-    probe_keys_[slot] = key;
-    probe_ids_[slot] = id;
+    while (keys[slot] != 0) slot = (slot + 1) & probe_mask_;
+    keys[slot] = key;
+    ids[slot] = id;
   }
+  probe_keys_ = std::move(keys);
+  probe_ids_ = std::move(ids);
 }
 
 IncidenceIndex::SplitGain IncidenceIndex::GainFor(EdgeKey e, size_t t) {

@@ -105,6 +105,7 @@
 #include <span>
 #include <vector>
 
+#include "common/flat_array.h"
 #include "common/result.h"
 #include "graph/graph.h"
 #include "motif/enumerate.h"
@@ -112,6 +113,8 @@
 #include "motif/target_subgraph.h"
 
 namespace tpp::motif {
+
+class IndexSnapshotCodec;
 
 /// See file comment. Build once per (graph, targets, motif) experiment;
 /// the index is self-contained after Build and does not retain the graph.
@@ -175,7 +178,9 @@ class IncidenceIndex {
   size_t NumInternedEdges() const { return edge_keys_.size(); }
 
   /// All enumerated instances (alive and dead).
-  const std::vector<TargetSubgraph>& instances() const { return instances_; }
+  std::span<const TargetSubgraph> instances() const {
+    return instances_.span();
+  }
 
   /// True iff instance `i` has not lost any edge yet. (Internally a dead
   /// instance may still carry queued CSR-2 upkeep — state 2 below — but it
@@ -307,14 +312,15 @@ class IncidenceIndex {
   /// Edges that appeared in any instance at build time (sorted); the RDT
   /// baseline samples from this set.
   std::vector<graph::EdgeKey> AllParticipatingEdges() const {
-    return edge_keys_;
+    return std::vector<graph::EdgeKey>(edge_keys_.begin(), edge_keys_.end());
   }
 
   /// The interned edge keys themselves, ascending — the STATIC candidate
   /// universe of an incremental round session (dense ids are positions in
-  /// this vector). Lives as long as the index.
-  const std::vector<graph::EdgeKey>& InternedEdgeKeys() const {
-    return edge_keys_;
+  /// this span). Lives as long as the index (or any copy sharing its
+  /// backing).
+  std::span<const graph::EdgeKey> InternedEdgeKeys() const {
+    return edge_keys_.span();
   }
 
   /// Dense id of `e`, or kNoEdge when it was never interned.
@@ -332,6 +338,11 @@ class IncidenceIndex {
   bool BitIdentical(const IncidenceIndex& other) const;
 
  private:
+  // The snapshot codec (motif/index_snapshot.h) serializes the private
+  // layout verbatim and reconstitutes it by adopting mmap'd file bytes
+  // into the FlatArray members below.
+  friend class IndexSnapshotCodec;
+
   IncidenceIndex() = default;
 
   /// Dense id of key `e`, or kNoEdge, resolved through a STATIC open-
@@ -372,13 +383,20 @@ class IncidenceIndex {
   // from the enumerated instances in O(instances + E).
   void FinishAliveState(size_t num_targets);
 
+  // Storage split: everything immutable after build is a FlatArray —
+  // copies of the index (IndexedEngine::Clone) alias one backing
+  // allocation, and a snapshot load (motif/index_snapshot.h) adopts the
+  // mmap'd file bytes in place. Only the genuinely mutable state (alive
+  // flags, cached counts, CSR-2 cells, deferral queues) stays in
+  // std::vectors that deep-copy per clone.
+
   // Instance storage (shared shape with LegacyIncidenceIndex). alive_ is
   // a four-state flag: 1 = alive; 2 = dead, count AND cell maintenance
   // queued (set by DeleteEdge); 3 = dead, counts applied, cell
   // maintenance still queued (set by FlushDeferredCounts, consumed by
   // FlushDeferredMaintenance); 0 = dead and fully flushed. Everything
   // outside the flush machinery treats any non-1 state as dead.
-  std::vector<TargetSubgraph> instances_;
+  FlatArray<TargetSubgraph> instances_;
   std::vector<uint8_t> alive_;
   std::vector<size_t> alive_per_target_;
   size_t total_alive_ = 0;
@@ -386,8 +404,8 @@ class IncidenceIndex {
   // Edge interner: edge_keys_ is sorted ascending (id order == key
   // order) and u_offsets_[u] .. u_offsets_[u+1] brackets the keys whose
   // smaller endpoint is u.
-  std::vector<graph::EdgeKey> edge_keys_;
-  std::vector<uint32_t> u_offsets_;  // size NumNodes() + 1
+  FlatArray<graph::EdgeKey> edge_keys_;
+  FlatArray<uint32_t> u_offsets_;  // size NumNodes() + 1
 
   // The static probe table behind EdgeIdOf (see its comment): power-of-
   // two capacity at <= 50% load, key 0 = empty slot, ids aligned with
@@ -395,14 +413,14 @@ class IncidenceIndex {
   // build paths (the CSR fill passes already resolve through it),
   // immutable afterwards; deterministic (insertion in ascending id order
   // with linear probing), so equal edge_keys_ imply an equal table.
-  std::vector<graph::EdgeKey> probe_keys_;
-  std::vector<uint32_t> probe_ids_;
+  FlatArray<graph::EdgeKey> probe_keys_;
+  FlatArray<uint32_t> probe_ids_;
   uint64_t probe_mask_ = 0;
   int probe_shift_ = 63;
 
   // CSR 1: edge id -> instance ids.
-  std::vector<uint32_t> inst_offsets_;  // size NumInternedEdges() + 1
-  std::vector<uint32_t> instance_ids_;  // flat posting lists
+  FlatArray<uint32_t> inst_offsets_;  // size NumInternedEdges() + 1
+  FlatArray<uint32_t> instance_ids_;  // flat posting lists
 
   // Cached gain: alive_count_[e] == alive instances containing edge id e,
   // and alive_edges_ == |{e : alive_count_[e] > 0}|.
@@ -412,9 +430,9 @@ class IncidenceIndex {
   // CSR 2: edge id -> (target, alive count) pairs. tgt_counts_ cells may
   // lag behind the eager alive state by the queued decrements in pending_;
   // FlushDeferredMaintenance() restores them before any per-target read.
-  std::vector<uint32_t> tgt_offsets_;  // size NumInternedEdges() + 1
-  std::vector<uint32_t> tgt_ids_;      // flat target indices
-  std::vector<uint32_t> tgt_counts_;   // flat alive counts, mutated
+  FlatArray<uint32_t> tgt_offsets_;   // size NumInternedEdges() + 1
+  FlatArray<uint32_t> tgt_ids_;       // flat target indices
+  std::vector<uint32_t> tgt_counts_;  // flat alive counts, mutated
 
   // Deferred-maintenance queues: fixed-size arrays (sized
   // NumInternedEdges() at build, so even a fresh index copy queues
@@ -454,7 +472,7 @@ class IncidenceIndex {
     friend bool operator==(const InstanceMaintenance& a,
                            const InstanceMaintenance& b) = default;
   };
-  std::vector<InstanceMaintenance> maint_;
+  FlatArray<InstanceMaintenance> maint_;
   // Edges per instance — uniform for one motif kind (MotifEdgeCount), so
   // DeleteEdge never reads the 40-byte TargetSubgraph.
   uint8_t arity_ = 0;

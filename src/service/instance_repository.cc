@@ -1,8 +1,11 @@
 #include "service/instance_repository.h"
 
+#include <cstdio>
 #include <utility>
 
 #include "common/strings.h"
+#include "graph/fingerprint.h"
+#include "service/store/warm_store.h"
 
 namespace tpp::service {
 
@@ -25,28 +28,70 @@ size_t InstanceRepository::Intern(const std::vector<graph::Edge>& targets,
   return it->second;
 }
 
+void InstanceRepository::BuildGroup(Group& group) {
+  builds_.fetch_add(1, std::memory_order_relaxed);
+  Result<TppInstance> instance =
+      core::MakeInstance(*base_, group.targets, group.motif);
+  if (!instance.ok()) {
+    group.status = instance.status();
+    return;
+  }
+  group.instance.emplace(std::move(*instance));
+
+  motif::IndexSnapshotMeta meta;
+  if (store_ != nullptr) {
+    meta.graph_fingerprint = base_fingerprint_;
+    meta.target_hash = graph::TargetSetHash(group.instance->targets);
+    meta.motif = group.motif;
+    meta.num_targets = static_cast<uint32_t>(group.instance->targets.size());
+    Result<motif::IncidenceIndex> snapshot = store_->LoadIndex(meta);
+    if (snapshot.ok()) {
+      Result<IndexedEngine> adopted =
+          IndexedEngine::Adopt(*group.instance, std::move(*snapshot));
+      if (adopted.ok()) {
+        snapshot_hits_.fetch_add(1, std::memory_order_relaxed);
+        group.engine.emplace(std::move(*adopted));
+        return;
+      }
+      std::fprintf(stderr,
+                   "tpp: warm store snapshot rejected at adoption (%s); "
+                   "cold-building\n",
+                   adopted.status().ToString().c_str());
+    } else if (snapshot.status().code() != StatusCode::kNotFound) {
+      // Present but invalid: corrupt file, format/fingerprint mismatch.
+      // A warning plus a cold build is the whole failure mode.
+      std::fprintf(stderr,
+                   "tpp: warm store snapshot rejected (%s); cold-building\n",
+                   snapshot.status().ToString().c_str());
+    }
+  }
+
+  motif::IncidenceIndex::BuildOptions build_options;
+  build_options.threads = build_threads_;
+  Result<IndexedEngine> engine =
+      IndexedEngine::Create(*group.instance, build_options);
+  if (!engine.ok()) {
+    group.status = engine.status();
+    group.instance.reset();
+    return;
+  }
+  group.engine.emplace(std::move(*engine));
+  if (store_ != nullptr) {
+    // Best-effort write-back: the warm start is an optimization, so a
+    // full disk or I/O error must not fail the request.
+    Status saved = store_->SaveIndex(group.engine->index(), meta);
+    if (saved.ok()) {
+      snapshot_stores_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      std::fprintf(stderr, "tpp: warm store snapshot write failed (%s)\n",
+                   saved.ToString().c_str());
+    }
+  }
+}
+
 Result<IndexedEngine> InstanceRepository::AcquireEngine(size_t group_id) {
   Group& group = groups_[group_id];
-  std::call_once(group.built, [&] {
-    builds_.fetch_add(1, std::memory_order_relaxed);
-    Result<TppInstance> instance =
-        core::MakeInstance(*base_, group.targets, group.motif);
-    if (!instance.ok()) {
-      group.status = instance.status();
-      return;
-    }
-    group.instance.emplace(std::move(*instance));
-    motif::IncidenceIndex::BuildOptions build_options;
-    build_options.threads = build_threads_;
-    Result<IndexedEngine> engine =
-        IndexedEngine::Create(*group.instance, build_options);
-    if (!engine.ok()) {
-      group.status = engine.status();
-      group.instance.reset();
-      return;
-    }
-    group.engine.emplace(std::move(*engine));
-  });
+  std::call_once(group.built, [&] { BuildGroup(group); });
   acquisitions_.fetch_add(1, std::memory_order_relaxed);
   if (!group.status.ok()) return group.status;
   return group.engine->Clone();

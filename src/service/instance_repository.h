@@ -41,6 +41,10 @@
 
 namespace tpp::service {
 
+namespace store {
+class WarmStore;
+}  // namespace store
+
 class InstanceRepository {
  public:
   /// `base` must outlive the repository.
@@ -52,6 +56,19 @@ class InstanceRepository {
   /// as its solve stage; nested ParallelFor keeps that safe even when the
   /// build runs inside a pool worker. Set before the first AcquireEngine.
   void set_build_threads(int threads) { build_threads_ = threads; }
+
+  /// Attaches a warm-start store (not owned; may be nullptr to detach).
+  /// With a store attached, each group's one-time build first probes the
+  /// store for a snapshot keyed by (`base_fingerprint`, motif, target-set
+  /// hash) and adopts it instead of building; a cold build writes its
+  /// index back (best effort) so the NEXT process start is warm. A
+  /// snapshot that fails validation (corrupt, version or fingerprint
+  /// mismatch) warns on stderr and falls back to the cold build — never
+  /// an error, never a wrong index. Set before the first AcquireEngine.
+  void set_store(store::WarmStore* store, uint64_t base_fingerprint) {
+    store_ = store;
+    base_fingerprint_ = base_fingerprint;
+  }
 
   InstanceRepository(const InstanceRepository&) = delete;
   InstanceRepository& operator=(const InstanceRepository&) = delete;
@@ -88,6 +105,16 @@ class InstanceRepository {
     return acquisitions_.load(std::memory_order_relaxed);
   }
 
+  /// Builds satisfied by adopting a store snapshot (<= NumBuilds()).
+  size_t NumSnapshotHits() const {
+    return snapshot_hits_.load(std::memory_order_relaxed);
+  }
+
+  /// Cold builds whose index was written back to the store.
+  size_t NumSnapshotStores() const {
+    return snapshot_stores_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Group {
     std::vector<graph::Edge> targets;
@@ -98,14 +125,21 @@ class InstanceRepository {
     std::optional<core::IndexedEngine> engine;  // the shared prototype
   };
 
+  /// The build-once body: try the store, else cold-build + write back.
+  void BuildGroup(Group& group);
+
   const graph::Graph* base_;
   int build_threads_ = 0;
+  store::WarmStore* store_ = nullptr;  // not owned
+  uint64_t base_fingerprint_ = 0;
   // deque: push_back never moves existing groups, so once_flags and
   // handed-out instance references stay valid as interning continues.
   std::deque<Group> groups_;
   std::unordered_map<std::string, size_t> ids_;
   std::atomic<size_t> builds_{0};
   std::atomic<size_t> acquisitions_{0};
+  std::atomic<size_t> snapshot_hits_{0};
+  std::atomic<size_t> snapshot_stores_{0};
 };
 
 }  // namespace tpp::service

@@ -1,6 +1,8 @@
 #include "service/plan_cache.h"
 
 #include "common/strings.h"
+#include "service/store/plan_codec.h"
+#include "service/store/warm_store.h"
 
 namespace tpp::service {
 
@@ -40,37 +42,75 @@ bool PlanCache::Lookup(const std::string& key, PlanResponse* out) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
-    if (it == index_.end()) {
-      ++misses_;
-      return false;
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      entry = it->second->second;
     }
-    lru_.splice(lru_.begin(), lru_, it->second);
-    ++hits_;
-    entry = it->second->second;
   }
-  // The deep copy (possibly a whole released graph) runs unlocked; the
-  // shared_ptr keeps the payload alive past any concurrent eviction.
-  *out = *entry;
-  return true;
+  if (entry != nullptr) {
+    // The deep copy (possibly a whole released graph) runs unlocked; the
+    // shared_ptr keeps the payload alive past any concurrent eviction.
+    *out = *entry;
+    return true;
+  }
+  // Memory miss: probe the persistent tier. A disk record that fails its
+  // checksum or decode is a miss — the pipeline re-solves and the fresh
+  // OK response overwrites the bad record via write-through.
+  if (backing_ != nullptr) {
+    std::string payload;
+    if (backing_->LoadPlan(key, &payload)) {
+      Result<PlanResponse> decoded = store::DecodePlanResponse(payload);
+      if (decoded.ok()) {
+        entry = std::make_shared<const PlanResponse>(std::move(*decoded));
+        Entry evicted;  // destroyed outside the lock
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++backing_hits_;
+          InsertInMemory(key, entry, &evicted);
+        }
+        *out = *entry;
+        return true;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++misses_;
+  return false;
 }
 
-void PlanCache::Insert(const std::string& key, PlanResponse response) {
-  Entry entry = std::make_shared<const PlanResponse>(std::move(response));
-  Entry evicted;  // destroyed outside the lock
-  std::lock_guard<std::mutex> lock(mu_);
+void PlanCache::InsertInMemory(const std::string& key, Entry entry,
+                               Entry* evicted) {
   auto it = index_.find(key);
   if (it != index_.end()) {
-    evicted = std::exchange(it->second->second, std::move(entry));
+    *evicted = std::exchange(it->second->second, std::move(entry));
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
   lru_.emplace_front(key, std::move(entry));
   index_[key] = lru_.begin();
   if (capacity_ > 0 && lru_.size() > capacity_) {
-    evicted = std::move(lru_.back().second);
+    *evicted = std::move(lru_.back().second);
     index_.erase(lru_.back().first);
     lru_.pop_back();
     ++evictions_;
+  }
+}
+
+void PlanCache::Insert(const std::string& key, PlanResponse response) {
+  const bool ok_response = response.status.ok();
+  if (!ok_response && !cache_failures_) return;  // never memoize failures
+  Entry entry = std::make_shared<const PlanResponse>(std::move(response));
+  Entry evicted;  // destroyed outside the lock
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    InsertInMemory(key, entry, &evicted);
+  }
+  // Write-through happens outside the lock (encode + append are the slow
+  // half); failures are never persisted regardless of cache_failures_ —
+  // a transient error must not outlive the process that saw it.
+  if (backing_ != nullptr && ok_response) {
+    (void)backing_->AppendPlan(key, store::EncodePlanResponse(*entry));
   }
 }
 
@@ -78,6 +118,7 @@ PlanCache::Stats PlanCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s;
   s.hits = hits_;
+  s.backing_hits = backing_hits_;
   s.misses = misses_;
   s.evictions = evictions_;
   s.size = lru_.size();

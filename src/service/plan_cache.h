@@ -13,9 +13,20 @@
 // abbreviated by its 64-bit fingerprint, whose ~2^-64 collision risk the
 // cache accepts (see graph/fingerprint.h).
 //
-// Failed responses are cached too: a request that deterministically fails
-// (e.g. sampling more targets than the graph has edges) fails identically
-// on recomputation, so serving the memoized status preserves bit-identity.
+// Failed responses are cached too by default: a request that
+// deterministically fails (e.g. sampling more targets than the graph has
+// edges) fails identically on recomputation, so serving the memoized
+// status preserves bit-identity. set_cache_failures(false) turns that
+// memoization off for deployments where failures can be transient (an
+// OOM-killed build, a disk hiccup); the disk-backed store runs in that
+// mode so a transient error is never persisted and served across runs.
+//
+// An optional backing store (service/store/warm_store.h) extends the
+// in-memory LRU across process restarts: OK responses write through to
+// the store's plan log, and an in-memory miss probes the store before
+// reporting a miss — a disk hit decodes, refills the memory tier, and
+// serves. Failed responses NEVER reach the store regardless of
+// cache_failures.
 //
 // Thread-safe: PlanService pipeline workers probe and fill one cache
 // concurrently; a single mutex suffices because entries are coarse (one
@@ -36,6 +47,10 @@
 
 namespace tpp::service {
 
+namespace store {
+class WarmStore;
+}  // namespace store
+
 /// Canonical content key of one request against one base graph: a pure
 /// function of the fingerprint and the request payload (name excluded).
 /// Equal keys imply bit-identical responses; any field that can change
@@ -49,8 +64,9 @@ class PlanCache {
  public:
   /// Running totals; size/capacity are a snapshot at stats() time.
   struct Stats {
-    uint64_t hits = 0;
-    uint64_t misses = 0;
+    uint64_t hits = 0;          ///< in-memory hits
+    uint64_t backing_hits = 0;  ///< misses served from the backing store
+    uint64_t misses = 0;        ///< true misses (both tiers)
     uint64_t evictions = 0;
     size_t size = 0;
     size_t capacity = 0;
@@ -78,8 +94,19 @@ class PlanCache {
 
   Stats stats() const;
 
-  /// Drops every entry (counters keep running).
+  /// Drops every entry (counters keep running). The backing store, if
+  /// any, is untouched — its entries are still served on future misses.
   void Clear();
+
+  /// Attaches (or with nullptr, detaches) a persistent second tier.
+  /// Not owned; must outlive the cache or be detached first.
+  void set_backing_store(store::WarmStore* backing) { backing_ = backing; }
+
+  /// Whether failed responses are memoized in memory (default true; see
+  /// file comment). Failures never reach the backing store either way.
+  void set_cache_failures(bool cache_failures) {
+    cache_failures_ = cache_failures;
+  }
 
  private:
   // Entries are immutable once inserted; shared_ptr ownership lets
@@ -88,13 +115,22 @@ class PlanCache {
   using Entry = std::shared_ptr<const PlanResponse>;
   using LruList = std::list<std::pair<std::string, Entry>>;
 
+  /// Insert's memory-tier half: memoize under `key` + LRU-evict, handing
+  /// any displaced entry out through `evicted` so its (possibly large)
+  /// payload is destroyed outside the lock. Shared by Insert and the
+  /// backing-store refill path in Lookup. Requires mu_ held.
+  void InsertInMemory(const std::string& key, Entry entry, Entry* evicted);
+
   mutable std::mutex mu_;
   size_t capacity_;
   LruList lru_;  // front = most recently used
   std::unordered_map<std::string, LruList::iterator> index_;
   uint64_t hits_ = 0;
+  uint64_t backing_hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  store::WarmStore* backing_ = nullptr;  // not owned
+  bool cache_failures_ = true;
 };
 
 }  // namespace tpp::service

@@ -165,6 +165,9 @@ std::vector<PlanResponse> PlanService::RunPipeline(
   // budget the solve stage gets; nesting inside a pool worker is safe
   // (the building worker drains its own ParallelFor chunks).
   repository.set_build_threads(max_workers);
+  if (options.store != nullptr) {
+    repository.set_store(options.store, fingerprint_);
+  }
   for (Unit& unit : units) {
     const PlanRequest& request = requests[unit.index];
     PlanResponse& response = responses[unit.index];
@@ -307,6 +310,8 @@ std::vector<PlanResponse> PlanService::RunPipeline(
 
   stats.instance_groups = repository.NumGroups();
   stats.instance_builds = repository.NumBuilds();
+  stats.snapshot_hits = repository.NumSnapshotHits();
+  stats.snapshot_stores = repository.NumSnapshotStores();
   if (options.stats) *options.stats = stats;
   return responses;
 }

@@ -60,6 +60,10 @@ namespace tpp::service {
 
 class PlanCache;  // plan_cache.h
 
+namespace store {
+class WarmStore;  // store/warm_store.h
+}  // namespace store
+
 /// One unit of work: protect one target set of the base graph.
 struct PlanRequest {
   /// Request id, used in reports and plan file names. Parsed files default
@@ -103,6 +107,8 @@ struct BatchStats {
   size_t solved = 0;          ///< executed by the solve stage (incl. failures)
   size_t instance_groups = 0; ///< distinct (targets, motif) groups solved
   size_t instance_builds = 0; ///< TppInstance + index builds performed
+  size_t snapshot_hits = 0;   ///< builds satisfied by a warm-store snapshot
+  size_t snapshot_stores = 0; ///< cold builds written back to the store
 };
 
 /// Knobs of one RunBatch pipeline execution.
@@ -123,6 +129,14 @@ struct BatchOptions {
   /// all off, the pipeline degenerates to the historical
   /// one-solve-per-request batch); output is identical either way.
   bool dedup = true;
+  /// Optional disk-backed warm-start store (store/warm_store.h). The
+  /// build-once stage probes it for IncidenceIndex snapshots before
+  /// building (writing cold builds back), making the expensive index
+  /// construction survive process restarts. Plan-level persistence is the
+  /// cache's concern: attach the same store to the PlanCache with
+  /// set_backing_store. Responses stay bit-identical with or without a
+  /// store (regression-tested in tests/store_warmstart_test.cc).
+  store::WarmStore* store = nullptr;
   /// Optional out-param for pipeline counters.
   BatchStats* stats = nullptr;
 };

@@ -1,0 +1,594 @@
+#include "service/store/warm_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/blob_io.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace tpp::service::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr uint32_t kRecordMagic = 0x4C505054u;  // "TPPL"
+constexpr uint32_t kFooterMagic = 0x46505054u;  // "TPPF"
+
+struct RecordHeader {
+  uint32_t magic = kRecordMagic;
+  uint32_t key_size = 0;
+  uint64_t payload_size = 0;
+  uint64_t checksum = 0;
+};
+static_assert(sizeof(RecordHeader) == 24);
+
+struct FooterTrailer {
+  uint64_t footer_offset = 0;
+  uint64_t entry_count = 0;
+  uint64_t footer_checksum = 0;
+  uint32_t magic = kFooterMagic;
+};
+static_assert(sizeof(FooterTrailer) == 32);  // 4 bytes tail padding
+
+uint64_t RecordChecksum(std::string_view key, std::string_view payload) {
+  return SplitMix64(HashBytes64(key.data(), key.size()) ^
+                    HashBytes64(payload.data(), payload.size()));
+}
+
+uint64_t RecordSize(size_t key_size, size_t payload_size) {
+  return sizeof(RecordHeader) + key_size + payload_size;
+}
+
+double FileAgeSeconds(const fs::path& p) {
+  std::error_code ec;
+  const auto mtime = fs::last_write_time(p, ec);
+  if (ec) return 0;
+  const auto now = fs::file_time_type::clock::now();
+  return std::chrono::duration<double>(now - mtime).count();
+}
+
+void BumpMtime(const fs::path& p) {
+  std::error_code ec;
+  fs::last_write_time(p, fs::file_time_type::clock::now(), ec);
+  // Best effort: a failed bump only weakens LRU ordering.
+}
+
+uint64_t FileBytes(const fs::path& p) {
+  std::error_code ec;
+  const uint64_t size = fs::file_size(p, ec);
+  return ec ? 0 : size;
+}
+
+}  // namespace
+
+WarmStore::WarmStore(std::string dir, const StoreOptions& options)
+    : dir_(std::move(dir)), options_(options) {}
+
+Result<std::unique_ptr<WarmStore>> WarmStore::Open(
+    const std::string& dir, const StoreOptions& options) {
+  std::error_code ec;
+  fs::create_directories(fs::path(dir) / "index", ec);
+  if (ec) return Status::IoError("cannot create " + dir + "/index");
+  fs::create_directories(fs::path(dir) / "plans", ec);
+  if (ec) return Status::IoError("cannot create " + dir + "/plans");
+  std::unique_ptr<WarmStore> store(new WarmStore(dir, options));
+  TPP_RETURN_IF_ERROR(store->RecoverSegments());
+  return store;
+}
+
+Status WarmStore::RecoverSegments() {
+  std::error_code ec;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(fs::path(dir_) / "plans", ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() != 14 || name.rfind("seg-", 0) != 0 ||
+        name.substr(10) != ".log") {
+      continue;
+    }
+    Result<int64_t> number = ParseInt64(name.substr(4, 6));
+    if (!number.ok()) continue;
+    Segment seg;
+    seg.number = static_cast<uint64_t>(*number);
+    seg.path = entry.path().string();
+    segments_.push_back(std::move(seg));
+  }
+  if (ec) return Status::IoError("cannot list " + dir_ + "/plans");
+  std::sort(segments_.begin(), segments_.end(),
+            [](const Segment& a, const Segment& b) {
+              return a.number < b.number;
+            });
+
+  // Rebuild the key table in segment order so later segments overwrite
+  // earlier ones (last write wins).
+  for (Segment& seg : segments_) {
+    Result<std::shared_ptr<const MappedBlob>> blob_or =
+        MappedBlob::Open(seg.path);
+    if (!blob_or.ok()) continue;  // unreadable: treat as empty
+    const MappedBlob& blob = **blob_or;
+    const uint8_t* data = blob.data();
+    const uint64_t size = blob.size();
+
+    // Sealed path: a valid trailer names the footer; no record scan.
+    bool recovered = false;
+    if (size >= sizeof(FooterTrailer)) {
+      FooterTrailer trailer;
+      std::memcpy(&trailer, data + size - sizeof trailer, sizeof trailer);
+      const uint64_t footer_end = size - sizeof trailer;
+      if (trailer.magic == kFooterMagic &&
+          trailer.footer_offset <= footer_end &&
+          trailer.footer_checksum ==
+              HashBytes64(data + trailer.footer_offset,
+                          footer_end - trailer.footer_offset)) {
+        uint64_t off = trailer.footer_offset;
+        bool ok = true;
+        std::vector<std::pair<std::string, uint64_t>> entries;
+        for (uint64_t i = 0; i < trailer.entry_count && ok; ++i) {
+          uint32_t key_size = 0;
+          uint64_t rec_offset = 0;
+          if (off + 12 > footer_end) {
+            ok = false;
+            break;
+          }
+          std::memcpy(&key_size, data + off, 4);
+          std::memcpy(&rec_offset, data + off + 4, 8);
+          off += 12;
+          if (off + key_size > footer_end) {
+            ok = false;
+            break;
+          }
+          entries.emplace_back(
+              std::string(reinterpret_cast<const char*>(data + off),
+                          key_size),
+              rec_offset);
+          off += key_size;
+        }
+        if (ok) {
+          for (auto& [key, rec_offset] : entries) {
+            auto it = plans_.find(key);
+            if (it != plans_.end()) {
+              for (Segment& prev : segments_) {
+                if (prev.number == it->second.segment_number) {
+                  --prev.live_keys;
+                }
+              }
+            }
+            plans_[std::move(key)] =
+                PlanLocation{seg.number, rec_offset};
+            ++seg.live_keys;
+          }
+          seg.bytes = trailer.footer_offset;
+          seg.sealed = true;
+          recovered = true;
+        }
+      }
+    }
+    if (recovered) continue;
+
+    // Unsealed (or torn-seal) path: forward scan, stopping at the first
+    // record that fails its bounds or checksum — a crash mid-append
+    // loses at most the tail.
+    uint64_t off = 0;
+    while (off + sizeof(RecordHeader) <= size) {
+      RecordHeader header;
+      std::memcpy(&header, data + off, sizeof header);
+      if (header.magic != kRecordMagic) break;
+      const uint64_t body = off + sizeof header;
+      if (header.key_size > size - body ||
+          header.payload_size > size - body - header.key_size) {
+        break;
+      }
+      const char* key_ptr = reinterpret_cast<const char*>(data + body);
+      const char* payload_ptr = key_ptr + header.key_size;
+      if (header.checksum !=
+          RecordChecksum({key_ptr, header.key_size},
+                         {payload_ptr, header.payload_size})) {
+        break;
+      }
+      std::string key(key_ptr, header.key_size);
+      auto it = plans_.find(key);
+      if (it != plans_.end()) {
+        for (Segment& prev : segments_) {
+          if (prev.number == it->second.segment_number) --prev.live_keys;
+        }
+        if (it->second.segment_number == seg.number) --seg.live_keys;
+      }
+      plans_[std::move(key)] = PlanLocation{seg.number, off};
+      ++seg.live_keys;
+      off = body + header.key_size + header.payload_size;
+    }
+    seg.bytes = off;
+    seg.sealed = false;
+  }
+  return Status::Ok();
+}
+
+std::string WarmStore::IndexPath(const motif::IndexSnapshotMeta& meta) const {
+  return (fs::path(dir_) / "index" /
+          StrFormat("%016llx-%s-%016llx.idx",
+                    static_cast<unsigned long long>(meta.graph_fingerprint),
+                    std::string(motif::MotifName(meta.motif)).c_str(),
+                    static_cast<unsigned long long>(meta.target_hash)))
+      .string();
+}
+
+Result<motif::IncidenceIndex> WarmStore::LoadIndex(
+    const motif::IndexSnapshotMeta& meta) {
+  const std::string path = IndexPath(meta);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+      ++stats_.index_misses;
+      return Status::NotFound("no snapshot for this instance");
+    }
+  }
+  Result<motif::IncidenceIndex> index =
+      motif::IndexSnapshotCodec::Load(path, meta);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!index.ok()) {
+    ++stats_.index_rejects;
+    return index;
+  }
+  ++stats_.index_hits;
+  BumpMtime(path);
+  return index;
+}
+
+Status WarmStore::SaveIndex(const motif::IncidenceIndex& index,
+                            const motif::IndexSnapshotMeta& meta) {
+  TPP_ASSIGN_OR_RETURN(std::string bytes,
+                       motif::IndexSnapshotCodec::Serialize(index, meta));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.capacity_bytes > 0 &&
+      bytes.size() > options_.capacity_bytes) {
+    ++stats_.admission_rejects;
+    return Status::Ok();  // declined, not failed
+  }
+  TPP_RETURN_IF_ERROR(AtomicWriteFile(IndexPath(meta), bytes));
+  EnforceCapacity();
+  return Status::Ok();
+}
+
+bool WarmStore::LoadPlan(const std::string& key, std::string* payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = plans_.find(key);
+  if (it == plans_.end()) {
+    ++stats_.plan_misses;
+    return false;
+  }
+  const Segment* seg = nullptr;
+  for (const Segment& s : segments_) {
+    if (s.number == it->second.segment_number) {
+      seg = &s;
+      break;
+    }
+  }
+  if (seg == nullptr) {
+    ++stats_.plan_misses;
+    return false;
+  }
+  std::ifstream f(seg->path, std::ios::binary);
+  RecordHeader header;
+  if (!f.seekg(static_cast<std::streamoff>(it->second.offset)) ||
+      !f.read(reinterpret_cast<char*>(&header), sizeof header) ||
+      header.magic != kRecordMagic || header.key_size != key.size()) {
+    ++stats_.plan_misses;
+    return false;
+  }
+  std::string stored_key(header.key_size, '\0');
+  payload->assign(header.payload_size, '\0');
+  if (!f.read(stored_key.data(),
+              static_cast<std::streamsize>(stored_key.size())) ||
+      !f.read(payload->data(),
+              static_cast<std::streamsize>(payload->size())) ||
+      stored_key != key ||
+      header.checksum != RecordChecksum(stored_key, *payload)) {
+    // Never serve bytes that fail validation.
+    payload->clear();
+    ++stats_.plan_misses;
+    return false;
+  }
+  ++stats_.plan_hits;
+  BumpMtime(seg->path);
+  return true;
+}
+
+Status WarmStore::AppendPlan(const std::string& key,
+                             std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t record_size = RecordSize(key.size(), payload.size());
+  if (options_.capacity_bytes > 0 &&
+      record_size > options_.capacity_bytes) {
+    ++stats_.admission_rejects;
+    return Status::Ok();  // declined, not failed
+  }
+  if (segments_.empty() || segments_.back().sealed) {
+    Segment seg;
+    seg.number = segments_.empty() ? 1 : segments_.back().number + 1;
+    seg.path = (fs::path(dir_) / "plans" /
+                StrFormat("seg-%06llu.log",
+                          static_cast<unsigned long long>(seg.number)))
+                   .string();
+    segments_.push_back(std::move(seg));
+  }
+  Segment& seg = segments_.back();
+
+  RecordHeader header;
+  header.key_size = static_cast<uint32_t>(key.size());
+  header.payload_size = payload.size();
+  header.checksum = RecordChecksum(key, payload);
+  {
+    std::ofstream f(seg.path, std::ios::binary | std::ios::app);
+    if (!f) return Status::IoError("cannot append to " + seg.path);
+    f.write(reinterpret_cast<const char*>(&header), sizeof header);
+    f.write(key.data(), static_cast<std::streamsize>(key.size()));
+    f.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    f.flush();
+    if (!f.good()) return Status::IoError("short append to " + seg.path);
+  }
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    for (Segment& prev : segments_) {
+      if (prev.number == it->second.segment_number) --prev.live_keys;
+    }
+  }
+  plans_[key] = PlanLocation{seg.number, seg.bytes};
+  ++seg.live_keys;
+  seg.bytes += record_size;
+  if (seg.bytes > options_.plan_segment_bytes) {
+    TPP_RETURN_IF_ERROR(SealActiveSegment());
+  }
+  EnforceCapacity();
+  return Status::Ok();
+}
+
+Status WarmStore::SealActiveSegment() {
+  Segment& seg = segments_.back();
+  // Footer: the live key -> record-offset table of this segment, then a
+  // fixed trailer naming it. Appending the footer is the commit; a crash
+  // before the trailer lands leaves a scannable unsealed segment.
+  std::string footer;
+  uint64_t entry_count = 0;
+  for (const auto& [key, loc] : plans_) {
+    if (loc.segment_number != seg.number) continue;
+    const uint32_t key_size = static_cast<uint32_t>(key.size());
+    footer.append(reinterpret_cast<const char*>(&key_size), 4);
+    footer.append(reinterpret_cast<const char*>(&loc.offset), 8);
+    footer.append(key);
+    ++entry_count;
+  }
+  FooterTrailer trailer;
+  trailer.footer_offset = seg.bytes;
+  trailer.entry_count = entry_count;
+  trailer.footer_checksum = HashBytes64(footer.data(), footer.size());
+  std::ofstream f(seg.path, std::ios::binary | std::ios::app);
+  if (!f) return Status::IoError("cannot seal " + seg.path);
+  f.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+  f.write(reinterpret_cast<const char*>(&trailer), sizeof trailer);
+  f.flush();
+  if (!f.good()) return Status::IoError("short footer write to " + seg.path);
+  seg.sealed = true;
+  return Status::Ok();
+}
+
+void WarmStore::DropSegmentKeys(uint64_t segment_number) {
+  for (auto it = plans_.begin(); it != plans_.end();) {
+    if (it->second.segment_number == segment_number) {
+      it = plans_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void WarmStore::EnforceCapacity() {
+  if (options_.capacity_bytes == 0) return;
+  struct Candidate {
+    std::string path;
+    uint64_t bytes = 0;
+    double age = 0;
+    bool is_segment = false;
+    uint64_t segment_number = 0;
+  };
+  for (;;) {
+    std::vector<Candidate> candidates;
+    uint64_t total = 0;
+    std::error_code ec;
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(fs::path(dir_) / "index", ec)) {
+      Candidate c;
+      c.path = entry.path().string();
+      c.bytes = FileBytes(entry.path());
+      c.age = FileAgeSeconds(entry.path());
+      total += c.bytes;
+      candidates.push_back(std::move(c));
+    }
+    for (size_t s = 0; s < segments_.size(); ++s) {
+      const uint64_t bytes = FileBytes(segments_[s].path);
+      total += bytes;
+      if (s + 1 == segments_.size()) continue;  // active segment is exempt
+      Candidate c;
+      c.path = segments_[s].path;
+      c.bytes = bytes;
+      c.age = FileAgeSeconds(segments_[s].path);
+      c.is_segment = true;
+      c.segment_number = segments_[s].number;
+      candidates.push_back(std::move(c));
+    }
+    if (total <= options_.capacity_bytes || candidates.empty()) return;
+    // Oldest mtime goes first: reads bump mtimes, so this is LRU at file
+    // granularity.
+    auto victim = std::max_element(
+        candidates.begin(), candidates.end(),
+        [](const Candidate& a, const Candidate& b) { return a.age < b.age; });
+    std::error_code rm;
+    fs::remove(victim->path, rm);
+    if (rm) return;  // cannot evict; stop rather than loop forever
+    ++stats_.evicted_files;
+    if (victim->is_segment) {
+      DropSegmentKeys(victim->segment_number);
+      segments_.erase(
+          std::remove_if(segments_.begin(), segments_.end(),
+                         [&](const Segment& s) {
+                           return s.number == victim->segment_number;
+                         }),
+          segments_.end());
+    }
+  }
+}
+
+Result<std::vector<StoreEntry>> WarmStore::Scan() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StoreEntry> entries;
+  std::error_code ec;
+  std::vector<fs::path> index_files;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(fs::path(dir_) / "index", ec)) {
+    index_files.push_back(entry.path());
+  }
+  std::sort(index_files.begin(), index_files.end());
+  for (const fs::path& path : index_files) {
+    StoreEntry e;
+    e.kind = StoreEntry::Kind::kIndexSnapshot;
+    e.name = (fs::path("index") / path.filename()).string();
+    e.path = path.string();
+    e.bytes = FileBytes(path);
+    e.age_seconds = FileAgeSeconds(path);
+    Result<motif::IndexSnapshotCodec::FileInfo> info =
+        motif::IndexSnapshotCodec::Inspect(path.string());
+    if (info.ok()) {
+      e.graph_fingerprint = info->meta.graph_fingerprint;
+      e.target_hash = info->meta.target_hash;
+      e.motif = std::string(motif::MotifName(info->meta.motif));
+    } else {
+      e.motif = "<unreadable>";
+    }
+    entries.push_back(std::move(e));
+  }
+  for (const Segment& seg : segments_) {
+    StoreEntry e;
+    e.kind = StoreEntry::Kind::kPlanSegment;
+    e.name = (fs::path("plans") / fs::path(seg.path).filename()).string();
+    e.path = seg.path;
+    e.bytes = FileBytes(seg.path);
+    e.age_seconds = FileAgeSeconds(seg.path);
+    e.plan_records = seg.live_keys;
+    e.sealed = seg.sealed;
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+Status WarmStore::VerifyAll(std::vector<std::string>* problems) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(fs::path(dir_) / "index", ec)) {
+    Status status = motif::IndexSnapshotCodec::Verify(entry.path().string());
+    if (!status.ok()) problems->push_back(status.ToString());
+  }
+  for (const Segment& seg : segments_) {
+    Result<std::shared_ptr<const MappedBlob>> blob_or =
+        MappedBlob::Open(seg.path);
+    if (!blob_or.ok()) {
+      problems->push_back(blob_or.status().ToString());
+      continue;
+    }
+    const MappedBlob& blob = **blob_or;
+    uint64_t off = 0;
+    while (off < seg.bytes) {
+      if (off + sizeof(RecordHeader) > blob.size()) {
+        problems->push_back(seg.path + ": record past end of file");
+        break;
+      }
+      RecordHeader header;
+      std::memcpy(&header, blob.data() + off, sizeof header);
+      const uint64_t body = off + sizeof header;
+      if (header.magic != kRecordMagic ||
+          header.key_size > blob.size() - body ||
+          header.payload_size > blob.size() - body - header.key_size) {
+        problems->push_back(seg.path + ": malformed record");
+        break;
+      }
+      const char* key_ptr =
+          reinterpret_cast<const char*>(blob.data() + body);
+      if (header.checksum !=
+          RecordChecksum({key_ptr, header.key_size},
+                         {key_ptr + header.key_size,
+                          header.payload_size})) {
+        problems->push_back(seg.path + ": record checksum mismatch");
+        break;
+      }
+      off = body + header.key_size + header.payload_size;
+    }
+  }
+  return Status::Ok();
+}
+
+Status WarmStore::EvictByName(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const fs::path path = fs::path(dir_) / name;
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    return Status::NotFound("no store entry named " + name);
+  }
+  std::error_code rm;
+  fs::remove(path, rm);
+  if (rm) return Status::IoError("cannot remove " + path.string());
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    if (segments_[s].path == path.string()) {
+      DropSegmentKeys(segments_[s].number);
+      segments_.erase(segments_.begin() + static_cast<ptrdiff_t>(s));
+      break;
+    }
+  }
+  ++stats_.evicted_files;
+  return Status::Ok();
+}
+
+Result<size_t> WarmStore::EvictOlderThan(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t removed = 0;
+  std::error_code ec;
+  std::vector<fs::path> victims;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(fs::path(dir_) / "index", ec)) {
+    if (FileAgeSeconds(entry.path()) > seconds) {
+      victims.push_back(entry.path());
+    }
+  }
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    if (s + 1 == segments_.size() && !segments_[s].sealed) {
+      continue;  // active segment is exempt
+    }
+    if (FileAgeSeconds(segments_[s].path) > seconds) {
+      victims.push_back(segments_[s].path);
+    }
+  }
+  for (const fs::path& path : victims) {
+    std::error_code rm;
+    fs::remove(path, rm);
+    if (rm) continue;
+    ++removed;
+    ++stats_.evicted_files;
+    for (size_t s = 0; s < segments_.size(); ++s) {
+      if (segments_[s].path == path.string()) {
+        DropSegmentKeys(segments_[s].number);
+        segments_.erase(segments_.begin() + static_cast<ptrdiff_t>(s));
+        break;
+      }
+    }
+  }
+  return removed;
+}
+
+WarmStore::Stats WarmStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace tpp::service::store

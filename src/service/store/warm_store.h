@@ -1,0 +1,183 @@
+// WarmStore: the disk-backed warm-start store behind --store.
+//
+// One directory holds two kinds of entries:
+//
+//   index/<fingerprint>-<motif>-<targethash>.idx
+//       One mmap-able IncidenceIndex snapshot per built instance
+//       (motif/index_snapshot.h), addressed by (graph fingerprint,
+//       motif, target-set hash). A warm process start loads the built
+//       index in one mmap instead of re-running enumeration + CSR
+//       construction.
+//
+//   plans/seg-<NNNNNN>.log
+//       A log-structured record stream of serialized PlanResponses
+//       (plan_codec.h) keyed by the canonical PlanCache key. Records
+//       append to the highest-numbered ACTIVE segment; when it outgrows
+//       StoreOptions::plan_segment_bytes it is SEALED — a key -> offset
+//       index footer is appended so later opens need no record scan —
+//       and a fresh segment starts. Unsealed segments (the active one,
+//       or one cut short by a crash) recover by a forward scan that
+//       stops at the first torn record, so a crash mid-append loses at
+//       most the tail record. Within and across segments, the LAST
+//       record for a key wins.
+//
+// Capacity: `capacity_bytes` caps the sum of all entry files. Entries
+// larger than the cap are not admitted at all; when the total exceeds
+// the cap, whole files are evicted oldest-mtime-first (reads bump the
+// file mtime, making this LRU at file/segment granularity). The active
+// plan segment is never evicted.
+//
+// Integrity: every reader validates checksums (snapshot header/payload
+// checksums; per-record checksums in plan logs) and treats any
+// violation as a miss — the caller falls back to a cold build/solve and
+// the store never serves corrupt bytes as a plan.
+//
+// Thread-safe behind one mutex; the expensive payloads (snapshot load,
+// record read) are file-granular and cheap relative to the work they
+// save, so coarse locking suffices for the pipeline's access pattern
+// (one probe per instance group / request).
+
+#ifndef TPP_SERVICE_STORE_WARM_STORE_H_
+#define TPP_SERVICE_STORE_WARM_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "motif/index_snapshot.h"
+
+namespace tpp::service::store {
+
+struct StoreOptions {
+  /// Total on-disk byte budget across snapshots and plan segments;
+  /// 0 = unbounded (no admission limit, no eviction).
+  uint64_t capacity_bytes = 0;
+  /// A plan segment seals (gains its index footer) once it exceeds this
+  /// many bytes of records.
+  uint64_t plan_segment_bytes = 4ull << 20;
+};
+
+/// One store entry as listed by Scan() — the row format of
+/// `tpp store ls`.
+struct StoreEntry {
+  enum class Kind { kIndexSnapshot, kPlanSegment };
+  Kind kind = Kind::kIndexSnapshot;
+  std::string name;  ///< file name within the store directory
+  std::string path;  ///< full path
+  uint64_t bytes = 0;
+  double age_seconds = 0;  ///< now - mtime (LRU age)
+  // Index snapshots only:
+  uint64_t graph_fingerprint = 0;
+  uint64_t target_hash = 0;
+  std::string motif;  ///< display name; empty for plan segments
+  // Plan segments only:
+  size_t plan_records = 0;  ///< live (last-write-wins) keys in the segment
+  bool sealed = false;
+};
+
+class WarmStore {
+ public:
+  /// Running hit/miss accounting across both entry kinds.
+  struct Stats {
+    uint64_t index_hits = 0;
+    uint64_t index_misses = 0;   ///< no snapshot file for the key
+    uint64_t index_rejects = 0;  ///< snapshot present but failed validation
+    uint64_t plan_hits = 0;
+    uint64_t plan_misses = 0;
+    uint64_t evicted_files = 0;
+    uint64_t admission_rejects = 0;  ///< entries larger than the capacity
+  };
+
+  /// Opens (creating directories as needed) the store at `dir` and
+  /// recovers the plan-key table from every existing segment — sealed
+  /// segments through their footers, unsealed ones by forward scan.
+  static Result<std::unique_ptr<WarmStore>> Open(
+      const std::string& dir, const StoreOptions& options = {});
+
+  WarmStore(const WarmStore&) = delete;
+  WarmStore& operator=(const WarmStore&) = delete;
+
+  /// Loads the snapshot for `meta`, zero-copy (motif/index_snapshot.h).
+  /// NotFound when no snapshot exists for the key; other errors mean a
+  /// file was present but failed validation (corrupt, version/fingerprint
+  /// mismatch) — callers warn and cold-build either way. A hit bumps the
+  /// file's LRU clock.
+  Result<motif::IncidenceIndex> LoadIndex(
+      const motif::IndexSnapshotMeta& meta);
+
+  /// Writes the snapshot for `meta` atomically (complete file or
+  /// nothing), then enforces the capacity. Oversized snapshots are not
+  /// admitted (OK is still returned; the store just declines).
+  Status SaveIndex(const motif::IncidenceIndex& index,
+                   const motif::IndexSnapshotMeta& meta);
+
+  /// Copies the stored payload for `key` into `*payload`. Returns false
+  /// on a miss — unknown key OR a record that fails its checksum (the
+  /// store never serves corrupt bytes). A hit bumps the segment's LRU
+  /// clock.
+  bool LoadPlan(const std::string& key, std::string* payload);
+
+  /// Appends a (key, payload) record to the active segment, sealing it
+  /// when it outgrows the segment budget, then enforces the capacity.
+  /// Oversized records are not admitted.
+  Status AppendPlan(const std::string& key, std::string_view payload);
+
+  /// Everything currently on disk, index snapshots first, then plan
+  /// segments in segment order.
+  Result<std::vector<StoreEntry>> Scan();
+
+  /// Full-store integrity check: snapshot checksums and every plan
+  /// record. Appends one human-readable line per problem; OK with an
+  /// empty `problems` means the store is clean.
+  Status VerifyAll(std::vector<std::string>* problems);
+
+  /// Deletes the entry file named `name` (as printed by Scan/ls).
+  /// Evicting a plan segment drops all its keys. NotFound if no such
+  /// entry exists.
+  Status EvictByName(const std::string& name);
+
+  /// Deletes every entry file older (by mtime) than `seconds`. The
+  /// active plan segment is exempt. Returns the number of files removed.
+  Result<size_t> EvictOlderThan(double seconds);
+
+  const std::string& dir() const { return dir_; }
+  Stats stats() const;
+
+ private:
+  struct PlanLocation {
+    uint64_t segment_number = 0;  ///< stable across segment eviction
+    uint64_t offset = 0;          ///< record start within the segment file
+  };
+  struct Segment {
+    uint64_t number = 0;
+    std::string path;
+    uint64_t bytes = 0;  ///< record bytes (excludes any footer)
+    size_t live_keys = 0;
+    bool sealed = false;
+  };
+
+  WarmStore(std::string dir, const StoreOptions& options);
+
+  Status RecoverSegments();
+  Status SealActiveSegment();  // writes the footer; requires mu_ held
+  void EnforceCapacity();      // requires mu_ held
+  void DropSegmentKeys(uint64_t segment_number);  // requires mu_ held
+  std::string IndexPath(const motif::IndexSnapshotMeta& meta) const;
+
+  const std::string dir_;
+  const StoreOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<Segment> segments_;  // ascending segment number
+  std::unordered_map<std::string, PlanLocation> plans_;
+  Stats stats_;
+};
+
+}  // namespace tpp::service::store
+
+#endif  // TPP_SERVICE_STORE_WARM_STORE_H_

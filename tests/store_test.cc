@@ -1,0 +1,560 @@
+// Tests for the disk-backed warm-start store (service/store/warm_store.h):
+// snapshot round-trips, every corruption class falling back to a cold
+// build (no crash, no wrong plan), plan-log persistence across reopen,
+// segment sealing and torn-tail recovery, LRU eviction, and the
+// failure-memoization semantics of the two-tier PlanCache.
+
+#include "service/store/warm_store.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/blob_io.h"
+#include "core/problem.h"
+#include "graph/datasets.h"
+#include "graph/fingerprint.h"
+#include "gtest/gtest.h"
+#include "motif/incidence_index.h"
+#include "service/instance_repository.h"
+#include "service/plan_cache.h"
+#include "service/plan_service.h"
+#include "service/store/plan_codec.h"
+#include "test_util.h"
+
+namespace tpp::service::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+using core::TppInstance;
+using graph::Graph;
+using motif::IncidenceIndex;
+using motif::IndexSnapshotCodec;
+using motif::IndexSnapshotMeta;
+using motif::MotifKind;
+
+std::string TempStoreDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/tpp_store_test_" + name;
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return dir;
+}
+
+const Graph& ArenasBase() {
+  static const Graph g = *graph::MakeArenasEmailLike(1);
+  return g;
+}
+
+TppInstance MakeArenasInstance(MotifKind kind, size_t num_targets = 20) {
+  Rng rng(7);
+  auto targets = *core::SampleTargets(ArenasBase(), num_targets, rng);
+  return *core::MakeInstance(ArenasBase(), targets, kind);
+}
+
+IndexSnapshotMeta MetaFor(const TppInstance& inst) {
+  IndexSnapshotMeta meta;
+  meta.graph_fingerprint = graph::Fingerprint(inst.released);
+  meta.target_hash = graph::TargetSetHash(inst.targets);
+  meta.motif = inst.motif;
+  meta.num_targets = static_cast<uint32_t>(inst.targets.size());
+  return meta;
+}
+
+std::unique_ptr<WarmStore> OpenStore(const std::string& dir,
+                                     StoreOptions options = {}) {
+  Result<std::unique_ptr<WarmStore>> store = WarmStore::Open(dir, options);
+  EXPECT_TRUE(store.ok()) << store.status();
+  return std::move(*store);
+}
+
+// The single snapshot file under <dir>/index (tests write exactly one).
+std::string OnlySnapshotPath(const std::string& dir) {
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(fs::path(dir) / "index")) {
+    return entry.path().string();
+  }
+  ADD_FAILURE() << "no snapshot file in " << dir;
+  return "";
+}
+
+TEST(IndexSnapshotTest, RoundTripIsBitIdentical) {
+  const TppInstance inst = MakeArenasInstance(MotifKind::kTriangle);
+  const IndexSnapshotMeta meta = MetaFor(inst);
+  IncidenceIndex built =
+      *IncidenceIndex::Build(inst.released, inst.targets, inst.motif);
+
+  std::unique_ptr<WarmStore> store = OpenStore(TempStoreDir("roundtrip"));
+  ASSERT_TRUE(store->SaveIndex(built, meta).ok());
+  Result<IncidenceIndex> loaded = store->LoadIndex(meta);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->BitIdentical(built));
+  EXPECT_EQ(store->stats().index_hits, 1u);
+
+  // The adopted index is fully live: deletions and gain queries behave
+  // exactly like the built one's.
+  IncidenceIndex mutated = std::move(*loaded);
+  const auto edges = mutated.AliveCandidateEdges();
+  ASSERT_FALSE(edges.empty());
+  EXPECT_EQ(mutated.Gain(edges[0]), built.Gain(edges[0]));
+  mutated.DeleteEdge(edges[0]);
+  IncidenceIndex built_copy = built;
+  built_copy.DeleteEdge(edges[0]);
+  EXPECT_TRUE(mutated.BitIdentical(built_copy));
+}
+
+TEST(IndexSnapshotTest, MissingSnapshotIsNotFound) {
+  const TppInstance inst = MakeArenasInstance(MotifKind::kTriangle);
+  std::unique_ptr<WarmStore> store = OpenStore(TempStoreDir("missing"));
+  Result<IncidenceIndex> loaded = store->LoadIndex(MetaFor(inst));
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store->stats().index_misses, 1u);
+}
+
+// One snapshot corruption scenario: mutate the file, then check that (a)
+// the direct load fails cleanly and (b) the repository still serves a
+// correct engine by falling back to the cold build.
+void ExpectCorruptionFallsBack(const std::string& dir_name,
+                               void (*corrupt)(const std::string& path)) {
+  const TppInstance inst = MakeArenasInstance(MotifKind::kTriangle);
+  const IndexSnapshotMeta meta = MetaFor(inst);
+  IncidenceIndex built =
+      *IncidenceIndex::Build(inst.released, inst.targets, inst.motif);
+  const std::string dir = TempStoreDir(dir_name);
+  {
+    std::unique_ptr<WarmStore> store = OpenStore(dir);
+    ASSERT_TRUE(store->SaveIndex(built, meta).ok());
+  }
+  corrupt(OnlySnapshotPath(dir));
+
+  std::unique_ptr<WarmStore> store = OpenStore(dir);
+  Result<IncidenceIndex> loaded = store->LoadIndex(meta);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().code(), StatusCode::kNotFound)
+      << "corruption must be a reject, not a silent miss";
+  EXPECT_EQ(store->stats().index_rejects, 1u);
+
+  // The serving path: a corrupt snapshot is a warning plus a cold build,
+  // never an error or a wrong index.
+  InstanceRepository repository(&ArenasBase());
+  repository.set_store(store.get(), meta.graph_fingerprint);
+  const size_t group = repository.Intern(inst.targets, inst.motif);
+  Result<core::IndexedEngine> engine = repository.AcquireEngine(group);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  EXPECT_TRUE(engine->index().BitIdentical(built));
+  EXPECT_EQ(repository.NumSnapshotHits(), 0u);
+  // The cold build re-wrote a good snapshot over the corrupt one.
+  EXPECT_EQ(repository.NumSnapshotStores(), 1u);
+  Result<IncidenceIndex> healed = store->LoadIndex(meta);
+  ASSERT_TRUE(healed.ok()) << healed.status();
+  EXPECT_TRUE(healed->BitIdentical(built));
+}
+
+TEST(IndexSnapshotCorruptionTest, TruncatedFile) {
+  ExpectCorruptionFallsBack("truncated", +[](const std::string& path) {
+    fs::resize_file(path, fs::file_size(path) / 2);
+  });
+}
+
+TEST(IndexSnapshotCorruptionTest, BadMagic) {
+  ExpectCorruptionFallsBack("badmagic", +[](const std::string& path) {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(0);
+    f.write("XXXXXXXX", 8);
+  });
+}
+
+TEST(IndexSnapshotCorruptionTest, FutureFormatVersion) {
+  ExpectCorruptionFallsBack("version", +[](const std::string& path) {
+    // Bump the version and re-seal the header checksum so the version
+    // check itself (not the checksum) is what rejects the file — this is
+    // exactly what a snapshot from a newer build looks like.
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    std::string header(112, '\0');
+    f.read(header.data(), 112);
+    uint32_t version = 0;
+    std::memcpy(&version, header.data() + 8, 4);
+    ++version;
+    std::memcpy(header.data() + 8, &version, 4);
+    const uint64_t checksum = HashBytes64(header.data(), 104);
+    std::memcpy(header.data() + 104, &checksum, 8);
+    f.seekp(0);
+    f.write(header.data(), 112);
+  });
+}
+
+TEST(IndexSnapshotCorruptionTest, FlippedPayloadByte) {
+  ExpectCorruptionFallsBack("payload", +[](const std::string& path) {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(-1, std::ios::end);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5A);
+    f.seekp(-1, std::ios::end);
+    f.write(&byte, 1);
+  });
+}
+
+TEST(IndexSnapshotCorruptionTest, FingerprintMismatchRejects) {
+  const TppInstance inst = MakeArenasInstance(MotifKind::kTriangle);
+  IndexSnapshotMeta meta = MetaFor(inst);
+  IncidenceIndex built =
+      *IncidenceIndex::Build(inst.released, inst.targets, inst.motif);
+  const std::string dir = TempStoreDir("fingerprint");
+  std::unique_ptr<WarmStore> store = OpenStore(dir);
+  ASSERT_TRUE(store->SaveIndex(built, meta).ok());
+  // A snapshot of a DIFFERENT base graph at this key's path (the
+  // file-swap / fingerprint-collision case): the embedded fingerprint
+  // must reject it even though checksums pass.
+  IndexSnapshotMeta wrong = meta;
+  wrong.graph_fingerprint ^= 1;
+  Result<IncidenceIndex> loaded =
+      IndexSnapshotCodec::Load(OnlySnapshotPath(dir), wrong);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().code(), StatusCode::kNotFound);
+
+  wrong = meta;
+  wrong.target_hash ^= 1;
+  loaded = IndexSnapshotCodec::Load(OnlySnapshotPath(dir), wrong);
+  EXPECT_FALSE(loaded.ok());
+
+  wrong = meta;
+  wrong.motif = MotifKind::kRectangle;
+  loaded = IndexSnapshotCodec::Load(OnlySnapshotPath(dir), wrong);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(WarmStoreRepositoryTest, ColdBuildWritesBackAndSecondRunAdopts) {
+  const TppInstance inst = MakeArenasInstance(MotifKind::kRectangle);
+  const IndexSnapshotMeta meta = MetaFor(inst);
+  const std::string dir = TempStoreDir("writeback");
+  {
+    std::unique_ptr<WarmStore> store = OpenStore(dir);
+    InstanceRepository repository(&ArenasBase());
+    repository.set_store(store.get(), meta.graph_fingerprint);
+    const size_t group = repository.Intern(inst.targets, inst.motif);
+    ASSERT_TRUE(repository.AcquireEngine(group).ok());
+    EXPECT_EQ(repository.NumSnapshotHits(), 0u);
+    EXPECT_EQ(repository.NumSnapshotStores(), 1u);
+  }
+  // "Restart": a fresh store handle and repository adopt the snapshot.
+  std::unique_ptr<WarmStore> store = OpenStore(dir);
+  InstanceRepository repository(&ArenasBase());
+  repository.set_store(store.get(), meta.graph_fingerprint);
+  const size_t group = repository.Intern(inst.targets, inst.motif);
+  Result<core::IndexedEngine> engine = repository.AcquireEngine(group);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(repository.NumSnapshotHits(), 1u);
+  EXPECT_EQ(repository.NumSnapshotStores(), 0u);
+  IncidenceIndex built =
+      *IncidenceIndex::Build(inst.released, inst.targets, inst.motif);
+  EXPECT_TRUE(engine->index().BitIdentical(built));
+}
+
+TEST(PlanLogTest, RecordsPersistAcrossReopen) {
+  const std::string dir = TempStoreDir("plans");
+  {
+    std::unique_ptr<WarmStore> store = OpenStore(dir);
+    ASSERT_TRUE(store->AppendPlan("key-a", "payload-a").ok());
+    ASSERT_TRUE(store->AppendPlan("key-b", "payload-b").ok());
+    // Last write wins within a segment.
+    ASSERT_TRUE(store->AppendPlan("key-a", "payload-a2").ok());
+    std::string payload;
+    ASSERT_TRUE(store->LoadPlan("key-a", &payload));
+    EXPECT_EQ(payload, "payload-a2");
+  }
+  std::unique_ptr<WarmStore> store = OpenStore(dir);
+  std::string payload;
+  ASSERT_TRUE(store->LoadPlan("key-a", &payload));
+  EXPECT_EQ(payload, "payload-a2");
+  ASSERT_TRUE(store->LoadPlan("key-b", &payload));
+  EXPECT_EQ(payload, "payload-b");
+  EXPECT_FALSE(store->LoadPlan("key-c", &payload));
+  EXPECT_EQ(store->stats().plan_hits, 2u);
+  EXPECT_EQ(store->stats().plan_misses, 1u);
+}
+
+TEST(PlanLogTest, TornTailIsDroppedNotFatal) {
+  const std::string dir = TempStoreDir("torn");
+  {
+    std::unique_ptr<WarmStore> store = OpenStore(dir);
+    ASSERT_TRUE(store->AppendPlan("intact", "payload").ok());
+  }
+  {
+    // Simulate a crash mid-append: garbage after the last valid record.
+    std::ofstream f((fs::path(dir) / "plans" / "seg-000001.log").string(),
+                    std::ios::binary | std::ios::app);
+    f.write("partial-record-garbage", 22);
+  }
+  std::unique_ptr<WarmStore> store = OpenStore(dir);
+  std::string payload;
+  ASSERT_TRUE(store->LoadPlan("intact", &payload));
+  EXPECT_EQ(payload, "payload");
+  // New appends land after the recovered prefix and survive the next
+  // reopen (the torn tail is logically truncated, then overwritten).
+  ASSERT_TRUE(store->AppendPlan("after-crash", "payload2").ok());
+}
+
+TEST(PlanLogTest, SegmentsSealWithFooterAndRecover) {
+  const std::string dir = TempStoreDir("seal");
+  StoreOptions options;
+  options.plan_segment_bytes = 128;  // a couple of records per segment
+  std::vector<std::string> keys;
+  {
+    std::unique_ptr<WarmStore> store = OpenStore(dir, options);
+    for (int i = 0; i < 10; ++i) {
+      keys.push_back("key-" + std::to_string(i));
+      ASSERT_TRUE(
+          store->AppendPlan(keys.back(), "payload-" + std::to_string(i))
+              .ok());
+    }
+    Result<std::vector<StoreEntry>> entries = store->Scan();
+    ASSERT_TRUE(entries.ok());
+    size_t sealed = 0, segments = 0;
+    for (const StoreEntry& e : *entries) {
+      if (e.kind == StoreEntry::Kind::kPlanSegment) {
+        ++segments;
+        if (e.sealed) ++sealed;
+      }
+    }
+    EXPECT_GT(segments, 1u);
+    EXPECT_GE(sealed, 1u);
+  }
+  // Reopen recovers sealed segments through their footers and the active
+  // one by scan; every key must still be served.
+  std::unique_ptr<WarmStore> store = OpenStore(dir, options);
+  for (int i = 0; i < 10; ++i) {
+    std::string payload;
+    ASSERT_TRUE(store->LoadPlan(keys[static_cast<size_t>(i)], &payload))
+        << keys[static_cast<size_t>(i)];
+    EXPECT_EQ(payload, "payload-" + std::to_string(i));
+  }
+  std::vector<std::string> problems;
+  ASSERT_TRUE(store->VerifyAll(&problems).ok());
+  EXPECT_TRUE(problems.empty());
+}
+
+TEST(PlanLogTest, CorruptRecordIsAMissAndVerifyReportsIt) {
+  const std::string dir = TempStoreDir("flip");
+  {
+    std::unique_ptr<WarmStore> store = OpenStore(dir);
+    ASSERT_TRUE(store->AppendPlan("key", "payload-payload-payload").ok());
+  }
+  const std::string seg =
+      (fs::path(dir) / "plans" / "seg-000001.log").string();
+  {
+    std::fstream f(seg, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-2, std::ios::end);  // inside the payload bytes
+    f.write("!", 1);
+  }
+  // Reopen: the forward scan drops the record whose checksum now fails.
+  std::unique_ptr<WarmStore> store = OpenStore(dir);
+  std::string payload;
+  EXPECT_FALSE(store->LoadPlan("key", &payload));
+}
+
+TEST(WarmStoreTest, CapacityEvictsOldestFirstAndSkipsOversized) {
+  const TppInstance inst = MakeArenasInstance(MotifKind::kTriangle);
+  const IndexSnapshotMeta meta = MetaFor(inst);
+  IncidenceIndex built =
+      *IncidenceIndex::Build(inst.released, inst.targets, inst.motif);
+  Result<std::string> bytes = IndexSnapshotCodec::Serialize(built, meta);
+  ASSERT_TRUE(bytes.ok());
+
+  // Capacity below one snapshot: the save is declined outright.
+  {
+    StoreOptions options;
+    options.capacity_bytes = bytes->size() / 2;
+    std::unique_ptr<WarmStore> store =
+        OpenStore(TempStoreDir("oversized"), options);
+    ASSERT_TRUE(store->SaveIndex(built, meta).ok());
+    EXPECT_EQ(store->stats().admission_rejects, 1u);
+    EXPECT_EQ(store->LoadIndex(meta).status().code(), StatusCode::kNotFound);
+  }
+
+  // Capacity for one snapshot but not a snapshot plus plan segments: the
+  // oldest files are evicted until the total fits.
+  {
+    StoreOptions options;
+    options.capacity_bytes = bytes->size() + 256;
+    options.plan_segment_bytes = 64;
+    std::unique_ptr<WarmStore> store =
+        OpenStore(TempStoreDir("evict"), options);
+    ASSERT_TRUE(store->SaveIndex(built, meta).ok());
+    ASSERT_TRUE(store->LoadIndex(meta).ok());  // bump the snapshot's LRU
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(store
+                      ->AppendPlan("key-" + std::to_string(i),
+                                   std::string(64, 'p'))
+                      .ok());
+    }
+    EXPECT_GT(store->stats().evicted_files, 0u);
+    uint64_t total = 0;
+    const Result<std::vector<StoreEntry>> entries = store->Scan();
+    ASSERT_TRUE(entries.ok());
+    for (const StoreEntry& e : *entries) total += e.bytes;
+    // The active segment is exempt, so the total can exceed the cap by at
+    // most one unsealed segment's bytes.
+    EXPECT_LE(total, options.capacity_bytes + options.plan_segment_bytes +
+                         256);
+  }
+}
+
+TEST(WarmStoreTest, EvictByNameAndOlderThan) {
+  const std::string dir = TempStoreDir("evictcli");
+  std::unique_ptr<WarmStore> store = OpenStore(dir);
+  ASSERT_TRUE(store->AppendPlan("key", "payload").ok());
+  const TppInstance inst = MakeArenasInstance(MotifKind::kTriangle);
+  ASSERT_TRUE(
+      store
+          ->SaveIndex(*IncidenceIndex::Build(inst.released, inst.targets,
+                                             inst.motif),
+                      MetaFor(inst))
+          .ok());
+  Result<std::vector<StoreEntry>> entries = store->Scan();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+
+  EXPECT_EQ(store->EvictByName("index/no-such-entry.idx").code(),
+            StatusCode::kNotFound);
+  std::string snapshot_name;
+  for (const StoreEntry& e : *entries) {
+    if (e.kind == StoreEntry::Kind::kIndexSnapshot) snapshot_name = e.name;
+  }
+  ASSERT_TRUE(store->EvictByName(snapshot_name).ok());
+  EXPECT_EQ(store->Scan()->size(), 1u);
+
+  // Nothing is older than an hour; everything is older than -1s, but the
+  // active segment is exempt.
+  EXPECT_EQ(*store->EvictOlderThan(3600), 0u);
+  EXPECT_EQ(*store->EvictOlderThan(-1), 0u);
+  std::string payload;
+  EXPECT_TRUE(store->LoadPlan("key", &payload));
+}
+
+TEST(PlanCodecTest, ResponseRoundTrips) {
+  PlanRequest request;
+  request.sample = 5;
+  request.seed = 3;
+  request.spec.algorithm = "sgb";
+  request.spec.budget = 4;
+  request.want_released = true;
+  PlanService plan_service(ArenasBase());
+  PlanResponse response = plan_service.RunOne(request);
+  ASSERT_TRUE(response.status.ok());
+  ASSERT_GT(response.released.NumNodes(), 0u);
+
+  const std::string payload = EncodePlanResponse(response);
+  Result<PlanResponse> decoded = DecodePlanResponse(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->targets, response.targets);
+  EXPECT_EQ(decoded->plan_text, response.plan_text);
+  EXPECT_EQ(decoded->result.protectors, response.result.protectors);
+  EXPECT_EQ(decoded->result.initial_similarity,
+            response.result.initial_similarity);
+  EXPECT_EQ(decoded->result.final_similarity,
+            response.result.final_similarity);
+  EXPECT_EQ(decoded->result.picks.size(), response.result.picks.size());
+  EXPECT_TRUE(decoded->released == response.released);
+  EXPECT_FALSE(decoded->from_cache);
+  // Re-encoding the decoded response reproduces the payload byte for
+  // byte — the codec is a bijection over its field set.
+  EXPECT_EQ(EncodePlanResponse(*decoded), payload);
+}
+
+TEST(PlanCodecTest, MalformedPayloadsAreRejectedNotCrashes) {
+  PlanRequest request;
+  request.sample = 3;
+  request.spec.algorithm = "sgb";
+  request.spec.budget = 2;
+  PlanService plan_service(ArenasBase());
+  PlanResponse response = plan_service.RunOne(request);
+  ASSERT_TRUE(response.status.ok());
+  const std::string payload = EncodePlanResponse(response);
+
+  EXPECT_FALSE(DecodePlanResponse("").ok());
+  EXPECT_FALSE(DecodePlanResponse("abc").ok());
+  // Every truncation point must fail cleanly, never read past the end.
+  for (size_t cut = 0; cut < payload.size();
+       cut += 1 + payload.size() / 64) {
+    EXPECT_FALSE(DecodePlanResponse(payload.substr(0, cut)).ok());
+  }
+  std::string trailing = payload + "x";
+  EXPECT_FALSE(DecodePlanResponse(trailing).ok());
+}
+
+TEST(PlanCacheStoreTest, FailuresAreNeverPersistedOrServedAcrossRuns) {
+  const std::string dir = TempStoreDir("failures");
+  const std::string key = "failure-key";
+  PlanResponse failed;
+  failed.status = Status::InvalidArgument("transient failure");
+  {
+    std::unique_ptr<WarmStore> store = OpenStore(dir);
+    PlanCache cache(8);
+    cache.set_backing_store(store.get());
+    // Default (cache_failures on): the failure memoizes in memory only.
+    cache.Insert(key, failed);
+    PlanResponse out;
+    EXPECT_TRUE(cache.Lookup(key, &out));
+    EXPECT_FALSE(out.status.ok());
+    std::string payload;
+    EXPECT_FALSE(store->LoadPlan(key, &payload))
+        << "failures must never reach the disk store";
+  }
+  {
+    // A "restarted" cache over the same store: the failure is gone.
+    std::unique_ptr<WarmStore> store = OpenStore(dir);
+    PlanCache cache(8);
+    cache.set_backing_store(store.get());
+    PlanResponse out;
+    EXPECT_FALSE(cache.Lookup(key, &out));
+  }
+  {
+    // cache_failures off: not even the in-memory tier memoizes.
+    PlanCache cache(8);
+    cache.set_cache_failures(false);
+    cache.Insert(key, failed);
+    PlanResponse out;
+    EXPECT_FALSE(cache.Lookup(key, &out));
+  }
+}
+
+TEST(PlanCacheStoreTest, OkResponsesServeFromDiskAfterRestart) {
+  const std::string dir = TempStoreDir("twotier");
+  PlanRequest request;
+  request.sample = 4;
+  request.seed = 9;
+  request.spec.algorithm = "sgb";
+  request.spec.budget = 3;
+  PlanService plan_service(ArenasBase());
+  PlanResponse response = plan_service.RunOne(request);
+  ASSERT_TRUE(response.status.ok());
+  const std::string key =
+      CanonicalRequestKey(plan_service.fingerprint(), request);
+  {
+    std::unique_ptr<WarmStore> store = OpenStore(dir);
+    PlanCache cache(8);
+    cache.set_backing_store(store.get());
+    cache.Insert(key, response);
+  }
+  std::unique_ptr<WarmStore> store = OpenStore(dir);
+  PlanCache cache(8);
+  cache.set_backing_store(store.get());
+  PlanResponse out;
+  ASSERT_TRUE(cache.Lookup(key, &out));
+  EXPECT_EQ(out.plan_text, response.plan_text);
+  EXPECT_EQ(cache.stats().backing_hits, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  // The disk hit refilled the memory tier: the second lookup is a pure
+  // memory hit.
+  ASSERT_TRUE(cache.Lookup(key, &out));
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+}  // namespace
+}  // namespace tpp::service::store

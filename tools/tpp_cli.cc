@@ -23,6 +23,18 @@
 //       long-lived embedders share across batches. Output plans are
 //       bit-identical to running each request through `tpp protect` on
 //       its own, at any worker count, cache state, or sharing group.
+//       Both protect and batch take --store=DIR [--store-cap=BYTES]
+//       [--cache-failures]: a disk-backed warm-start store
+//       (service/store/warm_store.h, docs/STORAGE.md) that persists built
+//       IncidenceIndex snapshots and solved plans across process runs.
+//       A warm run mmaps the snapshot instead of re-enumerating motifs
+//       and serves repeated requests from the on-disk plan log; output is
+//       bit-identical either way. Failed responses are never persisted;
+//       --cache-failures re-enables their in-memory memoization only.
+//   tpp store <ls|verify|evict> --store=DIR
+//       Store maintenance: `ls` lists entries (fingerprint, motif, bytes,
+//       age), `verify` checksums every entry, `evict --name=ENTRY` or
+//       `evict --older-than=SECONDS` deletes entries.
 //   tpp solvers
 //       Lists the registered solvers (key, display name, budgeting).
 //   tpp attack  --graph=G.edges --plan=P.plan
@@ -41,7 +53,10 @@
 
 #include <cstdio>
 #include <memory>
+#include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/strings.h"
@@ -54,6 +69,7 @@
 #include "metrics/utility.h"
 #include "service/plan_cache.h"
 #include "service/plan_service.h"
+#include "service/store/warm_store.h"
 
 namespace tpp {
 namespace {
@@ -67,9 +83,10 @@ using service::PlanResponse;
 using service::PlanService;
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: tpp <protect|batch|solvers|attack|stats> [--flags]\n"
-               "see the header of tools/tpp_cli.cc for examples\n");
+  std::fprintf(
+      stderr,
+      "usage: tpp <protect|batch|store|solvers|attack|stats> [--flags]\n"
+      "see the header of tools/tpp_cli.cc for examples\n");
   return 2;
 }
 
@@ -82,6 +99,44 @@ Result<Graph> LoadGraphFlag(const ParsedArgs& args) {
   std::string path = args.GetString("graph", "");
   if (path.empty()) return Status::InvalidArgument("--graph is required");
   return graph::LoadEdgeList(path);
+}
+
+// Opens the warm-start store named by --store/--store-cap; OK-with-nullptr
+// when --store is absent.
+Result<std::unique_ptr<service::store::WarmStore>> OpenStoreFromFlags(
+    const ParsedArgs& args) {
+  std::string dir = args.GetString("store", "");
+  Result<int64_t> cap = args.GetInt("store-cap", 0);
+  if (!cap.ok()) return cap.status();
+  if (dir.empty()) {
+    if (*cap > 0) {
+      return Status::InvalidArgument("--store-cap requires --store=DIR");
+    }
+    return std::unique_ptr<service::store::WarmStore>();
+  }
+  service::store::StoreOptions store_options;
+  store_options.capacity_bytes = static_cast<uint64_t>(*cap);
+  return service::store::WarmStore::Open(dir, store_options);
+}
+
+void PrintStoreStats(const service::store::WarmStore& store,
+                     const service::BatchStats& stats,
+                     const service::PlanCache* cache) {
+  service::store::WarmStore::Stats ss = store.stats();
+  std::printf(
+      "warm store %s: %zu snapshot hits, %zu snapshot writes, "
+      "%llu plan hits, %llu rejects, %llu evicted files\n",
+      store.dir().c_str(), stats.snapshot_hits, stats.snapshot_stores,
+      static_cast<unsigned long long>(ss.plan_hits),
+      static_cast<unsigned long long>(ss.index_rejects +
+                                      ss.admission_rejects),
+      static_cast<unsigned long long>(ss.evicted_files));
+  if (cache != nullptr) {
+    service::PlanCache::Stats cs = cache->stats();
+    std::printf("plan cache tiers: %llu memory hits, %llu disk hits\n",
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.backing_hits));
+  }
 }
 
 // Reads the solver-selection flags shared by `protect` into a SolverSpec.
@@ -131,9 +186,33 @@ int RunProtect(const ParsedArgs& args) {
   // batches leave this off per request to keep memory flat.
   request.want_released = true;
 
+  Result<std::unique_ptr<service::store::WarmStore>> store =
+      OpenStoreFromFlags(args);
+  if (!store.ok()) return Fail(store.status());
+
   PlanService plan_service(*g);
-  PlanResponse response = plan_service.RunOne(request);
-  if (!response.status.ok()) return Fail(response.status);
+  PlanResponse response;
+  if (*store != nullptr) {
+    // With a store the single request routes through the pipeline so the
+    // warm-start hooks engage; responses are bit-identical to RunOne.
+    service::PlanCache cache(/*capacity=*/16);
+    cache.set_backing_store(store->get());
+    cache.set_cache_failures(args.GetBool("cache-failures"));
+    service::BatchStats stats;
+    service::BatchOptions options;
+    options.cache = &cache;
+    options.store = store->get();
+    options.stats = &stats;
+    std::vector<PlanResponse> responses =
+        plan_service.RunBatch(std::span<const PlanRequest>(&request, 1),
+                              options);
+    response = std::move(responses[0]);
+    if (!response.status.ok()) return Fail(response.status);
+    PrintStoreStats(**store, stats, &cache);
+  } else {
+    response = plan_service.RunOne(request);
+    if (!response.status.ok()) return Fail(response.status);
+  }
 
   core::TppInstance instance = {
       plan_service.base(), response.targets, request.motif};
@@ -185,15 +264,26 @@ int RunBatch(const ParsedArgs& args) {
   if (!loaded.ok()) return Fail(loaded.status());
   std::vector<PlanRequest> requests = std::move(*loaded);
 
+  Result<std::unique_ptr<service::store::WarmStore>> store =
+      OpenStoreFromFlags(args);
+  if (!store.ok()) return Fail(store.status());
+
   PlanService plan_service(std::move(*g));
   std::unique_ptr<service::PlanCache> cache;
-  if (*cache_size > 0) {
+  if (*cache_size > 0 || *store != nullptr) {
+    // Plan persistence flows through the cache's write-through tier, so
+    // --store implies a cache even when --cache-size was not given.
     cache = std::make_unique<service::PlanCache>(
-        static_cast<size_t>(*cache_size));
+        static_cast<size_t>(*cache_size > 0 ? *cache_size : 1024));
+  }
+  if (*store != nullptr) {
+    cache->set_backing_store(store->get());
+    cache->set_cache_failures(args.GetBool("cache-failures"));
   }
   service::BatchStats stats;
   service::BatchOptions options;
   options.cache = cache.get();
+  options.store = store->get();
   options.stats = &stats;
 
   std::string plan_dir = args.GetString("plan-dir", "");
@@ -290,7 +380,92 @@ int RunBatch(const ParsedArgs& args) {
                 stats.dedup_shared, stats.instance_builds,
                 stats.instance_groups);
   }
+  if (*store != nullptr) PrintStoreStats(**store, stats, cache.get());
   return failures == 0 ? 0 : 1;
+}
+
+int RunStore(const ParsedArgs& args) {
+  if (args.positional().size() < 2) {
+    std::fprintf(stderr, "usage: tpp store <ls|verify|evict> --store=DIR\n");
+    return 2;
+  }
+  const std::string& action = args.positional()[1];
+  std::string dir = args.GetString("store", "");
+  if (dir.empty()) {
+    return Fail(Status::InvalidArgument("--store=DIR is required"));
+  }
+  Result<int64_t> cap = args.GetInt("store-cap", 0);
+  if (!cap.ok()) return Fail(cap.status());
+  service::store::StoreOptions store_options;
+  store_options.capacity_bytes = static_cast<uint64_t>(*cap);
+  Result<std::unique_ptr<service::store::WarmStore>> store =
+      service::store::WarmStore::Open(dir, store_options);
+  if (!store.ok()) return Fail(store.status());
+
+  if (action == "ls") {
+    Result<std::vector<service::store::StoreEntry>> entries =
+        (*store)->Scan();
+    if (!entries.ok()) return Fail(entries.status());
+    TextTable table;
+    table.SetHeader({"entry", "kind", "bytes", "age", "detail"});
+    for (const service::store::StoreEntry& e : *entries) {
+      std::string detail;
+      const char* kind;
+      if (e.kind == service::store::StoreEntry::Kind::kIndexSnapshot) {
+        kind = "index";
+        detail = StrFormat("fp=%016llx motif=%s targets=%016llx",
+                           static_cast<unsigned long long>(
+                               e.graph_fingerprint),
+                           e.motif.c_str(),
+                           static_cast<unsigned long long>(e.target_hash));
+      } else {
+        kind = "plans";
+        detail = StrFormat("%zu plans%s", e.plan_records,
+                           e.sealed ? " (sealed)" : " (active)");
+      }
+      table.AddRow({e.name, kind, std::to_string(e.bytes),
+                    StrFormat("%.0fs", e.age_seconds), detail});
+    }
+    std::printf("%zu entries in %s:\n%s", entries->size(), dir.c_str(),
+                table.ToString().c_str());
+    return 0;
+  }
+  if (action == "verify") {
+    std::vector<std::string> problems;
+    Status status = (*store)->VerifyAll(&problems);
+    if (!status.ok()) return Fail(status);
+    for (const std::string& problem : problems) {
+      std::printf("CORRUPT %s\n", problem.c_str());
+    }
+    if (problems.empty()) {
+      std::printf("store %s verified clean\n", dir.c_str());
+      return 0;
+    }
+    return 1;
+  }
+  if (action == "evict") {
+    std::string name = args.GetString("name", "");
+    const bool has_age = args.Has("older-than");
+    Result<double> older_than = args.GetDouble("older-than", 0);
+    if (!older_than.ok()) return Fail(older_than.status());
+    if (name.empty() == !has_age) {
+      return Fail(Status::InvalidArgument(
+          "evict takes exactly one of --name=ENTRY or --older-than=SECONDS"));
+    }
+    if (!name.empty()) {
+      Status status = (*store)->EvictByName(name);
+      if (!status.ok()) return Fail(status);
+      std::printf("evicted %s\n", name.c_str());
+      return 0;
+    }
+    Result<size_t> removed = (*store)->EvictOlderThan(*older_than);
+    if (!removed.ok()) return Fail(removed.status());
+    std::printf("evicted %zu entries older than %.0fs\n", *removed,
+                *older_than);
+    return 0;
+  }
+  std::fprintf(stderr, "usage: tpp store <ls|verify|evict> --store=DIR\n");
+  return 2;
 }
 
 int RunSolvers() {
@@ -367,6 +542,8 @@ int Main(int argc, char** argv) {
     rc = RunProtect(*args);
   } else if (command == "batch") {
     rc = RunBatch(*args);
+  } else if (command == "store") {
+    rc = RunStore(*args);
   } else if (command == "solvers") {
     rc = RunSolvers();
   } else if (command == "attack") {
