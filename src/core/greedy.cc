@@ -98,19 +98,73 @@ Result<ProtectionResult> SgbGreedyEagerIncremental(
   return result;
 }
 
+// Heap-selection SGB — both the eager RoundMode::kHeap strategy and the
+// dirty-aware CELF path (CelfMode::kDirtyAware): one loop serves both
+// because once gains are maintained incrementally the CELF "stale upper
+// bound" of an edge IS its exact current gain — submodularity says gains
+// only shrink, and the dirty set tells us exactly which ones did — so
+// lazy re-evaluation degenerates to re-keying the dirtied heap entries.
+// Per round: consume BeginRound's dirty set, Update() each dirtied row to
+// its new total (0 removes it, covering the committed pick itself), and
+// read the pick off the heap top. The heap's (priority desc, row asc)
+// order over the ascending-key universe reproduces the flat scan's
+// first-strict-max rule, so picks/traces are bit-identical to the cold
+// sweep; BeginRound charges one evaluation per live candidate, so the
+// work metric is too. Selection cost: O(|dirty| log universe) per round
+// instead of the flat O(universe) scan.
+Result<ProtectionResult> SgbGreedyHeap(Engine& engine, size_t budget,
+                                       const GreedyOptions& options) {
+  WallTimer timer;
+  ProtectionResult result;
+  result.initial_similarity = engine.TotalSimilarity();
+  SelectionHeap heap;
+  heap.set_stats(options.heap_stats);
+  bool built = false;
+  while (result.protectors.size() < budget) {
+    const RoundGains& round = engine.BeginRound(options.scope,
+                                                /*per_target=*/false);
+    const size_t universe = round.edges.size();
+    if (round.all_dirty || !built) {
+      heap.BuildBegin(universe);
+      for (size_t i = 0; i < universe; ++i) {
+        heap.BuildAdd(static_cast<uint32_t>(i), round.totals[i]);
+      }
+      heap.BuildFinish();
+      built = true;
+    } else {
+      for (uint32_t i : round.dirty) heap.Update(i, round.totals[i]);
+    }
+    if (heap.Empty()) break;  // no positive gain left
+    CommitPick(engine, round.edges[heap.TopRow()], PickTrace::kNoTarget,
+               timer, result);
+  }
+  FinalizeResult(engine, timer, result);
+  return result;
+}
+
 Result<ProtectionResult> SgbGreedyEager(Engine& engine, size_t budget,
                                         const GreedyOptions& options) {
-  if (options.rounds == RoundMode::kColdSweep) {
-    return SgbGreedyEagerCold(engine, budget, options);
+  switch (options.rounds) {
+    case RoundMode::kColdSweep:
+      return SgbGreedyEagerCold(engine, budget, options);
+    case RoundMode::kHeap:
+      return SgbGreedyHeap(engine, budget, options);
+    case RoundMode::kIncremental:
+      break;
   }
   return SgbGreedyEagerIncremental(engine, budget, options);
 }
 
-// CELF lazy-greedy SGB: keep stale upper bounds in a max-heap; re-evaluate
-// only the top element. Valid because the gain of a fixed edge can only
-// shrink as deletions accumulate (submodularity, Lemma 2).
-Result<ProtectionResult> SgbGreedyLazy(Engine& engine, size_t budget,
-                                       const GreedyOptions& options) {
+// Classic CELF lazy-greedy SGB: keep stale upper bounds in a max-heap;
+// re-evaluate only the top element. Valid because the gain of a fixed edge
+// can only shrink as deletions accumulate (submodularity, Lemma 2). Kept
+// as the CelfMode::kClassic baseline of the dirty-aware path: it
+// re-evaluates whatever surfaces at the top — every popped entry whose
+// bound predates the current round costs one point Gain() query — so its
+// evaluation count depends on how often stale bounds surface, where the
+// dirty-aware loop's accounting matches the eager sweep exactly.
+Result<ProtectionResult> SgbGreedyLazyClassic(Engine& engine, size_t budget,
+                                              const GreedyOptions& options) {
   WallTimer timer;
   ProtectionResult result;
   result.initial_similarity = engine.TotalSimilarity();
@@ -312,6 +366,100 @@ Result<ProtectionResult> CtGreedyIncremental(
   return result;
 }
 
+// Heap-selection CT: CtGreedyIncremental's cached (own, best target)
+// pairs, with the flat (own, cross) selection scan replaced by a
+// SelectionHeap keyed PackSplit(own, cross) — the packed integer order
+// equals the lexicographic SplitGain order, and priority 0 coincides with
+// total 0 (own and cross are both zero exactly when the total is), so the
+// heap holds precisely the rows the flat scan would consider and its top
+// is the scan's first strict maximum. Rows are re-keyed on the same two
+// events the cache is patched on: the round's dirty set and the
+// exhausted-target re-seat (the latter stays a flat best_t scan — it
+// fires at most once per target over the whole run).
+Result<ProtectionResult> CtGreedyHeap(Engine& engine,
+                                      const std::vector<size_t>& budgets,
+                                      const GreedyOptions& options) {
+  WallTimer timer;
+  ProtectionResult result;
+  result.initial_similarity = engine.TotalSimilarity();
+
+  const size_t num_targets = budgets.size();
+  std::vector<size_t> spent(num_targets, 0);
+  size_t total_budget = 0;
+  for (size_t b : budgets) total_budget += b;
+
+  constexpr uint32_t kNoExhaust = 0xffffffffu;
+  std::vector<uint32_t> own;     // cached best own gain per universe row
+  std::vector<uint32_t> best_t;  // cached first-argmax target per row
+  SelectionHeap heap;
+  heap.set_stats(options.heap_stats);
+  bool rebuild_all = true;
+  uint32_t exhausted = kNoExhaust;
+
+  while (result.protectors.size() < total_budget) {
+    const RoundGains& round = engine.BeginRound(options.scope,
+                                                /*per_target=*/true);
+    const size_t universe = round.edges.size();
+    auto recompute = [&](size_t i) {
+      const uint32_t* row = round.rows.data() + i * round.num_targets;
+      uint32_t o = 0;
+      uint32_t bt = 0;
+      bool seen = false;
+      for (size_t t = 0; t < num_targets; ++t) {
+        if (spent[t] >= budgets[t]) continue;
+        if (!seen || row[t] > o) {
+          seen = true;
+          o = row[t];
+          bt = static_cast<uint32_t>(t);
+        }
+      }
+      own[i] = seen ? o : 0;
+      best_t[i] = seen ? bt : kNoExhaust;
+    };
+    auto priority = [&](size_t i) -> uint64_t {
+      const uint32_t total = round.totals[i];
+      if (total == 0) return 0;
+      return SelectionHeap::PackSplit(own[i], total - own[i]);
+    };
+    if (round.all_dirty || rebuild_all || own.size() != universe) {
+      own.assign(universe, 0);
+      best_t.assign(universe, kNoExhaust);
+      heap.BuildBegin(universe);
+      for (size_t i = 0; i < universe; ++i) {
+        if (round.totals[i] > 0) recompute(i);
+        heap.BuildAdd(static_cast<uint32_t>(i), priority(i));
+      }
+      heap.BuildFinish();
+      rebuild_all = false;
+    } else {
+      for (uint32_t i : round.dirty) {
+        if (round.totals[i] > 0) recompute(i);
+        heap.Update(i, priority(i));
+      }
+      if (exhausted != kNoExhaust) {
+        for (size_t i = 0; i < universe; ++i) {
+          if (round.totals[i] > 0 && best_t[i] == exhausted) {
+            recompute(i);
+            heap.Update(static_cast<uint32_t>(i), priority(i));
+          }
+        }
+      }
+    }
+    exhausted = kNoExhaust;
+
+    if (heap.Empty()) break;  // best delta is zero everywhere
+    const size_t best_i = heap.TopRow();
+    const size_t best_target = best_t[best_i];
+    ++spent[best_target];
+    if (spent[best_target] >= budgets[best_target]) {
+      exhausted = static_cast<uint32_t>(best_target);
+    }
+    CommitPick(engine, round.edges[best_i], best_target, timer, result);
+  }
+  FinalizeResult(engine, timer, result);
+  return result;
+}
+
 // Cold WT rounds, with the same buffer hoisting as CtGreedyCold.
 Result<ProtectionResult> WtGreedyCold(Engine& engine,
                                       const std::vector<size_t>& budgets,
@@ -403,11 +551,73 @@ Result<ProtectionResult> WtGreedyIncremental(
   return result;
 }
 
+// Heap-selection WT: WtGreedyIncremental's per-target own-gain column
+// behind a SelectionHeap keyed PackSplit(own, cross). The own > 0
+// requirement (within-target picks must help the focal target) folds
+// into the priority — PackSplit(0, anything) maps to "unselectable" by
+// clamping to 0 — so the heap holds exactly the rows the flat scan's
+// `o == 0` skip would keep. The heap is rebuilt whenever the focal
+// target switches (priorities are a function of t) and patched from the
+// dirty set otherwise.
+Result<ProtectionResult> WtGreedyHeap(Engine& engine,
+                                      const std::vector<size_t>& budgets,
+                                      const GreedyOptions& options) {
+  WallTimer timer;
+  ProtectionResult result;
+  result.initial_similarity = engine.TotalSimilarity();
+
+  std::vector<uint32_t> own;
+  SelectionHeap heap;
+  heap.set_stats(options.heap_stats);
+  for (size_t t = 0; t < budgets.size(); ++t) {
+    bool target_cached = false;
+    for (size_t b = 0; b < budgets[t]; ++b) {
+      const RoundGains& round = engine.BeginRound(options.scope,
+                                                  /*per_target=*/true);
+      const size_t universe = round.edges.size();
+      const uint32_t* rows = round.rows.data();
+      const size_t stride = round.num_targets;
+      auto priority = [&](size_t i) -> uint64_t {
+        const uint32_t total = round.totals[i];
+        const uint32_t o = own[i];
+        if (total == 0 || o == 0) return 0;
+        return SelectionHeap::PackSplit(o, total - o);
+      };
+      if (round.all_dirty || !target_cached || own.size() != universe) {
+        own.resize(universe);
+        heap.BuildBegin(universe);
+        for (size_t i = 0; i < universe; ++i) {
+          own[i] = rows[i * stride + t];
+          heap.BuildAdd(static_cast<uint32_t>(i), priority(i));
+        }
+        heap.BuildFinish();
+        target_cached = true;
+      } else {
+        for (uint32_t i : round.dirty) {
+          own[i] = rows[i * stride + t];
+          heap.Update(i, priority(i));
+        }
+      }
+      if (heap.Empty()) break;  // target t fully protected; next target
+      CommitPick(engine, round.edges[heap.TopRow()], t, timer, result);
+    }
+  }
+  FinalizeResult(engine, timer, result);
+  return result;
+}
+
 }  // namespace
 
 Result<ProtectionResult> SgbGreedy(Engine& engine, size_t budget,
                                    const GreedyOptions& options) {
-  if (options.lazy) return SgbGreedyLazy(engine, budget, options);
+  if (options.lazy) {
+    // Dirty-aware CELF is the heap loop: incremental gain maintenance
+    // collapses CELF's stale-bound re-evaluation into dirty re-keying.
+    if (options.celf == CelfMode::kClassic) {
+      return SgbGreedyLazyClassic(engine, budget, options);
+    }
+    return SgbGreedyHeap(engine, budget, options);
+  }
   return SgbGreedyEager(engine, budget, options);
 }
 
@@ -419,8 +629,13 @@ Result<ProtectionResult> CtGreedy(Engine& engine,
         StrFormat("budget vector size %zu != target count %zu",
                   budgets.size(), engine.NumTargets()));
   }
-  if (options.rounds == RoundMode::kColdSweep) {
-    return CtGreedyCold(engine, budgets, options);
+  switch (options.rounds) {
+    case RoundMode::kColdSweep:
+      return CtGreedyCold(engine, budgets, options);
+    case RoundMode::kHeap:
+      return CtGreedyHeap(engine, budgets, options);
+    case RoundMode::kIncremental:
+      break;
   }
   return CtGreedyIncremental(engine, budgets, options);
 }
@@ -433,8 +648,13 @@ Result<ProtectionResult> WtGreedy(Engine& engine,
         StrFormat("budget vector size %zu != target count %zu",
                   budgets.size(), engine.NumTargets()));
   }
-  if (options.rounds == RoundMode::kColdSweep) {
-    return WtGreedyCold(engine, budgets, options);
+  switch (options.rounds) {
+    case RoundMode::kColdSweep:
+      return WtGreedyCold(engine, budgets, options);
+    case RoundMode::kHeap:
+      return WtGreedyHeap(engine, budgets, options);
+    case RoundMode::kIncremental:
+      break;
   }
   return WtGreedyIncremental(engine, budgets, options);
 }

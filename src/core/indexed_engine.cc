@@ -114,14 +114,23 @@ void IndexedEngine::FillGainRows(std::span<const uint32_t> ids,
   // index, so the fan-out needs no synchronization: workers write
   // disjoint output rows and only read CSR-2 cells.
   index_.FlushDeferredMaintenance();
+  // Blocked pass: maximal runs of consecutive ids (with consecutive
+  // output rows by construction here) go through one streaming
+  // ReadGainRows walk of their contiguous CSR-2 block instead of per-row
+  // offset re-derivation. Whole-universe fills are one run per chunk;
+  // dirty-set fills get runs wherever dirtied ids cluster.
   ParallelRowJob(ids.size(), [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      std::span<uint32_t> row(out + i * stride, stride);
+    size_t i = begin;
+    while (i < end) {
       if (ids[i] == kNoRow) {
-        std::fill(row.begin(), row.end(), 0u);
-      } else {
-        index_.ReadGainRow(ids[i], row);
+        std::fill(out + i * stride, out + (i + 1) * stride, 0u);
+        ++i;
+        continue;
       }
+      size_t len = 1;
+      while (i + len < end && ids[i + len] == ids[i] + len) ++len;
+      index_.ReadGainRows(ids[i], len, stride, out + i * stride);
+      i += len;
     }
   });
 }
@@ -268,13 +277,28 @@ const RoundGains& IndexedEngine::BeginRound(CandidateScope scope,
       index_.FlushDeferredMaintenance();
       const size_t num_targets = table_.view.num_targets;
       uint32_t* rows = table_.rows.data();
+      // Blocked dirty refresh: the dirty rows are sorted, and under the
+      // restricted scope row == id, so consecutive dirty rows are
+      // consecutive ids — one streaming ReadGainRows per run. Under the
+      // full scope a run additionally requires the id column to step with
+      // the rows (non-interned edges sit between universe rows), which
+      // the inner extension check enforces. Dirty ids cluster naturally:
+      // a killed instance dirties arity edges interned near each other.
       ParallelRowJob(table_.dirty.size(), [&](size_t begin, size_t end) {
-        for (size_t k = begin; k < end; ++k) {
+        size_t k = begin;
+        while (k < end) {
           const uint32_t row = table_.dirty[k];
           const uint32_t id = full_scope ? row_ids_[row] : row;
-          index_.ReadGainRow(
-              id, std::span<uint32_t>(rows + row * num_targets,
-                                      num_targets));
+          size_t len = 1;
+          while (k + len < end) {
+            const uint32_t next_row = table_.dirty[k + len];
+            if (next_row != row + len) break;
+            if (full_scope && row_ids_[next_row] != id + len) break;
+            ++len;
+          }
+          index_.ReadGainRows(id, len, num_targets,
+                              rows + row * num_targets);
+          k += len;
         }
       });
     }

@@ -60,6 +60,15 @@ struct SolverSpec {
   /// "-R" variants with identical output (Lemma 5).
   CandidateScope scope = CandidateScope::kTargetSubgraphEdges;
   bool lazy = false;              ///< CELF evaluation (SGB-based only)
+  /// Round strategy of the eager greedy loops (CLI --rounds flag:
+  /// incremental|cold|heap). Every mode is bit-identical in output; only
+  /// wall time differs, so plan caching ignores this field.
+  RoundMode rounds = RoundMode::kIncremental;
+  /// Stale-bound strategy when `lazy` is set (CLI --celf flag:
+  /// dirty|classic). Bit-identical picks; dirty matches the eager paths'
+  /// evaluation accounting exactly, classic is the historical
+  /// re-push-on-pop loop.
+  CelfMode celf = CelfMode::kDirtyAware;
   /// Total deletion budget k. 0 is legal and selects nothing (budget-grid
   /// sweeps evaluate it); the kFullProtection default is unbounded.
   size_t budget = kFullProtection;
@@ -99,6 +108,15 @@ class Solver {
 /// "all" (kAllEdges) — the vocabulary of the CLI --scope flag and the
 /// request-file scope= key.
 Result<CandidateScope> ParseCandidateScope(std::string_view name);
+
+/// Parses a round-mode name: "incremental" (kIncremental), "cold"
+/// (kColdSweep), or "heap" (kHeap) — the vocabulary of the CLI --rounds
+/// flag and the bench harnesses.
+Result<RoundMode> ParseRoundMode(std::string_view name);
+
+/// Parses a CELF-mode name: "dirty" (kDirtyAware) or "classic"
+/// (kClassic) — the vocabulary of the CLI --celf flag.
+Result<CelfMode> ParseCelfMode(std::string_view name);
 
 /// Maps an integer budget knob to a spec budget: values <= 0 mean
 /// "protect fully" (kFullProtection), matching the CLI --budget flag and

@@ -281,6 +281,18 @@ class IncidenceIndex {
   /// workers under that precondition — the row fill of BatchGainVector.
   void ReadGainRow(uint32_t id, std::span<uint32_t> out) const;
 
+  /// Blocked form of ReadGainRow: writes the per-target gain rows of the
+  /// CONSECUTIVE edge ids [first, first + count) to out, out + stride,
+  /// out + 2 * stride, ... Because ids are dense and CSR-2 segments are
+  /// laid out in id order, the run's (target, count) cells are one
+  /// contiguous block walked by a single running cursor — a streaming
+  /// kernel instead of `count` point queries re-deriving offsets. Same
+  /// PURE READ precondition and concurrency contract as ReadGainRow; the
+  /// incremental round engine decomposes its dirty set into such runs
+  /// (dirty ids cluster: an instance's edges intern near each other).
+  void ReadGainRows(uint32_t first, size_t count, size_t stride,
+                    uint32_t* out) const;
+
   /// The cached per-edge-id alive counts, indexed by dense edge id. PURE
   /// READ of the incremental round session's total-gain table: requires a
   /// prior FlushDeferredCounts, after which entry id equals

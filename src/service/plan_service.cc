@@ -440,6 +440,25 @@ Result<PlanRequest> ParsePlanRequestLine(std::string_view text, size_t line,
       request.spec.scope = *scope;
     } else if (key == "lazy") {
       request.spec.lazy = value == "1" || value == "true";
+    } else if (key == "rounds") {
+      // Wall-clock knob only: every round mode is bit-identical in
+      // output, so the plan-cache fingerprint ignores it (requests
+      // differing only here share a cache entry, correctly).
+      Result<core::RoundMode> rounds = core::ParseRoundMode(value);
+      if (!rounds.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: %s", line,
+                      rounds.status().ToString().c_str()));
+      }
+      request.spec.rounds = *rounds;
+    } else if (key == "celf") {
+      Result<core::CelfMode> celf = core::ParseCelfMode(value);
+      if (!celf.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: %s", line,
+                      celf.status().ToString().c_str()));
+      }
+      request.spec.celf = *celf;
     } else if (key == "released") {
       // Carrying the released graph costs O(graph) memory per response;
       // batches opt in per request.

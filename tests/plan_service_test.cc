@@ -145,8 +145,9 @@ TEST(PlanServiceTest, ParsesRequestFile) {
       "# tpp batch request file v1\n"
       "\n"
       "name=alpha algorithm=sgb motif=Rectangle sample=20 seed=5 "
-      "budget=10 lazy=1\n"
-      "links=3-14;15-92 algorithm=ct-tbd budget=full scope=all\n"
+      "budget=10 lazy=1 celf=classic\n"
+      "links=3-14;15-92 algorithm=ct-tbd budget=full scope=all "
+      "rounds=heap\n"
       "algorithm=katz\n";
   Result<std::vector<PlanRequest>> requests = ParsePlanRequests(text);
   ASSERT_TRUE(requests.ok()) << requests.status().ToString();
@@ -160,6 +161,8 @@ TEST(PlanServiceTest, ParsesRequestFile) {
   EXPECT_EQ(alpha.seed, 5u);
   EXPECT_EQ(alpha.spec.budget, 10u);
   EXPECT_TRUE(alpha.spec.lazy);
+  EXPECT_EQ(alpha.spec.celf, core::CelfMode::kClassic);
+  EXPECT_EQ(alpha.spec.rounds, core::RoundMode::kIncremental);
 
   const PlanRequest& second = (*requests)[1];
   EXPECT_EQ(second.name, "r1");  // defaulted from line index
@@ -168,6 +171,7 @@ TEST(PlanServiceTest, ParsesRequestFile) {
   EXPECT_EQ(second.targets[1], Edge(15, 92));
   EXPECT_EQ(second.spec.budget, SolverSpec::kFullProtection);
   EXPECT_EQ(second.spec.scope, core::CandidateScope::kAllEdges);
+  EXPECT_EQ(second.spec.rounds, core::RoundMode::kHeap);
 
   EXPECT_EQ((*requests)[2].spec.algorithm, "katz");
 }
@@ -186,6 +190,8 @@ TEST(PlanServiceTest, ParseErrorsNameTheLine) {
   EXPECT_FALSE(ParsePlanRequests("name=../evil algorithm=sgb\n").ok());
   EXPECT_FALSE(ParsePlanRequests("name=a/b algorithm=sgb\n").ok());
   EXPECT_FALSE(ParsePlanRequests("name=..\n").ok());
+  EXPECT_FALSE(ParsePlanRequests("rounds=sideways\n").ok());
+  EXPECT_FALSE(ParsePlanRequests("celf=eager\n").ok());
   // Unsupported flag combinations fail at parse time, not mid-batch.
   EXPECT_FALSE(ParsePlanRequests("algorithm=ct-tbd lazy=1\n").ok());
 }

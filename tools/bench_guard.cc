@@ -1,0 +1,245 @@
+// bench_guard: regression gate over BENCH_solver_rounds.json.
+//
+// Compares a freshly produced solver-rounds bench result against the
+// committed baseline (the floor this repo has already demonstrated) and
+// exits non-zero when a tracked speedup regressed by more than the
+// tolerance — CI runs it right after the quick bench, so a change that
+// quietly gives back the round-engine or selection-heap wins fails the
+// job instead of landing.
+//
+//   bench_guard --fresh=BENCH_solver_rounds.json \
+//               --baseline=/tmp/solver_rounds_baseline.json \
+//               [--tolerance=0.2] [--min-cold-ms=1.0]
+//
+// Guarded metrics:
+//   per (solver, motif) row:  "speedup" (incremental vs cold) and
+//                             "heap_speedup" (heap selection vs cold),
+//                             plus "lazy_dirty_vs_classic" on sgb rows
+//   aggregates:               "ct_wt_aggregate_speedup" and
+//                             "ct_wt_heap_aggregate_speedup"
+//
+// Speedups are ratios of two timings from the same process on the same
+// machine, so they transfer across hosts far better than absolute
+// milliseconds — that is what makes a committed floor meaningful in CI.
+// Rows whose BASELINE cold time is under --min-cold-ms are reported but
+// not enforced: a ratio of two sub-millisecond timings from a 3-rep
+// quick run is noise, and a guard that flaps is a guard that gets
+// deleted. Every baseline row must still be present in the fresh result
+// — a vanished configuration fails the guard even when skipped for time.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+
+namespace tpp::tools {
+namespace {
+
+struct BenchRun {
+  std::string solver;
+  std::string motif;
+  double cold_ms = 0;
+  double speedup = 0;
+  double heap_speedup = 0;
+  std::optional<double> lazy_dirty_vs_classic;  // sgb rows only
+};
+
+struct BenchFile {
+  std::vector<BenchRun> runs;
+  double ct_wt_aggregate_speedup = 0;
+  double ct_wt_heap_aggregate_speedup = 0;
+};
+
+// Minimal field extraction over the bench's own fixed JSON shape (flat
+// key/value rows inside one "runs" array) — not a general JSON parser,
+// and deliberately dependency-free.
+std::optional<std::string> FindString(const std::string& obj,
+                                      const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const size_t at = obj.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  const size_t begin = at + needle.size();
+  const size_t end = obj.find('"', begin);
+  if (end == std::string::npos) return std::nullopt;
+  return obj.substr(begin, end - begin);
+}
+
+std::optional<double> FindNumber(const std::string& obj,
+                                 const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t at = obj.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  return std::strtod(obj.c_str() + at + needle.size(), nullptr);
+}
+
+bool ParseBenchFile(const std::string& path, BenchFile* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_guard: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  const size_t runs_at = text.find("\"runs\": [");
+  if (runs_at == std::string::npos) {
+    std::fprintf(stderr, "bench_guard: %s has no \"runs\" array\n",
+                 path.c_str());
+    return false;
+  }
+  const size_t runs_end = text.find("\n  ]", runs_at);
+  size_t cursor = runs_at;
+  while (true) {
+    const size_t open = text.find('{', cursor);
+    if (open == std::string::npos || open > runs_end) break;
+    const size_t close = text.find('}', open);
+    if (close == std::string::npos) break;
+    const std::string obj = text.substr(open, close - open + 1);
+    cursor = close + 1;
+
+    BenchRun run;
+    auto solver = FindString(obj, "solver");
+    auto motif = FindString(obj, "motif");
+    auto cold = FindNumber(obj, "cold_ms");
+    auto speedup = FindNumber(obj, "speedup");
+    auto heap_speedup = FindNumber(obj, "heap_speedup");
+    if (!solver || !motif || !cold || !speedup || !heap_speedup) {
+      std::fprintf(stderr, "bench_guard: malformed run row in %s: %s\n",
+                   path.c_str(), obj.c_str());
+      return false;
+    }
+    run.solver = *solver;
+    run.motif = *motif;
+    run.cold_ms = *cold;
+    run.speedup = *speedup;
+    run.heap_speedup = *heap_speedup;
+    run.lazy_dirty_vs_classic = FindNumber(obj, "lazy_dirty_vs_classic");
+    out->runs.push_back(std::move(run));
+  }
+  const std::string tail = text.substr(runs_end == std::string::npos
+                                           ? runs_at
+                                           : runs_end);
+  auto aggregate = FindNumber(tail, "ct_wt_aggregate_speedup");
+  auto heap_aggregate = FindNumber(tail, "ct_wt_heap_aggregate_speedup");
+  if (!aggregate || !heap_aggregate) {
+    std::fprintf(stderr, "bench_guard: %s is missing aggregate speedups\n",
+                 path.c_str());
+    return false;
+  }
+  out->ct_wt_aggregate_speedup = *aggregate;
+  out->ct_wt_heap_aggregate_speedup = *heap_aggregate;
+  return true;
+}
+
+const BenchRun* FindRun(const BenchFile& file, const std::string& solver,
+                        const std::string& motif) {
+  for (const BenchRun& run : file.runs) {
+    if (run.solver == solver && run.motif == motif) return &run;
+  }
+  return nullptr;
+}
+
+// One metric comparison; returns false (and prints FAIL) on regression
+// beyond tolerance. `enforced` distinguishes gate rows from noise rows
+// that are reported for the record but cannot fail the job.
+bool CheckMetric(const std::string& where, const std::string& metric,
+                 double fresh, double floor, double tolerance,
+                 bool enforced) {
+  const double limit = floor * (1.0 - tolerance);
+  const bool ok = fresh >= limit;
+  std::printf("  %-24s %-28s fresh %6.2fx  floor %6.2fx  %s\n",
+              where.c_str(), metric.c_str(), fresh, floor,
+              !enforced  ? "(info only)"
+              : ok       ? "ok"
+                         : "FAIL");
+  return ok || !enforced;
+}
+
+int Run(int argc, char** argv) {
+  Result<ParsedArgs> args = ParsedArgs::Parse(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "bench_guard: %s\n",
+                 args.status().ToString().c_str());
+    return 2;
+  }
+  const std::string fresh_path = args->GetString("fresh", "");
+  const std::string baseline_path = args->GetString("baseline", "");
+  if (fresh_path.empty() || baseline_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_guard --fresh=NEW.json --baseline=OLD.json "
+                 "[--tolerance=0.2] [--min-cold-ms=1.0]\n");
+    return 2;
+  }
+  Result<double> tolerance = args->GetDouble("tolerance", 0.2);
+  Result<double> min_cold_ms = args->GetDouble("min-cold-ms", 1.0);
+  if (!tolerance.ok() || !min_cold_ms.ok()) {
+    std::fprintf(stderr, "bench_guard: bad numeric flag\n");
+    return 2;
+  }
+
+  BenchFile fresh, baseline;
+  if (!ParseBenchFile(fresh_path, &fresh) ||
+      !ParseBenchFile(baseline_path, &baseline)) {
+    return 2;
+  }
+
+  std::printf("bench_guard: %s vs floor %s (tolerance %.0f%%, rows under "
+              "%.1f ms cold are info-only)\n",
+              fresh_path.c_str(), baseline_path.c_str(), *tolerance * 100,
+              *min_cold_ms);
+  bool ok = true;
+  for (const BenchRun& floor : baseline.runs) {
+    const BenchRun* now = FindRun(fresh, floor.solver, floor.motif);
+    const std::string where = floor.solver + " " + floor.motif;
+    if (now == nullptr) {
+      std::printf("  %-24s MISSING from fresh results: FAIL\n",
+                  where.c_str());
+      ok = false;
+      continue;
+    }
+    const bool enforced = floor.cold_ms >= *min_cold_ms;
+    ok &= CheckMetric(where, "speedup", now->speedup, floor.speedup,
+                      *tolerance, enforced);
+    ok &= CheckMetric(where, "heap_speedup", now->heap_speedup,
+                      floor.heap_speedup, *tolerance, enforced);
+    if (floor.lazy_dirty_vs_classic.has_value()) {
+      if (!now->lazy_dirty_vs_classic.has_value()) {
+        std::printf("  %-24s lazy_dirty_vs_classic missing: FAIL\n",
+                    where.c_str());
+        ok = false;
+      } else {
+        ok &= CheckMetric(where, "lazy_dirty_vs_classic",
+                          *now->lazy_dirty_vs_classic,
+                          *floor.lazy_dirty_vs_classic, *tolerance,
+                          enforced);
+      }
+    }
+  }
+  ok &= CheckMetric("aggregate", "ct_wt_aggregate_speedup",
+                    fresh.ct_wt_aggregate_speedup,
+                    baseline.ct_wt_aggregate_speedup, *tolerance,
+                    /*enforced=*/true);
+  ok &= CheckMetric("aggregate", "ct_wt_heap_aggregate_speedup",
+                    fresh.ct_wt_heap_aggregate_speedup,
+                    baseline.ct_wt_heap_aggregate_speedup, *tolerance,
+                    /*enforced=*/true);
+  if (!ok) {
+    std::printf("bench_guard: REGRESSION — a tracked speedup fell more "
+                "than %.0f%% below its committed floor\n",
+                *tolerance * 100);
+    return 1;
+  }
+  std::printf("bench_guard: all tracked speedups within tolerance\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tpp::tools
+
+int main(int argc, char** argv) { return tpp::tools::Run(argc, argv); }

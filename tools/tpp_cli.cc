@@ -7,6 +7,10 @@
 //       released graph. Flags: --algorithm=NAME (see `tpp solvers`),
 //       --motif=Triangle|Rectangle|RecTri|Pentagon, --budget=K (<= 0 =
 //       protect fully), --seed=N, --scope=all|subgraph, --lazy,
+//       --rounds=incremental|cold|heap (round strategy of the eager
+//       greedy loops; heap = addressable-heap selection, all modes
+//       bit-identical), --celf=dirty|classic (stale-bound strategy when
+//       --lazy is set; dirty re-keys only dirtied entries),
 //       --plan-out=FILE, --release-out=FILE, --relabel.
 //   tpp batch --requests=FILE [--plan-dir=DIR] [--threads=N]
 //             [--stream] [--cache-size=N]
@@ -149,6 +153,11 @@ Result<SolverSpec> SpecFromFlags(const ParsedArgs& args) {
       spec.scope,
       core::ParseCandidateScope(args.GetString("scope", "subgraph")));
   spec.lazy = args.GetBool("lazy");
+  TPP_ASSIGN_OR_RETURN(
+      spec.rounds,
+      core::ParseRoundMode(args.GetString("rounds", "incremental")));
+  TPP_ASSIGN_OR_RETURN(spec.celf,
+                       core::ParseCelfMode(args.GetString("celf", "dirty")));
   TPP_RETURN_IF_ERROR(core::ValidateSolverSpec(spec));
   return spec;
 }
