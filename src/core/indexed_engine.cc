@@ -35,7 +35,8 @@ Result<IndexedEngine> IndexedEngine::Create(
                        motif::IncidenceIndex::Build(
                            instance.released, instance.targets,
                            instance.motif, build_options, build_stats));
-  return IndexedEngine(instance.released, std::move(index));
+  return IndexedEngine(instance.released, std::move(index), instance.targets,
+                       instance.motif);
 }
 
 Result<IndexedEngine> IndexedEngine::Adopt(const TppInstance& instance,
@@ -44,7 +45,33 @@ Result<IndexedEngine> IndexedEngine::Adopt(const TppInstance& instance,
     return Status::InvalidArgument(
         "adopted index was built over a different target count");
   }
-  return IndexedEngine(instance.released, std::move(index));
+  return IndexedEngine(instance.released, std::move(index), instance.targets,
+                       instance.motif);
+}
+
+Status IndexedEngine::ApplyEdit(const graph::GraphDelta& delta) {
+  // Graph first (the repair enumerates created instances on the post-edit
+  // graph), index second; a repair failure rolls the graph back by
+  // replaying the inverse delta, so errors leave the engine unchanged.
+  TPP_RETURN_IF_ERROR(g_.ApplyDelta(delta));
+  Status repaired = index_.ApplyGraphDelta(g_, targets_, motif_, delta);
+  if (!repaired.ok()) {
+    graph::GraphDelta inverse;
+    inverse.inserted = delta.removed;
+    inverse.removed = delta.inserted;
+    Status rollback = g_.ApplyDelta(inverse);
+    TPP_CHECK(rollback.ok());
+    return repaired;
+  }
+  // The candidate universe and count arrays the session aliases changed
+  // shape: reset, exactly as Clone does, so the next BeginRound is a full
+  // evaluation against the repaired layout.
+  table_.Reset();
+  session_dirty_.clear();
+  row_ids_ = {};
+  id_to_row_ = {};
+  session_flush_epoch_ = 0;
+  return Status::Ok();
 }
 
 std::vector<size_t> IndexedEngine::BatchGain(std::span<const EdgeKey> edges) {

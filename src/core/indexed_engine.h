@@ -117,6 +117,21 @@ class IndexedEngine : public Engine {
     return copy;
   }
 
+  /// Applies a committed base-graph edit (graph::Graph::EditSession
+  /// delta) to this engine IN PLACE: advances the engine's graph copy and
+  /// repairs the incidence index around the delta neighborhood
+  /// (motif::IncidenceIndex::ApplyGraphDelta) instead of re-enumerating —
+  /// the result answers every query exactly as an engine freshly built
+  /// from the edited graph would (plans come out byte-identical;
+  /// bench/graph_mutation.cc checks this every rep). Requires a FRESH
+  /// engine — no deletions committed yet (prototype engines between
+  /// batches, not per-request clones mid-solve); errors leave both graph
+  /// and index unchanged. Any incremental round session is reset, exactly
+  /// as on Clone. The delta must not touch a target link: edits to target
+  /// links change the problem itself, so the owning service rebuilds
+  /// those groups instead (service/instance_repository.h).
+  Status ApplyEdit(const graph::GraphDelta& delta);
+
   /// Overrides the worker-thread budget for BatchGain on this engine and
   /// disables the batch-size heuristic (exactly this many workers, capped
   /// by the batch length); 0 (the default) defers to
@@ -132,8 +147,12 @@ class IndexedEngine : public Engine {
   const motif::IncidenceIndex& index() const { return index_; }
 
  private:
-  IndexedEngine(graph::Graph g, motif::IncidenceIndex index)
-      : g_(std::move(g)), index_(std::move(index)) {}
+  IndexedEngine(graph::Graph g, motif::IncidenceIndex index,
+                std::vector<graph::Edge> targets, motif::MotifKind motif)
+      : g_(std::move(g)),
+        index_(std::move(index)),
+        targets_(std::move(targets)),
+        motif_(motif) {}
 
   // Shared worker-sizing and dispatch of the row-granular parallel jobs
   // (FillGainRows, BeginRound's dirty-row patch): honors set_threads()
@@ -153,6 +172,11 @@ class IndexedEngine : public Engine {
 
   graph::Graph g_;
   motif::IncidenceIndex index_;
+  // Build identity retained for ApplyEdit: the index repair re-derives
+  // created instances per target, and the index itself only records the
+  // motif's arity.
+  std::vector<graph::Edge> targets_;
+  motif::MotifKind motif_ = motif::MotifKind::kTriangle;
   uint64_t gain_evals_ = 0;
   int threads_ = 0;
 

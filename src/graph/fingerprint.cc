@@ -4,19 +4,38 @@
 
 namespace tpp::graph {
 
+namespace {
+
+// Domain separators: the node-count term and the per-edge terms mix
+// different constants so a graph with k nodes and no edges can never
+// collide with one whose edge terms happen to XOR to a node-count term.
+constexpr uint64_t kNodeSeed = 0x9a7fb55ad05f6a21ull;
+constexpr uint64_t kEdgeSeed = 0x6564676566703264ull;  // "edgefp2d"
+
+}  // namespace
+
+uint64_t EdgeFingerprint(EdgeKey key) {
+  return SplitMix64(kEdgeSeed ^ key);
+}
+
 uint64_t Fingerprint(const Graph& g) {
-  // Chained SplitMix64 over the canonical edge enumeration. The chain is
-  // order-sensitive, but adjacency lists are always sorted, so the
-  // enumeration order — and therefore the value — is a pure function of
-  // the structure.
-  uint64_t h = SplitMix64(0x9a7fb55ad05f6a21ull ^ g.NumNodes());
-  h = SplitMix64(h ^ g.NumEdges());
+  // XOR of independent per-edge avalanches plus a node-count term. XOR is
+  // commutative, so the enumeration order is irrelevant; it is kept
+  // canonical anyway for cache-friendly scanning.
+  uint64_t h = SplitMix64(kNodeSeed ^ g.NumNodes());
   for (NodeId u = 0; u < g.NumNodes(); ++u) {
     for (NodeId v : g.Neighbors(u)) {
-      if (v > u) h = SplitMix64(h ^ MakeEdgeKey(u, v));
+      if (v > u) h ^= EdgeFingerprint(MakeEdgeKey(u, v));
     }
   }
   return h;
+}
+
+uint64_t UpdateFingerprint(uint64_t fp, std::span<const Edge> inserted,
+                           std::span<const Edge> removed) {
+  for (const Edge& e : inserted) fp ^= EdgeFingerprint(MakeEdgeKey(e.u, e.v));
+  for (const Edge& e : removed) fp ^= EdgeFingerprint(MakeEdgeKey(e.u, e.v));
+  return fp;
 }
 
 uint64_t TargetSetHash(std::span<const Edge> targets) {

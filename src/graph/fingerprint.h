@@ -10,17 +10,40 @@
 
 namespace tpp::graph {
 
-/// 64-bit fingerprint of a graph's exact structure: node count plus the
-/// full edge set, chained through the SplitMix64 avalanche mix in
-/// canonical (sorted-adjacency) order. Two graphs compare equal under
-/// operator== iff they fingerprint equal (up to 64-bit collisions, which
-/// the plan cache accepts because its keys also embed the request
+/// Per-edge term of the graph fingerprint: a SplitMix64 avalanche of the
+/// canonical edge key, domain-separated from the node-count term. The
+/// whole-graph fingerprint XORs these, so the term of one edge is the
+/// exact amount by which inserting or removing that edge moves the value.
+uint64_t EdgeFingerprint(EdgeKey key);
+
+/// 64-bit fingerprint of a graph's exact structure: a node-count term
+/// XORed with EdgeFingerprint of every edge. Two graphs compare equal
+/// under operator== iff they fingerprint equal (up to 64-bit collisions,
+/// which the plan cache accepts because its keys also embed the request
 /// payload). Any AddEdge/RemoveEdge changes the value, which is what lets
 /// cache entries keyed on the fingerprint self-invalidate when the base
 /// graph of a service changes.
 ///
+/// The combiner is XOR — commutative and self-inverse — so the value is
+/// EDIT-COMMUTATIVE: UpdateFingerprint advances it across a batched edge
+/// edit in O(|delta|) without re-walking the graph, and any sequence of
+/// edits arriving in any order lands on the same value as a fresh
+/// Fingerprint of the final structure. (The previous chained-SplitMix64
+/// scheme was order-dependent and could only be recomputed from scratch;
+/// snapshot files carrying it are versioned out by
+/// IndexSnapshotCodec::kFormatVersion.)
+///
 /// Cost: one mix per edge, O(n + m), no allocation.
 uint64_t Fingerprint(const Graph& g);
+
+/// Advances a Fingerprint across a committed edit in O(|delta|): XORs in
+/// the per-edge terms of `inserted` and `removed` (self-inverse, so both
+/// directions are the same operation). `fp` must be the fingerprint of
+/// the pre-edit graph and the edit must not change the node count;
+/// the result equals Fingerprint of the post-edit graph. Requires the
+/// two lists to be disjoint and duplicate-free (the GraphDelta contract).
+uint64_t UpdateFingerprint(uint64_t fp, std::span<const Edge> inserted,
+                           std::span<const Edge> removed);
 
 /// 64-bit hash of a target edge list, order-SENSITIVE (targets index the
 /// per-target count arrays positionally, so a reordered set is a

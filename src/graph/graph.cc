@@ -1,7 +1,9 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/check.h"
 #include "common/strings.h"
 
 namespace tpp::graph {
@@ -115,6 +117,176 @@ size_t Graph::RemoveEdges(std::span<const Edge> edges) {
     }
   }
   return removed;
+}
+
+Status Graph::AddEdges(std::span<const Edge> edges) {
+  if (edges.empty()) return Status::Ok();
+  // Validate the whole batch before touching anything: the directed
+  // half-edge list below is only built for a batch known to apply.
+  std::vector<EdgeKey> keys;
+  keys.reserve(edges.size());
+  for (const Edge& e : edges) {
+    if (e.u >= NumNodes() || e.v >= NumNodes()) {
+      return Status::InvalidArgument(StrFormat(
+          "edge (%u,%u) out of range for n=%zu", e.u, e.v, NumNodes()));
+    }
+    if (e.u == e.v) {
+      return Status::InvalidArgument(StrFormat("self-loop at node %u", e.u));
+    }
+    if (HasEdge(e.u, e.v)) {
+      return Status::AlreadyExists(
+          StrFormat("edge (%u,%u) exists", e.u, e.v));
+    }
+    keys.push_back(MakeEdgeKey(e.u, e.v));
+  }
+  std::sort(keys.begin(), keys.end());
+  for (size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i] == keys[i - 1]) {
+      return Status::InvalidArgument(
+          StrFormat("edge (%u,%u) duplicated in batch",
+                    EdgeKeyU(keys[i]), EdgeKeyV(keys[i])));
+    }
+  }
+
+  // One directed half-edge per endpoint, grouped by node so every touched
+  // adjacency list is grown once and merged once.
+  std::vector<std::pair<NodeId, NodeId>> half;
+  half.reserve(2 * keys.size());
+  for (EdgeKey k : keys) {
+    half.emplace_back(EdgeKeyU(k), EdgeKeyV(k));
+    half.emplace_back(EdgeKeyV(k), EdgeKeyU(k));
+  }
+  std::sort(half.begin(), half.end());
+  for (size_t lo = 0; lo < half.size();) {
+    size_t hi = lo;
+    const NodeId node = half[lo].first;
+    while (hi < half.size() && half[hi].first == node) ++hi;
+    std::vector<NodeId>& list = adj_[node];
+    const size_t old_size = list.size();
+    const size_t add = hi - lo;
+    if (list.capacity() < old_size + add) {
+      // Spare-capacity slack: grow geometrically so a churn workload's
+      // repeated commits amortize to O(1) reallocations per edge.
+      list.reserve(std::max(old_size + add, old_size + old_size / 2 + 4));
+    }
+    list.resize(old_size + add);
+    // Backward merge of the (sorted) new neighbors half[lo..hi) into the
+    // sorted prefix [0, old_size): one pass, no per-insert shifting.
+    size_t i = old_size;    // one past the last unmerged old element
+    size_t j = hi;          // one past the last unmerged new element
+    size_t w = list.size();  // one past the next write slot
+    while (j > lo) {
+      if (i > 0 && list[i - 1] > half[j - 1].second) {
+        list[--w] = list[--i];
+      } else {
+        list[--w] = half[--j].second;
+      }
+    }
+    lo = hi;
+  }
+  num_edges_ += keys.size();
+  return Status::Ok();
+}
+
+Status Graph::ApplyDelta(const GraphDelta& delta) {
+  // Validate both directions up front so the graph is untouched on error.
+  for (const Edge& e : delta.removed) {
+    if (!HasEdge(e.u, e.v)) {
+      return Status::NotFound(
+          StrFormat("delta removes absent edge (%u,%u)", e.u, e.v));
+    }
+  }
+  for (const Edge& e : delta.inserted) {
+    if (e.u >= NumNodes() || e.v >= NumNodes() || e.u == e.v) {
+      return Status::InvalidArgument(
+          StrFormat("delta inserts invalid edge (%u,%u)", e.u, e.v));
+    }
+    if (HasEdge(e.u, e.v)) {
+      return Status::AlreadyExists(
+          StrFormat("delta inserts present edge (%u,%u)", e.u, e.v));
+    }
+  }
+  for (const Edge& e : delta.removed) {
+    Status s = RemoveEdge(e.u, e.v);
+    TPP_CHECK(s.ok());
+  }
+  Status s = AddEdges(delta.inserted);
+  TPP_CHECK(s.ok());
+  return Status::Ok();
+}
+
+Status Graph::EditSession::Insert(NodeId u, NodeId v) {
+  if (u >= g_->NumNodes() || v >= g_->NumNodes()) {
+    return Status::InvalidArgument(StrFormat(
+        "edge (%u,%u) out of range for n=%zu", u, v, g_->NumNodes()));
+  }
+  if (u == v) {
+    return Status::InvalidArgument(StrFormat("self-loop at node %u", u));
+  }
+  const EdgeKey key = MakeEdgeKey(u, v);
+  auto it = std::lower_bound(
+      pending_.begin(), pending_.end(), key,
+      [](const std::pair<EdgeKey, bool>& p, EdgeKey k) { return p.first < k; });
+  const bool present =
+      (it != pending_.end() && it->first == key) ? it->second
+                                                 : g_->HasEdgeKey(key);
+  if (present) {
+    return Status::AlreadyExists(StrFormat("edge (%u,%u) exists", u, v));
+  }
+  if (it != pending_.end() && it->first == key) {
+    it->second = true;
+  } else {
+    pending_.insert(it, {key, true});
+  }
+  return Status::Ok();
+}
+
+Status Graph::EditSession::Remove(NodeId u, NodeId v) {
+  if (u >= g_->NumNodes() || v >= g_->NumNodes()) {
+    return Status::InvalidArgument(StrFormat(
+        "edge (%u,%u) out of range for n=%zu", u, v, g_->NumNodes()));
+  }
+  if (u == v) {
+    return Status::InvalidArgument(StrFormat("self-loop at node %u", u));
+  }
+  const EdgeKey key = MakeEdgeKey(u, v);
+  auto it = std::lower_bound(
+      pending_.begin(), pending_.end(), key,
+      [](const std::pair<EdgeKey, bool>& p, EdgeKey k) { return p.first < k; });
+  const bool present =
+      (it != pending_.end() && it->first == key) ? it->second
+                                                 : g_->HasEdgeKey(key);
+  if (!present) {
+    return Status::NotFound(StrFormat("edge (%u,%u) absent", u, v));
+  }
+  if (it != pending_.end() && it->first == key) {
+    it->second = false;
+  } else {
+    pending_.insert(it, {key, false});
+  }
+  return Status::Ok();
+}
+
+size_t Graph::EditSession::NumPendingChanges() const {
+  size_t n = 0;
+  for (const auto& [key, present] : pending_) {
+    if (present != g_->HasEdgeKey(key)) ++n;
+  }
+  return n;
+}
+
+Result<GraphDelta> Graph::EditSession::Commit() {
+  GraphDelta delta;
+  // pending_ is key-sorted, so the delta lists come out sorted for free.
+  for (const auto& [key, present] : pending_) {
+    const bool now = g_->HasEdgeKey(key);
+    if (present == now) continue;  // insert+remove (or the reverse) cancelled
+    Edge e(EdgeKeyU(key), EdgeKeyV(key));
+    (present ? delta.inserted : delta.removed).push_back(e);
+  }
+  pending_.clear();
+  TPP_RETURN_IF_ERROR(g_->ApplyDelta(delta));
+  return delta;
 }
 
 bool operator==(const Graph& a, const Graph& b) {

@@ -1,8 +1,10 @@
 #include "graph/io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
+#include <vector>
 
 #include "common/strings.h"
 
@@ -41,16 +43,27 @@ Result<Graph> ParseEdgeList(const std::string& text,
   edges.reserve(raw.size());
   size_t num_nodes = 0;
   if (options.remap_ids) {
+    // Rank ids in increasing order so the remap depends only on the id
+    // SET, not on line order: a file whose ids are already dense 0..n-1
+    // loads with its labels unchanged, which keeps save -> load round
+    // trips (and therefore graph fingerprints) stable.
+    std::vector<int64_t> ids;
+    ids.reserve(raw.size() * 2);
+    for (auto [u, v] : raw) {
+      ids.push_back(u);
+      ids.push_back(v);
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
     std::unordered_map<int64_t, NodeId> remap;
-    remap.reserve(raw.size() * 2);
-    auto intern = [&](int64_t id) {
-      auto [it, inserted] = remap.try_emplace(
-          id, static_cast<NodeId>(remap.size()));
-      (void)inserted;
-      return it->second;
-    };
-    for (auto [u, v] : raw) edges.emplace_back(intern(u), intern(v));
-    num_nodes = remap.size();
+    remap.reserve(ids.size() * 2);
+    for (size_t rank = 0; rank < ids.size(); ++rank) {
+      remap.emplace(ids[rank], static_cast<NodeId>(rank));
+    }
+    for (auto [u, v] : raw) {
+      edges.emplace_back(remap.at(u), remap.at(v));
+    }
+    num_nodes = ids.size();
   } else {
     for (auto [u, v] : raw) {
       edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));

@@ -15,8 +15,11 @@ struct EdgeListOptions {
   /// Lines starting with any of these characters are skipped.
   std::string comment_prefixes = "#%";
   /// When true, node ids found in the file are remapped to a dense
-  /// 0..n-1 range in order of first appearance. When false, ids are taken
-  /// literally and the node count is max id + 1.
+  /// 0..n-1 range in increasing id order, so the labeling depends only
+  /// on the id set (not line order) and files whose ids are already
+  /// dense 0..n-1 load with their labels unchanged — save/load round
+  /// trips preserve labels and graph fingerprints. When false, ids are
+  /// taken literally and the node count is max id + 1.
   bool remap_ids = true;
   /// When false, duplicate edges / self-loops are errors instead of being
   /// silently dropped.

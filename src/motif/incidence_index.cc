@@ -305,6 +305,7 @@ Result<IncidenceIndex> IncidenceIndex::Build(const Graph& g,
   idx.tgt_ids_ = std::move(tgt_ids);
   idx.maint_ = std::move(maint);
   idx.FinishAliveState(targets.size());
+  idx.PopulateRepairCaches(targets);
   if (stats) stats->csr_seconds = timer.Seconds();
   return idx;
 }
@@ -433,6 +434,7 @@ Result<IncidenceIndex> IncidenceIndex::BuildSerialReference(
   idx.maint_ = std::move(maint);
   idx.u_offsets_ = std::move(u_offsets);
   idx.FinishAliveState(targets.size());
+  idx.PopulateRepairCaches(targets);
   return idx;
 }
 
@@ -443,13 +445,43 @@ void IncidenceIndex::FinishAliveState(size_t num_targets) {
   for (const TargetSubgraph& inst : instances_) {
     ++alive_per_target_[inst.target];
   }
-  alive_edges_ = edge_keys_.size();  // every interned edge has an instance
+  // Counted from the (already populated) per-edge cache rather than
+  // assumed to be every interned key: a repaired index keeps zero-alive
+  // keys interned (the universe only grows across edits, see
+  // index_repair.cc), and snapshots of repaired indexes restore through
+  // this same tail. On a cold build the two are equal.
+  alive_edges_ = 0;
+  for (uint32_t c : alive_count_) alive_edges_ += (c > 0 ? 1u : 0u);
   // Sized here so the deferral queues never allocate — including on fresh
-  // copies of the index, whose vector copies keep this size.
-  counts_queue_.assign(edge_keys_.size(), 0);
-  cells_queue_.assign(edge_keys_.size(), 0);
+  // copies of the index, whose vector copies keep this size. resize, not
+  // assign: entries beyond [0, pending) are never read, and after a
+  // same-universe repair this is a no-op instead of a full rewrite.
+  counts_queue_.resize(edge_keys_.size());
+  cells_queue_.resize(edge_keys_.size());
   counts_pending_ = 0;
   cells_pending_ = 0;
+}
+
+void IncidenceIndex::PopulateRepairCaches(const std::vector<Edge>& targets) {
+  target_keys_sorted_.clear();
+  target_keys_sorted_.reserve(targets.size());
+  for (const Edge& t : targets) {
+    target_keys_sorted_.push_back(graph::MakeEdgeKey(t.u, t.v));
+  }
+  std::sort(target_keys_sorted_.begin(), target_keys_sorted_.end());
+  const size_t n = u_offsets_.size() == 0 ? 0 : u_offsets_.size() - 1;
+  node_tgt_off_.assign(n + 1, 0);
+  for (const Edge& t : targets) {
+    ++node_tgt_off_[t.u + 1];
+    ++node_tgt_off_[t.v + 1];
+  }
+  for (size_t x = 0; x < n; ++x) node_tgt_off_[x + 1] += node_tgt_off_[x];
+  node_tgt_.assign(node_tgt_off_.back(), 0);
+  std::vector<uint32_t> cursor(node_tgt_off_.begin(), node_tgt_off_.end() - 1);
+  for (size_t t = 0; t < targets.size(); ++t) {
+    node_tgt_[cursor[targets[t].u]++] = static_cast<uint32_t>(t);
+    node_tgt_[cursor[targets[t].v]++] = static_cast<uint32_t>(t);
+  }
 }
 
 void IncidenceIndex::BuildProbeTable() {

@@ -242,6 +242,56 @@ class IncidenceIndex {
   /// killed. Idempotent (second call returns 0).
   size_t DeleteEdge(graph::EdgeKey e);
 
+  /// In-place repair after a committed base-graph edit (index_repair.cc).
+  ///
+  /// `g` is the POST-edit released graph (the delta already applied),
+  /// `targets` the build-time target list in build order, and `delta` the
+  /// normalized net edit (the GraphDelta contract). The repair
+  ///
+  ///   * retires every instance killed by a removed base edge through the
+  ///     existing DeleteEdge + deferred-flush machinery (exact: an
+  ///     instance dies iff it contains a removed edge),
+  ///   * enumerates CREATED instances only around the inserted edges —
+  ///     for each inserted edge, the per-motif slot cases that can absorb
+  ///     it, over the targets within distance one of its endpoints —
+  ///     instead of re-enumerating every target,
+  ///   * and repairs the layout by linear gather/merge passes: the edge
+  ///     universe only GROWS (a key whose last instance died keeps its
+  ///     dense id with alive count 0, so removals shift no ids and the
+  ///     interner, probe table, and endpoint bucket view are reused
+  ///     untouched; only never-seen keys splice in at key rank), dead
+  ///     instance rows compact out, created rows append, and survivor
+  ///     slot tables update by O(1) gathers — no hashing, sorting, or
+  ///     per-entry searches on the survivor path.
+  ///
+  /// The result is PLAN-EQUIVALENT to a cold Build on the edited graph:
+  /// per-key gains, per-target splits, alive tallies, and the alive
+  /// candidate set (AliveCandidateEdges) come out identical, and the
+  /// interned universe is an ascending SUPERSET of the cold build's whose
+  /// extra keys hold alive count 0 — exactly the zero rows the greedy
+  /// sweeps and incremental round sessions already skip, so every
+  /// deterministic solver reproduces the cold plan byte-for-byte.
+  /// (AllParticipatingEdges, the RDT sampling pool, correspondingly keeps
+  /// historical participants instead of shrinking to the edited graph's;
+  /// only that randomized baseline can observe the difference.) The
+  /// instance-row order (and therefore CSR-1 posting ids) may differ too,
+  /// which no gain or candidate query observes. The repaired index is
+  /// fresh again (every instance alive, no deferred work), so further
+  /// edits compose. CountsFlushEpoch() is bumped so open round sessions
+  /// restart rather than serve stale layouts.
+  ///
+  /// Requirements (error, index unchanged): `kind` must be the motif the
+  /// index was built for (the index only records the arity, so the caller
+  /// supplies the kind it built with), the index must be fresh, the
+  /// target list must match the build (count and node range), no delta
+  /// edge may be a target link, inserted edges must be present in `g` and
+  /// removed edges absent. Cost: O(E + I + cells) merge passes plus the
+  /// delta-neighborhood enumeration — independent of the number of
+  /// targets touched, and far below a rebuild's full enumeration.
+  Status ApplyGraphDelta(const graph::Graph& g,
+                         const std::vector<graph::Edge>& targets,
+                         MotifKind kind, const graph::GraphDelta& delta);
+
   /// DeleteEdge followed by a dirty-emitting count flush: appends to
   /// `dirty` the dense id of every edge whose cached alive count changed
   /// since the last count flush — the killed instances' edges, this
@@ -322,7 +372,10 @@ class IncidenceIndex {
   void AliveCandidateEdgesInto(std::vector<graph::EdgeKey>* out);
 
   /// Edges that appeared in any instance at build time (sorted); the RDT
-  /// baseline samples from this set.
+  /// baseline samples from this set. After an ApplyGraphDelta repair the
+  /// set keeps historical participants (the universe only grows), so the
+  /// randomized baseline may sample edges with zero alive instances —
+  /// harmless: such picks simply score a gain of 0.
   std::vector<graph::EdgeKey> AllParticipatingEdges() const {
     return std::vector<graph::EdgeKey>(edge_keys_.begin(), edge_keys_.end());
   }
@@ -394,6 +447,12 @@ class IncidenceIndex {
   // alive state (alive_, total_alive_, alive_per_target_, alive_edges_)
   // from the enumerated instances in O(instances + E).
   void FinishAliveState(size_t num_targets);
+
+  // Fills the repair-acceleration caches (target_keys_sorted_ and the
+  // node -> target CSR) from the build-time target list. Both build
+  // tails call it; ApplyGraphDelta rebuilds it lazily when absent (an
+  // index restored from a snapshot, which does not carry the caches).
+  void PopulateRepairCaches(const std::vector<graph::Edge>& targets);
 
   // Storage split: everything immutable after build is a FlatArray —
   // copies of the index (IndexedEngine::Clone) alias one backing
@@ -471,6 +530,19 @@ class IncidenceIndex {
   // sized on first use; epoch bumps make clearing O(1).
   std::vector<uint32_t> dirty_stamp_;
   uint32_t dirty_epoch_ = 0;
+
+  // Repair-acceleration caches (index_repair.cc): the target keys sorted
+  // ascending (delta validation binary-searches them instead of sorting
+  // per commit) and a node -> target-index CSR over the target endpoints
+  // (candidate generation for the delta neighborhood walks it instead of
+  // rebuilding it per commit). Pure functions of the build-time target
+  // list — populated by PopulateRepairCaches in both build tails, lazily
+  // rebuilt on the first repair of a snapshot-loaded index — and
+  // deliberately absent from the serialized form AND from BitIdentical
+  // (a loaded index must compare equal to the built one).
+  std::vector<graph::EdgeKey> target_keys_sorted_;
+  std::vector<uint32_t> node_tgt_off_;  // size NumNodes() + 1 once filled
+  std::vector<uint32_t> node_tgt_;     // flat target indexes
 
   // Everything DeleteEdge needs per killed instance, in one compact
   // record (one cache line instead of three scattered structures): the

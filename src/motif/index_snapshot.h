@@ -56,10 +56,14 @@ struct IndexSnapshotMeta {
 
 class IndexSnapshotCodec {
  public:
-  /// Bumped whenever the header or section layout changes; a reader
-  /// rejects any other value (falling back to a cold build) rather than
-  /// guessing at an old layout.
-  static constexpr uint32_t kFormatVersion = 1;
+  /// Bumped whenever the header or section layout changes — or the
+  /// meaning of a header field: version 2 switched the graph fingerprint
+  /// to the edit-commutative XOR scheme (graph/fingerprint.h), so version
+  /// 1 files carry fingerprints no current caller can ever match. A
+  /// reader rejects any other value (falling back to a cold build) rather
+  /// than guessing at an old layout; `tpp store evict --stale` garbage-
+  /// collects the superseded files.
+  static constexpr uint32_t kFormatVersion = 2;
 
   /// Header metadata of a snapshot file, as read back by Inspect —
   /// everything `tpp store ls` prints without touching the payload.

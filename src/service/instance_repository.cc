@@ -1,7 +1,9 @@
 #include "service/instance_repository.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
+#include <vector>
 
 #include "common/strings.h"
 #include "graph/fingerprint.h"
@@ -91,10 +93,88 @@ void InstanceRepository::BuildGroup(Group& group) {
 
 Result<IndexedEngine> InstanceRepository::AcquireEngine(size_t group_id) {
   Group& group = groups_[group_id];
-  std::call_once(group.built, [&] { BuildGroup(group); });
+  {
+    std::lock_guard<std::mutex> lock(group.build_mu);
+    if (!group.built) {
+      BuildGroup(group);
+      group.built = true;
+    }
+  }
+  // Past the gate the group is immutable until the next ApplyEdit (which
+  // never overlaps acquisitions), so the clone runs unlocked exactly as
+  // the once_flag version did.
   acquisitions_.fetch_add(1, std::memory_order_relaxed);
   if (!group.status.ok()) return group.status;
   return group.engine->Clone();
+}
+
+void InstanceRepository::ResetGroup(Group& group) {
+  group.built = false;
+  group.status = Status::Ok();
+  group.engine.reset();
+  group.instance.reset();
+}
+
+void InstanceRepository::ApplyEdit(const graph::GraphDelta& delta,
+                                   uint64_t new_fingerprint) {
+  base_fingerprint_ = new_fingerprint;
+  if (delta.empty()) return;
+  std::vector<graph::EdgeKey> touched;
+  touched.reserve(delta.size());
+  for (const graph::Edge& e : delta.inserted) touched.push_back(e.Key());
+  for (const graph::Edge& e : delta.removed) touched.push_back(e.Key());
+  std::sort(touched.begin(), touched.end());
+  for (Group& group : groups_) {
+    std::lock_guard<std::mutex> lock(group.build_mu);
+    if (!group.built) continue;  // will build against the edited base
+    bool hits_target = false;
+    for (const graph::Edge& t : group.targets) {
+      if (std::binary_search(touched.begin(), touched.end(), t.Key())) {
+        hits_target = true;
+        break;
+      }
+    }
+    if (hits_target || !group.status.ok()) {
+      // The edit changed the problem (or may have cured a memoized build
+      // failure): back to unbuilt, next acquisition cold-builds.
+      ResetGroup(group);
+      ++edit_resets_;
+      continue;
+    }
+    // In-place repair: released graph first, then the engine (its own
+    // graph copy + incidence-index repair around the delta neighborhood).
+    Status repaired = group.instance->released.ApplyDelta(delta);
+    if (repaired.ok()) repaired = group.engine->ApplyEdit(delta);
+    if (!repaired.ok()) {
+      std::fprintf(stderr,
+                   "tpp: in-place instance repair failed (%s); group will "
+                   "cold-rebuild\n",
+                   repaired.ToString().c_str());
+      ResetGroup(group);
+      ++edit_resets_;
+      continue;
+    }
+    ++edit_repairs_;
+    if (store_ != nullptr) {
+      // Re-home the snapshot under the post-edit fingerprint (best
+      // effort, like the cold-build write-back) so the NEXT process
+      // start warm-loads the repaired index.
+      motif::IndexSnapshotMeta meta;
+      meta.graph_fingerprint = base_fingerprint_;
+      meta.target_hash = graph::TargetSetHash(group.instance->targets);
+      meta.motif = group.motif;
+      meta.num_targets = static_cast<uint32_t>(group.instance->targets.size());
+      const motif::IncidenceIndex& index =
+          std::as_const(*group.engine).index();
+      Status saved = store_->SaveIndex(index, meta);
+      if (saved.ok()) {
+        snapshot_stores_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        std::fprintf(stderr, "tpp: warm store snapshot write failed (%s)\n",
+                     saved.ToString().c_str());
+      }
+    }
+  }
 }
 
 }  // namespace tpp::service

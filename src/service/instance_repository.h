@@ -7,9 +7,9 @@
 // The repository interns each distinct (ordered target list, motif) pair
 // into a group, builds the group's instance and a prototype IndexedEngine
 // exactly once (thread-safe: the first acquirer builds, concurrent
-// acquirers wait on the same once_flag), and hands every request a
-// private engine clone (IndexedEngine::Clone) whose committed deletions
-// cannot leak across requests. Clone carries the graph and index state
+// acquirers wait on the same per-group build mutex), and hands every
+// request a private engine clone (IndexedEngine::Clone) whose committed
+// deletions cannot leak across requests. Clone carries the graph and index state
 // but RESETS the incremental round session (the persistent gain table of
 // Engine::BeginRound), so every request's solver starts its rounds from
 // a full evaluation rather than a sibling request's dirty tracking.
@@ -18,9 +18,15 @@
 // and plan serialization follow target positions, so reordered target
 // lists are distinct instances — collapsing them would change responses.
 //
-// A repository lives for one RunBatch pipeline execution; build errors
-// (e.g. a target link absent from the base) are memoized per group so
-// every member request reports the same status a standalone run would.
+// A repository lives for one RunBatch pipeline execution by default, but
+// can be owned externally (BatchOptions::repository) and carried across
+// batches: between batches, ApplyEdit advances every built group across a
+// committed base-graph edit by repairing its released graph and prototype
+// engine IN PLACE (IndexedEngine::ApplyEdit — O(delta-neighborhood), not
+// a re-enumeration), so churn-then-solve workloads never pay a cold
+// build for untouched instances. Build errors (e.g. a target link absent
+// from the base) are memoized per group so every member request reports
+// the same status a standalone run would.
 
 #ifndef TPP_SERVICE_INSTANCE_REPOSITORY_H_
 #define TPP_SERVICE_INSTANCE_REPOSITORY_H_
@@ -115,11 +121,40 @@ class InstanceRepository {
     return snapshot_stores_.load(std::memory_order_relaxed);
   }
 
+  /// Advances every group across a committed base-graph edit. The caller
+  /// has already applied `delta` to the base graph this repository points
+  /// at; `new_fingerprint` is the post-edit graph::Fingerprint (the key
+  /// future snapshot probes and write-backs use). Per group:
+  ///   * unbuilt groups are untouched — their eventual build reads the
+  ///     edited base;
+  ///   * groups whose TARGET links intersect the delta are reset to
+  ///     unbuilt (the edit changed the problem itself, so the next
+  ///     acquisition cold-builds), as are groups holding a memoized build
+  ///     error (the edit may have cured it);
+  ///   * every other built group is repaired in place: the delta replays
+  ///     onto the instance's released graph and the prototype engine's
+  ///     index (IndexedEngine::ApplyEdit), after which clones answer
+  ///     exactly as if the group had been cold-built on the edited base.
+  ///     A repair failure degrades to a reset, never an error.
+  /// Repaired indexes write back to the store (best effort) under the new
+  /// fingerprint. NOT thread-safe against AcquireEngine — call between
+  /// batches, exactly where PlanService::ApplyEdit sits.
+  void ApplyEdit(const graph::GraphDelta& delta, uint64_t new_fingerprint);
+
+  /// Built groups ApplyEdit repaired in place (cumulative).
+  size_t NumEditRepairs() const { return edit_repairs_; }
+
+  /// Built groups ApplyEdit reset for a cold rebuild (cumulative).
+  size_t NumEditResets() const { return edit_resets_; }
+
  private:
   struct Group {
     std::vector<graph::Edge> targets;
     motif::MotifKind motif = motif::MotifKind::kTriangle;
-    std::once_flag built;
+    // Build-once gate; a mutex + flag rather than a once_flag so
+    // ApplyEdit can RESET a group back to unbuilt.
+    std::mutex build_mu;
+    bool built = false;  // guarded by build_mu
     Status status = Status::Ok();
     std::optional<core::TppInstance> instance;
     std::optional<core::IndexedEngine> engine;  // the shared prototype
@@ -128,11 +163,14 @@ class InstanceRepository {
   /// The build-once body: try the store, else cold-build + write back.
   void BuildGroup(Group& group);
 
+  /// Returns `group` to the unbuilt state; the next acquisition rebuilds.
+  static void ResetGroup(Group& group);
+
   const graph::Graph* base_;
   int build_threads_ = 0;
   store::WarmStore* store_ = nullptr;  // not owned
   uint64_t base_fingerprint_ = 0;
-  // deque: push_back never moves existing groups, so once_flags and
+  // deque: push_back never moves existing groups, so build mutexes and
   // handed-out instance references stay valid as interning continues.
   std::deque<Group> groups_;
   std::unordered_map<std::string, size_t> ids_;
@@ -140,6 +178,10 @@ class InstanceRepository {
   std::atomic<size_t> acquisitions_{0};
   std::atomic<size_t> snapshot_hits_{0};
   std::atomic<size_t> snapshot_stores_{0};
+  // Mutated only by ApplyEdit, which runs single-threaded between
+  // batches; plain counters suffice.
+  size_t edit_repairs_ = 0;
+  size_t edit_resets_ = 0;
 };
 
 }  // namespace tpp::service

@@ -1,10 +1,70 @@
 #include "service/plan_cache.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/strings.h"
+#include "core/engine_scope.h"
 #include "service/store/plan_codec.h"
 #include "service/store/warm_store.h"
 
 namespace tpp::service {
+
+namespace {
+
+// The fingerprint field occupies a fixed-width slot right after the
+// format tag, so rekeying a surviving entry is a constant-position
+// splice. Kept in lockstep with CanonicalRequestKey below.
+constexpr std::string_view kKeyTag = "tpp-plan-v1|fp=";
+constexpr size_t kFingerprintHexDigits = 16;
+
+// Extracts the value of `field` ("|alg=", ...) from a canonical key:
+// everything up to the next '|' (or end of key). Empty view if absent.
+std::string_view KeyField(std::string_view key, std::string_view field) {
+  size_t pos = key.find(field);
+  if (pos == std::string_view::npos) return {};
+  pos += field.size();
+  size_t end = key.find('|', pos);
+  if (end == std::string_view::npos) end = key.size();
+  return key.substr(pos, end - pos);
+}
+
+// The survival conditions of InvalidateForEdit (see plan_cache.h),
+// evaluated on the canonical key alone — the key embeds every field the
+// decision needs, so no request object has to be reconstructed.
+bool SurvivesEdit(std::string_view key,
+                  std::span<const graph::NodeId> affected) {
+  // Deterministic, motif-local algorithms only: their plans are a pure
+  // function of the targets' instance sets.
+  std::string_view alg = KeyField(key, "|alg=");
+  if (alg != "sgb" && alg != "ct-tbd" && alg != "ct-dbd" &&
+      alg != "wt-tbd" && alg != "wt-dbd") {
+    return false;
+  }
+  constexpr int kRestricted =
+      static_cast<int>(core::CandidateScope::kTargetSubgraphEdges);
+  if (KeyField(key, "|scope=") != StrFormat("%d", kRestricted)) return false;
+  if (KeyField(key, "|rel=") != "0") return false;
+  std::string_view links = KeyField(key, "|links=");
+  if (links.empty()) return false;  // sampled targets, or malformed
+  // Every endpoint must sit outside the edit's affected neighborhood.
+  for (std::string_view pair : SplitNonEmpty(links, ";")) {
+    size_t dash = pair.find('-');
+    if (dash == std::string_view::npos) return false;
+    Result<int64_t> u = ParseInt64(pair.substr(0, dash));
+    Result<int64_t> v = ParseInt64(pair.substr(dash + 1));
+    if (!u.ok() || !v.ok()) return false;
+    if (std::binary_search(affected.begin(), affected.end(),
+                           static_cast<graph::NodeId>(*u)) ||
+        std::binary_search(affected.begin(), affected.end(),
+                           static_cast<graph::NodeId>(*v))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 std::string CanonicalRequestKey(uint64_t base_fingerprint,
                                 const PlanRequest& request) {
@@ -114,6 +174,52 @@ void PlanCache::Insert(const std::string& key, PlanResponse response) {
   }
 }
 
+PlanCache::EditOutcome PlanCache::InvalidateForEdit(
+    uint64_t old_fingerprint, uint64_t new_fingerprint,
+    std::span<const graph::NodeId> affected) {
+  const std::string old_prefix =
+      StrFormat("%s%016llx|", std::string(kKeyTag).c_str(),
+                static_cast<unsigned long long>(old_fingerprint));
+  const std::string new_hex = StrFormat(
+      "%016llx", static_cast<unsigned long long>(new_fingerprint));
+  EditOutcome outcome;
+  // Survivors are re-persisted under their new key so the backing store
+  // serves them across restarts too; dropped payloads (possibly large)
+  // are destroyed outside the lock.
+  std::vector<std::pair<std::string, Entry>> write_through;
+  std::vector<Entry> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      if (it->first.compare(0, old_prefix.size(), old_prefix) != 0) {
+        ++it;  // a different graph's entry; not this edit's concern
+        continue;
+      }
+      index_.erase(it->first);
+      if (SurvivesEdit(it->first, affected)) {
+        // Rekey in place: same node, same LRU position, new fingerprint.
+        it->first.replace(kKeyTag.size(), kFingerprintHexDigits, new_hex);
+        index_[it->first] = it;
+        ++outcome.rekeyed;
+        if (backing_ != nullptr && it->second->status.ok()) {
+          write_through.emplace_back(it->first, it->second);
+        }
+        ++it;
+      } else {
+        dropped.push_back(std::move(it->second));
+        it = lru_.erase(it);
+        ++outcome.invalidated;
+      }
+    }
+    invalidated_by_edit_ += outcome.invalidated;
+    rekeyed_by_edit_ += outcome.rekeyed;
+  }
+  for (const auto& [key, entry] : write_through) {
+    (void)backing_->AppendPlan(key, store::EncodePlanResponse(*entry));
+  }
+  return outcome;
+}
+
 PlanCache::Stats PlanCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s;
@@ -121,6 +227,8 @@ PlanCache::Stats PlanCache::stats() const {
   s.backing_hits = backing_hits_;
   s.misses = misses_;
   s.evictions = evictions_;
+  s.invalidated_by_edit = invalidated_by_edit_;
+  s.rekeyed_by_edit = rekeyed_by_edit_;
   s.size = lru_.size();
   s.capacity = capacity_;
   return s;

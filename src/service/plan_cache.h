@@ -39,10 +39,12 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "graph/edge.h"
 #include "service/plan_service.h"
 
 namespace tpp::service {
@@ -68,8 +70,16 @@ class PlanCache {
     uint64_t backing_hits = 0;  ///< misses served from the backing store
     uint64_t misses = 0;        ///< true misses (both tiers)
     uint64_t evictions = 0;
+    uint64_t invalidated_by_edit = 0;  ///< entries dropped by InvalidateForEdit
+    uint64_t rekeyed_by_edit = 0;  ///< entries surviving an edit (rekeyed)
     size_t size = 0;
     size_t capacity = 0;
+  };
+
+  /// Per-call outcome of InvalidateForEdit.
+  struct EditOutcome {
+    size_t invalidated = 0;  ///< entries dropped
+    size_t rekeyed = 0;      ///< entries moved under the new fingerprint
   };
 
   /// `capacity` bounds the number of memoized responses; 0 means
@@ -93,6 +103,38 @@ class PlanCache {
   void Insert(const std::string& key, PlanResponse response);
 
   Stats stats() const;
+
+  /// Reconciles the memory tier with a committed base-graph edit that
+  /// moved the fingerprint from `old_fingerprint` to `new_fingerprint`.
+  /// Fingerprint keying already guarantees correctness — stale keys can
+  /// never match again — so this is purely about SURVIVAL: an entry whose
+  /// response provably cannot change under the edit is rekeyed in place to
+  /// the new fingerprint (keeping its LRU position, and written through to
+  /// the backing store so the survival persists), instead of becoming
+  /// unreachable garbage that forces a re-solve.
+  ///
+  /// An entry survives iff every condition holds:
+  ///   * its algorithm is deterministic and motif-local (sgb / ct-tbd /
+  ///     ct-dbd / wt-tbd / wt-dbd — the randomized baselines consume RNG
+  ///     draws whose alignment an edit can shift);
+  ///   * it names explicit target links (sampled targets draw from the
+  ///     edge set, which the edit changed);
+  ///   * its candidate scope is the target-subgraph restriction (scope=all
+  ///     ranges over every edge of the base, so any edit perturbs it);
+  ///   * it does not carry a released graph (rel=0 — the released graph
+  ///     embeds the whole edited base);
+  ///   * no target endpoint lies in `affected` — the sorted node set
+  ///     within distance 1 of an edited edge ON THE PRE-EDIT GRAPH (the
+  ///     delta-neighborhood rule: every motif instance an edit creates or
+  ///     destroys anchors a target endpoint there, see
+  ///     motif/index_repair.cc), so targets outside it keep their exact
+  ///     instance sets and the solver replays byte-identically.
+  /// Everything else under `old_fingerprint` is dropped and counted in
+  /// `invalidated_by_edit`. Entries under other fingerprints are left
+  /// untouched.
+  EditOutcome InvalidateForEdit(uint64_t old_fingerprint,
+                                uint64_t new_fingerprint,
+                                std::span<const graph::NodeId> affected);
 
   /// Drops every entry (counters keep running). The backing store, if
   /// any, is untouched — its entries are still served on future misses.
@@ -129,6 +171,8 @@ class PlanCache {
   uint64_t backing_hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t invalidated_by_edit_ = 0;
+  uint64_t rekeyed_by_edit_ = 0;
   store::WarmStore* backing_ = nullptr;  // not owned
   bool cache_failures_ = true;
 };

@@ -1,5 +1,6 @@
 #include "service/plan_service.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <fstream>
@@ -160,7 +161,16 @@ std::vector<PlanResponse> PlanService::RunPipeline(
   // a single TppInstance + IncidenceIndex build.
   int max_workers =
       options.max_workers > 0 ? options.max_workers : GlobalThreadCount();
-  InstanceRepository repository(&base_);
+  InstanceRepository local_repository(&base_);
+  // An external repository (options.repository) carries prototype engines
+  // across batches; its counters are cumulative, so stats report the
+  // deltas this run produced.
+  InstanceRepository& repository = options.repository != nullptr
+                                       ? *options.repository
+                                       : local_repository;
+  const size_t builds_before = repository.NumBuilds();
+  const size_t snapshot_hits_before = repository.NumSnapshotHits();
+  const size_t snapshot_stores_before = repository.NumSnapshotStores();
   // A cold group's one-time index build parallelizes over the same pool
   // budget the solve stage gets; nesting inside a pool worker is safe
   // (the building worker drains its own ParallelFor chunks).
@@ -309,9 +319,10 @@ std::vector<PlanResponse> PlanService::RunPipeline(
   }
 
   stats.instance_groups = repository.NumGroups();
-  stats.instance_builds = repository.NumBuilds();
-  stats.snapshot_hits = repository.NumSnapshotHits();
-  stats.snapshot_stores = repository.NumSnapshotStores();
+  stats.instance_builds = repository.NumBuilds() - builds_before;
+  stats.snapshot_hits = repository.NumSnapshotHits() - snapshot_hits_before;
+  stats.snapshot_stores =
+      repository.NumSnapshotStores() - snapshot_stores_before;
   if (options.stats) *options.stats = stats;
   return responses;
 }
@@ -333,6 +344,58 @@ void PlanService::RunBatch(std::span<const PlanRequest> requests,
                            const BatchOptions& options,
                            const ResponseSink& sink) const {
   RunPipeline(requests, options, &sink);
+}
+
+Result<EditSummary> PlanService::ApplyEdit(const graph::GraphDelta& delta,
+                                           PlanCache* cache,
+                                           InstanceRepository* repository) {
+  EditSummary summary;
+  summary.old_fingerprint = fingerprint_;
+  summary.inserted = delta.inserted.size();
+  summary.removed = delta.removed.size();
+  // Affected node set on the PRE-edit graph: every endpoint of an edited
+  // edge plus its neighbors. Every motif instance the edit creates or
+  // destroys anchors a target endpoint in this set (the delta-
+  // neighborhood rule; see motif/index_repair.cc), so cached plans whose
+  // targets avoid it survive the edit byte-identically. Computed before
+  // the delta lands because removal-killed instances anchor in PRE-edit
+  // neighborhoods; inserted edges only ADD the opposite endpoint to a
+  // neighborhood, and both endpoints are in the set anyway.
+  std::vector<graph::NodeId> affected;
+  auto absorb = [&](const Edge& e) {
+    affected.push_back(e.u);
+    affected.push_back(e.v);
+    if (e.u < base_.NumNodes()) {
+      for (graph::NodeId w : base_.Neighbors(e.u)) affected.push_back(w);
+    }
+    if (e.v < base_.NumNodes()) {
+      for (graph::NodeId w : base_.Neighbors(e.v)) affected.push_back(w);
+    }
+  };
+  for (const Edge& e : delta.inserted) absorb(e);
+  for (const Edge& e : delta.removed) absorb(e);
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+
+  TPP_RETURN_IF_ERROR(base_.ApplyDelta(delta));
+  fingerprint_ =
+      graph::UpdateFingerprint(fingerprint_, delta.inserted, delta.removed);
+  summary.new_fingerprint = fingerprint_;
+  if (cache != nullptr) {
+    PlanCache::EditOutcome outcome = cache->InvalidateForEdit(
+        summary.old_fingerprint, summary.new_fingerprint, affected);
+    summary.cache_rekeyed = outcome.rekeyed;
+    summary.cache_invalidated = outcome.invalidated;
+  }
+  if (repository != nullptr) {
+    const size_t repairs_before = repository->NumEditRepairs();
+    const size_t resets_before = repository->NumEditResets();
+    repository->ApplyEdit(delta, fingerprint_);
+    summary.groups_repaired = repository->NumEditRepairs() - repairs_before;
+    summary.groups_reset = repository->NumEditResets() - resets_before;
+  }
+  return summary;
 }
 
 Result<std::vector<Edge>> ParseLinkList(std::string_view value) {
@@ -505,6 +568,119 @@ Result<std::vector<PlanRequest>> LoadPlanRequests(const std::string& path) {
   std::ifstream f(path);
   if (!f) return Status::IoError("cannot open " + path);
   return ParsePlanRequests(f);
+}
+
+Result<graph::GraphDelta> ParseEditLine(std::string_view text, size_t line) {
+  graph::GraphDelta delta;
+  bool first = true;
+  for (std::string_view token : SplitNonEmpty(text, " \t")) {
+    if (first) {
+      first = false;
+      if (token != "edit") {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: not an edit directive", line));
+      }
+      continue;
+    }
+    size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: token '%s' is not key=value", line,
+                    std::string(token).c_str()));
+    }
+    std::string_view key = token.substr(0, eq);
+    std::string_view value = token.substr(eq + 1);
+    std::vector<Edge>* out = nullptr;
+    if (key == "insert") {
+      out = &delta.inserted;
+    } else if (key == "remove") {
+      out = &delta.removed;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: unknown edit key '%s'", line,
+                    std::string(key).c_str()));
+    }
+    if (!out->empty()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: duplicate '%s=' token", line,
+                    std::string(key).c_str()));
+    }
+    Result<std::vector<Edge>> edges = ParseLinkList(value);
+    if (!edges.ok()) {
+      return Status::InvalidArgument(StrFormat(
+          "line %zu: %s", line, edges.status().ToString().c_str()));
+    }
+    *out = std::move(*edges);
+  }
+  if (delta.empty()) {
+    return Status::InvalidArgument(StrFormat(
+        "line %zu: edit needs at least one of insert=/remove=", line));
+  }
+  // Normalize to the GraphDelta contract: canonical endpoints, each list
+  // key-sorted (ParseLinkList already rejected within-list duplicates),
+  // lists disjoint.
+  auto canonicalize = [](std::vector<Edge>* edges) {
+    for (Edge& e : *edges) {
+      if (e.u > e.v) std::swap(e.u, e.v);
+    }
+    std::sort(edges->begin(), edges->end(),
+              [](const Edge& a, const Edge& b) { return a.Key() < b.Key(); });
+  };
+  canonicalize(&delta.inserted);
+  canonicalize(&delta.removed);
+  for (const Edge& e : delta.inserted) {
+    if (std::binary_search(delta.removed.begin(), delta.removed.end(), e,
+                           [](const Edge& a, const Edge& b) {
+                             return a.Key() < b.Key();
+                           })) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: edge %u-%u both inserted and removed", line,
+                    e.u, e.v));
+    }
+  }
+  return delta;
+}
+
+Result<std::vector<PlanScriptStep>> ParsePlanScript(std::istream& stream) {
+  std::vector<PlanScriptStep> steps;
+  PlanScriptStep current;
+  size_t line_number = 0;
+  size_t request_index = 0;
+  std::string line;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    if (stripped == "edit" || stripped.rfind("edit ", 0) == 0 ||
+        stripped.rfind("edit\t", 0) == 0) {
+      TPP_ASSIGN_OR_RETURN(current.edit, ParseEditLine(stripped, line_number));
+      steps.push_back(std::move(current));
+      current = PlanScriptStep{};
+      continue;
+    }
+    TPP_ASSIGN_OR_RETURN(
+        PlanRequest request,
+        ParsePlanRequestLine(stripped, line_number, request_index));
+    ++request_index;
+    current.requests.push_back(std::move(request));
+  }
+  // A trailing edit line already pushed its step; only keep the tail step
+  // when it holds requests (or the script is empty — one empty step).
+  if (!current.requests.empty() || steps.empty()) {
+    steps.push_back(std::move(current));
+  }
+  return steps;
+}
+
+Result<std::vector<PlanScriptStep>> ParsePlanScript(const std::string& text) {
+  std::istringstream stream(text);
+  return ParsePlanScript(stream);
+}
+
+Result<std::vector<PlanScriptStep>> LoadPlanScript(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open " + path);
+  return ParsePlanScript(f);
 }
 
 }  // namespace tpp::service

@@ -45,6 +45,7 @@
 
 #include <functional>
 #include <istream>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -58,7 +59,8 @@
 
 namespace tpp::service {
 
-class PlanCache;  // plan_cache.h
+class PlanCache;            // plan_cache.h
+class InstanceRepository;   // instance_repository.h
 
 namespace store {
 class WarmStore;  // store/warm_store.h
@@ -137,8 +139,33 @@ struct BatchOptions {
   /// set_backing_store. Responses stay bit-identical with or without a
   /// store (regression-tested in tests/store_warmstart_test.cc).
   store::WarmStore* store = nullptr;
+  /// Optional externally-owned instance repository reused ACROSS batches
+  /// (nullptr: the pipeline builds a fresh per-batch repository, the
+  /// historical behavior). It must have been constructed over this
+  /// service's base graph and, between batches, kept in step with every
+  /// PlanService::ApplyEdit (which repairs its built groups in place).
+  /// With an external repository a follow-up batch naming the same
+  /// (targets, motif) groups re-clones the surviving prototype engines
+  /// instead of re-enumerating — the stats report builds performed BY
+  /// THIS RUN, so a fully warm batch shows instance_builds == 0. The
+  /// pipeline (re)applies its build-thread budget and store attachment on
+  /// every run.
+  InstanceRepository* repository = nullptr;
   /// Optional out-param for pipeline counters.
   BatchStats* stats = nullptr;
+};
+
+/// Outcome summary of one committed base-graph edit applied through
+/// PlanService::ApplyEdit.
+struct EditSummary {
+  uint64_t old_fingerprint = 0;
+  uint64_t new_fingerprint = 0;
+  size_t inserted = 0;           ///< net edges inserted
+  size_t removed = 0;            ///< net edges removed
+  size_t cache_rekeyed = 0;      ///< cache entries surviving under the new fp
+  size_t cache_invalidated = 0;  ///< cache entries dropped by the edit
+  size_t groups_repaired = 0;    ///< repository groups repaired in place
+  size_t groups_reset = 0;       ///< repository groups reset for cold rebuild
 };
 
 /// Streaming delivery callback: invoked once per request, in input order,
@@ -189,6 +216,28 @@ class PlanService {
   void RunBatch(std::span<const PlanRequest> requests,
                 const BatchOptions& options, const ResponseSink& sink) const;
 
+  /// Commits a normalized base-graph edit (the GraphDelta contract —
+  /// typically a graph::Graph::EditSession::Commit result replayed here)
+  /// to the LIVE service: applies the delta to the base graph, advances
+  /// the fingerprint in O(|delta|) (graph::UpdateFingerprint — no
+  /// re-walk), and keeps the serving state consistent:
+  ///   * `cache` (if given): entries under the old fingerprint whose
+  ///     response provably cannot change — deterministic algorithm,
+  ///     explicit targets, restricted scope, every target endpoint
+  ///     outside the edit's distance-1 neighborhood on the pre-edit graph
+  ///     — are rekeyed to the new fingerprint and survive; the rest are
+  ///     dropped (PlanCache::InvalidateForEdit).
+  ///   * `repository` (if given): built instance groups are repaired in
+  ///     place around the delta neighborhood instead of re-enumerated
+  ///     (InstanceRepository::ApplyEdit); only groups whose target links
+  ///     the edit touches reset to a cold build.
+  /// On a delta that fails validation (an absent removal, a present
+  /// insertion) nothing changes and the error is returned. Must not run
+  /// concurrently with RunBatch/RunOne — edits sit between batches.
+  Result<EditSummary> ApplyEdit(const graph::GraphDelta& delta,
+                                PlanCache* cache = nullptr,
+                                InstanceRepository* repository = nullptr);
+
  private:
   std::vector<PlanResponse> RunPipeline(std::span<const PlanRequest> requests,
                                         const BatchOptions& options,
@@ -223,6 +272,40 @@ Result<std::vector<PlanRequest>> ParsePlanRequests(const std::string& text);
 
 /// Loads and parses a request file from disk (line by line).
 Result<std::vector<PlanRequest>> LoadPlanRequests(const std::string& path);
+
+/// Parses one `edit` directive line of a batch script:
+///
+///   edit insert=u-v;u-v remove=u-v
+///
+/// At least one of insert=/remove= must be present; both take the
+/// ParseLinkList syntax. The result is normalized to the GraphDelta
+/// contract (canonical u<v endpoints, each list sorted by key and
+/// duplicate-free, lists disjoint); violations are parse errors, so a
+/// parsed delta is always directly applicable.
+Result<graph::GraphDelta> ParseEditLine(std::string_view text, size_t line);
+
+/// One step of a batch script: the requests to run, then (optionally) the
+/// edit to commit before the next step.
+struct PlanScriptStep {
+  std::vector<PlanRequest> requests;
+  std::optional<graph::GraphDelta> edit;
+};
+
+/// Parses a batch SCRIPT: the plain request-file format plus `edit`
+/// directive lines (see ParseEditLine) that split the file into
+/// sequential steps. Each step's requests run as one pipeline batch
+/// against the then-current base graph; its edit (if any) commits through
+/// PlanService::ApplyEdit before the next step runs. A file with no edit
+/// lines parses as a single step — the format is a strict superset of the
+/// request-file format. Request indices ("r<N>" default names) number
+/// across the whole script.
+Result<std::vector<PlanScriptStep>> ParsePlanScript(std::istream& stream);
+
+/// Parses an in-memory batch script.
+Result<std::vector<PlanScriptStep>> ParsePlanScript(const std::string& text);
+
+/// Loads and parses a batch script from disk (line by line).
+Result<std::vector<PlanScriptStep>> LoadPlanScript(const std::string& path);
 
 }  // namespace tpp::service
 

@@ -586,6 +586,82 @@ Result<size_t> WarmStore::EvictOlderThan(double seconds) {
   return removed;
 }
 
+namespace {
+
+// True when `key` could still be served against the live graph. Keys are
+// canonical plan-cache keys, "tpp-plan-v1|fp=<16 hex>|..."; anything in
+// another shape is conservatively treated as live.
+bool KeyServesLiveGraph(const std::string& key, uint64_t live_fingerprint) {
+  constexpr std::string_view kTag = "tpp-plan-v1|fp=";
+  if (key.size() < kTag.size() + 16 ||
+      key.compare(0, kTag.size(), kTag) != 0) {
+    return true;
+  }
+  uint64_t fp = 0;
+  for (size_t i = 0; i < 16; ++i) {
+    const char c = key[kTag.size() + i];
+    fp <<= 4;
+    if (c >= '0' && c <= '9') {
+      fp |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      fp |= static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return true;
+    }
+  }
+  return fp == live_fingerprint;
+}
+
+}  // namespace
+
+Result<size_t> WarmStore::EvictStale(uint64_t live_fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t removed = 0;
+  std::error_code ec;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(fs::path(dir_) / "index", ec)) {
+    Result<motif::IndexSnapshotCodec::FileInfo> info =
+        motif::IndexSnapshotCodec::Inspect(entry.path().string());
+    // Inspect already rejects bad magic, foreign format versions, and
+    // header corruption — all states no live caller can load.
+    const bool stale =
+        !info.ok() || info->meta.graph_fingerprint != live_fingerprint;
+    if (!stale) continue;
+    std::error_code rm;
+    fs::remove(entry.path(), rm);
+    if (rm) continue;
+    ++removed;
+    ++stats_.evicted_files;
+  }
+  std::vector<uint64_t> stale_segments;
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    if (!segments_[s].sealed) continue;  // active segment is exempt
+    bool live = false;
+    for (const auto& [key, loc] : plans_) {
+      if (loc.segment_number == segments_[s].number &&
+          KeyServesLiveGraph(key, live_fingerprint)) {
+        live = true;
+        break;
+      }
+    }
+    if (!live) stale_segments.push_back(segments_[s].number);
+  }
+  for (uint64_t number : stale_segments) {
+    for (size_t s = 0; s < segments_.size(); ++s) {
+      if (segments_[s].number != number) continue;
+      std::error_code rm;
+      fs::remove(segments_[s].path, rm);
+      if (rm) break;
+      ++removed;
+      ++stats_.evicted_files;
+      DropSegmentKeys(number);
+      segments_.erase(segments_.begin() + static_cast<ptrdiff_t>(s));
+      break;
+    }
+  }
+  return removed;
+}
+
 WarmStore::Stats WarmStore::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;

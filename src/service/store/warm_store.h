@@ -145,6 +145,17 @@ class WarmStore {
   /// active plan segment is exempt. Returns the number of files removed.
   Result<size_t> EvictOlderThan(double seconds);
 
+  /// Deletes entries no caller serving `live_fingerprint` can ever match:
+  /// index snapshots whose header is unreadable, carries a superseded
+  /// format version (IndexSnapshotCodec::kFormatVersion — e.g. v1 files
+  /// written under the old order-dependent fingerprint scheme), or names
+  /// a different graph fingerprint; and SEALED plan segments none of
+  /// whose live keys embed the live fingerprint. Keys in an unrecognized
+  /// format are conservatively treated as live; the unsealed active
+  /// segment is exempt. The workhorse of `tpp store evict --stale`.
+  /// Returns the number of files removed.
+  Result<size_t> EvictStale(uint64_t live_fingerprint);
+
   const std::string& dir() const { return dir_; }
   Stats stats() const;
 

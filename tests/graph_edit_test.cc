@@ -1,0 +1,227 @@
+// Tests for batched edit sessions (Graph::BeginEdit), delta replay
+// (Graph::ApplyDelta), and the edit-commutative fingerprint update.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "graph/fingerprint.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "test_util.h"
+
+namespace tpp::graph {
+namespace {
+
+using ::tpp::testing::E;
+using ::tpp::testing::MakeGraph;
+
+Graph Path5() { return MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}}); }
+
+TEST(GraphEditTest, CommitAppliesNetChanges) {
+  Graph g = Path5();
+  Graph::EditSession session = g.BeginEdit();
+  ASSERT_TRUE(session.Insert(0, 4).ok());
+  ASSERT_TRUE(session.Remove(1, 2).ok());
+  ASSERT_TRUE(session.Insert(2, 4).ok());
+  EXPECT_EQ(session.NumPendingChanges(), 3u);
+
+  Result<GraphDelta> delta = session.Commit();
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta->inserted, (std::vector<Edge>{E(0, 4), E(2, 4)}));
+  EXPECT_EQ(delta->removed, (std::vector<Edge>{E(1, 2)}));
+  EXPECT_EQ(g, MakeGraph(5, {{0, 1}, {2, 3}, {3, 4}, {0, 4}, {2, 4}}));
+}
+
+TEST(GraphEditTest, DeltaListsAreCanonicalAndSorted) {
+  Graph g = Path5();
+  Graph::EditSession session = g.BeginEdit();
+  // Queue in descending, endpoint-swapped order; the delta must come out
+  // canonical (u < v) and ascending by key regardless.
+  ASSERT_TRUE(session.Insert(4, 1).ok());
+  ASSERT_TRUE(session.Insert(2, 0).ok());
+  ASSERT_TRUE(session.Remove(3, 2).ok());
+  ASSERT_TRUE(session.Remove(1, 0).ok());
+  Result<GraphDelta> delta = session.Commit();
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta->inserted, (std::vector<Edge>{E(0, 2), E(1, 4)}));
+  EXPECT_EQ(delta->removed, (std::vector<Edge>{E(0, 1), E(2, 3)}));
+}
+
+TEST(GraphEditTest, InsertThenRemoveCancels) {
+  Graph g = Path5();
+  const Graph before = g;
+  Graph::EditSession session = g.BeginEdit();
+  ASSERT_TRUE(session.Insert(0, 3).ok());
+  ASSERT_TRUE(session.Remove(0, 3).ok());  // legal: present in pending view
+  ASSERT_TRUE(session.Remove(1, 2).ok());
+  ASSERT_TRUE(session.Insert(1, 2).ok());  // legal: absent in pending view
+  EXPECT_EQ(session.NumPendingChanges(), 0u);
+  Result<GraphDelta> delta = session.Commit();
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(delta->empty());
+  EXPECT_EQ(g, before);
+}
+
+TEST(GraphEditTest, ValidatesAgainstPendingView) {
+  Graph g = Path5();
+  Graph::EditSession session = g.BeginEdit();
+  EXPECT_EQ(session.Insert(0, 1).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(session.Remove(0, 2).code(), StatusCode::kNotFound);
+  EXPECT_EQ(session.Insert(2, 2).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.Insert(0, 9).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(session.Insert(0, 2).ok());
+  EXPECT_EQ(session.Insert(2, 0).code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE(session.Remove(0, 1).ok());
+  EXPECT_EQ(session.Remove(0, 1).code(), StatusCode::kNotFound);
+}
+
+TEST(GraphEditTest, SessionReusableAfterCommit) {
+  Graph g = Path5();
+  Graph::EditSession session = g.BeginEdit();
+  ASSERT_TRUE(session.Insert(0, 2).ok());
+  ASSERT_TRUE(session.Commit().ok());
+  EXPECT_EQ(session.NumPendingChanges(), 0u);
+  ASSERT_TRUE(session.Remove(0, 2).ok());
+  Result<GraphDelta> delta = session.Commit();
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta->removed, (std::vector<Edge>{E(0, 2)}));
+  EXPECT_EQ(g, Path5());
+}
+
+TEST(GraphEditTest, CommitKeepsAdjacencySorted) {
+  // Many inserts into one hub exercise the batched backward-merge path.
+  Graph g(50);
+  for (NodeId v = 10; v < 20; ++v) ASSERT_TRUE(g.AddEdge(0, v).ok());
+  Graph::EditSession session = g.BeginEdit();
+  for (NodeId v : {45u, 5u, 25u, 1u, 35u, 9u, 49u}) {
+    ASSERT_TRUE(session.Insert(0, v).ok());
+  }
+  ASSERT_TRUE(session.Commit().ok());
+  std::span<const NodeId> nbrs = g.Neighbors(0);
+  EXPECT_EQ(nbrs.size(), 17u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_TRUE(g.HasEdge(0, 49));
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(GraphEditTest, ApplyDeltaReplaysOntoACopy) {
+  Graph original = Path5();
+  Graph copy = original;
+  Graph::EditSession session = original.BeginEdit();
+  ASSERT_TRUE(session.Insert(0, 3).ok());
+  ASSERT_TRUE(session.Remove(3, 4).ok());
+  Result<GraphDelta> delta = session.Commit();
+  ASSERT_TRUE(delta.ok());
+  ASSERT_TRUE(copy.ApplyDelta(*delta).ok());
+  EXPECT_EQ(copy, original);
+}
+
+TEST(GraphEditTest, ApplyDeltaErrorsLeaveGraphUntouched) {
+  Graph g = Path5();
+  const Graph before = g;
+
+  GraphDelta removes_absent;
+  removes_absent.removed = {E(0, 4)};
+  EXPECT_EQ(g.ApplyDelta(removes_absent).code(), StatusCode::kNotFound);
+  EXPECT_EQ(g, before);
+
+  GraphDelta inserts_present;
+  inserts_present.inserted = {E(1, 2)};
+  // Even when a valid removal precedes the offending insert, nothing
+  // applies.
+  inserts_present.removed = {E(0, 1)};
+  EXPECT_EQ(g.ApplyDelta(inserts_present).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(g, before);
+}
+
+TEST(GraphEditTest, UpdateFingerprintMatchesFullRecompute) {
+  Graph g = Path5();
+  uint64_t fp = Fingerprint(g);
+  Graph::EditSession session = g.BeginEdit();
+  ASSERT_TRUE(session.Insert(0, 2).ok());
+  ASSERT_TRUE(session.Insert(1, 4).ok());
+  ASSERT_TRUE(session.Remove(2, 3).ok());
+  Result<GraphDelta> delta = session.Commit();
+  ASSERT_TRUE(delta.ok());
+  fp = UpdateFingerprint(fp, delta->inserted, delta->removed);
+  EXPECT_EQ(fp, Fingerprint(g));
+}
+
+TEST(GraphEditTest, FingerprintUpdateIsCommutative) {
+  // Two disjoint edits land on the same fingerprint in either order.
+  GraphDelta a;
+  a.inserted = {E(0, 2)};
+  a.removed = {E(3, 4)};
+  GraphDelta b;
+  b.inserted = {E(1, 3)};
+  b.removed = {E(0, 1)};
+
+  Graph g1 = Path5();
+  uint64_t fp1 = Fingerprint(g1);
+  ASSERT_TRUE(g1.ApplyDelta(a).ok());
+  fp1 = UpdateFingerprint(fp1, a.inserted, a.removed);
+  ASSERT_TRUE(g1.ApplyDelta(b).ok());
+  fp1 = UpdateFingerprint(fp1, b.inserted, b.removed);
+
+  Graph g2 = Path5();
+  uint64_t fp2 = Fingerprint(g2);
+  ASSERT_TRUE(g2.ApplyDelta(b).ok());
+  fp2 = UpdateFingerprint(fp2, b.inserted, b.removed);
+  ASSERT_TRUE(g2.ApplyDelta(a).ok());
+  fp2 = UpdateFingerprint(fp2, a.inserted, a.removed);
+
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(fp1, fp2);
+  EXPECT_EQ(fp1, Fingerprint(g1));
+}
+
+TEST(GraphEditTest, RandomizedChurnMatchesReferenceModel) {
+  // Fuzz: random insert/remove churn through edit sessions must track a
+  // plain std::set edge model, and the O(delta) fingerprint must track
+  // the full recompute across every commit.
+  Rng rng(20260809);
+  Graph g = *ErdosRenyiGnp(24, 0.15, rng);
+  std::set<EdgeKey> model;
+  for (const Edge& e : g.Edges()) model.insert(e.Key());
+  uint64_t fp = Fingerprint(g);
+
+  for (int commit = 0; commit < 40; ++commit) {
+    Graph::EditSession session = g.BeginEdit();
+    std::set<EdgeKey> pending = model;
+    const size_t ops = 1 + rng.UniformIndex(8);
+    for (size_t i = 0; i < ops; ++i) {
+      NodeId u = static_cast<NodeId>(rng.UniformIndex(24));
+      NodeId v = static_cast<NodeId>(rng.UniformIndex(24));
+      if (u == v) continue;
+      EdgeKey key = MakeEdgeKey(u, v);
+      if (pending.count(key)) {
+        ASSERT_TRUE(session.Remove(u, v).ok());
+        pending.erase(key);
+      } else {
+        ASSERT_TRUE(session.Insert(u, v).ok());
+        pending.insert(key);
+      }
+    }
+    Result<GraphDelta> delta = session.Commit();
+    ASSERT_TRUE(delta.ok());
+    model = pending;
+    fp = UpdateFingerprint(fp, delta->inserted, delta->removed);
+
+    ASSERT_EQ(g.NumEdges(), model.size());
+    std::vector<EdgeKey> got = g.EdgeKeys();
+    ASSERT_TRUE(std::equal(got.begin(), got.end(), model.begin(),
+                           model.end()));
+    ASSERT_EQ(fp, Fingerprint(g));
+    for (NodeId u = 0; u < 24; ++u) {
+      std::span<const NodeId> nbrs = g.Neighbors(u);
+      ASSERT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tpp::graph

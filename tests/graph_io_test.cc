@@ -45,6 +45,35 @@ TEST(IoTest, RemapsSparseIds) {
   EXPECT_EQ(g->NumEdges(), 2u);
 }
 
+TEST(IoTest, RemapRanksIdsNotFirstAppearance) {
+  // 5 appears first in the file, but ranks last among {1, 3, 5}.
+  Result<Graph> g = ParseEdgeList("5 3\n3 1\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 3u);
+  EXPECT_TRUE(g->HasEdge(1, 2));  // 3-5
+  EXPECT_TRUE(g->HasEdge(0, 1));  // 1-3
+  EXPECT_FALSE(g->HasEdge(0, 2));
+}
+
+TEST(IoTest, RemapIsLineOrderInvariant) {
+  Result<Graph> a = ParseEdgeList("0 7\n2 4\n4 7\n");
+  Result<Graph> b = ParseEdgeList("4 7\n2 4\n0 7\n");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->Edges(), b->Edges());
+}
+
+TEST(IoTest, DenseIdsRemapToThemselves) {
+  // Ids already dense 0..n-1: the sorted-rank remap is the identity even
+  // when high ids appear early in the file.
+  Result<Graph> g = ParseEdgeList("0 5\n5 1\n1 2\n2 3\n3 4\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 6u);
+  EXPECT_TRUE(g->HasEdge(0, 5));
+  EXPECT_TRUE(g->HasEdge(1, 5));
+  EXPECT_TRUE(g->HasEdge(3, 4));
+}
+
 TEST(IoTest, LiteralIdsWithoutRemap) {
   EdgeListOptions opts;
   opts.remap_ids = false;
@@ -85,9 +114,10 @@ TEST(IoTest, SaveLoadRoundTrip) {
   ASSERT_TRUE(SaveEdgeList(g, path).ok());
   Result<Graph> back = LoadEdgeList(path);
   ASSERT_TRUE(back.ok());
-  // Ids are dense already, so remapping preserves structure.
+  // Ids are dense already, so the sorted-rank remap is the identity and
+  // the round trip preserves the exact labeling.
   EXPECT_EQ(back->NumNodes(), g.NumNodes());
-  EXPECT_EQ(back->NumEdges(), g.NumEdges());
+  EXPECT_EQ(back->Edges(), g.Edges());
 }
 
 TEST(IoTest, LoadMissingFileFails) {

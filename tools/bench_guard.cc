@@ -1,32 +1,45 @@
-// bench_guard: regression gate over BENCH_solver_rounds.json.
+// bench_guard: regression gate over committed bench JSON artifacts.
 //
-// Compares a freshly produced solver-rounds bench result against the
-// committed baseline (the floor this repo has already demonstrated) and
-// exits non-zero when a tracked speedup regressed by more than the
-// tolerance — CI runs it right after the quick bench, so a change that
-// quietly gives back the round-engine or selection-heap wins fails the
-// job instead of landing.
+// Compares a freshly produced bench result against the committed
+// baseline (the floor this repo has already demonstrated) and exits
+// non-zero when a tracked metric regressed by more than the tolerance —
+// CI runs it right after the quick bench, so a change that quietly
+// gives back a demonstrated win fails the job instead of landing.
 //
 //   bench_guard --fresh=BENCH_solver_rounds.json \
 //               --baseline=/tmp/solver_rounds_baseline.json \
-//               [--tolerance=0.2] [--min-cold-ms=1.0]
+//               [--mode=solver_rounds] [--tolerance=0.2] [--min-cold-ms=1.0]
 //
-// Guarded metrics:
+// --mode=solver_rounds (default) guards BENCH_solver_rounds.json:
 //   per (solver, motif) row:  "speedup" (incremental vs cold) and
 //                             "heap_speedup" (heap selection vs cold),
 //                             plus "lazy_dirty_vs_classic" on sgb rows
 //   aggregates:               "ct_wt_aggregate_speedup" and
 //                             "ct_wt_heap_aggregate_speedup"
 //
+// --mode=graph_mutation guards BENCH_graph_mutation.json:
+//   per (motif, churn) row:   "repair_speedup" (in-place index repair vs
+//                             cold rebuild) against the committed floor,
+//                             and "plan_byte_identical" which must hold
+//                             unconditionally (equivalence is
+//                             correctness, never noise)
+//   cache section:            "post_edit_cache_hit_rate" must stay
+//                             nonzero and "survivor_plans_byte_identical"
+//                             true — plans outside an edit's delta
+//                             neighborhood keep surviving commits
+//   (--min-cold-ms reads the row's rebuild_ms in this mode)
+//
 // Speedups are ratios of two timings from the same process on the same
 // machine, so they transfer across hosts far better than absolute
 // milliseconds — that is what makes a committed floor meaningful in CI.
-// Rows whose BASELINE cold time is under --min-cold-ms are reported but
-// not enforced: a ratio of two sub-millisecond timings from a 3-rep
-// quick run is noise, and a guard that flaps is a guard that gets
-// deleted. Every baseline row must still be present in the fresh result
-// — a vanished configuration fails the guard even when skipped for time.
+// Rows whose BASELINE cold (rebuild) time is under --min-cold-ms are
+// reported but not enforced: a ratio of two sub-millisecond timings from
+// a 3-rep quick run is noise, and a guard that flaps is a guard that
+// gets deleted. Every baseline row must still be present in the fresh
+// result — a vanished configuration fails the guard even when skipped
+// for time.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -75,6 +88,16 @@ std::optional<double> FindNumber(const std::string& obj,
   const size_t at = obj.find(needle);
   if (at == std::string::npos) return std::nullopt;
   return std::strtod(obj.c_str() + at + needle.size(), nullptr);
+}
+
+std::optional<bool> FindBool(const std::string& obj, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t at = obj.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  const size_t begin = at + needle.size();
+  if (obj.compare(begin, 4, "true") == 0) return true;
+  if (obj.compare(begin, 5, "false") == 0) return false;
+  return std::nullopt;
 }
 
 bool ParseBenchFile(const std::string& path, BenchFile* out) {
@@ -145,6 +168,92 @@ const BenchRun* FindRun(const BenchFile& file, const std::string& solver,
   return nullptr;
 }
 
+struct MutationRun {
+  std::string motif;
+  double churn_pct = 0;
+  double rebuild_ms = 0;
+  double repair_speedup = 0;
+  bool plan_byte_identical = false;
+};
+
+struct MutationFile {
+  std::vector<MutationRun> runs;
+  double post_edit_cache_hit_rate = 0;
+  bool survivor_plans_byte_identical = false;
+};
+
+bool ParseMutationFile(const std::string& path, MutationFile* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_guard: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  const size_t runs_at = text.find("\"runs\": [");
+  if (runs_at == std::string::npos) {
+    std::fprintf(stderr, "bench_guard: %s has no \"runs\" array\n",
+                 path.c_str());
+    return false;
+  }
+  const size_t runs_end = text.find("\n  ]", runs_at);
+  size_t cursor = runs_at;
+  while (true) {
+    const size_t open = text.find('{', cursor);
+    if (open == std::string::npos || open > runs_end) break;
+    const size_t close = text.find('}', open);
+    if (close == std::string::npos) break;
+    const std::string obj = text.substr(open, close - open + 1);
+    cursor = close + 1;
+
+    MutationRun run;
+    auto motif = FindString(obj, "motif");
+    auto churn = FindNumber(obj, "churn_pct");
+    auto rebuild = FindNumber(obj, "rebuild_ms");
+    auto speedup = FindNumber(obj, "repair_speedup");
+    auto identical = FindBool(obj, "plan_byte_identical");
+    if (!motif || !churn || !rebuild || !speedup || !identical) {
+      std::fprintf(stderr, "bench_guard: malformed run row in %s: %s\n",
+                   path.c_str(), obj.c_str());
+      return false;
+    }
+    run.motif = *motif;
+    run.churn_pct = *churn;
+    run.rebuild_ms = *rebuild;
+    run.repair_speedup = *speedup;
+    run.plan_byte_identical = *identical;
+    out->runs.push_back(std::move(run));
+  }
+  const std::string tail = text.substr(runs_end == std::string::npos
+                                           ? runs_at
+                                           : runs_end);
+  auto hit_rate = FindNumber(tail, "post_edit_cache_hit_rate");
+  auto survivors = FindBool(tail, "survivor_plans_byte_identical");
+  if (!hit_rate || !survivors) {
+    std::fprintf(stderr,
+                 "bench_guard: %s is missing the cache-survival section\n",
+                 path.c_str());
+    return false;
+  }
+  out->post_edit_cache_hit_rate = *hit_rate;
+  out->survivor_plans_byte_identical = *survivors;
+  return true;
+}
+
+const MutationRun* FindMutationRun(const MutationFile& file,
+                                   const std::string& motif,
+                                   double churn_pct) {
+  for (const MutationRun& run : file.runs) {
+    if (run.motif == motif &&
+        std::abs(run.churn_pct - churn_pct) < 1e-9) {
+      return &run;
+    }
+  }
+  return nullptr;
+}
+
 // One metric comparison; returns false (and prints FAIL) on regression
 // beyond tolerance. `enforced` distinguishes gate rows from noise rows
 // that are reported for the record but cannot fail the job.
@@ -161,6 +270,65 @@ bool CheckMetric(const std::string& where, const std::string& metric,
   return ok || !enforced;
 }
 
+int RunGraphMutation(const std::string& fresh_path,
+                     const std::string& baseline_path, double tolerance,
+                     double min_cold_ms) {
+  MutationFile fresh, baseline;
+  if (!ParseMutationFile(fresh_path, &fresh) ||
+      !ParseMutationFile(baseline_path, &baseline)) {
+    return 2;
+  }
+
+  std::printf("bench_guard: %s vs floor %s (tolerance %.0f%%, rows under "
+              "%.1f ms rebuild are info-only)\n",
+              fresh_path.c_str(), baseline_path.c_str(), tolerance * 100,
+              min_cold_ms);
+  bool ok = true;
+  for (const MutationRun& floor : baseline.runs) {
+    char where[64];
+    std::snprintf(where, sizeof(where), "%s %.1f%%", floor.motif.c_str(),
+                  floor.churn_pct);
+    const MutationRun* now =
+        FindMutationRun(fresh, floor.motif, floor.churn_pct);
+    if (now == nullptr) {
+      std::printf("  %-24s MISSING from fresh results: FAIL\n", where);
+      ok = false;
+      continue;
+    }
+    // Equivalence is correctness, not a timing — a rep whose repaired plan
+    // diverged from the cold build fails regardless of rebuild time.
+    if (!now->plan_byte_identical) {
+      std::printf("  %-24s plan_byte_identical false: FAIL\n", where);
+      ok = false;
+    }
+    const bool enforced = floor.rebuild_ms >= min_cold_ms;
+    ok &= CheckMetric(where, "repair_speedup", now->repair_speedup,
+                      floor.repair_speedup, tolerance, enforced);
+  }
+  // Cache survival is a behavioral invariant of the commit path, not a
+  // timing: plans outside the delta neighborhood must keep being served,
+  // and the ones served must match a cold service over the edited graph.
+  std::printf("  %-24s %-28s fresh %5.2f   floor  >0     %s\n", "cache",
+              "post_edit_cache_hit_rate", fresh.post_edit_cache_hit_rate,
+              fresh.post_edit_cache_hit_rate > 0 ? "ok" : "FAIL");
+  ok &= fresh.post_edit_cache_hit_rate > 0;
+  if (!fresh.survivor_plans_byte_identical) {
+    std::printf("  %-24s survivor_plans_byte_identical false: FAIL\n",
+                "cache");
+    ok = false;
+  }
+  if (!ok) {
+    std::printf("bench_guard: REGRESSION — repair speedup fell more than "
+                "%.0f%% below its committed floor, or an equivalence / "
+                "cache-survival invariant broke\n",
+                tolerance * 100);
+    return 1;
+  }
+  std::printf("bench_guard: all tracked repair speedups within tolerance, "
+              "equivalence and cache survival intact\n");
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   Result<ParsedArgs> args = ParsedArgs::Parse(argc, argv);
   if (!args.ok()) {
@@ -170,10 +338,13 @@ int Run(int argc, char** argv) {
   }
   const std::string fresh_path = args->GetString("fresh", "");
   const std::string baseline_path = args->GetString("baseline", "");
-  if (fresh_path.empty() || baseline_path.empty()) {
+  const std::string mode = args->GetString("mode", "solver_rounds");
+  if (fresh_path.empty() || baseline_path.empty() ||
+      (mode != "solver_rounds" && mode != "graph_mutation")) {
     std::fprintf(stderr,
                  "usage: bench_guard --fresh=NEW.json --baseline=OLD.json "
-                 "[--tolerance=0.2] [--min-cold-ms=1.0]\n");
+                 "[--mode=solver_rounds|graph_mutation] [--tolerance=0.2] "
+                 "[--min-cold-ms=1.0]\n");
     return 2;
   }
   Result<double> tolerance = args->GetDouble("tolerance", 0.2);
@@ -181,6 +352,10 @@ int Run(int argc, char** argv) {
   if (!tolerance.ok() || !min_cold_ms.ok()) {
     std::fprintf(stderr, "bench_guard: bad numeric flag\n");
     return 2;
+  }
+  if (mode == "graph_mutation") {
+    return RunGraphMutation(fresh_path, baseline_path, *tolerance,
+                            *min_cold_ms);
   }
 
   BenchFile fresh, baseline;

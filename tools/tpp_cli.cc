@@ -17,9 +17,15 @@
 //       Runs a whole file of protection requests (parsed and validated
 //       line by line) concurrently against one base graph through the
 //       staged plan pipeline (service/plan_service.h; file format in
-//       docs/SERVICE.md). --stream prints one result line per request,
-//       in input order, as each finishes (plan files are written
-//       incrementally too), so long batches can be tailed.
+//       docs/SERVICE.md). The file may interleave `edit` directive lines
+//       (`edit insert=u-v;u-v remove=u-v`) that commit a live base-graph
+//       edit between sub-batches: the service repairs its built instance
+//       groups in place around the delta neighborhood and rekeys cache
+//       entries whose plans provably survive the edit, so churn-then-
+//       solve never pays a cold build for untouched instances. --stream
+//       prints one result line per request, in input order, as each
+//       finishes (plan files are written incrementally too), so long
+//       batches can be tailed.
 //       --cache-size=N attaches a content-addressed plan cache
 //       (service/plan_cache.h) and prints its counters; within a single
 //       invocation duplicate requests are already deduped before the
@@ -38,7 +44,17 @@
 //   tpp store <ls|verify|evict> --store=DIR
 //       Store maintenance: `ls` lists entries (fingerprint, motif, bytes,
 //       age), `verify` checksums every entry, `evict --name=ENTRY` or
-//       `evict --older-than=SECONDS` deletes entries.
+//       `evict --older-than=SECONDS` deletes entries; `evict --stale
+//       --graph=FILE` garbage-collects snapshots and sealed plan
+//       segments whose fingerprint no caller serving FILE can ever match
+//       (superseded by edits, or written under an old format version).
+//   tpp edit --graph=G.edges [--insert=u-v;u-v] [--remove=u-v;u-v]
+//            [--out=FILE]
+//       Offline batched graph edit: applies the inserts/removes through
+//       one Graph::EditSession commit, prints the old and new structural
+//       fingerprints (the new one advanced in O(delta) and cross-checked
+//       against a full recompute), and optionally writes the edited edge
+//       list.
 //   tpp solvers
 //       Lists the registered solvers (key, display name, budgeting).
 //   tpp attack  --graph=G.edges --plan=P.plan
@@ -66,11 +82,13 @@
 #include "common/strings.h"
 #include "common/table.h"
 #include "core/tpp.h"
+#include "graph/fingerprint.h"
 #include "graph/io.h"
 #include "graph/relabel.h"
 #include "linkpred/attack.h"
 #include "metrics/summary.h"
 #include "metrics/utility.h"
+#include "service/instance_repository.h"
 #include "service/plan_cache.h"
 #include "service/plan_service.h"
 #include "service/store/warm_store.h"
@@ -89,7 +107,8 @@ using service::PlanService;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: tpp <protect|batch|store|solvers|attack|stats> [--flags]\n"
+      "usage: tpp <protect|batch|store|edit|solvers|attack|stats>"
+      " [--flags]\n"
       "see the header of tools/tpp_cli.cc for examples\n");
   return 2;
 }
@@ -266,18 +285,28 @@ int RunBatch(const ParsedArgs& args) {
   Result<int64_t> cache_size = args.GetInt("cache-size", 0);
   if (!cache_size.ok()) return Fail(cache_size.status());
 
-  // LoadPlanRequests reads and validates the file line by line; a
-  // malformed line fails before any work starts, naming the line.
-  Result<std::vector<PlanRequest>> loaded =
-      service::LoadPlanRequests(requests_path);
+  // LoadPlanScript reads and validates the file line by line; a
+  // malformed line fails before any work starts, naming the line. Files
+  // without `edit` directives parse as a single step, so plain request
+  // files behave exactly as before.
+  Result<std::vector<service::PlanScriptStep>> loaded =
+      service::LoadPlanScript(requests_path);
   if (!loaded.ok()) return Fail(loaded.status());
-  std::vector<PlanRequest> requests = std::move(*loaded);
+  std::vector<service::PlanScriptStep> steps = std::move(*loaded);
+  size_t total_requests = 0;
+  for (const service::PlanScriptStep& step : steps) {
+    total_requests += step.requests.size();
+  }
 
   Result<std::unique_ptr<service::store::WarmStore>> store =
       OpenStoreFromFlags(args);
   if (!store.ok()) return Fail(store.status());
 
   PlanService plan_service(std::move(*g));
+  // One repository for the whole script: prototype engines survive the
+  // edit boundaries (repaired in place by ApplyEdit), so a step re-naming
+  // an untouched instance re-clones instead of re-enumerating.
+  service::InstanceRepository repository(&plan_service.base());
   std::unique_ptr<service::PlanCache> cache;
   if (*cache_size > 0 || *store != nullptr) {
     // Plan persistence flows through the cache's write-through tier, so
@@ -289,11 +318,7 @@ int RunBatch(const ParsedArgs& args) {
     cache->set_backing_store(store->get());
     cache->set_cache_failures(args.GetBool("cache-failures"));
   }
-  service::BatchStats stats;
-  service::BatchOptions options;
-  options.cache = cache.get();
-  options.store = store->get();
-  options.stats = &stats;
+  service::BatchStats stats;  // accumulated across every script step
 
   std::string plan_dir = args.GetString("plan-dir", "");
   Status plan_io = Status::Ok();
@@ -315,63 +340,99 @@ int RunBatch(const ParsedArgs& args) {
   };
 
   int failures = 0;
+  TextTable table;
+  table.SetHeader({"request", "solver", "motif", "|T|", "s({},T)",
+                   "deleted", "s(P,T)", "seconds", "status"});
   if (stream) {
-    // One line per request, in input order, flushed as the completed
-    // prefix grows — `tail -f` friendly. Plan files are written at the
-    // same moment, so a crashed batch keeps every finished plan.
-    std::printf("%zu requests against %s (streaming)\n", requests.size(),
+    std::printf("%zu requests against %s (streaming)\n", total_requests,
                 plan_service.base().DebugString().c_str());
-    plan_service.RunBatch(
-        requests, options,
-        [&](size_t i, const PlanResponse& response) {
-          const PlanRequest& request = requests[i];
-          if (!response.status.ok()) {
-            ++failures;
-            std::printf("%s error %s\n", request.name.c_str(),
-                        response.status.ToString().c_str());
-          } else {
-            std::printf(
-                "%s ok solver=%s motif=%s targets=%zu deleted=%zu "
-                "similarity=%zu->%zu seconds=%.3f%s\n",
-                request.name.c_str(), request.spec.algorithm.c_str(),
-                std::string(motif::MotifName(request.motif)).c_str(),
-                response.targets.size(),
-                response.result.protectors.size(),
-                response.result.initial_similarity,
-                response.result.final_similarity, response.seconds,
-                response.from_cache ? " (cached)" : "");
-            write_plan(request, response);
-          }
-          std::fflush(stdout);
-        });
-  } else {
-    std::vector<PlanResponse> responses =
-        plan_service.RunBatch(requests, options);
-    TextTable table;
-    table.SetHeader({"request", "solver", "motif", "|T|", "s({},T)",
-                     "deleted", "s(P,T)", "seconds", "status"});
-    for (size_t i = 0; i < responses.size(); ++i) {
-      const PlanRequest& request = requests[i];
-      const PlanResponse& response = responses[i];
-      if (!response.status.ok()) {
-        ++failures;
-        table.AddRow({request.name, request.spec.algorithm,
-                      std::string(motif::MotifName(request.motif)), "-", "-",
-                      "-", "-", "-", response.status.ToString()});
-        continue;
+  }
+  for (const service::PlanScriptStep& step : steps) {
+    const std::vector<PlanRequest>& requests = step.requests;
+    service::BatchStats step_stats;
+    service::BatchOptions options;
+    options.cache = cache.get();
+    options.store = store->get();
+    options.repository = &repository;
+    options.stats = &step_stats;
+    if (stream) {
+      // One line per request, in input order, flushed as the completed
+      // prefix grows — `tail -f` friendly. Plan files are written at the
+      // same moment, so a crashed batch keeps every finished plan.
+      plan_service.RunBatch(
+          requests, options,
+          [&](size_t i, const PlanResponse& response) {
+            const PlanRequest& request = requests[i];
+            if (!response.status.ok()) {
+              ++failures;
+              std::printf("%s error %s\n", request.name.c_str(),
+                          response.status.ToString().c_str());
+            } else {
+              std::printf(
+                  "%s ok solver=%s motif=%s targets=%zu deleted=%zu "
+                  "similarity=%zu->%zu seconds=%.3f%s\n",
+                  request.name.c_str(), request.spec.algorithm.c_str(),
+                  std::string(motif::MotifName(request.motif)).c_str(),
+                  response.targets.size(),
+                  response.result.protectors.size(),
+                  response.result.initial_similarity,
+                  response.result.final_similarity, response.seconds,
+                  response.from_cache ? " (cached)" : "");
+              write_plan(request, response);
+            }
+            std::fflush(stdout);
+          });
+    } else {
+      std::vector<PlanResponse> responses =
+          plan_service.RunBatch(requests, options);
+      for (size_t i = 0; i < responses.size(); ++i) {
+        const PlanRequest& request = requests[i];
+        const PlanResponse& response = responses[i];
+        if (!response.status.ok()) {
+          ++failures;
+          table.AddRow({request.name, request.spec.algorithm,
+                        std::string(motif::MotifName(request.motif)), "-",
+                        "-", "-", "-", "-", response.status.ToString()});
+          continue;
+        }
+        table.AddRow(
+            {request.name, request.spec.algorithm,
+             std::string(motif::MotifName(request.motif)),
+             std::to_string(response.targets.size()),
+             std::to_string(response.result.initial_similarity),
+             std::to_string(response.result.protectors.size()),
+             std::to_string(response.result.final_similarity),
+             StrFormat("%.3f", response.seconds),
+             response.from_cache ? "ok (cached)" : "ok"});
+        write_plan(request, response);
       }
-      table.AddRow(
-          {request.name, request.spec.algorithm,
-           std::string(motif::MotifName(request.motif)),
-           std::to_string(response.targets.size()),
-           std::to_string(response.result.initial_similarity),
-           std::to_string(response.result.protectors.size()),
-           std::to_string(response.result.final_similarity),
-           StrFormat("%.3f", response.seconds),
-           response.from_cache ? "ok (cached)" : "ok"});
-      write_plan(request, response);
     }
-    std::printf("%zu requests against %s:\n%s", responses.size(),
+    stats.requests += step_stats.requests;
+    stats.cache_hits += step_stats.cache_hits;
+    stats.dedup_shared += step_stats.dedup_shared;
+    stats.solved += step_stats.solved;
+    stats.instance_groups = step_stats.instance_groups;  // cumulative total
+    stats.instance_builds += step_stats.instance_builds;
+    stats.snapshot_hits += step_stats.snapshot_hits;
+    stats.snapshot_stores += step_stats.snapshot_stores;
+    if (step.edit.has_value()) {
+      Result<service::EditSummary> summary =
+          plan_service.ApplyEdit(*step.edit, cache.get(), &repository);
+      if (!summary.ok()) return Fail(summary.status());
+      std::printf(
+          "edit: +%zu/-%zu edges, fingerprint %016llx -> %016llx "
+          "(%zu cache entries kept, %zu invalidated; %zu groups repaired "
+          "in place, %zu reset)\n",
+          summary->inserted, summary->removed,
+          static_cast<unsigned long long>(summary->old_fingerprint),
+          static_cast<unsigned long long>(summary->new_fingerprint),
+          summary->cache_rekeyed, summary->cache_invalidated,
+          summary->groups_repaired, summary->groups_reset);
+      std::fflush(stdout);
+    }
+  }
+  if (!stream) {
+    std::printf("%zu requests against %s:\n%s", total_requests,
                 plan_service.base().DebugString().c_str(),
                 table.ToString().c_str());
   }
@@ -381,11 +442,13 @@ int RunBatch(const ParsedArgs& args) {
   }
   if (cache) {
     service::PlanCache::Stats cs = cache->stats();
-    std::printf("plan cache: %llu hits, %llu misses, %llu evictions "
+    std::printf("plan cache: %llu hits, %llu misses, %llu evictions, "
+                "%llu invalidated-by-edit "
                 "(%zu dedup-shared, %zu instance builds for %zu groups)\n",
                 static_cast<unsigned long long>(cs.hits),
                 static_cast<unsigned long long>(cs.misses),
                 static_cast<unsigned long long>(cs.evictions),
+                static_cast<unsigned long long>(cs.invalidated_by_edit),
                 stats.dedup_shared, stats.instance_builds,
                 stats.instance_groups);
   }
@@ -455,16 +518,32 @@ int RunStore(const ParsedArgs& args) {
   if (action == "evict") {
     std::string name = args.GetString("name", "");
     const bool has_age = args.Has("older-than");
+    const bool stale = args.GetBool("stale");
     Result<double> older_than = args.GetDouble("older-than", 0);
     if (!older_than.ok()) return Fail(older_than.status());
-    if (name.empty() == !has_age) {
+    if (static_cast<int>(!name.empty()) + static_cast<int>(has_age) +
+            static_cast<int>(stale) !=
+        1) {
       return Fail(Status::InvalidArgument(
-          "evict takes exactly one of --name=ENTRY or --older-than=SECONDS"));
+          "evict takes exactly one of --name=ENTRY, --older-than=SECONDS, "
+          "or --stale --graph=FILE"));
     }
     if (!name.empty()) {
       Status status = (*store)->EvictByName(name);
       if (!status.ok()) return Fail(status);
       std::printf("evicted %s\n", name.c_str());
+      return 0;
+    }
+    if (stale) {
+      // The live graph defines which fingerprint is still reachable;
+      // everything the store holds under another one is garbage.
+      Result<Graph> live = LoadGraphFlag(args);
+      if (!live.ok()) return Fail(live.status());
+      const uint64_t fingerprint = graph::Fingerprint(*live);
+      Result<size_t> removed = (*store)->EvictStale(fingerprint);
+      if (!removed.ok()) return Fail(removed.status());
+      std::printf("evicted %zu stale entries (live fingerprint %016llx)\n",
+                  *removed, static_cast<unsigned long long>(fingerprint));
       return 0;
     }
     Result<size_t> removed = (*store)->EvictOlderThan(*older_than);
@@ -475,6 +554,71 @@ int RunStore(const ParsedArgs& args) {
   }
   std::fprintf(stderr, "usage: tpp store <ls|verify|evict> --store=DIR\n");
   return 2;
+}
+
+int RunEdit(const ParsedArgs& args) {
+  Result<Graph> g = LoadGraphFlag(args);
+  if (!g.ok()) return Fail(g.status());
+  std::string insert = args.GetString("insert", "");
+  std::string remove = args.GetString("remove", "");
+  if (insert.empty() && remove.empty()) {
+    return Fail(Status::InvalidArgument(
+        "edit needs at least one of --insert=u-v;u-v or --remove=u-v;u-v"));
+  }
+  const uint64_t old_fingerprint = graph::Fingerprint(*g);
+  std::printf("loaded %s, fingerprint %016llx\n",
+              g->DebugString().c_str(),
+              static_cast<unsigned long long>(old_fingerprint));
+
+  // One edit session, every op validated against the pending view; the
+  // commit applies the net changes through one batched insert/remove.
+  Graph::EditSession session = g->BeginEdit();
+  if (!insert.empty()) {
+    Result<std::vector<Edge>> edges = service::ParseLinkList(insert);
+    if (!edges.ok()) return Fail(edges.status());
+    for (const Edge& e : *edges) {
+      Status queued = session.Insert(e.u, e.v);
+      if (!queued.ok()) return Fail(queued);
+    }
+  }
+  if (!remove.empty()) {
+    Result<std::vector<Edge>> edges = service::ParseLinkList(remove);
+    if (!edges.ok()) return Fail(edges.status());
+    for (const Edge& e : *edges) {
+      Status queued = session.Remove(e.u, e.v);
+      if (!queued.ok()) return Fail(queued);
+    }
+  }
+  Result<graph::GraphDelta> delta = session.Commit();
+  if (!delta.ok()) return Fail(delta.status());
+
+  const uint64_t updated = graph::UpdateFingerprint(
+      old_fingerprint, delta->inserted, delta->removed);
+  const uint64_t recomputed = graph::Fingerprint(*g);
+  if (updated != recomputed) {
+    // Cannot happen while UpdateFingerprint honors its contract; fail
+    // loudly rather than print a fingerprint nothing else will match.
+    return Fail(Status::Internal(
+        StrFormat("O(delta) fingerprint %016llx != full recompute %016llx",
+                  static_cast<unsigned long long>(updated),
+                  static_cast<unsigned long long>(recomputed))));
+  }
+  std::printf(
+      "committed +%zu/-%zu edges -> %s\n"
+      "fingerprint %016llx -> %016llx (O(delta) update, verified against "
+      "full recompute)\n",
+      delta->inserted.size(), delta->removed.size(),
+      g->DebugString().c_str(),
+      static_cast<unsigned long long>(old_fingerprint),
+      static_cast<unsigned long long>(updated));
+
+  std::string out = args.GetString("out", "");
+  if (!out.empty()) {
+    Status saved = graph::SaveEdgeList(*g, out);
+    if (!saved.ok()) return Fail(saved);
+    std::printf("edited graph written to %s\n", out.c_str());
+  }
+  return 0;
 }
 
 int RunSolvers() {
@@ -553,6 +697,8 @@ int Main(int argc, char** argv) {
     rc = RunBatch(*args);
   } else if (command == "store") {
     rc = RunStore(*args);
+  } else if (command == "edit") {
+    rc = RunEdit(*args);
   } else if (command == "solvers") {
     rc = RunSolvers();
   } else if (command == "attack") {
