@@ -14,6 +14,13 @@
 //                 from the log). Responses are CHECKed byte-identical
 //                 through the plan codec.
 //
+// The JSON carries a "store_health" section — retry/degradation counters
+// summed over every store the bench opened, plus the TPP_FAULTS profile
+// it ran under (empty when unarmed). CI re-runs this bench under a
+// transient fault profile and gates on it with `bench_guard --mode=fault`
+// (docs/ROBUSTNESS.md): retries must fire, degradations must stay zero,
+// and every bit-identity CHECK above must still hold.
+//
 // Flags: --quick (fewer repetitions, CI smoke mode), --threads=N (build
 //        thread budget for the cold side; default 1), --targets=N
 //        (protected edges per motif; default 1500 so even the cheapest
@@ -23,6 +30,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -70,6 +78,30 @@ struct BatchResult {
   double warm_ms = 0;
   double speedup = 0;
 };
+
+// Degradation counters accumulated across every store/cache the bench
+// opens. On a healthy filesystem all of these are zero; under a
+// TPP_FAULTS transient profile retries climb while degradations must
+// stay zero — that is the invariant `bench_guard --mode=fault` gates on.
+struct StoreHealth {
+  uint64_t io_retries = 0;
+  uint64_t write_failures = 0;
+  uint64_t read_degradations = 0;
+  uint64_t index_rejects = 0;
+  uint64_t backing_write_failures = 0;
+  uint64_t degradations() const {
+    return write_failures + read_degradations + index_rejects;
+  }
+};
+StoreHealth g_health;
+
+void AbsorbStoreStats(const WarmStore& store) {
+  const WarmStore::Stats stats = store.stats();
+  g_health.io_retries += stats.io_retries;
+  g_health.write_failures += stats.write_failures;
+  g_health.read_degradations += stats.read_degradations;
+  g_health.index_rejects += stats.index_rejects;
+}
 
 TppInstance MakeArenas(MotifKind kind) {
   Result<graph::Graph> g = graph::MakeArenasEmailLike(1);
@@ -143,6 +175,7 @@ MotifResult RunMotif(MotifKind kind, bool quick, int build_threads,
   }
   out.speedup =
       out.warm_load_ms > 0 ? out.cold_build_ms / out.warm_load_ms : 0;
+  AbsorbStoreStats(*store);
   return out;
 }
 
@@ -186,6 +219,8 @@ BatchResult RunBatchComparison(const std::string& store_dir) {
     std::vector<service::PlanResponse> responses =
         plan_service.RunBatch(requests, options);
     *ms = timer.Millis();
+    AbsorbStoreStats(*store);
+    g_health.backing_write_failures += cache.stats().backing_write_failures;
     return responses;
   };
 
@@ -238,6 +273,25 @@ void WriteJson(const std::string& path, bool quick,
                "\"warm_ms\": %.3f, \"speedup\": %.1f, "
                "\"responses_byte_identical\": true},\n",
                batch.requests, batch.cold_ms, batch.warm_ms, batch.speedup);
+  // The degradation tally plus the profile it ran under, so a consumer
+  // (bench_guard --mode=fault) can tell a clean run from a fault run
+  // whose retries were expected to fire. The spec grammar has no quotes
+  // or backslashes, so it embeds verbatim.
+  const char* fault_spec = std::getenv("TPP_FAULTS");
+  std::fprintf(f,
+               "  \"store_health\": {\"fault_spec\": \"%s\", "
+               "\"io_retries\": %llu, \"write_failures\": %llu, "
+               "\"read_degradations\": %llu, \"index_rejects\": %llu, "
+               "\"backing_write_failures\": %llu, \"degradations\": "
+               "%llu},\n",
+               fault_spec == nullptr ? "" : fault_spec,
+               static_cast<unsigned long long>(g_health.io_retries),
+               static_cast<unsigned long long>(g_health.write_failures),
+               static_cast<unsigned long long>(g_health.read_degradations),
+               static_cast<unsigned long long>(g_health.index_rejects),
+               static_cast<unsigned long long>(
+                   g_health.backing_write_failures),
+               static_cast<unsigned long long>(g_health.degradations()));
   std::fprintf(f, "  \"min_motif_speedup\": %.1f\n}\n", min_speedup);
   std::fclose(f);
   std::printf("[json] %s\n", path.c_str());
@@ -297,6 +351,11 @@ int Run(int argc, char** argv) {
   std::printf("minimum per-motif warm-load speedup: %.1fx, all loads "
               "bit-identical to the cold build\n",
               min_speedup);
+  std::printf("store health: %llu retries, %llu write failures, %llu "
+              "degradations\n",
+              static_cast<unsigned long long>(g_health.io_retries),
+              static_cast<unsigned long long>(g_health.write_failures),
+              static_cast<unsigned long long>(g_health.degradations()));
   WriteJson(out_path, quick, results, batch, min_speedup);
   std::filesystem::remove_all(store_dir, ec);
   return 0;

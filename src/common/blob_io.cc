@@ -1,8 +1,10 @@
 #include "common/blob_io.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
+#include "common/fault_injection.h"
 #include "common/rng.h"
 #include "common/strings.h"
 
@@ -40,6 +42,12 @@ MappedBlob::~MappedBlob() {
 
 Result<std::shared_ptr<const MappedBlob>> MappedBlob::Open(
     const std::string& path) {
+  // Injection site "blob.read": a fired transient fault models EINTR /
+  // an evicted page / a flaky network mount; permanent models a dead
+  // disk. Either way the caller sees the failure before any bytes.
+  if (fault::FaultDecision f = fault::Hit("blob.read"); f.fire) {
+    return f.ToStatus("blob.read(" + path + ")");
+  }
   auto blob = std::shared_ptr<MappedBlob>(new MappedBlob());
 #if TPP_BLOB_POSIX
   FdCloser fd;
@@ -105,6 +113,17 @@ Result<std::shared_ptr<const MappedBlob>> MappedBlob::Open(
 }
 
 Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
+  // Injection site "blob.write". A transient fault fails before any
+  // bytes land (EINTR storm, momentary ENOSPC); a torn fault simulates a
+  // crash mid-write: `torn_bytes` of the payload reach the temp file,
+  // then the process "dies" — no fsync, no rename, and the temp file is
+  // left behind exactly as a real crash would leave it. Readers of
+  // `path` must never observe the tear; that is the property the
+  // crash-consistency tests sweep over every byte boundary.
+  fault::FaultDecision injected = fault::Hit("blob.write", bytes.size());
+  if (injected.fire && injected.kind != fault::FaultKind::kTorn) {
+    return injected.ToStatus("blob.write(" + path + ")");
+  }
 #if TPP_BLOB_POSIX
   const std::string tmp =
       StrFormat("%s.tmp.%d", path.c_str(), static_cast<int>(::getpid()));
@@ -112,14 +131,24 @@ Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
     FdCloser fd;
     fd.fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd.fd < 0) return Status::IoError("cannot create " + tmp);
+    const size_t limit = injected.fire
+                             ? static_cast<size_t>(injected.torn_bytes)
+                             : bytes.size();
     size_t off = 0;
-    while (off < bytes.size()) {
-      ssize_t n = ::write(fd.fd, bytes.data() + off, bytes.size() - off);
+    while (off < limit) {
+      ssize_t n = ::write(fd.fd, bytes.data() + off, limit - off);
+      if (n < 0 && errno == EINTR) continue;  // interrupted, not failed
       if (n <= 0) {
         ::unlink(tmp.c_str());
         return Status::IoError("short write to " + tmp);
       }
       off += static_cast<size_t>(n);
+    }
+    if (injected.fire) {
+      // Simulated crash: the prefix is on disk under the temp name and
+      // the final path is untouched. The temp file survives, as it
+      // would after a real kill.
+      return injected.ToStatus("blob.write(" + path + ")");
     }
     if (::fsync(fd.fd) != 0) {
       ::unlink(tmp.c_str());
@@ -147,6 +176,11 @@ Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (!f) return Status::IoError("cannot create " + tmp);
+  if (injected.fire) {  // torn: prefix lands under the temp name, then die
+    std::fwrite(bytes.data(), 1, static_cast<size_t>(injected.torn_bytes), f);
+    std::fclose(f);
+    return injected.ToStatus("blob.write(" + path + ")");
+  }
   const size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
   const bool flushed = std::fflush(f) == 0;
   std::fclose(f);

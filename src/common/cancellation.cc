@@ -1,0 +1,24 @@
+#include "common/cancellation.h"
+
+#include <string>
+
+namespace tpp {
+
+Status CancellationToken::Check(std::string_view site) const {
+  // Walk the chain explicitly (rather than delegating to the parent's
+  // Check) so the error message names the checkpoint that observed the
+  // expiry, not the token that carried the deadline.
+  for (const CancellationToken* tok = this; tok != nullptr;
+       tok = tok->parent_) {
+    if (tok->canceled_.load(std::memory_order_relaxed)) {
+      return Status::Aborted(std::string(site) + ": canceled");
+    }
+    if (tok->has_deadline_ && Clock::now() >= tok->deadline_) {
+      return Status::DeadlineExceeded(std::string(site) +
+                                      ": deadline exceeded");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace tpp

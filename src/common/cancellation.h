@@ -1,0 +1,115 @@
+// Cooperative cancellation: a deadline clock plus an explicit cancel
+// flag, polled at work-loop boundaries.
+//
+// A CancellationToken is shared by address: the issuer keeps the token
+// alive and hands `const CancellationToken*` down through options
+// structs; workers poll it at natural checkpoints (solver round
+// boundaries, pipeline stage boundaries). A null pointer means "never
+// canceled" and costs one branch, so unconditionally threading the
+// pointer through hot paths is free when no deadline is armed.
+//
+// Polling is read-only and touches no shared mutable state beyond one
+// relaxed atomic load, so adding a poll to a loop cannot perturb the
+// loop's output: a run that finishes inside its deadline is bit-identical
+// to a run with no deadline at all.
+//
+// Cancel() may race with polls from any number of threads; the token is
+// internally synchronized. Tokens are neither copyable nor movable —
+// their address is their identity.
+
+#ifndef TPP_COMMON_CANCELLATION_H_
+#define TPP_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tpp {
+
+/// Deadline clock + explicit cancel flag. Default-constructed tokens are
+/// unarmed (no deadline, not canceled) and every poll on them is a cheap
+/// early-out; tokens become observable either by carrying a deadline or
+/// by a Cancel() call.
+class CancellationToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unarmed token: never expires until Cancel() is called.
+  CancellationToken() = default;
+
+  /// Token that expires at `deadline`.
+  explicit CancellationToken(Clock::time_point deadline)
+      : has_deadline_(true), deadline_(deadline) {}
+
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Token that expires `millis` from now. `millis <= 0` arms an
+  /// already-expired deadline (every poll fails immediately).
+  static CancellationToken AfterMillis(int64_t millis) {
+    return CancellationToken(Clock::now() +
+                             std::chrono::milliseconds(millis));
+  }
+
+  /// Chains this token under `parent`: this token reports expiry when
+  /// the parent does (batch-level deadlines propagate into per-request
+  /// tokens this way). The parent must outlive this token.
+  void set_parent(const CancellationToken* parent) { parent_ = parent; }
+
+  /// Tightens the deadline to `deadline` if it is earlier than the
+  /// current one (or if none is set). Call before sharing the token.
+  void TightenDeadline(Clock::time_point deadline) {
+    if (!has_deadline_ || deadline < deadline_) {
+      has_deadline_ = true;
+      deadline_ = deadline;
+    }
+  }
+
+  /// Requests cancellation. Safe from any thread, idempotent.
+  void Cancel() { canceled_.store(true, std::memory_order_relaxed); }
+
+  /// True once Cancel() was called on this token (not the parent chain).
+  bool canceled() const {
+    return canceled_.load(std::memory_order_relaxed);
+  }
+
+  /// True if this token carries its own deadline.
+  bool has_deadline() const { return has_deadline_; }
+
+  /// The armed deadline; meaningless unless has_deadline().
+  Clock::time_point deadline() const { return deadline_; }
+
+  /// Cheap poll: canceled, past the deadline, or expired up the parent
+  /// chain. One relaxed load on the unarmed fast path.
+  bool Expired() const {
+    if (canceled_.load(std::memory_order_relaxed)) return true;
+    if (has_deadline_ && Clock::now() >= deadline_) return true;
+    return parent_ != nullptr && parent_->Expired();
+  }
+
+  /// Poll returning a Status: Ok while live, kAborted after Cancel(),
+  /// kDeadlineExceeded past the deadline. `site` names the checkpoint
+  /// in the error message ("solver round", "pipeline:solve", ...).
+  Status Check(std::string_view site) const;
+
+ private:
+  std::atomic<bool> canceled_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+  const CancellationToken* parent_ = nullptr;
+};
+
+/// Null-safe poll: Ok when `token` is null, else token->Check(site).
+/// The form work loops use so unarmed callers pay one pointer test.
+inline Status PollCancellation(const CancellationToken* token,
+                               std::string_view site) {
+  if (token == nullptr) return Status::Ok();
+  return token->Check(site);
+}
+
+}  // namespace tpp
+
+#endif  // TPP_COMMON_CANCELLATION_H_

@@ -1,0 +1,215 @@
+#include "common/fault_injection.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace tpp::fault {
+
+namespace {
+
+// FNV-1a over the site name: stable across platforms and standard-library
+// implementations, so a given (seed, spec) pair injects the same faults
+// everywhere — std::hash makes no such promise.
+uint64_t HashSite(std::string_view site) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+bool PatternMatches(std::string_view pattern, std::string_view site) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    return StartsWith(site, pattern.substr(0, pattern.size() - 1));
+  }
+  return pattern == site;
+}
+
+Status ParseProfile(std::string_view text, FaultProfile* out) {
+  std::vector<std::string_view> terms = SplitNonEmpty(text, ":");
+  if (terms.empty()) {
+    return Status::InvalidArgument("fault profile: empty entry");
+  }
+  out->site_pattern = std::string(StripWhitespace(terms[0]));
+  if (out->site_pattern.empty()) {
+    return Status::InvalidArgument("fault profile: empty site pattern");
+  }
+  bool has_trigger = false;
+  for (size_t i = 1; i < terms.size(); ++i) {
+    std::string_view term = StripWhitespace(terms[i]);
+    if (StartsWith(term, "p=")) {
+      Result<double> p = ParseDouble(term.substr(2));
+      if (!p.ok() || *p < 0.0 || *p > 1.0) {
+        return Status::InvalidArgument("fault profile: bad probability in '" +
+                                       std::string(text) + "'");
+      }
+      out->probability = *p;
+      has_trigger = true;
+    } else if (StartsWith(term, "n=")) {
+      Result<int64_t> n = ParseInt64(term.substr(2));
+      if (!n.ok() || *n <= 0) {
+        return Status::InvalidArgument("fault profile: bad n= in '" +
+                                       std::string(text) + "'");
+      }
+      out->nth = static_cast<uint64_t>(*n);
+      has_trigger = true;
+    } else if (StartsWith(term, "every=")) {
+      Result<int64_t> k = ParseInt64(term.substr(6));
+      if (!k.ok() || *k <= 0) {
+        return Status::InvalidArgument("fault profile: bad every= in '" +
+                                       std::string(text) + "'");
+      }
+      out->every = static_cast<uint64_t>(*k);
+      has_trigger = true;
+    } else if (term == "transient") {
+      out->kind = FaultKind::kTransient;
+    } else if (term == "permanent") {
+      out->kind = FaultKind::kPermanent;
+    } else if (term == "torn") {
+      out->kind = FaultKind::kTorn;
+      out->torn_explicit = false;
+    } else if (StartsWith(term, "torn=")) {
+      Result<int64_t> b = ParseInt64(term.substr(5));
+      if (!b.ok() || *b < 0) {
+        return Status::InvalidArgument("fault profile: bad torn= in '" +
+                                       std::string(text) + "'");
+      }
+      out->kind = FaultKind::kTorn;
+      out->torn_explicit = true;
+      out->torn_bytes = static_cast<uint64_t>(*b);
+    } else {
+      return Status::InvalidArgument("fault profile: unknown term '" +
+                                     std::string(term) + "'");
+    }
+  }
+  if (!has_trigger) {
+    return Status::InvalidArgument(
+        "fault profile: no trigger (p=/n=/every=) in '" + std::string(text) +
+        "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status FaultDecision::ToStatus(std::string_view site) const {
+  std::string msg = "injected fault at " + std::string(site);
+  switch (kind) {
+    case FaultKind::kPermanent:
+      return Status::IoError(std::move(msg));
+    case FaultKind::kTorn:
+      // A torn write is a simulated crash: the caller already let
+      // torn_bytes through, and whether the op would have succeeded on
+      // retry is unknowable — report it transient so retry paths behave
+      // as they would after a real interrupted write.
+      return Status::Unavailable(msg + " (torn write)");
+    case FaultKind::kTransient:
+      break;
+  }
+  return Status::Unavailable(std::move(msg));
+}
+
+FaultInjector::FaultInjector() {
+  const char* spec = std::getenv("TPP_FAULTS");
+  if (spec != nullptr && spec[0] != '\0') {
+    const char* seed_text = std::getenv("TPP_FAULTS_SEED");
+    uint64_t seed = 0;
+    if (seed_text != nullptr) {
+      Result<int64_t> parsed = ParseInt64(seed_text);
+      if (parsed.ok()) seed = static_cast<uint64_t>(*parsed);
+    }
+    Status armed = Arm(spec, seed);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "tpp: ignoring TPP_FAULTS: %s\n",
+                   armed.ToString().c_str());
+    }
+  }
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+Status FaultInjector::Arm(std::string_view spec, uint64_t seed) {
+  auto parsed =
+      std::make_shared<std::vector<std::unique_ptr<FaultProfile>>>();
+  for (std::string_view entry : SplitNonEmpty(spec, ";,")) {
+    entry = StripWhitespace(entry);
+    if (entry.empty()) continue;
+    auto profile = std::make_unique<FaultProfile>();
+    TPP_RETURN_IF_ERROR(ParseProfile(entry, profile.get()));
+    parsed->push_back(std::move(profile));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  injected_.store(0, std::memory_order_relaxed);
+  matched_.store(0, std::memory_order_relaxed);
+  if (parsed->empty()) {
+    profiles_.reset();
+    armed_.store(false, std::memory_order_relaxed);
+  } else {
+    profiles_ = std::move(parsed);
+    armed_.store(true, std::memory_order_relaxed);
+  }
+  return Status::Ok();
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  profiles_.reset();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+FaultDecision FaultInjector::Decide(std::string_view site, uint64_t size) {
+  std::shared_ptr<const std::vector<std::unique_ptr<FaultProfile>>> profiles;
+  uint64_t seed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    profiles = profiles_;
+    seed = seed_;
+  }
+  if (profiles == nullptr) return {};
+  for (const auto& profile : *profiles) {
+    if (!PatternMatches(profile->site_pattern, site)) continue;
+    matched_.fetch_add(1, std::memory_order_relaxed);
+    // 1-based call index within this profile, across all matched sites.
+    const uint64_t call =
+        profile->calls.fetch_add(1, std::memory_order_relaxed) + 1;
+    bool fire = false;
+    if (profile->nth != 0 && call == profile->nth) fire = true;
+    if (profile->every != 0 && call % profile->every == 0) fire = true;
+    if (profile->probability > 0.0) {
+      // Seed ^ site ^ call through the SplitMix64 avalanche: a fixed
+      // (seed, spec) pair fires on the same calls in every run.
+      const uint64_t draw =
+          SplitMix64(seed ^ HashSite(site) ^ (call * 0x9e3779b97f4a7c15ull));
+      const double unit =
+          static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
+      if (unit < profile->probability) fire = true;
+    }
+    if (!fire) return {};  // first matching profile owns the site
+    profile->fired.fetch_add(1, std::memory_order_relaxed);
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    FaultDecision decision;
+    decision.fire = true;
+    decision.kind = profile->kind;
+    if (profile->kind == FaultKind::kTorn) {
+      if (profile->torn_explicit) {
+        decision.torn_bytes = std::min(profile->torn_bytes, size);
+      } else {
+        const uint64_t draw = SplitMix64(seed ^ HashSite(site) ^ call);
+        decision.torn_bytes = (size == 0) ? 0 : draw % (size + 1);
+      }
+    }
+    return decision;
+  }
+  return {};
+}
+
+}  // namespace tpp::fault

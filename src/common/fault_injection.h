@@ -1,0 +1,141 @@
+// Deterministic I/O fault injection, compiled in always.
+//
+// A process-wide registry maps injection *sites* (short dotted names like
+// "store.append" or "blob.write", named at each instrumented call) to
+// armed *profiles*: fire probabilistically (p=), on exactly the Nth call
+// (n=), or on every Kth call (every=), producing a transient error, a
+// permanent error, or a torn write that lets only a byte prefix through.
+// Profiles are armed programmatically (tests) or from the TPP_FAULTS /
+// TPP_FAULTS_SEED environment variables (CI), and every decision derives
+// from the armed seed plus a per-profile call counter — the same seed
+// over the same call sequence injects the same faults, so sanitizer runs
+// and bit-identity checks are reproducible.
+//
+// Unarmed cost: one relaxed atomic load per instrumented call (the
+// common case in production builds — there is no compile-time switch to
+// get wrong). Instrumented code writes:
+//
+//   if (fault::FaultDecision f = fault::Hit("store.append", size); f.fire)
+//     return f.ToStatus("store.append");
+//
+// Profile spec grammar (';'-separated profiles, ':'-separated terms):
+//
+//   spec    := profile (';' profile)*
+//   profile := site (':' term)*
+//   site    := dotted name, optionally ending in '*' ("store.*", "*")
+//   term    := 'p=' PROB       fire with probability PROB per call
+//            | 'n=' N          fire on exactly the Nth call (1-based)
+//            | 'every=' K      fire on every Kth call
+//            | 'transient'     fired calls fail kUnavailable (default)
+//            | 'permanent'     fired calls fail kIoError
+//            | 'torn'          tear at a seed-derived byte offset
+//            | 'torn=' BYTES   tear after exactly BYTES bytes
+//
+// Example: TPP_FAULTS='store.*:p=0.05:transient' arms 5% transient
+// failures on every warm-store I/O site. The first profile whose site
+// pattern matches wins; later profiles for the same site never fire.
+
+#ifndef TPP_COMMON_FAULT_INJECTION_H_
+#define TPP_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tpp::fault {
+
+/// Failure mode of a fired fault.
+enum class FaultKind {
+  kTransient,  ///< maps to kUnavailable: a retry may succeed
+  kPermanent,  ///< maps to kIoError: retrying is pointless
+  kTorn,       ///< crash mid-write: a byte prefix lands, then kUnavailable
+};
+
+/// The verdict for one instrumented call.
+struct FaultDecision {
+  bool fire = false;
+  FaultKind kind = FaultKind::kTransient;
+  /// For kTorn only: how many payload bytes to let through before dying.
+  uint64_t torn_bytes = 0;
+
+  /// The Status a fired decision stands for (never called when !fire).
+  Status ToStatus(std::string_view site) const;
+};
+
+/// One armed site profile (parsed form of the spec grammar above).
+struct FaultProfile {
+  std::string site_pattern;  ///< exact name, or prefix ending in '*'
+  double probability = 0.0;  ///< p= term; 0 disables the probabilistic path
+  uint64_t nth = 0;          ///< n= term; fires on exactly this call
+  uint64_t every = 0;        ///< every= term; fires on every Kth call
+  FaultKind kind = FaultKind::kTransient;
+  bool torn_explicit = false;  ///< torn=BYTES vs seed-derived tear point
+  uint64_t torn_bytes = 0;
+
+  /// Calls matched so far (the 1-based counter n=/every= index into).
+  std::atomic<uint64_t> calls{0};
+  /// Calls that fired.
+  std::atomic<uint64_t> fired{0};
+};
+
+/// The process-wide injection registry. All methods are thread-safe.
+class FaultInjector {
+ public:
+  /// The global instance. First use arms from the TPP_FAULTS and
+  /// TPP_FAULTS_SEED environment variables when they are set.
+  static FaultInjector& Global();
+
+  /// Replaces the armed profile set with the parsed `spec` (see grammar
+  /// above). An empty spec disarms. Counters reset.
+  Status Arm(std::string_view spec, uint64_t seed);
+
+  /// Drops every profile; all subsequent calls take the unarmed path.
+  void Disarm();
+
+  /// True when at least one profile is armed (relaxed load — the only
+  /// cost an uninjected process pays per instrumented call).
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Decides whether the current call at `site` fires. `size` bounds the
+  /// tear point of torn profiles (reduced into [0, size]). Matches the
+  /// first armed profile whose pattern covers `site`.
+  FaultDecision Decide(std::string_view site, uint64_t size);
+
+  /// Total fired decisions since the last Arm().
+  uint64_t injected() const { return injected_.load(std::memory_order_relaxed); }
+
+  /// Total instrumented calls that matched an armed profile.
+  uint64_t matched() const { return matched_.load(std::memory_order_relaxed); }
+
+ private:
+  FaultInjector();
+
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> injected_{0};
+  std::atomic<uint64_t> matched_{0};
+  uint64_t seed_ = 0;
+  // The profile set is immutable once armed: Arm/Disarm swap the whole
+  // vector under mu_, Decide copies the shared_ptr under mu_ then works
+  // on the profiles' atomic counters without the lock. Armed runs are
+  // test/CI scenarios, so a brief lock on the I/O path is acceptable.
+  mutable std::mutex mu_;
+  std::shared_ptr<const std::vector<std::unique_ptr<FaultProfile>>> profiles_;
+};
+
+/// The instrumented-call entry point: an unfired decision unless the
+/// global injector is armed and a profile matches and fires.
+inline FaultDecision Hit(std::string_view site, uint64_t size = 0) {
+  FaultInjector& g = FaultInjector::Global();
+  if (!g.armed()) return {};
+  return g.Decide(site, size);
+}
+
+}  // namespace tpp::fault
+
+#endif  // TPP_COMMON_FAULT_INJECTION_H_

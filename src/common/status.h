@@ -26,7 +26,19 @@ enum class StatusCode {
   kInternal = 6,
   kUnimplemented = 7,
   kIoError = 8,
+  kDeadlineExceeded = 9,
+  kUnavailable = 10,
+  kAborted = 11,
 };
+
+/// True for codes that describe a transient condition worth retrying.
+/// Retry loops key off this alone: kUnavailable means "the same call may
+/// succeed if repeated" (EINTR, short write, injected transient fault),
+/// while every other error code is either permanent (kIoError, kInternal)
+/// or a caller decision (kDeadlineExceeded, kAborted).
+inline bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable;
+}
 
 /// Returns a stable human-readable name for a status code, e.g.
 /// "InvalidArgument".
@@ -73,6 +85,15 @@ class [[nodiscard]] Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   /// True iff this status represents success.

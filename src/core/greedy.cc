@@ -52,6 +52,7 @@ Result<ProtectionResult> SgbGreedyEagerCold(Engine& engine, size_t budget,
   std::vector<EdgeKey> candidates;
   std::vector<size_t> gains;
   while (result.protectors.size() < budget) {
+    TPP_RETURN_IF_ERROR(PollCancellation(options.cancel, "sgb-greedy"));
     engine.CandidateGains(options.scope, &candidates, &gains);
     EdgeKey best_edge = 0;
     size_t best_gain = 0;
@@ -80,6 +81,7 @@ Result<ProtectionResult> SgbGreedyEagerIncremental(
   ProtectionResult result;
   result.initial_similarity = engine.TotalSimilarity();
   while (result.protectors.size() < budget) {
+    TPP_RETURN_IF_ERROR(PollCancellation(options.cancel, "sgb-greedy"));
     const RoundGains& round = engine.BeginRound(options.scope,
                                                 /*per_target=*/false);
     uint32_t best_gain = 0;
@@ -121,6 +123,7 @@ Result<ProtectionResult> SgbGreedyHeap(Engine& engine, size_t budget,
   heap.set_stats(options.heap_stats);
   bool built = false;
   while (result.protectors.size() < budget) {
+    TPP_RETURN_IF_ERROR(PollCancellation(options.cancel, "sgb-greedy"));
     const RoundGains& round = engine.BeginRound(options.scope,
                                                 /*per_target=*/false);
     const size_t universe = round.edges.size();
@@ -191,6 +194,7 @@ Result<ProtectionResult> SgbGreedyLazyClassic(Engine& engine, size_t budget,
   }
   uint64_t round = 0;
   while (result.protectors.size() < budget && !heap.empty()) {
+    TPP_RETURN_IF_ERROR(PollCancellation(options.cancel, "sgb-celf"));
     HeapEntry top = heap.top();
     heap.pop();
     if (top.round != round) {
@@ -231,6 +235,7 @@ Result<ProtectionResult> CtGreedyCold(Engine& engine,
   std::vector<EdgeKey> candidates;
   std::vector<size_t> diffs(budgets.size());
   while (result.protectors.size() < total_budget) {
+    TPP_RETURN_IF_ERROR(PollCancellation(options.cancel, "ct-greedy"));
     engine.CandidatesInto(options.scope, &candidates);
     bool found = false;
     size_t best_target = 0;
@@ -300,6 +305,7 @@ Result<ProtectionResult> CtGreedyIncremental(
   uint32_t exhausted = kNoExhaust;
 
   while (result.protectors.size() < total_budget) {
+    TPP_RETURN_IF_ERROR(PollCancellation(options.cancel, "ct-greedy"));
     const RoundGains& round = engine.BeginRound(options.scope,
                                                 /*per_target=*/true);
     const size_t universe = round.edges.size();
@@ -397,6 +403,7 @@ Result<ProtectionResult> CtGreedyHeap(Engine& engine,
   uint32_t exhausted = kNoExhaust;
 
   while (result.protectors.size() < total_budget) {
+    TPP_RETURN_IF_ERROR(PollCancellation(options.cancel, "ct-greedy"));
     const RoundGains& round = engine.BeginRound(options.scope,
                                                 /*per_target=*/true);
     const size_t universe = round.edges.size();
@@ -472,6 +479,7 @@ Result<ProtectionResult> WtGreedyCold(Engine& engine,
   std::vector<size_t> diffs(budgets.size());
   for (size_t t = 0; t < budgets.size(); ++t) {
     for (size_t b = 0; b < budgets[t]; ++b) {
+      TPP_RETURN_IF_ERROR(PollCancellation(options.cancel, "wt-greedy"));
       engine.CandidatesInto(options.scope, &candidates);
       bool found = false;
       EdgeKey best_edge = 0;
@@ -513,6 +521,7 @@ Result<ProtectionResult> WtGreedyIncremental(
   for (size_t t = 0; t < budgets.size(); ++t) {
     bool target_cached = false;
     for (size_t b = 0; b < budgets[t]; ++b) {
+      TPP_RETURN_IF_ERROR(PollCancellation(options.cancel, "wt-greedy"));
       const RoundGains& round = engine.BeginRound(options.scope,
                                                   /*per_target=*/true);
       const size_t universe = round.edges.size();
@@ -572,6 +581,7 @@ Result<ProtectionResult> WtGreedyHeap(Engine& engine,
   for (size_t t = 0; t < budgets.size(); ++t) {
     bool target_cached = false;
     for (size_t b = 0; b < budgets[t]; ++b) {
+      TPP_RETURN_IF_ERROR(PollCancellation(options.cancel, "wt-greedy"));
       const RoundGains& round = engine.BeginRound(options.scope,
                                                   /*per_target=*/true);
       const size_t universe = round.edges.size();

@@ -18,6 +18,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "core/engine.h"
 #include "core/selection_heap.h"
@@ -78,6 +79,14 @@ struct GreedyOptions {
   /// bench/solver_rounds' heap-ops / dirty-repush telemetry. Never
   /// touched by the flat-scan or classic paths.
   SelectionHeapStats* heap_stats = nullptr;
+  /// Cooperative cancellation: when set, every greedy loop polls the
+  /// token at each round boundary and returns its status (deadline
+  /// exceeded / aborted) instead of committing further picks. Polling is
+  /// read-only and a pick is the atom of engine mutation, so a canceled
+  /// run leaves the engine in the exact state of its last COMPLETED
+  /// round — never half-mutated — and an un-expired token changes no
+  /// output at all. nullptr (the default) means uncancelable.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// One committed protector deletion, for evolution plots and audits.

@@ -27,6 +27,7 @@ GreedyOptions OptionsOf(const SolverSpec& spec) {
   opts.lazy = spec.lazy;
   opts.rounds = spec.rounds;
   opts.celf = spec.celf;
+  opts.cancel = spec.cancel;
   return opts;
 }
 

@@ -31,6 +31,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "core/engine.h"
@@ -72,6 +73,12 @@ struct SolverSpec {
   /// Total deletion budget k. 0 is legal and selects nothing (budget-grid
   /// sweeps evaluate it); the kFullProtection default is unbounded.
   size_t budget = kFullProtection;
+  /// Cooperative cancellation (common/cancellation.h): solvers poll the
+  /// token at round boundaries and return kDeadlineExceeded / kAborted
+  /// instead of running on. Not owned; must outlive the Run call.
+  /// Wall-clock only — like `rounds`, it never changes the output of a
+  /// run that completes, so plan caching ignores this field.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// One registered protector-selection algorithm. Implementations are

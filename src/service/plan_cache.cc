@@ -64,6 +64,22 @@ bool SurvivesEdit(std::string_view key,
   return true;
 }
 
+// Whether a failed response's status depends on when (not what) was
+// asked: a deadline that expired, a cancellation, or a transient store
+// hiccup. Memoizing these — even with cache_failures on — would poison
+// the cache: the same request retried with a fresh deadline would be
+// served the stale failure instead of being solved.
+bool IsTimingDependent(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kAborted:
+    case StatusCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 std::string CanonicalRequestKey(uint64_t base_fingerprint,
@@ -159,7 +175,10 @@ void PlanCache::InsertInMemory(const std::string& key, Entry entry,
 
 void PlanCache::Insert(const std::string& key, PlanResponse response) {
   const bool ok_response = response.status.ok();
-  if (!ok_response && !cache_failures_) return;  // never memoize failures
+  if (!ok_response &&
+      (!cache_failures_ || IsTimingDependent(response.status))) {
+    return;  // never memoize (timing-dependent) failures
+  }
   Entry entry = std::make_shared<const PlanResponse>(std::move(response));
   Entry evicted;  // destroyed outside the lock
   {
@@ -170,7 +189,10 @@ void PlanCache::Insert(const std::string& key, PlanResponse response) {
   // half); failures are never persisted regardless of cache_failures_ —
   // a transient error must not outlive the process that saw it.
   if (backing_ != nullptr && ok_response) {
-    (void)backing_->AppendPlan(key, store::EncodePlanResponse(*entry));
+    Status appended = backing_->AppendPlan(key, store::EncodePlanResponse(*entry));
+    if (!appended.ok()) {
+      backing_write_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -215,7 +237,10 @@ PlanCache::EditOutcome PlanCache::InvalidateForEdit(
     rekeyed_by_edit_ += outcome.rekeyed;
   }
   for (const auto& [key, entry] : write_through) {
-    (void)backing_->AppendPlan(key, store::EncodePlanResponse(*entry));
+    Status appended = backing_->AppendPlan(key, store::EncodePlanResponse(*entry));
+    if (!appended.ok()) {
+      backing_write_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   return outcome;
 }
@@ -229,6 +254,8 @@ PlanCache::Stats PlanCache::stats() const {
   s.evictions = evictions_;
   s.invalidated_by_edit = invalidated_by_edit_;
   s.rekeyed_by_edit = rekeyed_by_edit_;
+  s.backing_write_failures =
+      backing_write_failures_.load(std::memory_order_relaxed);
   s.size = lru_.size();
   s.capacity = capacity_;
   return s;

@@ -35,6 +35,7 @@
 #ifndef TPP_SERVICE_PLAN_CACHE_H_
 #define TPP_SERVICE_PLAN_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -72,6 +73,11 @@ class PlanCache {
     uint64_t evictions = 0;
     uint64_t invalidated_by_edit = 0;  ///< entries dropped by InvalidateForEdit
     uint64_t rekeyed_by_edit = 0;  ///< entries surviving an edit (rekeyed)
+    /// Write-throughs the backing store could not persist (after its own
+    /// retry policy gave up). The memory tier still holds the entry, so
+    /// this process keeps serving it; only the cross-restart warm start
+    /// is lost. Feeds the batch footer for CI gating.
+    uint64_t backing_write_failures = 0;
     size_t size = 0;
     size_t capacity = 0;
   };
@@ -145,7 +151,10 @@ class PlanCache {
   void set_backing_store(store::WarmStore* backing) { backing_ = backing; }
 
   /// Whether failed responses are memoized in memory (default true; see
-  /// file comment). Failures never reach the backing store either way.
+  /// file comment). Failures never reach the backing store either way,
+  /// and TIMING-DEPENDENT failures (deadline exceeded, canceled,
+  /// transient unavailability) are never memoized at all — a retry with
+  /// a fresh deadline must re-solve, not replay the stale verdict.
   void set_cache_failures(bool cache_failures) {
     cache_failures_ = cache_failures;
   }
@@ -173,6 +182,7 @@ class PlanCache {
   uint64_t evictions_ = 0;
   uint64_t invalidated_by_edit_ = 0;
   uint64_t rekeyed_by_edit_ = 0;
+  std::atomic<uint64_t> backing_write_failures_{0};  // bumped outside mu_
   store::WarmStore* backing_ = nullptr;  // not owned
   bool cache_failures_ = true;
 };

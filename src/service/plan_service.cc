@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <fstream>
 #include <limits>
 #include <mutex>
@@ -20,6 +22,7 @@
 #include "graph/fingerprint.h"
 #include "service/instance_repository.h"
 #include "service/plan_cache.h"
+#include "service/store/warm_store.h"
 
 namespace tpp::service {
 
@@ -38,9 +41,12 @@ constexpr size_t kNoGroup = std::numeric_limits<size_t>::max();
 // loop" an identity by construction, not by coincidence.
 void SolveWithEngine(const PlanRequest& request, const TppInstance& instance,
                      IndexedEngine& engine, Rng& rng,
+                     const CancellationToken* cancel,
                      PlanResponse* response) {
+  SolverSpec spec = request.spec;
+  if (cancel != nullptr) spec.cancel = cancel;
   Result<core::ProtectionResult> result =
-      core::RunSolver(request.spec, engine, instance, rng);
+      core::RunSolver(spec, engine, instance, rng);
   if (!result.ok()) {
     response->status = result.status();
     return;
@@ -49,6 +55,24 @@ void SolveWithEngine(const PlanRequest& request, const TppInstance& instance,
   response->plan_text =
       core::SerializeDeletionPlan(instance, response->result);
   if (request.want_released) response->released = engine.CurrentGraph();
+}
+
+// The effective cancel source of one request: its own deadline_ms (clock
+// starting now) tightened by an optional batch deadline, chained over the
+// request's external cancel token. Arms `token` and returns it when any
+// source is active, else returns the bare external token (possibly null)
+// so unarmed requests keep the null fast path.
+const CancellationToken* ArmRequestToken(
+    const PlanRequest& request, bool batch_deadline,
+    CancellationToken::Clock::time_point batch_by, CancellationToken& token) {
+  if (request.deadline_ms <= 0 && !batch_deadline) return request.cancel;
+  if (request.deadline_ms > 0) {
+    token.TightenDeadline(CancellationToken::Clock::now() +
+                          std::chrono::milliseconds(request.deadline_ms));
+  }
+  if (batch_deadline) token.TightenDeadline(batch_by);
+  token.set_parent(request.cancel);
+  return &token;
 }
 
 }  // namespace
@@ -61,6 +85,9 @@ PlanService::PlanService(graph::Graph base)
 PlanResponse PlanService::RunOne(const PlanRequest& request) const {
   WallTimer timer;
   PlanResponse response;
+  CancellationToken deadline_token;
+  const CancellationToken* cancel = ArmRequestToken(
+      request, /*batch_deadline=*/false, {}, deadline_token);
   // Everything below depends only on the base graph and the request, so
   // concurrent execution order cannot change any response.
   Rng rng = RequestRng(request.seed);
@@ -75,6 +102,10 @@ PlanResponse PlanService::RunOne(const PlanRequest& request) const {
   } else {
     response.targets = request.targets;
   }
+  // Stage-boundary poll before the expensive build; the solver polls at
+  // its own round boundaries from here on.
+  response.status = PollCancellation(cancel, "plan:build");
+  if (!response.status.ok()) return response;
   Result<TppInstance> instance =
       core::MakeInstance(base_, response.targets, request.motif);
   if (!instance.ok()) {
@@ -86,7 +117,7 @@ PlanResponse PlanService::RunOne(const PlanRequest& request) const {
     response.status = engine.status();
     return response;
   }
-  SolveWithEngine(request, *instance, *engine, rng, &response);
+  SolveWithEngine(request, *instance, *engine, rng, cancel, &response);
   if (!response.status.ok()) return response;
   response.seconds = timer.Seconds();
   return response;
@@ -137,6 +168,7 @@ std::vector<PlanResponse> PlanService::RunPipeline(
     std::optional<Rng> rng;  // stream already advanced past sampling
     size_t group = kNoGroup;
     bool failed = false;     // resolution failed; status already recorded
+    const CancellationToken* cancel = nullptr;  // effective deadline/cancel
   };
   std::vector<char> done(n, 0);  // representative slots that are final
   std::vector<Unit> units;
@@ -153,6 +185,27 @@ std::vector<PlanResponse> PlanService::RunPipeline(
     units.push_back(std::move(unit));
   }
   stats.solved = units.size();
+
+  // Deadline arming: one token per deadline-carrying unit, owned here for
+  // the pipeline's lifetime (deque: emplace_back never moves tokens, whose
+  // address is their identity). The batch clock starts now, so cache hits
+  // above never consumed any of the budget.
+  const bool batch_deadline = options.batch_deadline_ms > 0;
+  CancellationToken::Clock::time_point batch_by{};
+  if (batch_deadline) {
+    batch_by = CancellationToken::Clock::now() +
+               std::chrono::milliseconds(options.batch_deadline_ms);
+  }
+  std::deque<CancellationToken> deadline_tokens;
+  for (Unit& unit : units) {
+    const PlanRequest& request = requests[unit.index];
+    if (request.deadline_ms <= 0 && !batch_deadline &&
+        request.cancel == nullptr) {
+      continue;  // unarmed: keep the null fast path
+    }
+    unit.cancel = ArmRequestToken(request, batch_deadline, batch_by,
+                                  deadline_tokens.emplace_back());
+  }
 
   // -- Stage 4: resolve targets and group by instance. Sampling draws
   // come from the request's own stream exactly as RunOne draws them, and
@@ -171,6 +224,10 @@ std::vector<PlanResponse> PlanService::RunPipeline(
   const size_t builds_before = repository.NumBuilds();
   const size_t snapshot_hits_before = repository.NumSnapshotHits();
   const size_t snapshot_stores_before = repository.NumSnapshotStores();
+  // Store health counters are cumulative on the store; report this run's
+  // deltas (retries absorbed, writes lost, degradations) alongside.
+  store::WarmStore::Stats store_before;
+  if (options.store != nullptr) store_before = options.store->stats();
   // A cold group's one-time index build parallelizes over the same pool
   // budget the solve stage gets; nesting inside a pool worker is safe
   // (the building worker drains its own ParallelFor chunks).
@@ -215,13 +272,19 @@ std::vector<PlanResponse> PlanService::RunPipeline(
     const PlanRequest& request = requests[unit.index];
     PlanResponse& response = responses[unit.index];
     if (!unit.failed) {
+      // Stage-boundary poll before the build/solve stage; the solver
+      // polls at its own round boundaries from here on. An expired unit
+      // fails in place — the rest of the batch proceeds.
+      response.status = PollCancellation(unit.cancel, "pipeline:solve");
+    }
+    if (!unit.failed && response.status.ok()) {
       if (unit.group != kNoGroup) {
         Result<IndexedEngine> engine = repository.AcquireEngine(unit.group);
         if (!engine.ok()) {
           response.status = engine.status();
         } else {
           SolveWithEngine(request, repository.instance(unit.group), *engine,
-                          *unit.rng, &response);
+                          *unit.rng, unit.cancel, &response);
         }
       } else {
         // Unshared path (share_instances off): the per-request build of
@@ -236,7 +299,7 @@ std::vector<PlanResponse> PlanService::RunPipeline(
             response.status = engine.status();
           } else {
             SolveWithEngine(request, *instance, *engine, *unit.rng,
-                            &response);
+                            unit.cancel, &response);
           }
         }
       }
@@ -323,6 +386,19 @@ std::vector<PlanResponse> PlanService::RunPipeline(
   stats.snapshot_hits = repository.NumSnapshotHits() - snapshot_hits_before;
   stats.snapshot_stores =
       repository.NumSnapshotStores() - snapshot_stores_before;
+  if (options.store != nullptr) {
+    store::WarmStore::Stats store_now = options.store->stats();
+    stats.store_retries = store_now.io_retries - store_before.io_retries;
+    stats.store_write_failures =
+        store_now.write_failures - store_before.write_failures;
+    stats.store_degradations =
+        store_now.degradations() - store_before.degradations();
+  }
+  for (const PlanResponse& response : responses) {
+    if (response.status.code() == StatusCode::kDeadlineExceeded) {
+      ++stats.deadline_exceeded;
+    }
+  }
   if (options.stats) *options.stats = stats;
   return responses;
 }
@@ -522,6 +598,11 @@ Result<PlanRequest> ParsePlanRequestLine(std::string_view text, size_t line,
                       celf.status().ToString().c_str()));
       }
       request.spec.celf = *celf;
+    } else if (key == "deadline_ms") {
+      // Wall-clock knob like rounds=: excluded from the cache key (a
+      // deadline changes whether a run finishes, not what it produces).
+      TPP_ASSIGN_OR_RETURN(int64_t deadline, ParseInt64(value));
+      request.deadline_ms = deadline;
     } else if (key == "released") {
       // Carrying the released graph costs O(graph) memory per response;
       // batches opt in per request.

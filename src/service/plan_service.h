@@ -50,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "core/problem.h"
 #include "core/report.h"
@@ -83,6 +84,18 @@ struct PlanRequest {
   /// default so large batches do not hold O(batch x graph) memory; `tpp
   /// protect` and the request-file key `released=1` turn it on.
   bool want_released = false;
+  /// Wall-clock budget for this request in milliseconds; <= 0 means
+  /// unlimited. The clock starts when the pipeline (or RunOne) picks the
+  /// request up; past the deadline the solver stops at its next round
+  /// boundary and the response carries kDeadlineExceeded — the rest of
+  /// the batch is unaffected. Request-file key `deadline_ms=`, CLI flag
+  /// --deadline-ms. Excluded from the cache key: a deadline changes
+  /// whether a run finishes, never what a finished run produces.
+  int64_t deadline_ms = 0;
+  /// Optional external cancel signal (not owned; must outlive the run).
+  /// Chained under the per-request deadline token, so either source
+  /// stops the solve. Excluded from the cache key.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Outcome of one request. Failures are isolated: a bad request yields a
@@ -111,6 +124,21 @@ struct BatchStats {
   size_t instance_builds = 0; ///< TppInstance + index builds performed
   size_t snapshot_hits = 0;   ///< builds satisfied by a warm-store snapshot
   size_t snapshot_stores = 0; ///< cold builds written back to the store
+  /// Requests whose response is kDeadlineExceeded (their own deadline_ms
+  /// or the batch deadline fired). Dedup followers of an expired
+  /// representative count too — they carry the same response.
+  size_t deadline_exceeded = 0;
+  /// Transient store I/O errors this run absorbed via the retry policy
+  /// (store attached only; see RetryPolicy in store/retry_policy.h).
+  size_t store_retries = 0;
+  /// Store writes (snapshot save, plan append, segment seal) that failed
+  /// even after retries. Requests still succeed — the write degrades to
+  /// "not persisted".
+  size_t store_write_failures = 0;
+  /// Every store shortfall this run: write failures + reads degraded to
+  /// cold builds/solves + rejected snapshots. Zero in a healthy run; the
+  /// batch footer prints it and CI gates on it.
+  size_t store_degradations = 0;
 };
 
 /// Knobs of one RunBatch pipeline execution.
@@ -153,6 +181,12 @@ struct BatchOptions {
   InstanceRepository* repository = nullptr;
   /// Optional out-param for pipeline counters.
   BatchStats* stats = nullptr;
+  /// Wall-clock budget for the WHOLE batch in milliseconds; <= 0 means
+  /// unlimited. The clock starts at pipeline entry; every request's
+  /// effective deadline is the earlier of its own deadline_ms and this.
+  /// Requests already solved keep their responses — only work past the
+  /// deadline returns kDeadlineExceeded.
+  int64_t batch_deadline_ms = 0;
 };
 
 /// Outcome summary of one committed base-graph edit applied through

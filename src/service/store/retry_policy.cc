@@ -1,0 +1,31 @@
+#include "service/store/retry_policy.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace tpp::service::store {
+
+int64_t BackoffMicros(const RetryPolicy& policy, int attempt, uint64_t seed) {
+  if (policy.initial_backoff_us <= 0) return 0;
+  // initial * 2^(attempt-1), saturating at the cap (attempt is small, but
+  // a shift past 62 would wrap).
+  int64_t base = policy.initial_backoff_us;
+  for (int i = 1; i < attempt && base < policy.max_backoff_us; ++i) {
+    base *= 2;
+  }
+  base = std::min(base, policy.max_backoff_us);
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  if (jitter == 0.0) return base;
+  // Deterministic jitter in [1-jitter, 1]: herd-avoiding without a
+  // global RNG, reproducible for a fixed (seed, attempt).
+  const uint64_t draw =
+      SplitMix64(seed ^ (static_cast<uint64_t>(attempt) * 0x9e3779b97f4a7c15ull));
+  const double unit =
+      static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
+  const double scale = 1.0 - jitter * unit;
+  return std::max<int64_t>(1, static_cast<int64_t>(
+                                  static_cast<double>(base) * scale));
+}
+
+}  // namespace tpp::service::store

@@ -1,0 +1,62 @@
+// RetryPolicy: capped exponential backoff with deterministic jitter for
+// transient store I/O.
+//
+// Retry loops key off StatusCode::kUnavailable ONLY (see IsRetryable in
+// common/status.h): a transient fault — EINTR, a momentary mount hiccup,
+// an injected fault::FaultKind::kTransient — may succeed if repeated,
+// while permanent errors (kIoError, kInternal) and caller decisions
+// (kDeadlineExceeded, kAborted) must surface immediately. Backoff doubles
+// per attempt up to a cap, and jitter is derived from a caller seed via
+// SplitMix64 rather than a global RNG so retry timing never perturbs any
+// request's random stream — plans stay bit-identical under injection.
+
+#ifndef TPP_SERVICE_STORE_RETRY_POLICY_H_
+#define TPP_SERVICE_STORE_RETRY_POLICY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "common/status.h"
+
+namespace tpp::service::store {
+
+struct RetryPolicy {
+  /// Total tries including the first; 1 disables retrying entirely.
+  int max_attempts = 4;
+  /// Backoff before the first retry; doubles per subsequent retry.
+  int64_t initial_backoff_us = 50;
+  /// Ceiling on any single backoff sleep.
+  int64_t max_backoff_us = 2000;
+  /// Fraction of the backoff randomized away (0 = fixed, 0.5 = each
+  /// sleep lands in [0.5b, b]). Deterministic per (seed, attempt).
+  double jitter = 0.5;
+};
+
+/// The sleep (microseconds) before retry number `attempt` (1-based),
+/// with the policy's jitter applied deterministically from `seed`.
+int64_t BackoffMicros(const RetryPolicy& policy, int attempt, uint64_t seed);
+
+/// Runs `fn` (returning Status) up to policy.max_attempts times,
+/// sleeping the backoff schedule between attempts, retrying only while
+/// the result is retryable (kUnavailable). Returns the last status.
+/// `retries`, when set, accumulates the number of retry attempts made.
+template <typename Fn>
+Status RetryTransient(const RetryPolicy& policy, uint64_t seed, Fn&& fn,
+                      uint64_t* retries = nullptr) {
+  Status status = fn();
+  for (int attempt = 1;
+       attempt < policy.max_attempts && IsRetryable(status.code());
+       ++attempt) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(BackoffMicros(policy, attempt, seed)));
+    if (retries != nullptr) ++*retries;
+    status = fn();
+  }
+  return status;
+}
+
+}  // namespace tpp::service::store
+
+#endif  // TPP_SERVICE_STORE_RETRY_POLICY_H_

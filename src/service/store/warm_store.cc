@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "common/blob_io.h"
+#include "common/fault_injection.h"
 #include "common/rng.h"
 #include "common/strings.h"
 
@@ -63,6 +64,13 @@ uint64_t FileBytes(const fs::path& p) {
   return ec ? 0 : size;
 }
 
+// Jitter seed for the retry schedule of operations on `path`: stable per
+// file so retry timing is reproducible, distinct across files so
+// concurrent retries do not march in lockstep.
+uint64_t RetrySeed(const std::string& path) {
+  return HashBytes64(path.data(), path.size());
+}
+
 }  // namespace
 
 WarmStore::WarmStore(std::string dir, const StoreOptions& options)
@@ -105,9 +113,26 @@ Status WarmStore::RecoverSegments() {
   // Rebuild the key table in segment order so later segments overwrite
   // earlier ones (last write wins).
   for (Segment& seg : segments_) {
+    // Injection site "store.recover": a transient fault here models a
+    // flaky read during startup recovery; retries absorb it, and a
+    // persistent failure degrades the segment to empty (its records are
+    // simply not served) instead of failing the open.
     Result<std::shared_ptr<const MappedBlob>> blob_or =
-        MappedBlob::Open(seg.path);
-    if (!blob_or.ok()) continue;  // unreadable: treat as empty
+        Status::Internal("unset");
+    Status opened = RetryTransient(
+        options_.retry, RetrySeed(seg.path),
+        [&] {
+          if (fault::FaultDecision f = fault::Hit("store.recover"); f.fire) {
+            return f.ToStatus("store.recover(" + seg.path + ")");
+          }
+          blob_or = MappedBlob::Open(seg.path);
+          return blob_or.status();
+        },
+        &stats_.io_retries);
+    if (!opened.ok()) {
+      ++stats_.read_degradations;
+      continue;  // unreadable: treat as empty
+    }
     const MappedBlob& blob = **blob_or;
     const uint8_t* data = blob.data();
     const uint64_t size = blob.size();
@@ -202,6 +227,16 @@ Status WarmStore::RecoverSegments() {
     }
     seg.bytes = off;
     seg.sealed = false;
+    if (off < size) {
+      // Physically drop the torn tail: appends write at the file end, so
+      // the end must BE the committed boundary the key table records. If
+      // the truncate fails, freeze the segment instead — its recovered
+      // records still serve (their offsets precede the tail), but new
+      // appends go to a fresh segment rather than landing after garbage.
+      std::error_code trunc_ec;
+      fs::resize_file(seg.path, off, trunc_ec);
+      if (trunc_ec) seg.sealed = true;
+    }
   }
   return Status::Ok();
 }
@@ -226,11 +261,34 @@ Result<motif::IncidenceIndex> WarmStore::LoadIndex(
       return Status::NotFound("no snapshot for this instance");
     }
   }
-  Result<motif::IncidenceIndex> index =
-      motif::IndexSnapshotCodec::Load(path, meta);
+  // Injection site "snapshot.load". Transient read faults retry; a
+  // persistent failure (or a corrupt/mismatched snapshot) reports as a
+  // reject and the caller cold-builds — degradation, never a wrong index.
+  Result<motif::IncidenceIndex> index = Status::Internal("unset");
+  uint64_t retries = 0;
+  (void)RetryTransient(
+      options_.retry, RetrySeed(path),
+      [&] {
+        if (fault::FaultDecision f = fault::Hit("snapshot.load"); f.fire) {
+          index = f.ToStatus("snapshot.load(" + path + ")");
+          return index.status();
+        }
+        index = motif::IndexSnapshotCodec::Load(path, meta);
+        return index.status();
+      },
+      &retries);
   std::lock_guard<std::mutex> lock(mu_);
+  stats_.io_retries += retries;
   if (!index.ok()) {
-    ++stats_.index_rejects;
+    // Transient-I/O failures that outlived the retries count as read
+    // degradations; everything else — corrupt bytes, version/fingerprint
+    // mismatch, permanent I/O errors — is a validation reject. Exactly
+    // one counter per failed load, so degradations() never double-counts.
+    if (index.status().code() == StatusCode::kUnavailable) {
+      ++stats_.read_degradations;
+    } else {
+      ++stats_.index_rejects;
+    }
     return index;
   }
   ++stats_.index_hits;
@@ -248,7 +306,24 @@ Status WarmStore::SaveIndex(const motif::IncidenceIndex& index,
     ++stats_.admission_rejects;
     return Status::Ok();  // declined, not failed
   }
-  TPP_RETURN_IF_ERROR(AtomicWriteFile(IndexPath(meta), bytes));
+  // Injection site "snapshot.save" plus whatever "blob.write" injects
+  // underneath. Transient faults retry; AtomicWriteFile guarantees the
+  // final path is all-or-nothing on every attempt, so retrying after a
+  // torn write is safe.
+  const std::string path = IndexPath(meta);
+  Status written = RetryTransient(
+      options_.retry, RetrySeed(path),
+      [&] {
+        if (fault::FaultDecision f = fault::Hit("snapshot.save"); f.fire) {
+          return f.ToStatus("snapshot.save(" + path + ")");
+        }
+        return AtomicWriteFile(path, bytes);
+      },
+      &stats_.io_retries);
+  if (!written.ok()) {
+    ++stats_.write_failures;
+    return written;
+  }
   EnforceCapacity();
   return Status::Ok();
 }
@@ -271,24 +346,40 @@ bool WarmStore::LoadPlan(const std::string& key, std::string* payload) {
     ++stats_.plan_misses;
     return false;
   }
-  std::ifstream f(seg->path, std::ios::binary);
-  RecordHeader header;
-  if (!f.seekg(static_cast<std::streamoff>(it->second.offset)) ||
-      !f.read(reinterpret_cast<char*>(&header), sizeof header) ||
-      header.magic != kRecordMagic || header.key_size != key.size()) {
-    ++stats_.plan_misses;
-    return false;
-  }
-  std::string stored_key(header.key_size, '\0');
-  payload->assign(header.payload_size, '\0');
-  if (!f.read(stored_key.data(),
-              static_cast<std::streamsize>(stored_key.size())) ||
-      !f.read(payload->data(),
-              static_cast<std::streamsize>(payload->size())) ||
-      stored_key != key ||
-      header.checksum != RecordChecksum(stored_key, *payload)) {
-    // Never serve bytes that fail validation.
+  // Injection site "plan.load". Transient faults retry through the
+  // policy; any persistent failure — injected, unreadable stream, or a
+  // record that fails validation — degrades to a miss (the pipeline
+  // re-solves), never to served corruption.
+  auto attempt = [&]() -> Status {
+    if (fault::FaultDecision f = fault::Hit("plan.load"); f.fire) {
+      return f.ToStatus("plan.load(" + seg->path + ")");
+    }
+    std::ifstream f(seg->path, std::ios::binary);
+    RecordHeader header;
+    if (!f.seekg(static_cast<std::streamoff>(it->second.offset)) ||
+        !f.read(reinterpret_cast<char*>(&header), sizeof header) ||
+        header.magic != kRecordMagic || header.key_size != key.size()) {
+      return Status::IoError("unreadable plan record in " + seg->path);
+    }
+    std::string stored_key(header.key_size, '\0');
+    payload->assign(header.payload_size, '\0');
+    if (!f.read(stored_key.data(),
+                static_cast<std::streamsize>(stored_key.size())) ||
+        !f.read(payload->data(),
+                static_cast<std::streamsize>(payload->size())) ||
+        stored_key != key ||
+        header.checksum != RecordChecksum(stored_key, *payload)) {
+      // Never serve bytes that fail validation.
+      payload->clear();
+      return Status::IoError("corrupt plan record in " + seg->path);
+    }
+    return Status::Ok();
+  };
+  Status read = RetryTransient(options_.retry, RetrySeed(seg->path), attempt,
+                               &stats_.io_retries);
+  if (!read.ok()) {
     payload->clear();
+    ++stats_.read_degradations;
     ++stats_.plan_misses;
     return false;
   }
@@ -321,14 +412,52 @@ Status WarmStore::AppendPlan(const std::string& key,
   header.key_size = static_cast<uint32_t>(key.size());
   header.payload_size = payload.size();
   header.checksum = RecordChecksum(key, payload);
-  {
-    std::ofstream f(seg.path, std::ios::binary | std::ios::app);
-    if (!f) return Status::IoError("cannot append to " + seg.path);
-    f.write(reinterpret_cast<const char*>(&header), sizeof header);
-    f.write(key.data(), static_cast<std::streamsize>(key.size()));
-    f.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    f.flush();
-    if (!f.good()) return Status::IoError("short append to " + seg.path);
+  std::string record;
+  record.reserve(record_size);
+  record.append(reinterpret_cast<const char*>(&header), sizeof header);
+  record.append(key);
+  record.append(payload.data(), payload.size());
+
+  // Injection site "store.append". Unlike AtomicWriteFile, appends land
+  // in place, so a torn write leaves a prefix of the record in the live
+  // segment. Between attempts (and after a final failure) the file is
+  // truncated back to the committed record boundary — a retry must not
+  // append after its own torn garbage, and recovery's forward scan stops
+  // at exactly this boundary if the process dies before the truncate.
+  auto attempt = [&]() -> Status {
+    fault::FaultDecision f = fault::Hit("store.append", record.size());
+    if (f.fire && f.kind != fault::FaultKind::kTorn) {
+      return f.ToStatus("store.append(" + seg.path + ")");
+    }
+    const size_t limit =
+        f.fire ? static_cast<size_t>(f.torn_bytes) : record.size();
+    std::ofstream out(seg.path, std::ios::binary | std::ios::app);
+    if (!out) return Status::IoError("cannot append to " + seg.path);
+    out.write(record.data(), static_cast<std::streamsize>(limit));
+    out.flush();
+    if (f.fire) {  // simulated crash: the prefix is on disk, then death
+      return f.ToStatus("store.append(" + seg.path + ")");
+    }
+    if (!out.good()) return Status::IoError("short append to " + seg.path);
+    return Status::Ok();
+  };
+  auto truncate_to_committed = [&] {
+    std::error_code ec;
+    fs::resize_file(seg.path, seg.bytes, ec);  // best effort
+  };
+  Status written = attempt();
+  for (int a = 1;
+       a < options_.retry.max_attempts && IsRetryable(written.code()); ++a) {
+    truncate_to_committed();
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        BackoffMicros(options_.retry, a, RetrySeed(seg.path))));
+    ++stats_.io_retries;
+    written = attempt();
+  }
+  if (!written.ok()) {
+    truncate_to_committed();
+    ++stats_.write_failures;
+    return written;
   }
   auto it = plans_.find(key);
   if (it != plans_.end()) {
@@ -340,7 +469,12 @@ Status WarmStore::AppendPlan(const std::string& key,
   ++seg.live_keys;
   seg.bytes += record_size;
   if (seg.bytes > options_.plan_segment_bytes) {
-    TPP_RETURN_IF_ERROR(SealActiveSegment());
+    // Sealing is an optimization (footer-indexed opens); a seal that
+    // fails even after retries degrades to "stay unsealed" — recovery
+    // falls back to the forward scan — and must not fail the append,
+    // whose record is already durable.
+    Status sealed = SealActiveSegment();
+    if (!sealed.ok()) ++stats_.write_failures;
   }
   EnforceCapacity();
   return Status::Ok();
@@ -365,12 +499,46 @@ Status WarmStore::SealActiveSegment() {
   trailer.footer_offset = seg.bytes;
   trailer.entry_count = entry_count;
   trailer.footer_checksum = HashBytes64(footer.data(), footer.size());
-  std::ofstream f(seg.path, std::ios::binary | std::ios::app);
-  if (!f) return Status::IoError("cannot seal " + seg.path);
-  f.write(footer.data(), static_cast<std::streamsize>(footer.size()));
-  f.write(reinterpret_cast<const char*>(&trailer), sizeof trailer);
-  f.flush();
-  if (!f.good()) return Status::IoError("short footer write to " + seg.path);
+  footer.append(reinterpret_cast<const char*>(&trailer), sizeof trailer);
+
+  // Injection site "store.seal". The footer is append-only commit data:
+  // between attempts the file truncates back to the record boundary so a
+  // retried footer never lands after a torn one, and a crash at any
+  // point leaves a scannable unsealed segment.
+  auto attempt = [&]() -> Status {
+    fault::FaultDecision f = fault::Hit("store.seal", footer.size());
+    if (f.fire && f.kind != fault::FaultKind::kTorn) {
+      return f.ToStatus("store.seal(" + seg.path + ")");
+    }
+    const size_t limit =
+        f.fire ? static_cast<size_t>(f.torn_bytes) : footer.size();
+    std::ofstream out(seg.path, std::ios::binary | std::ios::app);
+    if (!out) return Status::IoError("cannot seal " + seg.path);
+    out.write(footer.data(), static_cast<std::streamsize>(limit));
+    out.flush();
+    if (f.fire) return f.ToStatus("store.seal(" + seg.path + ")");
+    if (!out.good()) {
+      return Status::IoError("short footer write to " + seg.path);
+    }
+    return Status::Ok();
+  };
+  auto truncate_to_records = [&] {
+    std::error_code ec;
+    fs::resize_file(seg.path, seg.bytes, ec);  // best effort
+  };
+  Status written = attempt();
+  for (int a = 1;
+       a < options_.retry.max_attempts && IsRetryable(written.code()); ++a) {
+    truncate_to_records();
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        BackoffMicros(options_.retry, a, RetrySeed(seg.path))));
+    ++stats_.io_retries;
+    written = attempt();
+  }
+  if (!written.ok()) {
+    truncate_to_records();
+    return written;
+  }
   seg.sealed = true;
   return Status::Ok();
 }

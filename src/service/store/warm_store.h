@@ -50,6 +50,7 @@
 
 #include "common/result.h"
 #include "motif/index_snapshot.h"
+#include "service/store/retry_policy.h"
 
 namespace tpp::service::store {
 
@@ -60,6 +61,11 @@ struct StoreOptions {
   /// A plan segment seals (gains its index footer) once it exceeds this
   /// many bytes of records.
   uint64_t plan_segment_bytes = 4ull << 20;
+  /// Backoff schedule for transient I/O errors (kUnavailable): every
+  /// store read/write retries through this before giving up. The
+  /// defaults absorb EINTR-class hiccups in well under a millisecond;
+  /// set max_attempts = 1 to fail fast.
+  RetryPolicy retry;
 };
 
 /// One store entry as listed by Scan() — the row format of
@@ -91,6 +97,22 @@ class WarmStore {
     uint64_t plan_misses = 0;
     uint64_t evicted_files = 0;
     uint64_t admission_rejects = 0;  ///< entries larger than the capacity
+    /// Transient I/O errors absorbed by the retry schedule (each retry
+    /// attempt counts once; a fault the first retry fixes adds 1).
+    uint64_t io_retries = 0;
+    /// Writes (snapshot save, plan append, segment seal) that failed
+    /// even after retries. The store stays serving: a failed write
+    /// degrades to "not persisted", never to a failed request.
+    uint64_t write_failures = 0;
+    /// Reads that failed with a real I/O error (not a clean miss) and
+    /// degraded to a miss — the caller cold-builds or re-solves.
+    uint64_t read_degradations = 0;
+
+    /// Every event where the store fell short of full service — the
+    /// number the batch footer and `tpp store verify` surface.
+    uint64_t degradations() const {
+      return write_failures + read_degradations + index_rejects;
+    }
   };
 
   /// Opens (creating directories as needed) the store at `dir` and

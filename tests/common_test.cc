@@ -49,8 +49,31 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
         StatusCode::kFailedPrecondition, StatusCode::kInternal,
-        StatusCode::kUnimplemented, StatusCode::kIoError}) {
+        StatusCode::kUnimplemented, StatusCode::kIoError,
+        StatusCode::kDeadlineExceeded, StatusCode::kUnavailable,
+        StatusCode::kAborted}) {
     EXPECT_NE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(StatusTest, RobustnessFactoriesCarryTheirCodes) {
+  EXPECT_EQ(Status::DeadlineExceeded("d").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("u").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Aborted("a").code(), StatusCode::kAborted);
+}
+
+TEST(StatusTest, OnlyUnavailableIsRetryable) {
+  // Retry loops key off this single predicate: a transient fault may
+  // succeed if repeated; everything else must surface immediately.
+  EXPECT_TRUE(IsRetryable(StatusCode::kUnavailable));
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal,
+        StatusCode::kUnimplemented, StatusCode::kIoError,
+        StatusCode::kDeadlineExceeded, StatusCode::kAborted}) {
+    EXPECT_FALSE(IsRetryable(code)) << StatusCodeName(code);
   }
 }
 

@@ -1,0 +1,253 @@
+// Tests for the deterministic I/O fault-injection registry
+// (common/fault_injection.h) and the retry/backoff policy it exercises
+// (service/store/retry_policy.h): spec grammar, trigger modes (p=, n=,
+// every=), wildcard site matching, first-match ownership, torn-write
+// byte accounting, per-seed determinism, and the kUnavailable-only
+// retry predicate.
+
+#include "common/fault_injection.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "service/store/retry_policy.h"
+
+namespace tpp::fault {
+namespace {
+
+// Every test arms the process-global injector, so every test must leave
+// it disarmed — this binary is the only one that arms it, but within
+// the binary tests run back to back. SetUp disarms too: the registry
+// self-arms from TPP_FAULTS, and these tests assert exact firing
+// patterns, so an inherited CI profile must not leak in.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Disarm(); }
+  void TearDown() override { FaultInjector::Global().Disarm(); }
+};
+
+TEST_F(FaultInjectionTest, UnarmedHitsNeverFire) {
+  FaultInjector::Global().Disarm();
+  EXPECT_FALSE(FaultInjector::Global().armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(Hit("store.append", 64).fire);
+  }
+}
+
+TEST_F(FaultInjectionTest, EmptySpecDisarms) {
+  ASSERT_TRUE(FaultInjector::Global().Arm("x:n=1", 1).ok());
+  EXPECT_TRUE(FaultInjector::Global().armed());
+  ASSERT_TRUE(FaultInjector::Global().Arm("", 0).ok());
+  EXPECT_FALSE(FaultInjector::Global().armed());
+}
+
+TEST_F(FaultInjectionTest, GrammarRejectsMalformedSpecs) {
+  FaultInjector& g = FaultInjector::Global();
+  // No trigger term: a profile that could never fire is a spec bug.
+  EXPECT_FALSE(g.Arm("store.append", 0).ok());
+  EXPECT_FALSE(g.Arm("store.append:permanent", 0).ok());
+  // Out-of-range or unparsable trigger values.
+  EXPECT_FALSE(g.Arm("x:p=1.5", 0).ok());
+  EXPECT_FALSE(g.Arm("x:p=-0.1", 0).ok());
+  EXPECT_FALSE(g.Arm("x:p=abc", 0).ok());
+  EXPECT_FALSE(g.Arm("x:n=0", 0).ok());
+  EXPECT_FALSE(g.Arm("x:every=0", 0).ok());
+  EXPECT_FALSE(g.Arm("x:torn=-5:n=1", 0).ok());
+  // Unknown term.
+  EXPECT_FALSE(g.Arm("x:frobnicate:n=1", 0).ok());
+  // A failed Arm must not leave a half-armed registry.
+  EXPECT_FALSE(g.armed());
+  EXPECT_FALSE(Hit("x").fire);
+}
+
+TEST_F(FaultInjectionTest, NthCallFiresExactlyOnce) {
+  ASSERT_TRUE(FaultInjector::Global().Arm("x:n=3", 0).ok());
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(Hit("x").fire);
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false,
+                                      false}));
+  EXPECT_EQ(FaultInjector::Global().matched(), 6u);
+  EXPECT_EQ(FaultInjector::Global().injected(), 1u);
+}
+
+TEST_F(FaultInjectionTest, EveryKthCallFires) {
+  ASSERT_TRUE(FaultInjector::Global().Arm("x:every=2", 0).ok());
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(Hit("x").fire);
+  EXPECT_EQ(fired,
+            (std::vector<bool>{false, true, false, true, false, true}));
+}
+
+TEST_F(FaultInjectionTest, ProbabilisticFiringIsDeterministicPerSeed) {
+  FaultInjector& g = FaultInjector::Global();
+  auto pattern = [&](uint64_t seed) {
+    EXPECT_TRUE(g.Arm("io:p=0.3", seed).ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(Hit("io").fire);
+    return fired;
+  };
+  const std::vector<bool> a = pattern(42);
+  const std::vector<bool> b = pattern(42);
+  EXPECT_EQ(a, b) << "same (seed, spec) must fire on the same calls";
+  const std::vector<bool> c = pattern(43);
+  EXPECT_NE(a, c) << "a different seed must pick different calls";
+  // The rate is only statistically 0.3; bound it loosely.
+  const size_t fires = static_cast<size_t>(
+      std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 20u);
+  EXPECT_LT(fires, 120u);
+}
+
+TEST_F(FaultInjectionTest, WildcardCounterSpansSites) {
+  // The profile's call counter indexes calls across every site the
+  // pattern matches, so n=2 fires on the second matched call even when
+  // the sites differ.
+  ASSERT_TRUE(FaultInjector::Global().Arm("store.*:n=2", 0).ok());
+  EXPECT_FALSE(Hit("store.append").fire);
+  EXPECT_TRUE(Hit("store.seal").fire);
+  EXPECT_FALSE(Hit("blob.write").fire) << "pattern must not match";
+}
+
+TEST_F(FaultInjectionTest, FirstMatchingProfileOwnsTheSite) {
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Arm("store.append:n=1:permanent;store.*:every=1", 0)
+                  .ok());
+  // The exact profile matches first and fires permanent.
+  FaultDecision first = Hit("store.append");
+  EXPECT_TRUE(first.fire);
+  EXPECT_EQ(first.kind, FaultKind::kPermanent);
+  // Later calls still match the exact profile (which no longer fires);
+  // the every=1 wildcard behind it never sees the site.
+  EXPECT_FALSE(Hit("store.append").fire);
+  // Sites only the wildcard covers fire every call, as transient.
+  FaultDecision wild = Hit("store.seal");
+  EXPECT_TRUE(wild.fire);
+  EXPECT_EQ(wild.kind, FaultKind::kTransient);
+}
+
+TEST_F(FaultInjectionTest, TornDecisionsCarryBoundedByteCounts) {
+  FaultInjector& g = FaultInjector::Global();
+  ASSERT_TRUE(g.Arm("x:torn=7:n=1", 0).ok());
+  FaultDecision exact = Hit("x", 100);
+  ASSERT_TRUE(exact.fire);
+  EXPECT_EQ(exact.kind, FaultKind::kTorn);
+  EXPECT_EQ(exact.torn_bytes, 7u);
+
+  // An explicit tear point beyond the payload clamps to the payload.
+  ASSERT_TRUE(g.Arm("x:torn=7:n=1", 0).ok());
+  EXPECT_EQ(Hit("x", 3).torn_bytes, 3u);
+
+  // Seed-derived tear points stay within [0, size] and are stable for a
+  // fixed seed.
+  ASSERT_TRUE(g.Arm("x:torn:n=1", 9).ok());
+  const uint64_t first = Hit("x", 10).torn_bytes;
+  EXPECT_LE(first, 10u);
+  ASSERT_TRUE(g.Arm("x:torn:n=1", 9).ok());
+  EXPECT_EQ(Hit("x", 10).torn_bytes, first);
+}
+
+TEST_F(FaultInjectionTest, KindsMapToTheirStatusCodes) {
+  FaultDecision d;
+  d.fire = true;
+  d.kind = FaultKind::kTransient;
+  EXPECT_EQ(d.ToStatus("s").code(), StatusCode::kUnavailable);
+  d.kind = FaultKind::kPermanent;
+  EXPECT_EQ(d.ToStatus("s").code(), StatusCode::kIoError);
+  // Torn reports transient: the write was interrupted, not refused.
+  d.kind = FaultKind::kTorn;
+  EXPECT_EQ(d.ToStatus("s").code(), StatusCode::kUnavailable);
+}
+
+// ------------------------------------------------------------ RetryPolicy
+
+using service::store::BackoffMicros;
+using service::store::RetryPolicy;
+using service::store::RetryTransient;
+
+TEST(RetryPolicyTest, BackoffDoublesAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff_us = 50;
+  policy.max_backoff_us = 300;
+  policy.jitter = 0.0;
+  EXPECT_EQ(BackoffMicros(policy, 1, 7), 50);
+  EXPECT_EQ(BackoffMicros(policy, 2, 7), 100);
+  EXPECT_EQ(BackoffMicros(policy, 3, 7), 200);
+  EXPECT_EQ(BackoffMicros(policy, 4, 7), 300);
+  EXPECT_EQ(BackoffMicros(policy, 10, 7), 300);
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicPerSeedAndBounded) {
+  RetryPolicy policy;
+  policy.initial_backoff_us = 1000;
+  policy.max_backoff_us = 1000000;
+  policy.jitter = 0.5;
+  for (int attempt = 1; attempt <= 4; ++attempt) {
+    const int64_t base = 1000ll << (attempt - 1);
+    const int64_t a = BackoffMicros(policy, attempt, 11);
+    EXPECT_EQ(a, BackoffMicros(policy, attempt, 11));
+    EXPECT_GE(a, base / 2);
+    EXPECT_LE(a, base);
+  }
+}
+
+TEST(RetryPolicyTest, RetriesTransientUntilSuccess) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_us = 1;  // keep the test fast
+  policy.max_backoff_us = 2;
+  int calls = 0;
+  uint64_t retries = 0;
+  Status status = RetryTransient(
+      policy, 3,
+      [&] {
+        ++calls;
+        return calls < 3 ? Status::Unavailable("flaky") : Status::Ok();
+      },
+      &retries);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+}
+
+TEST(RetryPolicyTest, NonRetryableCodesSurfaceImmediately) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_us = 1;
+  for (Status failure : {Status::IoError("dead disk"),
+                         Status::DeadlineExceeded("too late"),
+                         Status::Aborted("canceled"),
+                         Status::InvalidArgument("bad")}) {
+    int calls = 0;
+    uint64_t retries = 0;
+    Status status = RetryTransient(
+        policy, 5,
+        [&] {
+          ++calls;
+          return failure;
+        },
+        &retries);
+    EXPECT_EQ(status, failure);
+    EXPECT_EQ(calls, 1) << failure.ToString();
+    EXPECT_EQ(retries, 0u);
+  }
+}
+
+TEST(RetryPolicyTest, ExhaustedRetriesReturnLastStatus) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_us = 1;
+  policy.max_backoff_us = 2;
+  int calls = 0;
+  Status status = RetryTransient(policy, 1, [&] {
+    ++calls;
+    return Status::Unavailable("still down");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+}
+
+}  // namespace
+}  // namespace tpp::fault

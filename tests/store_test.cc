@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/blob_io.h"
+#include "common/fault_injection.h"
 #include "core/problem.h"
 #include "graph/datasets.h"
 #include "graph/fingerprint.h"
@@ -554,6 +555,326 @@ TEST(PlanCacheStoreTest, OkResponsesServeFromDiskAfterRestart) {
   // memory hit.
   ASSERT_TRUE(cache.Lookup(key, &out));
   EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+// ----------------------------------------------------- fault injection
+//
+// Every test below arms the process-global fault registry, so each one
+// disarms on teardown. These tests pin the degradation ladder: transient
+// faults are absorbed by retries (invisible), persistent write failures
+// degrade to "not persisted" (counted, never a failed request), and torn
+// writes never surface a partial record to any reader.
+
+class FaultInjectedStoreTest : public ::testing::Test {
+ protected:
+  // Disarm on both ends: the registry self-arms from TPP_FAULTS, and
+  // these tests assert exact counter values, so a CI-injected profile
+  // must not stack on top of the spec each test arms itself.
+  void SetUp() override { fault::FaultInjector::Global().Disarm(); }
+  void TearDown() override { fault::FaultInjector::Global().Disarm(); }
+
+  static Status Arm(const std::string& spec, uint64_t seed = 1) {
+    return fault::FaultInjector::Global().Arm(spec, seed);
+  }
+};
+
+TEST_F(FaultInjectedStoreTest, TransientAppendIsAbsorbedByRetries) {
+  std::unique_ptr<WarmStore> store = OpenStore(TempStoreDir("ft_append"));
+  ASSERT_TRUE(Arm("store.append:n=1:transient").ok());
+  ASSERT_TRUE(store->AppendPlan("key", "payload").ok());
+  EXPECT_GE(store->stats().io_retries, 1u);
+  EXPECT_EQ(store->stats().degradations(), 0u);
+  std::string payload;
+  ASSERT_TRUE(store->LoadPlan("key", &payload));
+  EXPECT_EQ(payload, "payload");
+}
+
+TEST_F(FaultInjectedStoreTest, TransientSnapshotIoIsAbsorbedByRetries) {
+  const TppInstance inst = MakeArenasInstance(MotifKind::kTriangle);
+  const IndexSnapshotMeta meta = MetaFor(inst);
+  IncidenceIndex built =
+      *IncidenceIndex::Build(inst.released, inst.targets, inst.motif);
+  std::unique_ptr<WarmStore> store = OpenStore(TempStoreDir("ft_snap"));
+  ASSERT_TRUE(Arm("snapshot.save:n=1:transient;snapshot.load:n=1").ok());
+  ASSERT_TRUE(store->SaveIndex(built, meta).ok());
+  Result<IncidenceIndex> loaded = store->LoadIndex(meta);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->BitIdentical(built));
+  EXPECT_GE(store->stats().io_retries, 2u);
+  EXPECT_EQ(store->stats().degradations(), 0u);
+}
+
+TEST_F(FaultInjectedStoreTest, PermanentAppendFailureDegradesNotCrashes) {
+  std::unique_ptr<WarmStore> store = OpenStore(TempStoreDir("ft_perm"));
+  ASSERT_TRUE(Arm("store.append:p=1:permanent").ok());
+  Status appended = store->AppendPlan("key", "payload");
+  EXPECT_EQ(appended.code(), StatusCode::kIoError);
+  EXPECT_EQ(store->stats().write_failures, 1u);
+  EXPECT_EQ(store->stats().io_retries, 0u)
+      << "permanent failures must not burn the retry budget";
+  EXPECT_GT(store->stats().degradations(), 0u);
+  // The store keeps serving: the failed key is simply absent, and once
+  // the fault clears, writes work again.
+  std::string payload;
+  EXPECT_FALSE(store->LoadPlan("key", &payload));
+  fault::FaultInjector::Global().Disarm();
+  ASSERT_TRUE(store->AppendPlan("key", "payload").ok());
+  ASSERT_TRUE(store->LoadPlan("key", &payload));
+}
+
+TEST_F(FaultInjectedStoreTest, PermanentSnapshotSaveDegradesToUnpersisted) {
+  const TppInstance inst = MakeArenasInstance(MotifKind::kTriangle);
+  const IndexSnapshotMeta meta = MetaFor(inst);
+  IncidenceIndex built =
+      *IncidenceIndex::Build(inst.released, inst.targets, inst.motif);
+  std::unique_ptr<WarmStore> store = OpenStore(TempStoreDir("ft_permsnap"));
+  ASSERT_TRUE(Arm("snapshot.save:p=1:permanent").ok());
+  EXPECT_FALSE(store->SaveIndex(built, meta).ok());
+  EXPECT_EQ(store->stats().write_failures, 1u);
+  // Nothing half-written: the miss is clean.
+  EXPECT_EQ(store->LoadIndex(meta).status().code(), StatusCode::kNotFound);
+  fault::FaultInjector::Global().Disarm();
+  ASSERT_TRUE(store->SaveIndex(built, meta).ok());
+  EXPECT_TRUE(store->LoadIndex(meta)->BitIdentical(built));
+}
+
+TEST_F(FaultInjectedStoreTest, TransientRecoveryIsAbsorbedByRetries) {
+  const std::string dir = TempStoreDir("ft_recover");
+  {
+    std::unique_ptr<WarmStore> store = OpenStore(dir);
+    ASSERT_TRUE(store->AppendPlan("key", "payload").ok());
+  }
+  ASSERT_TRUE(Arm("store.recover:n=1:transient").ok());
+  std::unique_ptr<WarmStore> store = OpenStore(dir);
+  std::string payload;
+  ASSERT_TRUE(store->LoadPlan("key", &payload));
+  EXPECT_EQ(payload, "payload");
+  EXPECT_GE(store->stats().io_retries, 1u);
+  EXPECT_EQ(store->stats().degradations(), 0u);
+}
+
+TEST_F(FaultInjectedStoreTest, PersistentRecoveryFailureDegradesToEmpty) {
+  const std::string dir = TempStoreDir("ft_norecover");
+  {
+    std::unique_ptr<WarmStore> store = OpenStore(dir);
+    ASSERT_TRUE(store->AppendPlan("key", "payload").ok());
+  }
+  ASSERT_TRUE(Arm("store.recover:p=1:permanent").ok());
+  // The open itself must survive: the unreadable segment degrades to
+  // "serves nothing", it does not fail the process start.
+  std::unique_ptr<WarmStore> store = OpenStore(dir);
+  std::string payload;
+  EXPECT_FALSE(store->LoadPlan("key", &payload));
+  EXPECT_GE(store->stats().read_degradations, 1u);
+}
+
+TEST_F(FaultInjectedStoreTest, TornAppendTruncatesBackToCommittedBoundary) {
+  StoreOptions options;
+  options.retry.max_attempts = 1;  // fail fast: the tear must not linger
+  const std::string dir = TempStoreDir("ft_tornappend");
+  const std::string seg = (fs::path(dir) / "plans" / "seg-000001.log").string();
+  std::unique_ptr<WarmStore> store = OpenStore(dir, options);
+  ASSERT_TRUE(store->AppendPlan("intact", "payload-one").ok());
+  const uint64_t committed = fs::file_size(seg);
+
+  ASSERT_TRUE(Arm("store.append:torn=10:n=1").ok());
+  EXPECT_EQ(store->AppendPlan("torn", "payload-two").code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(store->stats().write_failures, 1u);
+  EXPECT_EQ(fs::file_size(seg), committed)
+      << "a failed append must truncate its own torn prefix";
+  // The fault is gone; the same key appends cleanly and both records
+  // survive a reopen.
+  fault::FaultInjector::Global().Disarm();
+  ASSERT_TRUE(store->AppendPlan("torn", "payload-two").ok());
+  store = OpenStore(dir, options);
+  std::string payload;
+  ASSERT_TRUE(store->LoadPlan("intact", &payload));
+  EXPECT_EQ(payload, "payload-one");
+  ASSERT_TRUE(store->LoadPlan("torn", &payload));
+  EXPECT_EQ(payload, "payload-two");
+}
+
+TEST_F(FaultInjectedStoreTest, TornAppendWithRetriesIsInvisible) {
+  std::unique_ptr<WarmStore> store = OpenStore(TempStoreDir("ft_tornretry"));
+  ASSERT_TRUE(Arm("store.append:torn:n=1").ok());
+  ASSERT_TRUE(store->AppendPlan("key", "payload").ok());
+  EXPECT_GE(store->stats().io_retries, 1u);
+  EXPECT_EQ(store->stats().degradations(), 0u);
+  std::string payload;
+  ASSERT_TRUE(store->LoadPlan("key", &payload));
+  EXPECT_EQ(payload, "payload");
+}
+
+TEST_F(FaultInjectedStoreTest, TornSnapshotWriteNeverSurfacesATear) {
+  const TppInstance inst = MakeArenasInstance(MotifKind::kTriangle);
+  const IndexSnapshotMeta meta = MetaFor(inst);
+  IncidenceIndex built =
+      *IncidenceIndex::Build(inst.released, inst.targets, inst.motif);
+  Result<std::string> bytes = IndexSnapshotCodec::Serialize(built, meta);
+  ASSERT_TRUE(bytes.ok());
+  const uint64_t size = bytes->size();
+
+  StoreOptions options;
+  options.retry.max_attempts = 1;
+  std::unique_ptr<WarmStore> store =
+      OpenStore(TempStoreDir("ft_tornsnap"), options);
+  // Sweep tear points across the file, including both edges. The atomic
+  // write protocol (tmp + fsync + rename) must keep the final path
+  // untouched at every single one.
+  for (uint64_t k = 0; k < size; k += 1 + size / 97) {
+    SCOPED_TRACE("torn at byte " + std::to_string(k));
+    ASSERT_TRUE(Arm("blob.write:torn=" + std::to_string(k) + ":n=1").ok());
+    EXPECT_FALSE(store->SaveIndex(built, meta).ok());
+    EXPECT_EQ(store->LoadIndex(meta).status().code(), StatusCode::kNotFound)
+        << "a torn snapshot write must never leave a file under the "
+           "final name";
+  }
+  fault::FaultInjector::Global().Disarm();
+  ASSERT_TRUE(store->SaveIndex(built, meta).ok());
+  EXPECT_TRUE(store->LoadIndex(meta)->BitIdentical(built));
+}
+
+// The exhaustive crash-consistency sweep: a plan segment cut off at EVERY
+// byte boundary — simulating a crash at any instant of any append — must
+// reopen to a store that serves exactly the complete-record prefix and
+// accepts new appends.
+TEST(PlanLogCrashConsistencyTest, EveryTruncationBoundaryRecoversCleanly) {
+  // The sweep asserts exact byte boundaries; a TPP_FAULTS profile from
+  // the environment would perturb them.
+  fault::FaultInjector::Global().Disarm();
+  const std::string tmpl = TempStoreDir("crash_template");
+  uint64_t first_end = 0, second_end = 0;
+  const std::string seg_name = "seg-000001.log";
+  {
+    std::unique_ptr<WarmStore> store = OpenStore(tmpl);
+    ASSERT_TRUE(store->AppendPlan("k1", "payload-one").ok());
+    first_end = fs::file_size(fs::path(tmpl) / "plans" / seg_name);
+    ASSERT_TRUE(store->AppendPlan("k2", "payload-two").ok());
+    second_end = fs::file_size(fs::path(tmpl) / "plans" / seg_name);
+  }
+  std::string full(second_end, '\0');
+  {
+    std::ifstream f((fs::path(tmpl) / "plans" / seg_name).string(),
+                    std::ios::binary);
+    f.read(full.data(), static_cast<std::streamsize>(second_end));
+    ASSERT_TRUE(f.good());
+  }
+
+  const std::string scratch = TempStoreDir("crash_scratch");
+  for (uint64_t cut = 0; cut <= second_end; ++cut) {
+    SCOPED_TRACE("cut at byte " + std::to_string(cut));
+    std::error_code ec;
+    fs::remove_all(scratch, ec);
+    fs::create_directories(fs::path(scratch) / "plans");
+    {
+      std::ofstream f((fs::path(scratch) / "plans" / seg_name).string(),
+                      std::ios::binary);
+      f.write(full.data(), static_cast<std::streamsize>(cut));
+    }
+    std::unique_ptr<WarmStore> store = OpenStore(scratch);
+    std::string payload;
+    ASSERT_EQ(store->LoadPlan("k1", &payload), cut >= first_end);
+    if (cut >= first_end) EXPECT_EQ(payload, "payload-one");
+    ASSERT_EQ(store->LoadPlan("k2", &payload), cut >= second_end);
+    if (cut >= second_end) EXPECT_EQ(payload, "payload-two");
+    // Recovery leaves a store that keeps working: a new append lands
+    // after the recovered prefix and survives the next reopen.
+    ASSERT_TRUE(store->AppendPlan("k3", "payload-three").ok());
+    store = OpenStore(scratch);
+    ASSERT_TRUE(store->LoadPlan("k3", &payload));
+    EXPECT_EQ(payload, "payload-three");
+    ASSERT_EQ(store->LoadPlan("k1", &payload), cut >= first_end);
+  }
+}
+
+// ------------------------------------------------ service-level ladder
+
+// The top acceptance bar: with EVERY store I/O site failing permanently,
+// a batch over an attached store and disk-backed cache must complete
+// every request byte-identical to a storeless baseline — the whole store
+// degrades away, it never takes a request down with it.
+TEST(FaultToleranceServiceTest, TotalStoreFailureDegradesToBaseline) {
+  const std::string text =
+      "name=a algorithm=sgb sample=8 seed=5 budget=4\n"
+      "name=b algorithm=rdt sample=6 seed=6 budget=3 motif=Rectangle\n"
+      "name=c algorithm=wt-dbd sample=5 seed=7 budget=4\n";
+  Result<std::vector<PlanRequest>> requests = ParsePlanRequests(text);
+  ASSERT_TRUE(requests.ok());
+  PlanService plan_service(ArenasBase());
+  const std::vector<PlanResponse> reference =
+      plan_service.RunBatch(*requests, BatchOptions{});
+
+  ASSERT_TRUE(fault::FaultInjector::Global().Arm("*:p=1:permanent", 1).ok());
+  std::unique_ptr<WarmStore> store = OpenStore(TempStoreDir("ft_total"));
+  PlanCache cache(16);
+  cache.set_backing_store(store.get());
+  BatchStats stats;
+  BatchOptions options;
+  options.cache = &cache;
+  options.store = store.get();
+  options.stats = &stats;
+  const std::vector<PlanResponse> degraded =
+      plan_service.RunBatch(*requests, options);
+  fault::FaultInjector::Global().Disarm();
+
+  ASSERT_EQ(degraded.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    ASSERT_TRUE(degraded[i].status.ok()) << degraded[i].status.ToString();
+    EXPECT_EQ(degraded[i].plan_text, reference[i].plan_text);
+    EXPECT_EQ(degraded[i].result.protectors, reference[i].result.protectors);
+    EXPECT_EQ(degraded[i].result.final_similarity,
+              reference[i].result.final_similarity);
+  }
+  // The shortfall is visible, not silent.
+  EXPECT_GT(store->stats().write_failures, 0u);
+  EXPECT_GT(stats.store_write_failures, 0u);
+  EXPECT_GT(stats.store_degradations, 0u);
+  EXPECT_GT(cache.stats().backing_write_failures, 0u);
+}
+
+// The quieter acceptance bar: a low-rate transient profile is absorbed
+// entirely by the retry schedule — bit-identical responses AND zero
+// degradations (the store stays fully persistent).
+TEST(FaultToleranceServiceTest, TransientFaultProfileIsInvisible) {
+  const std::string text =
+      "name=a algorithm=sgb sample=8 seed=5 budget=4\n"
+      "name=b algorithm=rdt sample=6 seed=6 budget=3 motif=Rectangle\n"
+      "name=c algorithm=wt-dbd sample=5 seed=7 budget=4\n";
+  Result<std::vector<PlanRequest>> requests = ParsePlanRequests(text);
+  ASSERT_TRUE(requests.ok());
+  PlanService plan_service(ArenasBase());
+  const std::vector<PlanResponse> reference =
+      plan_service.RunBatch(*requests, BatchOptions{});
+
+  ASSERT_TRUE(fault::FaultInjector::Global()
+                  .Arm("*:p=0.05:transient", 20260809)
+                  .ok());
+  const std::string dir = TempStoreDir("ft_transient");
+  for (int pass = 0; pass < 2; ++pass) {
+    SCOPED_TRACE("pass " + std::to_string(pass));
+    std::unique_ptr<WarmStore> store = OpenStore(dir);
+    PlanCache cache(16);
+    cache.set_backing_store(store.get());
+    BatchStats stats;
+    BatchOptions options;
+    options.max_workers = 1;  // keep the injected call sequence stable
+    options.cache = &cache;
+    options.store = store.get();
+    options.stats = &stats;
+    const std::vector<PlanResponse> run =
+        plan_service.RunBatch(*requests, options);
+    ASSERT_EQ(run.size(), reference.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_TRUE(run[i].status.ok()) << run[i].status.ToString();
+      EXPECT_EQ(run[i].plan_text, reference[i].plan_text);
+    }
+    EXPECT_EQ(store->stats().degradations(), 0u);
+    EXPECT_EQ(stats.store_degradations, 0u);
+    EXPECT_EQ(cache.stats().backing_write_failures, 0u);
+  }
+  fault::FaultInjector::Global().Disarm();
 }
 
 }  // namespace

@@ -29,6 +29,20 @@
 //                             neighborhood keep surviving commits
 //   (--min-cold-ms reads the row's rebuild_ms in this mode)
 //
+// --mode=fault guards BENCH_store_warmstart.json produced under a
+//   TPP_FAULTS transient profile (docs/ROBUSTNESS.md):
+//   per motif row:            present, "bit_identical_to_cold_build"
+//                             true; warm-load speedups are info-only
+//                             (fault-run timings include retry backoff)
+//   batch section:            "responses_byte_identical" must hold
+//   store_health section:     "degradations", "write_failures", and
+//                             "backing_write_failures" must be zero —
+//                             a transient profile is absorbed by
+//                             retries, never degraded through — and
+//                             when a fault_spec was armed "io_retries"
+//                             must be nonzero, proving the profile
+//                             actually exercised the retry path
+//
 // Speedups are ratios of two timings from the same process on the same
 // machine, so they transfer across hosts far better than absolute
 // milliseconds — that is what makes a committed floor meaningful in CI.
@@ -254,6 +268,99 @@ const MutationRun* FindMutationRun(const MutationFile& file,
   return nullptr;
 }
 
+struct WarmstartRow {
+  std::string motif;
+  double cold_build_ms = 0;
+  double speedup = 0;
+  bool bit_identical = false;
+};
+
+struct WarmstartFile {
+  std::vector<WarmstartRow> rows;
+  bool responses_byte_identical = false;
+  bool has_health = false;
+  std::string fault_spec;
+  double io_retries = 0;
+  double write_failures = 0;
+  double degradations = 0;
+  double backing_write_failures = 0;
+};
+
+bool ParseWarmstartFile(const std::string& path, WarmstartFile* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_guard: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  const size_t rows_at = text.find("\"motifs\": [");
+  if (rows_at == std::string::npos) {
+    std::fprintf(stderr, "bench_guard: %s has no \"motifs\" array\n",
+                 path.c_str());
+    return false;
+  }
+  const size_t rows_end = text.find("\n  ]", rows_at);
+  size_t cursor = rows_at;
+  while (true) {
+    const size_t open = text.find('{', cursor);
+    if (open == std::string::npos || open > rows_end) break;
+    const size_t close = text.find('}', open);
+    if (close == std::string::npos) break;
+    const std::string obj = text.substr(open, close - open + 1);
+    cursor = close + 1;
+
+    WarmstartRow row;
+    auto motif = FindString(obj, "motif");
+    auto cold = FindNumber(obj, "cold_build_ms");
+    auto speedup = FindNumber(obj, "speedup");
+    auto identical = FindBool(obj, "bit_identical_to_cold_build");
+    if (!motif || !cold || !speedup || !identical) {
+      std::fprintf(stderr, "bench_guard: malformed motif row in %s: %s\n",
+                   path.c_str(), obj.c_str());
+      return false;
+    }
+    row.motif = *motif;
+    row.cold_build_ms = *cold;
+    row.speedup = *speedup;
+    row.bit_identical = *identical;
+    out->rows.push_back(std::move(row));
+  }
+  const std::string tail =
+      text.substr(rows_end == std::string::npos ? rows_at : rows_end);
+  auto identical = FindBool(tail, "responses_byte_identical");
+  if (!identical) {
+    std::fprintf(stderr, "bench_guard: %s is missing the batch section\n",
+                 path.c_str());
+    return false;
+  }
+  out->responses_byte_identical = *identical;
+  // store_health is newer than the bench itself; baselines written before
+  // it are parseable (fault mode then fails the FRESH file only if the
+  // section is absent there).
+  auto degradations = FindNumber(tail, "degradations");
+  if (degradations) {
+    out->has_health = true;
+    out->degradations = *degradations;
+    out->fault_spec = FindString(tail, "fault_spec").value_or("");
+    out->io_retries = FindNumber(tail, "io_retries").value_or(0);
+    out->write_failures = FindNumber(tail, "write_failures").value_or(0);
+    out->backing_write_failures =
+        FindNumber(tail, "backing_write_failures").value_or(0);
+  }
+  return true;
+}
+
+const WarmstartRow* FindWarmstartRow(const WarmstartFile& file,
+                                     const std::string& motif) {
+  for (const WarmstartRow& row : file.rows) {
+    if (row.motif == motif) return &row;
+  }
+  return nullptr;
+}
+
 // One metric comparison; returns false (and prints FAIL) on regression
 // beyond tolerance. `enforced` distinguishes gate rows from noise rows
 // that are reported for the record but cannot fail the job.
@@ -329,6 +436,85 @@ int RunGraphMutation(const std::string& fresh_path,
   return 0;
 }
 
+// Fault mode: the fresh file is a warm-start bench run executed under a
+// TPP_FAULTS transient profile; the baseline is the committed clean run.
+// Timings are info-only (retry backoff inflates them by design) — the
+// gate is purely on invariants: every configuration still present, every
+// warm load still bit-identical, every batch response still
+// byte-identical, zero degradations, and (when a profile was armed)
+// retries actually fired so the run proves something.
+int RunFault(const std::string& fresh_path,
+             const std::string& baseline_path) {
+  WarmstartFile fresh, baseline;
+  if (!ParseWarmstartFile(fresh_path, &fresh) ||
+      !ParseWarmstartFile(baseline_path, &baseline)) {
+    return 2;
+  }
+
+  std::printf("bench_guard: %s (fault run%s%s) vs clean baseline %s\n",
+              fresh_path.c_str(),
+              fresh.fault_spec.empty() ? "" : ", profile ",
+              fresh.fault_spec.c_str(), baseline_path.c_str());
+  bool ok = true;
+  for (const WarmstartRow& floor : baseline.rows) {
+    const WarmstartRow* now = FindWarmstartRow(fresh, floor.motif);
+    if (now == nullptr) {
+      std::printf("  %-24s MISSING from fresh results: FAIL\n",
+                  floor.motif.c_str());
+      ok = false;
+      continue;
+    }
+    if (!now->bit_identical) {
+      std::printf("  %-24s bit_identical_to_cold_build false: FAIL\n",
+                  floor.motif.c_str());
+      ok = false;
+    }
+    CheckMetric(floor.motif, "warm_load_speedup", now->speedup,
+                floor.speedup, /*tolerance=*/0.0, /*enforced=*/false);
+  }
+  std::printf("  %-24s responses_byte_identical %s\n", "batch",
+              fresh.responses_byte_identical ? "true: ok" : "false: FAIL");
+  ok &= fresh.responses_byte_identical;
+
+  if (!fresh.has_health) {
+    std::printf("  %-24s store_health section missing: FAIL (bench "
+                "predates it, or wrong file)\n",
+                "health");
+    ok = false;
+  } else {
+    const bool clean = fresh.degradations == 0 &&
+                       fresh.write_failures == 0 &&
+                       fresh.backing_write_failures == 0;
+    std::printf("  %-24s degradations %.0f, write failures %.0f, backing "
+                "write failures %.0f  %s\n",
+                "health", fresh.degradations, fresh.write_failures,
+                fresh.backing_write_failures, clean ? "ok" : "FAIL");
+    ok &= clean;
+    if (!fresh.fault_spec.empty()) {
+      // An armed profile that never fired exercises nothing — the run
+      // would pass vacuously. Demand evidence the retry path ran.
+      std::printf("  %-24s io_retries %.0f under armed profile  %s\n",
+                  "health", fresh.io_retries,
+                  fresh.io_retries > 0 ? "ok" : "FAIL (profile never "
+                                               "fired)");
+      ok &= fresh.io_retries > 0;
+    } else {
+      std::printf("  %-24s no fault profile armed; io_retries %.0f (info "
+                  "only)\n",
+                  "health", fresh.io_retries);
+    }
+  }
+  if (!ok) {
+    std::printf("bench_guard: FAULT-RUN INVARIANT BROKE — a transient "
+                "fault profile must be absorbed by retries with "
+                "bit-identical output and zero degradations\n");
+    return 1;
+  }
+  std::printf("bench_guard: fault run absorbed by retries, equivalence "
+              "intact, zero degradations\n");
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   Result<ParsedArgs> args = ParsedArgs::Parse(argc, argv);
   if (!args.ok()) {
@@ -340,12 +526,16 @@ int Run(int argc, char** argv) {
   const std::string baseline_path = args->GetString("baseline", "");
   const std::string mode = args->GetString("mode", "solver_rounds");
   if (fresh_path.empty() || baseline_path.empty() ||
-      (mode != "solver_rounds" && mode != "graph_mutation")) {
+      (mode != "solver_rounds" && mode != "graph_mutation" &&
+       mode != "fault")) {
     std::fprintf(stderr,
                  "usage: bench_guard --fresh=NEW.json --baseline=OLD.json "
-                 "[--mode=solver_rounds|graph_mutation] [--tolerance=0.2] "
-                 "[--min-cold-ms=1.0]\n");
+                 "[--mode=solver_rounds|graph_mutation|fault] "
+                 "[--tolerance=0.2] [--min-cold-ms=1.0]\n");
     return 2;
+  }
+  if (mode == "fault") {
+    return RunFault(fresh_path, baseline_path);
   }
   Result<double> tolerance = args->GetDouble("tolerance", 0.2);
   Result<double> min_cold_ms = args->GetDouble("min-cold-ms", 1.0);

@@ -11,9 +11,11 @@
 //       greedy loops; heap = addressable-heap selection, all modes
 //       bit-identical), --celf=dirty|classic (stale-bound strategy when
 //       --lazy is set; dirty re-keys only dirtied entries),
+//       --deadline-ms=N (wall-clock budget; past it the solver stops at
+//       its next round boundary and the run reports DeadlineExceeded),
 //       --plan-out=FILE, --release-out=FILE, --relabel.
 //   tpp batch --requests=FILE [--plan-dir=DIR] [--threads=N]
-//             [--stream] [--cache-size=N]
+//             [--stream] [--cache-size=N] [--batch-deadline-ms=N]
 //       Runs a whole file of protection requests (parsed and validated
 //       line by line) concurrently against one base graph through the
 //       staged plan pipeline (service/plan_service.h; file format in
@@ -33,6 +35,11 @@
 //       long-lived embedders share across batches. Output plans are
 //       bit-identical to running each request through `tpp protect` on
 //       its own, at any worker count, cache state, or sharing group.
+//       Per-request `deadline_ms=` keys and --batch-deadline-ms bound
+//       wall clock; expired requests report DeadlineExceeded without
+//       stalling the rest of the batch. When any request fails, the
+//       batch exits non-zero and prints a per-status-code failure
+//       breakdown footer (docs/ROBUSTNESS.md).
 //       Both protect and batch take --store=DIR [--store-cap=BYTES]
 //       [--cache-failures]: a disk-backed warm-start store
 //       (service/store/warm_store.h, docs/STORAGE.md) that persists built
@@ -43,7 +50,8 @@
 //       --cache-failures re-enables their in-memory memoization only.
 //   tpp store <ls|verify|evict> --store=DIR
 //       Store maintenance: `ls` lists entries (fingerprint, motif, bytes,
-//       age), `verify` checksums every entry, `evict --name=ENTRY` or
+//       age), `verify` checksums every entry (exit 0 = clean, 1 =
+//       corrupt entries found, 2 = store unopenable), `evict --name=ENTRY` or
 //       `evict --older-than=SECONDS` deletes entries; `evict --stale
 //       --graph=FILE` garbage-collects snapshots and sealed plan
 //       segments whose fingerprint no caller serving FILE can ever match
@@ -72,6 +80,7 @@
 //   tpp stats --graph=social.released.edges
 
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
@@ -125,7 +134,10 @@ Result<Graph> LoadGraphFlag(const ParsedArgs& args) {
 }
 
 // Opens the warm-start store named by --store/--store-cap; OK-with-nullptr
-// when --store is absent.
+// when --store is absent. An unopenable store (directory uncreatable,
+// catastrophic recovery failure) is the BOTTOM rung of the degradation
+// ladder: the run warns and continues in-memory only — the warm start is
+// an optimization, never a prerequisite. Flag errors still fail.
 Result<std::unique_ptr<service::store::WarmStore>> OpenStoreFromFlags(
     const ParsedArgs& args) {
   std::string dir = args.GetString("store", "");
@@ -139,7 +151,16 @@ Result<std::unique_ptr<service::store::WarmStore>> OpenStoreFromFlags(
   }
   service::store::StoreOptions store_options;
   store_options.capacity_bytes = static_cast<uint64_t>(*cap);
-  return service::store::WarmStore::Open(dir, store_options);
+  Result<std::unique_ptr<service::store::WarmStore>> store =
+      service::store::WarmStore::Open(dir, store_options);
+  if (!store.ok()) {
+    std::fprintf(stderr,
+                 "warning: warm store %s unavailable (%s); continuing "
+                 "without persistence\n",
+                 dir.c_str(), store.status().ToString().c_str());
+    return std::unique_ptr<service::store::WarmStore>();
+  }
+  return store;
 }
 
 void PrintStoreStats(const service::store::WarmStore& store,
@@ -154,6 +175,15 @@ void PrintStoreStats(const service::store::WarmStore& store,
       static_cast<unsigned long long>(ss.index_rejects +
                                       ss.admission_rejects),
       static_cast<unsigned long long>(ss.evicted_files));
+  // Health line: transient faults absorbed vs. service the store fell
+  // short of. A healthy run prints all zeros; CI greps this line under
+  // fault injection.
+  std::printf(
+      "store health: %llu retries, %llu write failures, "
+      "%llu degradations\n",
+      static_cast<unsigned long long>(ss.io_retries),
+      static_cast<unsigned long long>(ss.write_failures),
+      static_cast<unsigned long long>(ss.degradations()));
   if (cache != nullptr) {
     service::PlanCache::Stats cs = cache->stats();
     std::printf("plan cache tiers: %llu memory hits, %llu disk hits\n",
@@ -210,6 +240,11 @@ int RunProtect(const ParsedArgs& args) {
   Result<SolverSpec> spec = SpecFromFlags(args);
   if (!spec.ok()) return Fail(spec.status());
   request.spec = *spec;
+  // Wall-clock budget: past it the solver stops at its next round
+  // boundary and the run fails with DeadlineExceeded.
+  Result<int64_t> deadline_ms = args.GetInt("deadline-ms", 0);
+  if (!deadline_ms.ok()) return Fail(deadline_ms.status());
+  request.deadline_ms = *deadline_ms;
   // A standalone protect run inspects (and may save) the released graph;
   // batches leave this off per request to keep memory flat.
   request.want_released = true;
@@ -284,6 +319,11 @@ int RunBatch(const ParsedArgs& args) {
   const bool stream = args.GetBool("stream");
   Result<int64_t> cache_size = args.GetInt("cache-size", 0);
   if (!cache_size.ok()) return Fail(cache_size.status());
+  // Whole-batch wall-clock budget (per script step): work past the
+  // deadline returns DeadlineExceeded, finished requests keep their
+  // responses. Per-request budgets come from the deadline_ms= request key.
+  Result<int64_t> batch_deadline_ms = args.GetInt("batch-deadline-ms", 0);
+  if (!batch_deadline_ms.ok()) return Fail(batch_deadline_ms.status());
 
   // LoadPlanScript reads and validates the file line by line; a
   // malformed line fails before any work starts, naming the line. Files
@@ -340,6 +380,14 @@ int RunBatch(const ParsedArgs& args) {
   };
 
   int failures = 0;
+  // Per-StatusCode failure breakdown for the batch footer: a robustness
+  // run needs to tell deadline misses from I/O loss from bad requests at
+  // a glance (and CI needs a stable line to gate on).
+  std::map<std::string_view, size_t> failure_codes;
+  auto count_failure = [&](const Status& status) {
+    ++failures;
+    ++failure_codes[StatusCodeName(status.code())];
+  };
   TextTable table;
   table.SetHeader({"request", "solver", "motif", "|T|", "s({},T)",
                    "deleted", "s(P,T)", "seconds", "status"});
@@ -355,6 +403,7 @@ int RunBatch(const ParsedArgs& args) {
     options.store = store->get();
     options.repository = &repository;
     options.stats = &step_stats;
+    options.batch_deadline_ms = *batch_deadline_ms;
     if (stream) {
       // One line per request, in input order, flushed as the completed
       // prefix grows — `tail -f` friendly. Plan files are written at the
@@ -364,7 +413,7 @@ int RunBatch(const ParsedArgs& args) {
           [&](size_t i, const PlanResponse& response) {
             const PlanRequest& request = requests[i];
             if (!response.status.ok()) {
-              ++failures;
+              count_failure(response.status);
               std::printf("%s error %s\n", request.name.c_str(),
                           response.status.ToString().c_str());
             } else {
@@ -389,7 +438,7 @@ int RunBatch(const ParsedArgs& args) {
         const PlanRequest& request = requests[i];
         const PlanResponse& response = responses[i];
         if (!response.status.ok()) {
-          ++failures;
+          count_failure(response.status);
           table.AddRow({request.name, request.spec.algorithm,
                         std::string(motif::MotifName(request.motif)), "-",
                         "-", "-", "-", "-", response.status.ToString()});
@@ -415,6 +464,10 @@ int RunBatch(const ParsedArgs& args) {
     stats.instance_builds += step_stats.instance_builds;
     stats.snapshot_hits += step_stats.snapshot_hits;
     stats.snapshot_stores += step_stats.snapshot_stores;
+    stats.deadline_exceeded += step_stats.deadline_exceeded;
+    stats.store_retries += step_stats.store_retries;
+    stats.store_write_failures += step_stats.store_write_failures;
+    stats.store_degradations += step_stats.store_degradations;
     if (step.edit.has_value()) {
       Result<service::EditSummary> summary =
           plan_service.ApplyEdit(*step.edit, cache.get(), &repository);
@@ -453,6 +506,17 @@ int RunBatch(const ParsedArgs& args) {
                 stats.instance_groups);
   }
   if (*store != nullptr) PrintStoreStats(**store, stats, cache.get());
+  if (failures > 0) {
+    // One stable line, codes in name order: "failures: 2/10
+    // (DeadlineExceeded=1 InvalidArgument=1)".
+    std::string breakdown;
+    for (const auto& [code, count] : failure_codes) {
+      if (!breakdown.empty()) breakdown += " ";
+      breakdown += StrFormat("%s=%zu", std::string(code).c_str(), count);
+    }
+    std::printf("failures: %d/%zu (%s)\n", failures, total_requests,
+                breakdown.c_str());
+  }
   return failures == 0 ? 0 : 1;
 }
 
@@ -472,7 +536,13 @@ int RunStore(const ParsedArgs& args) {
   store_options.capacity_bytes = static_cast<uint64_t>(*cap);
   Result<std::unique_ptr<service::store::WarmStore>> store =
       service::store::WarmStore::Open(dir, store_options);
-  if (!store.ok()) return Fail(store.status());
+  if (!store.ok()) {
+    // Maintenance needs the store; verify distinguishes "cannot even
+    // open" (exit 2) from "opened but holds corrupt entries" (exit 1)
+    // so health checks can tell the rungs apart.
+    std::fprintf(stderr, "error: %s\n", store.status().ToString().c_str());
+    return action == "verify" ? 2 : 1;
+  }
 
   if (action == "ls") {
     Result<std::vector<service::store::StoreEntry>> entries =
