@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/fault_injection.h"
+#include "common/net_io.h"
 #include "common/rng.h"
 #include "common/strings.h"
 
@@ -80,12 +81,8 @@ Result<std::shared_ptr<const MappedBlob>> MappedBlob::Open(
   // mmap refused (unusual filesystem, resource limit): fall through to the
   // heap read below using the already-open descriptor.
   blob->heap_ = std::make_unique<uint8_t[]>(blob->size_);
-  size_t off = 0;
-  while (off < blob->size_) {
-    ssize_t n = ::read(fd.fd, blob->heap_.get() + off, blob->size_ - off);
-    if (n <= 0) return Status::IoError("short read of " + path);
-    off += static_cast<size_t>(n);
-  }
+  Status read = net::ReadFull(fd.fd, blob->heap_.get(), blob->size_);
+  if (!read.ok()) return Status::IoError("short read of " + path);
   blob->data_ = blob->heap_.get();
   return std::shared_ptr<const MappedBlob>(blob);
 #else

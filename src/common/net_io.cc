@@ -1,0 +1,142 @@
+#include "common/net_io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/fault_injection.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TPP_NET_POSIX 1
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace tpp::net {
+
+#if TPP_NET_POSIX
+
+namespace {
+
+// write(2) raises SIGPIPE when the peer is gone — fatal by default, and
+// a server must treat a vanished client as an I/O error, not a process
+// signal. Sockets get send(MSG_NOSIGNAL); pipes and files (ENOTSOCK)
+// fall back to plain write, where the caller keeps the read end alive or
+// has opted into SIGPIPE handling process-wide.
+ssize_t WriteChunk(int fd, const void* p, size_t n, bool& use_send) {
+  if (use_send) {
+    const ssize_t r = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (r >= 0 || errno != ENOTSOCK) return r;
+    use_send = false;
+  }
+  return ::write(fd, p, n);
+}
+
+}  // namespace
+
+Result<size_t> ReadSome(int fd, void* buf, size_t cap,
+                        std::string_view site) {
+  fault::FaultDecision injected;
+  if (!site.empty()) injected = fault::Hit(site, cap);
+  if (injected.fire && injected.kind != fault::FaultKind::kTorn) {
+    return injected.ToStatus(site);
+  }
+  for (;;) {
+    ssize_t n = ::read(fd, buf, cap);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // interrupted, not failed
+      return Status::IoError(std::string("read failed: ") +
+                             std::strerror(errno));
+    }
+    size_t got = static_cast<size_t>(n);
+    if (injected.fire) {
+      // Torn frame: only the prefix reaches the caller; the tail read
+      // from the kernel is dropped, exactly as bytes in flight are lost
+      // when the peer dies mid-frame.
+      got = std::min<size_t>(got, static_cast<size_t>(injected.torn_bytes));
+    }
+    return got;
+  }
+}
+
+Status ReadFull(int fd, void* buf, size_t size) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  size_t off = 0;
+  while (off < size) {
+    ssize_t n = ::read(fd, p + off, size - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return Status::IoError(std::string("short read: ") +
+                             (n < 0 ? std::strerror(errno) : "EOF"));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status WriteAll(int fd, const void* data, size_t size,
+                std::string_view site) {
+  fault::FaultDecision injected;
+  if (!site.empty()) injected = fault::Hit(site, size);
+  if (injected.fire && injected.kind != fault::FaultKind::kTorn) {
+    return injected.ToStatus(site);
+  }
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const size_t limit = injected.fire
+                           ? std::min<size_t>(
+                                 size, static_cast<size_t>(
+                                           injected.torn_bytes))
+                           : size;
+  size_t off = 0;
+  bool use_send = true;
+  while (off < limit) {
+    ssize_t n = WriteChunk(fd, p + off, limit - off, use_send);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return Status::IoError(std::string("write failed: ") +
+                             std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (injected.fire) {
+    // Torn write: the prefix is on the wire and the frame will never
+    // complete — the peer's framing layer sees a garbled line. Unlike an
+    // atomic blob write (temp+rename, where ToStatus reports torn as
+    // retryable), a STREAM retry would duplicate the prefix and corrupt
+    // framing, so the failure is terminal here.
+    return Status::IoError("injected torn write at " + std::string(site));
+  }
+  return Status::Ok();
+}
+
+Result<int> AcceptRetry(int listen_fd) {
+  for (;;) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Unavailable("no pending connection");
+    }
+    return Status::IoError(std::string("accept failed: ") +
+                           std::strerror(errno));
+  }
+}
+
+#else  // !TPP_NET_POSIX
+
+Result<size_t> ReadSome(int, void*, size_t, std::string_view) {
+  return Status::Unimplemented("net I/O requires POSIX");
+}
+Status ReadFull(int, void*, size_t) {
+  return Status::Unimplemented("net I/O requires POSIX");
+}
+Status WriteAll(int, const void*, size_t, std::string_view) {
+  return Status::Unimplemented("net I/O requires POSIX");
+}
+Result<int> AcceptRetry(int) {
+  return Status::Unimplemented("net I/O requires POSIX");
+}
+
+#endif
+
+}  // namespace tpp::net

@@ -1,0 +1,60 @@
+// EINTR-safe POSIX I/O wrappers with deterministic fault injection.
+//
+// Raw read(2)/write(2)/accept(2) return EINTR whenever a signal lands
+// mid-call and write(2) may land only a prefix of the buffer; every call
+// site that forgets the retry loop is a latent bug that only fires under
+// signal pressure. These wrappers own the loops once, and each carries an
+// optional fault-injection site (common/fault_injection.h) so soak tests
+// can inject short reads, torn frames, and transient write failures
+// deterministically:
+//
+//   transient -> kUnavailable before any byte moves (a retry may succeed)
+//   permanent -> kIoError before any byte moves (the peer/fd is gone)
+//   torn      -> a byte PREFIX moves and the rest is dropped, modeling a
+//                frame torn by a dying peer or a mid-write crash
+//
+// The plan server instruments its socket paths with the "net.read" and
+// "net.write" sites; blob_io's heap-read fallback routes through ReadFull
+// (its own "blob.read" site already guards the open).
+
+#ifndef TPP_COMMON_NET_IO_H_
+#define TPP_COMMON_NET_IO_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace tpp::net {
+
+/// Reads up to `cap` bytes from `fd` into `buf`, retrying on EINTR.
+/// Returns the byte count (0 = end of stream). With a non-empty `site`,
+/// the fault registry is consulted first: a transient fault returns
+/// kUnavailable with no bytes consumed (the caller retries on its next
+/// readiness event), a permanent fault returns kIoError, and a torn
+/// fault performs the read but delivers only a prefix — the tail is
+/// dropped, exactly as a torn frame arrives off a crashed peer.
+Result<size_t> ReadSome(int fd, void* buf, size_t cap,
+                        std::string_view site = {});
+
+/// Reads exactly `size` bytes (EINTR-safe loop); kIoError on EOF or any
+/// read failure before `size` bytes arrive. No fault site — callers
+/// that want injection guard the call themselves.
+Status ReadFull(int fd, void* buf, size_t size);
+
+/// Writes all `size` bytes, retrying on EINTR and continuing partial
+/// writes. With a non-empty `site`: a transient fault fails with
+/// kUnavailable before any byte lands, a permanent fault with kIoError,
+/// and a torn fault lands a byte prefix and then fails — the frame is on
+/// the wire incomplete, as after a mid-write crash.
+Status WriteAll(int fd, const void* data, size_t size,
+                std::string_view site = {});
+
+/// accept(2) on `listen_fd`, retrying on EINTR. Returns the connected
+/// fd. kUnavailable when no connection is pending (EAGAIN/EWOULDBLOCK on
+/// a non-blocking listener — poll again), kIoError otherwise.
+Result<int> AcceptRetry(int listen_fd);
+
+}  // namespace tpp::net
+
+#endif  // TPP_COMMON_NET_IO_H_

@@ -1,0 +1,96 @@
+#include "common/signals.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TPP_SIGNALS_POSIX 1
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace tpp::signals {
+
+namespace {
+
+std::atomic<uint64_t> g_signal_count{0};
+// Write end used by the handler; -1 until installed. Plain int is fine:
+// it is written once under the install mutex before any handler can run.
+int g_pipe_read = -1;
+int g_pipe_write = -1;
+std::once_flag g_install_once;
+Status g_install_status = Status::Ok();
+
+#if TPP_SIGNALS_POSIX
+// Async-signal-safe: one atomic bump and one write(2). A full pipe is
+// fine to drop — the reader is already far behind on shutdown requests.
+void OnShutdownSignal(int) {
+  const int saved_errno = errno;
+  g_signal_count.fetch_add(1, std::memory_order_relaxed);
+  const char byte = 's';
+  ssize_t ignored = ::write(g_pipe_write, &byte, 1);
+  (void)ignored;
+  errno = saved_errno;
+}
+#endif
+
+void InstallOnce() {
+#if TPP_SIGNALS_POSIX
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    g_install_status = Status::IoError(
+        std::string("cannot create signal pipe: ") + std::strerror(errno));
+    return;
+  }
+  // Non-blocking write end so a handler storm never wedges the handler;
+  // close-on-exec both ends so children do not inherit the plumbing.
+  ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+  ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+  g_pipe_read = fds[0];
+  g_pipe_write = fds[1];
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = OnShutdownSignal;
+  ::sigemptyset(&action.sa_mask);
+  // No SA_RESTART: the whole point is to interrupt blocking I/O so the
+  // EINTR-safe wrappers loop and the poll loop notices the pipe.
+  if (::sigaction(SIGTERM, &action, nullptr) != 0 ||
+      ::sigaction(SIGINT, &action, nullptr) != 0) {
+    g_install_status = Status::IoError("cannot install signal handlers");
+    return;
+  }
+  ::signal(SIGPIPE, SIG_IGN);
+#else
+  g_install_status = Status::Unimplemented("signal pipe requires POSIX");
+#endif
+}
+
+}  // namespace
+
+Result<int> InstallShutdownPipe() {
+  std::call_once(g_install_once, InstallOnce);
+  if (!g_install_status.ok()) return g_install_status;
+  return g_pipe_read;
+}
+
+uint64_t ShutdownSignalCount() {
+  return g_signal_count.load(std::memory_order_relaxed);
+}
+
+void InjectShutdownSignalForTest() {
+#if TPP_SIGNALS_POSIX
+  if (g_pipe_write >= 0) {
+    g_signal_count.fetch_add(1, std::memory_order_relaxed);
+    const char byte = 's';
+    ssize_t ignored = ::write(g_pipe_write, &byte, 1);
+    (void)ignored;
+  }
+#endif
+}
+
+}  // namespace tpp::signals

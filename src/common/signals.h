@@ -1,0 +1,40 @@
+// Self-pipe shutdown signal handling for long-lived serving processes.
+//
+// A signal handler may only touch async-signal-safe state, so the
+// classic pattern applies: the handler writes one byte to a pipe and
+// bumps an atomic counter, and the serving poll loop watches the pipe's
+// read end like any other fd. The FIRST byte means "drain gracefully"
+// (stop admission, finish in-flight work, exit 0); the SECOND escalates
+// to "cancel in-flight work via token" — the two-step ladder the plan
+// server implements (docs/ROBUSTNESS.md).
+//
+// SIGPIPE is ignored as part of installation: a server writing a
+// response to a client that already disconnected must see EPIPE from
+// write(2), not die.
+
+#ifndef TPP_COMMON_SIGNALS_H_
+#define TPP_COMMON_SIGNALS_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+
+namespace tpp::signals {
+
+/// Installs SIGTERM/SIGINT handlers that write one byte each to a
+/// process-wide self-pipe, ignores SIGPIPE, and returns the pipe's read
+/// end (owned by the process; never close it). Idempotent — repeat calls
+/// return the same fd. The caller polls the fd and drains one byte per
+/// delivered signal.
+Result<int> InstallShutdownPipe();
+
+/// Signals delivered through the handlers since installation.
+uint64_t ShutdownSignalCount();
+
+/// Test hook: simulates one signal delivery (same pipe byte + counter
+/// bump as the real handler) without raising a signal.
+void InjectShutdownSignalForTest();
+
+}  // namespace tpp::signals
+
+#endif  // TPP_COMMON_SIGNALS_H_

@@ -49,12 +49,13 @@ Result<IndexedEngine> IndexedEngine::Adopt(const TppInstance& instance,
                        instance.motif);
 }
 
-Status IndexedEngine::ApplyEdit(const graph::GraphDelta& delta) {
+Status IndexedEngine::ApplyEdit(const graph::GraphDelta& delta,
+                                const CancellationToken* cancel) {
   // Graph first (the repair enumerates created instances on the post-edit
   // graph), index second; a repair failure rolls the graph back by
   // replaying the inverse delta, so errors leave the engine unchanged.
   TPP_RETURN_IF_ERROR(g_.ApplyDelta(delta));
-  Status repaired = index_.ApplyGraphDelta(g_, targets_, motif_, delta);
+  Status repaired = index_.ApplyGraphDelta(g_, targets_, motif_, delta, cancel);
   if (!repaired.ok()) {
     graph::GraphDelta inverse;
     inverse.inserted = delta.removed;

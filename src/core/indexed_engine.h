@@ -129,8 +129,11 @@ class IndexedEngine : public Engine {
   /// and index unchanged. Any incremental round session is reset, exactly
   /// as on Clone. The delta must not touch a target link: edits to target
   /// links change the problem itself, so the owning service rebuilds
-  /// those groups instead (service/instance_repository.h).
-  Status ApplyEdit(const graph::GraphDelta& delta);
+  /// those groups instead (service/instance_repository.h). `cancel`
+  /// (optional) is polled before the repair mutates anything; once the
+  /// repair starts it runs to completion.
+  Status ApplyEdit(const graph::GraphDelta& delta,
+                   const CancellationToken* cancel = nullptr);
 
   /// Overrides the worker-thread budget for BatchGain on this engine and
   /// disables the batch-size heuristic (exactly this many workers, capped

@@ -116,6 +116,12 @@ Result<IncidenceIndex> IncidenceIndex::Build(const Graph& g,
                                              const BuildOptions& options,
                                              BuildStats* stats) {
   TPP_RETURN_IF_ERROR(ValidateTargetsAbsent(g, targets));
+  // In-build cancellation: polled here and between the stages below, so
+  // a deadline that expires mid-construction stops at the next stage
+  // boundary instead of paying for the whole build. Polls are pure reads
+  // — a build that finishes in time is bit-identical with or without a
+  // token armed.
+  TPP_RETURN_IF_ERROR(PollCancellation(options.cancel, "index:build"));
   IncidenceIndex idx;
   const int workers =
       options.threads > 0 ? options.threads : GlobalThreadCount();
@@ -134,6 +140,9 @@ Result<IncidenceIndex> IncidenceIndex::Build(const Graph& g,
     stats->tasks = num_tasks;
     stats->instances = num_instances;
   }
+
+  TPP_RETURN_IF_ERROR(PollCancellation(options.cancel,
+                                       "index:build:intern"));
 
   // -- Stage 2: intern participating edges. Every instance of one motif
   // kind has the same arity, so the flat key array is sized exactly and
@@ -180,6 +189,8 @@ Result<IncidenceIndex> IncidenceIndex::Build(const Graph& g,
     stats->intern_seconds = timer.Seconds();
     stats->interned_edges = num_edges;
   }
+
+  TPP_RETURN_IF_ERROR(PollCancellation(options.cancel, "index:build:csr"));
 
   // -- Stage 3: CSR layouts, each a parallel count pass, a serial prefix
   // sum, and a parallel fill pass into disjoint slots. The structures

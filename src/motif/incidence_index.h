@@ -105,6 +105,7 @@
 #include <span>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/flat_array.h"
 #include "common/result.h"
 #include "graph/graph.h"
@@ -133,6 +134,13 @@ class IncidenceIndex {
     /// tpp::GlobalThreadCount() (the --threads flag / TPP_THREADS). The
     /// built index is bit-identical at any value.
     int threads = 0;
+    /// Optional cancel/deadline source (not owned; must outlive the
+    /// call). Polled between the build's internal stages — enumerate,
+    /// intern, each CSR pass — so a request whose deadline expires
+    /// mid-build fails at the next stage boundary instead of paying for
+    /// the whole construction. Null: never canceled (one branch per
+    /// stage). Polling cannot perturb a build that finishes in time.
+    const CancellationToken* cancel = nullptr;
   };
 
   /// Per-stage wall-time breakdown of one Build call (the index_build
@@ -288,9 +296,13 @@ class IncidenceIndex {
   /// removed edges absent. Cost: O(E + I + cells) merge passes plus the
   /// delta-neighborhood enumeration — independent of the number of
   /// targets touched, and far below a rebuild's full enumeration.
+  /// `cancel` (optional) is polled BEFORE the repair mutates anything —
+  /// a repair cannot back out halfway, so an expired token fails the
+  /// call with the index untouched rather than aborting mid-mutation.
   Status ApplyGraphDelta(const graph::Graph& g,
                          const std::vector<graph::Edge>& targets,
-                         MotifKind kind, const graph::GraphDelta& delta);
+                         MotifKind kind, const graph::GraphDelta& delta,
+                         const CancellationToken* cancel = nullptr);
 
   /// DeleteEdge followed by a dirty-emitting count flush: appends to
   /// `dirty` the dense id of every edge whose cached alive count changed

@@ -30,8 +30,14 @@ size_t InstanceRepository::Intern(const std::vector<graph::Edge>& targets,
   return it->second;
 }
 
-void InstanceRepository::BuildGroup(Group& group) {
+void InstanceRepository::BuildGroup(Group& group,
+                                    const CancellationToken* cancel) {
   builds_.fetch_add(1, std::memory_order_relaxed);
+  if (Status polled = PollCancellation(cancel, "repository:build");
+      !polled.ok()) {
+    group.status = std::move(polled);
+    return;
+  }
   Result<TppInstance> instance =
       core::MakeInstance(*base_, group.targets, group.motif);
   if (!instance.ok()) {
@@ -73,6 +79,7 @@ void InstanceRepository::BuildGroup(Group& group) {
 
   motif::IncidenceIndex::BuildOptions build_options;
   build_options.threads = build_threads_;
+  build_options.cancel = cancel;
   Result<IndexedEngine> engine =
       IndexedEngine::Create(*group.instance, build_options);
   if (!engine.ok()) {
@@ -95,13 +102,26 @@ void InstanceRepository::BuildGroup(Group& group) {
   }
 }
 
-Result<IndexedEngine> InstanceRepository::AcquireEngine(size_t group_id) {
+Result<IndexedEngine> InstanceRepository::AcquireEngine(
+    size_t group_id, const CancellationToken* cancel) {
   Group& group = groups_[group_id];
   {
     std::lock_guard<std::mutex> lock(group.build_mu);
     if (!group.built) {
-      BuildGroup(group);
+      BuildGroup(group, cancel);
       group.built = true;
+    }
+    const StatusCode code = group.status.code();
+    if (code == StatusCode::kAborted || code == StatusCode::kDeadlineExceeded) {
+      // The build died on THIS caller's clock, not on anything intrinsic
+      // to the group — memoizing it would poison every later acquirer
+      // (including ones with generous deadlines). Hand the failure to
+      // this caller only and return the group to unbuilt so the next
+      // acquirer rebuilds under its own token.
+      Status failed = group.status;
+      ResetGroup(group);
+      acquisitions_.fetch_add(1, std::memory_order_relaxed);
+      return failed;
     }
   }
   // Past the gate the group is immutable until the next ApplyEdit (which

@@ -87,8 +87,14 @@ class InstanceRepository {
 
   /// Builds the group's TppInstance + prototype engine on first call
   /// (thread-safe build-once) and returns a private clone. Build errors
-  /// are memoized: every acquirer of a failed group gets the same status.
-  Result<core::IndexedEngine> AcquireEngine(size_t group);
+  /// are memoized: every acquirer of a failed group gets the same status
+  /// — EXCEPT cancellation/deadline failures (kAborted, kDeadlineExceeded
+  /// from `cancel`, polled at the build's internal stage boundaries).
+  /// Those depend on the requesting caller's clock, not the group, so the
+  /// group resets to unbuilt and the next acquirer rebuilds under its own
+  /// deadline.
+  Result<core::IndexedEngine> AcquireEngine(
+      size_t group, const CancellationToken* cancel = nullptr);
 
   /// The group's problem instance; valid only after AcquireEngine(group)
   /// returned OK, immutable from then on (safe to read concurrently).
@@ -177,7 +183,7 @@ class InstanceRepository {
   };
 
   /// The build-once body: try the store, else cold-build + write back.
-  void BuildGroup(Group& group);
+  void BuildGroup(Group& group, const CancellationToken* cancel);
 
   /// Returns `group` to the unbuilt state; the next acquisition rebuilds.
   static void ResetGroup(Group& group);

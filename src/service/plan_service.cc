@@ -82,7 +82,21 @@ Rng RequestRng(uint64_t seed) { return Rng(SplitMix64(seed)); }
 PlanService::PlanService(graph::Graph base)
     : base_(std::move(base)), fingerprint_(graph::Fingerprint(base_)) {}
 
+namespace {
+
+// Marks a RunBatch/RunOne execution live for the ApplyEdit guard.
+struct ActiveRunGuard {
+  explicit ActiveRunGuard(std::atomic<int>& counter) : counter(counter) {
+    counter.fetch_add(1, std::memory_order_acq_rel);
+  }
+  ~ActiveRunGuard() { counter.fetch_sub(1, std::memory_order_acq_rel); }
+  std::atomic<int>& counter;
+};
+
+}  // namespace
+
 PlanResponse PlanService::RunOne(const PlanRequest& request) const {
+  ActiveRunGuard active(active_runs_);
   WallTimer timer;
   PlanResponse response;
   CancellationToken deadline_token;
@@ -112,7 +126,10 @@ PlanResponse PlanService::RunOne(const PlanRequest& request) const {
     response.status = instance.status();
     return response;
   }
-  Result<IndexedEngine> engine = IndexedEngine::Create(*instance);
+  motif::IncidenceIndex::BuildOptions build_options;
+  build_options.cancel = cancel;
+  Result<IndexedEngine> engine =
+      IndexedEngine::Create(*instance, build_options);
   if (!engine.ok()) {
     response.status = engine.status();
     return response;
@@ -126,6 +143,7 @@ PlanResponse PlanService::RunOne(const PlanRequest& request) const {
 std::vector<PlanResponse> PlanService::RunPipeline(
     std::span<const PlanRequest> requests, const BatchOptions& options,
     const ResponseSink* sink) const {
+  ActiveRunGuard active(active_runs_);
   const size_t n = requests.size();
   std::vector<PlanResponse> responses(n);
   BatchStats stats;
@@ -279,7 +297,8 @@ std::vector<PlanResponse> PlanService::RunPipeline(
     }
     if (!unit.failed && response.status.ok()) {
       if (unit.group != kNoGroup) {
-        Result<IndexedEngine> engine = repository.AcquireEngine(unit.group);
+        Result<IndexedEngine> engine =
+            repository.AcquireEngine(unit.group, unit.cancel);
         if (!engine.ok()) {
           response.status = engine.status();
         } else {
@@ -294,7 +313,10 @@ std::vector<PlanResponse> PlanService::RunPipeline(
         if (!instance.ok()) {
           response.status = instance.status();
         } else {
-          Result<IndexedEngine> engine = IndexedEngine::Create(*instance);
+          motif::IncidenceIndex::BuildOptions build_options;
+          build_options.cancel = unit.cancel;
+          Result<IndexedEngine> engine =
+              IndexedEngine::Create(*instance, build_options);
           if (!engine.ok()) {
             response.status = engine.status();
           } else {
@@ -425,6 +447,18 @@ void PlanService::RunBatch(std::span<const PlanRequest> requests,
 Result<EditSummary> PlanService::ApplyEdit(const graph::GraphDelta& delta,
                                            PlanCache* cache,
                                            InstanceRepository* repository) {
+  // Serving-state guard: an edit that lands while a batch is solving
+  // would mutate the base graph under live readers. Refuse up front —
+  // nothing has changed when this returns — and let the caller sequence
+  // at its own drain point (the plan server's epoch barrier does exactly
+  // that). The check is advisory-atomic, not a lock: RunBatch entered
+  // after the check races as before, but the documented contract already
+  // forbids that interleaving; the guard catches the accidental case.
+  if (active_runs_.load(std::memory_order_acquire) != 0) {
+    return Status::FailedPrecondition(
+        "ApplyEdit while a RunBatch/RunOne is in flight; drain the batch "
+        "before editing");
+  }
   EditSummary summary;
   summary.old_fingerprint = fingerprint_;
   summary.inserted = delta.inserted.size();

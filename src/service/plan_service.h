@@ -43,6 +43,7 @@
 #ifndef TPP_SERVICE_PLAN_SERVICE_H_
 #define TPP_SERVICE_PLAN_SERVICE_H_
 
+#include <atomic>
 #include <functional>
 #include <istream>
 #include <optional>
@@ -267,7 +268,13 @@ class PlanService {
   ///     the edit touches reset to a cold build.
   /// On a delta that fails validation (an absent removal, a present
   /// insertion) nothing changes and the error is returned. Must not run
-  /// concurrently with RunBatch/RunOne — edits sit between batches.
+  /// concurrently with RunBatch/RunOne — edits sit between batches. The
+  /// restriction is ENFORCED, not conventional: an ApplyEdit that
+  /// overlaps an in-flight RunBatch/RunOne returns kFailedPrecondition
+  /// and changes nothing, instead of mutating the base graph under a
+  /// running solve. Callers that interleave edits with serving (the plan
+  /// server's epoch barrier, the CLI's edit sessions) retry or sequence
+  /// at their own drain point.
   Result<EditSummary> ApplyEdit(const graph::GraphDelta& delta,
                                 PlanCache* cache = nullptr,
                                 InstanceRepository* repository = nullptr);
@@ -279,6 +286,8 @@ class PlanService {
 
   graph::Graph base_;
   uint64_t fingerprint_ = 0;
+  // Live RunBatch/RunOne executions; ApplyEdit refuses while nonzero.
+  mutable std::atomic<int> active_runs_{0};
 };
 
 /// Parses an explicit link list "u-v;u-v;..." (the `links=` value of the

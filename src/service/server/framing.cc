@@ -1,0 +1,40 @@
+#include "service/server/framing.h"
+
+namespace tpp::service::server {
+
+std::vector<std::string> LineAssembler::Feed(std::string_view bytes) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < bytes.size()) {
+    const size_t nl = bytes.find('\n', start);
+    if (nl == std::string_view::npos) {
+      if (!discarding_) {
+        tail_.append(bytes.substr(start));
+        if (max_line_bytes_ != 0 && tail_.size() > max_line_bytes_) {
+          overflowed_ = true;
+          discarding_ = true;
+          tail_.clear();
+        }
+      }
+      return lines;
+    }
+    if (discarding_) {
+      // The oversized line ends here; resume framing after it.
+      discarding_ = false;
+    } else {
+      tail_.append(bytes.substr(start, nl - start));
+      if (max_line_bytes_ != 0 && tail_.size() > max_line_bytes_) {
+        overflowed_ = true;
+        tail_.clear();
+      } else {
+        if (!tail_.empty() && tail_.back() == '\r') tail_.pop_back();
+        lines.push_back(std::move(tail_));
+        tail_.clear();
+      }
+    }
+    start = nl + 1;
+  }
+  return lines;
+}
+
+}  // namespace tpp::service::server

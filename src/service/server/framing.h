@@ -1,0 +1,72 @@
+// Newline framing for the plan server's wire protocol.
+//
+// The server speaks the batch-script grammar (docs/SERVICE.md) one line
+// at a time over a byte stream: requests, `edit` directives, and control
+// verbs are each one LF-terminated line. Socket reads deliver arbitrary
+// chunks — half a line, three lines and a tail, a lone '\n' — so every
+// session owns a LineAssembler that buffers the partial tail between
+// reads and yields only COMPLETE lines. A client that dies mid-line (or
+// a torn read injected via the `net.read` fault site) leaves a partial
+// tail that is counted and dropped, never parsed: a torn frame must not
+// become a truncated-but-valid request.
+
+#ifndef TPP_SERVICE_SERVER_FRAMING_H_
+#define TPP_SERVICE_SERVER_FRAMING_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tpp::service::server {
+
+class LineAssembler {
+ public:
+  /// `max_line_bytes` bounds the buffered tail: a peer that streams
+  /// forever without a newline (malicious or broken) is detected when the
+  /// tail crosses the cap, and the session should be closed. 0 disables
+  /// the cap.
+  explicit LineAssembler(size_t max_line_bytes = 1 << 20)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Appends one read's worth of bytes and returns every line COMPLETED
+  /// by it, newline stripped (a trailing "\r" is stripped too, so
+  /// CRLF-framing clients work). The partial tail stays buffered for the
+  /// next feed.
+  std::vector<std::string> Feed(std::string_view bytes);
+
+  /// True once a fed line exceeded max_line_bytes; latched until Reset.
+  /// Feed keeps accepting input but discards the oversized line's bytes.
+  bool overflowed() const { return overflowed_; }
+
+  /// Reads and clears the overflow latch (the discard of the oversized
+  /// line itself continues to its terminating newline regardless).
+  bool TakeOverflow() {
+    const bool was = overflowed_;
+    overflowed_ = false;
+    return was;
+  }
+
+  /// Bytes of incomplete line currently buffered. Nonzero at EOF means
+  /// the peer died mid-line — the tail is a torn frame, not a request.
+  size_t pending_bytes() const { return tail_.size(); }
+
+  /// Drops any buffered tail and clears the overflow latch.
+  void Reset() {
+    tail_.clear();
+    overflowed_ = false;
+    discarding_ = false;
+  }
+
+ private:
+  size_t max_line_bytes_;
+  std::string tail_;
+  bool overflowed_ = false;
+  // While true the current (oversized) line is being thrown away up to
+  // its terminating newline; framing resumes on the next line.
+  bool discarding_ = false;
+};
+
+}  // namespace tpp::service::server
+
+#endif  // TPP_SERVICE_SERVER_FRAMING_H_

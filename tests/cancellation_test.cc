@@ -15,6 +15,8 @@
 #include "graph/datasets.h"
 #include "graph/generators.h"
 #include "gtest/gtest.h"
+#include "motif/incidence_index.h"
+#include "service/instance_repository.h"
 #include "service/plan_cache.h"
 #include "service/plan_service.h"
 
@@ -280,6 +282,78 @@ TEST(PlanServiceDeadlineTest, CacheHitsServeUnderAnExpiredBatchDeadline) {
   EXPECT_EQ(stats.cache_hits, 1u);
   EXPECT_EQ(stats.deadline_exceeded, 0u);
   ExpectSameResponse(second[0], first[0], "warm heavy request");
+}
+
+// --------------------------------------------- build-stage cancellation
+//
+// The pipeline's build-once stage (instance build / index construction)
+// is the most expensive unit of work a request pays for; cancellation
+// must reach INSIDE it, not just solver round boundaries. And because a
+// cancel/deadline failure is a property of the requesting caller's
+// clock, not of the group, it must never be memoized — the next acquirer
+// rebuilds under its own deadline.
+
+// An existing edge of the base to protect.
+graph::Edge FirstEdge(const Graph& g) {
+  for (graph::NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (g.Degree(u) > 0) return graph::Edge(u, g.Neighbors(u)[0]);
+  }
+  ADD_FAILURE() << "base graph has no edges";
+  return graph::Edge(0, 1);
+}
+
+TEST(BuildStageCancellationTest, IndexBuildPollsTheToken) {
+  Graph released = ArenasBase();
+  const graph::Edge target = FirstEdge(released);
+  ASSERT_TRUE(released.RemoveEdge(target.u, target.v).ok());
+
+  CancellationToken canceled;
+  canceled.Cancel();
+  motif::IncidenceIndex::BuildOptions options;
+  options.cancel = &canceled;
+  Result<motif::IncidenceIndex> index = motif::IncidenceIndex::Build(
+      released, {target}, motif::MotifKind::kTriangle, options);
+  ASSERT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), StatusCode::kAborted)
+      << index.status().ToString();
+
+  // An expired deadline takes the same stage-boundary exits with the
+  // deadline code.
+  CancellationToken expired(Clock::now() - std::chrono::seconds(1));
+  options.cancel = &expired;
+  index = motif::IncidenceIndex::Build(released, {target},
+                                       motif::MotifKind::kTriangle, options);
+  ASSERT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), StatusCode::kDeadlineExceeded)
+      << index.status().ToString();
+
+  // The same build without a token succeeds: polling is the only effect.
+  options.cancel = nullptr;
+  index = motif::IncidenceIndex::Build(released, {target},
+                                       motif::MotifKind::kTriangle, options);
+  EXPECT_TRUE(index.ok()) << index.status().ToString();
+}
+
+TEST(BuildStageCancellationTest, CanceledBuildIsNotMemoizedByTheRepository) {
+  const Graph& base = ArenasBase();
+  InstanceRepository repository(&base);
+  const size_t group = repository.Intern({FirstEdge(base)},
+                                         motif::MotifKind::kTriangle);
+
+  CancellationToken canceled;
+  canceled.Cancel();
+  Result<core::IndexedEngine> aborted =
+      repository.AcquireEngine(group, &canceled);
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_EQ(aborted.status().code(), StatusCode::kAborted)
+      << aborted.status().ToString();
+
+  // A deterministic build error would be memoized for every later
+  // acquirer; a cancellation must not be — the group resets and the next
+  // acquisition (no token) builds cleanly.
+  Result<core::IndexedEngine> rebuilt = repository.AcquireEngine(group);
+  EXPECT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_EQ(repository.NumAcquisitions(), 2u);
 }
 
 }  // namespace

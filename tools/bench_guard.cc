@@ -114,6 +114,18 @@ std::optional<bool> FindBool(const std::string& obj, const std::string& key) {
   return std::nullopt;
 }
 
+bool ReadWholeFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_guard: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
 bool ParseBenchFile(const std::string& path, BenchFile* out) {
   std::ifstream in(path);
   if (!in) {
@@ -515,6 +527,136 @@ int RunFault(const std::string& fresh_path,
   return 0;
 }
 
+// Server mode: the fresh file is a server_soak run (possibly under a
+// transient TPP_FAULTS net profile in CI); the baseline is the committed
+// clean run. Throughput is info-only — the gate is purely on the serving
+// invariants: overload actually shed (the admission ladder engaged),
+// every admitted soak request answered with zero drops, transcripts
+// byte-identical across runs, drain finished every in-flight request,
+// the process never crashed, and (when a profile was armed) faults
+// actually fired so the run proves something.
+
+// Extracts the one-line `"key": {...}` object from a server_soak file so
+// FindNumber does not stop at the same key in an earlier section (both
+// "overload" and "soak" carry an "admitted" count).
+std::string JsonSection(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\": {";
+  const size_t at = text.find(needle);
+  if (at == std::string::npos) return "";
+  const size_t close = text.find('}', at);
+  if (close == std::string::npos) return "";
+  return text.substr(at, close - at + 1);
+}
+
+int RunServer(const std::string& fresh_path,
+              const std::string& baseline_path) {
+  std::string fresh, baseline;
+  if (!ReadWholeFile(fresh_path, &fresh) ||
+      !ReadWholeFile(baseline_path, &baseline)) {
+    return 2;
+  }
+  const std::string fault_spec =
+      FindString(fresh, "fault_spec").value_or("");
+  std::printf("bench_guard: %s (server soak%s%s) vs baseline %s\n",
+              fresh_path.c_str(), fault_spec.empty() ? "" : ", profile ",
+              fault_spec.c_str(), baseline_path.c_str());
+
+  const std::string overload = JsonSection(fresh, "overload");
+  const std::string soak = JsonSection(fresh, "soak");
+  const std::string drain = JsonSection(fresh, "drain");
+  if (overload.empty() || soak.empty() || drain.empty()) {
+    std::fprintf(stderr,
+                 "bench_guard: %s is missing an overload/soak/drain "
+                 "section\n",
+                 fresh_path.c_str());
+    return 2;
+  }
+
+  bool ok = true;
+  // Overload: the ladder must have engaged — admissions up to capacity,
+  // the rest shed at the door with a retry hint.
+  const double offered = FindNumber(overload, "offered").value_or(0);
+  const double ovl_admitted = FindNumber(overload, "admitted").value_or(0);
+  const double shed = FindNumber(overload, "shed").value_or(0);
+  const bool ladder =
+      shed > 0 && ovl_admitted > 0 && ovl_admitted + shed == offered;
+  std::printf("  %-24s offered %.0f = admitted %.0f + shed %.0f  %s\n",
+              "overload", offered, ovl_admitted, shed,
+              ladder ? "ok" : "FAIL");
+  ok &= ladder;
+
+  // Soak: every admitted request answered, nothing dropped, and the two
+  // runs' per-client transcripts byte-identical — the server determinism
+  // contract.
+  const double admitted = FindNumber(soak, "admitted").value_or(0);
+  const double responses = FindNumber(soak, "responses").value_or(-1);
+  const double dropped =
+      FindNumber(soak, "dropped_responses").value_or(-1);
+  const bool answered = admitted > 0 && responses == admitted;
+  std::printf("  %-24s admitted %.0f, responses %.0f, dropped %.0f  %s\n",
+              "soak", admitted, responses, dropped,
+              answered && dropped == 0 ? "ok" : "FAIL");
+  ok &= answered && dropped == 0;
+  const bool identical = FindBool(soak, "byte_identical").value_or(false);
+  std::printf("  %-24s byte_identical %s\n", "soak",
+              identical ? "true: ok" : "false: FAIL");
+  ok &= identical;
+
+  // Drain: everything in flight when drain began ran to completion with
+  // its response delivered.
+  const double at_drain =
+      FindNumber(drain, "in_flight_at_drain").value_or(0);
+  const double drained =
+      FindNumber(drain, "drained_in_flight").value_or(-1);
+  const double aborted =
+      FindNumber(drain, "aborted_in_flight").value_or(-1);
+  const double drain_dropped =
+      FindNumber(drain, "drain_dropped_responses").value_or(-1);
+  const bool drain_ok = at_drain > 0 && drained == at_drain &&
+                        aborted == 0 && drain_dropped == 0;
+  std::printf("  %-24s %.0f in flight, %.0f drained, %.0f aborted, %.0f "
+              "dropped  %s\n",
+              "drain", at_drain, drained, aborted, drain_dropped,
+              drain_ok ? "ok" : "FAIL");
+  ok &= drain_ok;
+
+  const double crashes = FindNumber(fresh, "crashes").value_or(-1);
+  std::printf("  %-24s crashes %.0f  %s\n", "process", crashes,
+              crashes == 0 ? "ok" : "FAIL");
+  ok &= crashes == 0;
+
+  const double injected =
+      FindNumber(fresh, "faults_injected").value_or(0);
+  if (!fault_spec.empty()) {
+    // An armed profile that never fired exercises nothing — demand
+    // evidence before letting the run vouch for fault tolerance.
+    std::printf("  %-24s faults_injected %.0f under armed profile  %s\n",
+                "faults", injected,
+                injected > 0 ? "ok" : "FAIL (profile never fired)");
+    ok &= injected > 0;
+  } else {
+    std::printf("  %-24s no fault profile armed (info only)\n", "faults");
+  }
+
+  const double rps = FindNumber(soak, "throughput_rps").value_or(0);
+  const double floor_rps =
+      FindNumber(JsonSection(baseline, "soak"), "throughput_rps")
+          .value_or(0);
+  CheckMetric("soak", "throughput_rps", rps, floor_rps,
+              /*tolerance=*/0.0, /*enforced=*/false);
+
+  if (!ok) {
+    std::printf("bench_guard: SERVER INVARIANT BROKE — overload must "
+                "shed, admitted work must answer byte-identically, drain "
+                "must finish in-flight work, and the process must not "
+                "crash\n");
+    return 1;
+  }
+  std::printf("bench_guard: server soak clean — ladder engaged, "
+              "byte-identical transcripts, graceful drain\n");
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   Result<ParsedArgs> args = ParsedArgs::Parse(argc, argv);
   if (!args.ok()) {
@@ -527,15 +669,18 @@ int Run(int argc, char** argv) {
   const std::string mode = args->GetString("mode", "solver_rounds");
   if (fresh_path.empty() || baseline_path.empty() ||
       (mode != "solver_rounds" && mode != "graph_mutation" &&
-       mode != "fault")) {
+       mode != "fault" && mode != "server")) {
     std::fprintf(stderr,
                  "usage: bench_guard --fresh=NEW.json --baseline=OLD.json "
-                 "[--mode=solver_rounds|graph_mutation|fault] "
+                 "[--mode=solver_rounds|graph_mutation|fault|server] "
                  "[--tolerance=0.2] [--min-cold-ms=1.0]\n");
     return 2;
   }
   if (mode == "fault") {
     return RunFault(fresh_path, baseline_path);
+  }
+  if (mode == "server") {
+    return RunServer(fresh_path, baseline_path);
   }
   Result<double> tolerance = args->GetDouble("tolerance", 0.2);
   Result<double> min_cold_ms = args->GetDouble("min-cold-ms", 1.0);

@@ -63,6 +63,24 @@
 //       fingerprints (the new one advanced in O(delta) and cross-checked
 //       against a full recompute), and optionally writes the edited edge
 //       list.
+//   tpp serve --graph=G.edges (--socket=PATH | --stdio) [batch flags]
+//             [--queue-depth=N] [--queued-bytes=B] [--per-client=N]
+//             [--est-request-ms=MS] [--max-batch=N]
+//       Long-lived plan server (service/server/server.h, docs/SERVICE.md):
+//       accepts newline-framed batch-script lines over a Unix-domain
+//       socket (--socket) and/or a stdio pipe pair (--stdio), feeds a
+//       bounded admission queue (overload sheds immediately with a
+//       retryable Unavailable + retry-after hint; deadline-tagged
+//       requests that cannot be admitted in time shed at the door), and
+//       answers each admitted request with a timing-free response line
+//       bit-identical to what `tpp batch` produces for the same script.
+//       `edit` directives apply at an epoch barrier: after everything
+//       admitted before them, before anything admitted after. SIGTERM or
+//       SIGINT (or a `shutdown` line, or --stdio EOF) drains gracefully —
+//       admission stops, in-flight work finishes, the footer prints, exit
+//       0; a second signal escalates to cancellation. With --store the
+//       server persists index snapshots and plans, so kill -9 + restart
+//       re-serves the same scripts byte-identically.
 //   tpp solvers
 //       Lists the registered solvers (key, display name, budgeting).
 //   tpp attack  --graph=G.edges --plan=P.plan
@@ -88,6 +106,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/signals.h"
 #include "common/strings.h"
 #include "common/table.h"
 #include "core/tpp.h"
@@ -100,6 +119,7 @@
 #include "service/instance_repository.h"
 #include "service/plan_cache.h"
 #include "service/plan_service.h"
+#include "service/server/server.h"
 #include "service/store/warm_store.h"
 
 namespace tpp {
@@ -116,7 +136,7 @@ using service::PlanService;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: tpp <protect|batch|store|edit|solvers|attack|stats>"
+      "usage: tpp <protect|batch|serve|store|edit|solvers|attack|stats>"
       " [--flags]\n"
       "see the header of tools/tpp_cli.cc for examples\n");
   return 2;
@@ -520,6 +540,116 @@ int RunBatch(const ParsedArgs& args) {
   return failures == 0 ? 0 : 1;
 }
 
+int RunServe(const ParsedArgs& args) {
+  Result<Graph> g = LoadGraphFlag(args);
+  if (!g.ok()) return Fail(g.status());
+  const std::string socket_path = args.GetString("socket", "");
+  const bool stdio = args.GetBool("stdio");
+  if (socket_path.empty() && !stdio) {
+    return Fail(Status::InvalidArgument(
+        "tpp serve needs a listener: --socket=PATH and/or --stdio"));
+  }
+
+  service::server::ServerOptions server_options;
+  server_options.socket_path = socket_path;
+  server_options.stdio = stdio;
+  Result<int64_t> queue_depth = args.GetInt("queue-depth", 256);
+  Result<int64_t> queued_bytes = args.GetInt("queued-bytes", 4 << 20);
+  Result<int64_t> per_client = args.GetInt("per-client", 64);
+  Result<int64_t> est_request_ms = args.GetInt("est-request-ms", 50);
+  Result<int64_t> max_batch = args.GetInt("max-batch", 8);
+  for (const auto* flag : {&queue_depth, &queued_bytes, &per_client,
+                           &est_request_ms, &max_batch}) {
+    if (!flag->ok()) return Fail(flag->status());
+  }
+  server_options.admission.max_queue_depth =
+      static_cast<size_t>(*queue_depth);
+  server_options.admission.max_queued_bytes =
+      static_cast<size_t>(*queued_bytes);
+  server_options.admission.max_per_client = static_cast<size_t>(*per_client);
+  server_options.admission.est_request_ms =
+      static_cast<uint64_t>(*est_request_ms);
+  server_options.max_batch = static_cast<size_t>(*max_batch);
+
+  Result<std::unique_ptr<service::store::WarmStore>> store =
+      OpenStoreFromFlags(args);
+  if (!store.ok()) return Fail(store.status());
+  Result<int64_t> cache_size = args.GetInt("cache-size", 0);
+  if (!cache_size.ok()) return Fail(cache_size.status());
+
+  PlanService plan_service(std::move(*g));
+  // The same serving state `tpp batch` wires up, held for the server's
+  // whole life: prototype engines survive edit barriers, and with
+  // --store a restart re-serves scripts byte-identically from snapshots
+  // and the plan log.
+  service::InstanceRepository repository(&plan_service.base());
+  std::unique_ptr<service::PlanCache> cache;
+  if (*cache_size > 0 || *store != nullptr) {
+    cache = std::make_unique<service::PlanCache>(
+        static_cast<size_t>(*cache_size > 0 ? *cache_size : 1024));
+  }
+  if (*store != nullptr) {
+    cache->set_backing_store(store->get());
+    cache->set_cache_failures(args.GetBool("cache-failures"));
+  }
+  server_options.cache = cache.get();
+  server_options.store = store->get();
+  server_options.repository = &repository;
+
+  Result<int> signal_fd = signals::InstallShutdownPipe();
+  if (signal_fd.ok()) {
+    server_options.signal_fd = *signal_fd;
+  } else {
+    std::fprintf(stderr,
+                 "warning: no signal handling (%s); use the `shutdown` "
+                 "directive to drain\n",
+                 signal_fd.status().ToString().c_str());
+  }
+
+  std::fprintf(stderr, "tpp serve: %s%s%s, queue depth %lld\n",
+               socket_path.empty() ? "" : socket_path.c_str(),
+               (!socket_path.empty() && stdio) ? " + " : "",
+               stdio ? "stdio" : "",
+               static_cast<long long>(*queue_depth));
+  service::server::PlanServer plan_server(&plan_service, server_options);
+  Status served = plan_server.Serve();
+  if (!served.ok()) return Fail(served);
+
+  // Drain footer: one stable block CI and the soak bench grep. Shed and
+  // drain counters first, then the same store-health lines as `tpp
+  // batch` so store gating works identically for the server.
+  service::server::ServerStats stats = plan_server.snapshot_stats();
+  std::printf(
+      "server: %llu connections, %llu admitted, %llu responses, "
+      "%llu shed (queue_full=%llu queued_bytes=%llu client_cap=%llu "
+      "deadline_hopeless=%llu draining=%llu)\n",
+      static_cast<unsigned long long>(stats.connections),
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.responses),
+      static_cast<unsigned long long>(stats.shed_total()),
+      static_cast<unsigned long long>(stats.shed_queue_full),
+      static_cast<unsigned long long>(stats.shed_queued_bytes),
+      static_cast<unsigned long long>(stats.shed_client_cap),
+      static_cast<unsigned long long>(stats.shed_deadline_hopeless),
+      static_cast<unsigned long long>(stats.shed_draining));
+  std::printf(
+      "server drain: %llu drained in flight, %llu aborted, %llu dropped "
+      "responses, %llu parse errors, %llu torn frames, %llu edits "
+      "(%llu failed), max client load %zu, max queue depth %zu\n",
+      static_cast<unsigned long long>(stats.drained_in_flight),
+      static_cast<unsigned long long>(stats.aborted_in_flight),
+      static_cast<unsigned long long>(stats.dropped_responses),
+      static_cast<unsigned long long>(stats.parse_errors),
+      static_cast<unsigned long long>(stats.torn_frames),
+      static_cast<unsigned long long>(stats.edits_applied),
+      static_cast<unsigned long long>(stats.edits_failed),
+      stats.max_client_load, stats.max_queue_depth);
+  if (*store != nullptr) {
+    PrintStoreStats(**store, service::BatchStats{}, cache.get());
+  }
+  return 0;
+}
+
 int RunStore(const ParsedArgs& args) {
   if (args.positional().size() < 2) {
     std::fprintf(stderr, "usage: tpp store <ls|verify|evict> --store=DIR\n");
@@ -765,6 +895,8 @@ int Main(int argc, char** argv) {
     rc = RunProtect(*args);
   } else if (command == "batch") {
     rc = RunBatch(*args);
+  } else if (command == "serve") {
+    rc = RunServe(*args);
   } else if (command == "store") {
     rc = RunStore(*args);
   } else if (command == "edit") {
