@@ -61,6 +61,15 @@ void InstallOnce() {
   // EINTR-safe wrappers loop and the poll loop notices the pipe.
   if (::sigaction(SIGTERM, &action, nullptr) != 0 ||
       ::sigaction(SIGINT, &action, nullptr) != 0) {
+    // A partial install is possible (SIGTERM landed, SIGINT failed):
+    // restore the default before tearing down the pipe so no installed
+    // handler can write to a closed fd, then undo the pipe entirely —
+    // a failed install must not leak fds or leave the globals armed.
+    std::signal(SIGTERM, SIG_DFL);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    g_pipe_read = -1;
+    g_pipe_write = -1;
     g_install_status = Status::IoError("cannot install signal handlers");
     return;
   }

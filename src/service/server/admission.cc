@@ -34,7 +34,7 @@ AdmissionDecision AdmissionQueue::Offer(QueuedItem item, bool draining) {
     shed_[static_cast<size_t>(reason)] += 1;
     return decision;
   };
-  if (draining) return shed(ShedReason::kDraining);
+  if (draining || stopped_) return shed(ShedReason::kDraining);
   if (depth_ >= options_.max_queue_depth) {
     return shed(ShedReason::kQueueFull);
   }
@@ -67,6 +67,11 @@ AdmissionDecision AdmissionQueue::Offer(QueuedItem item, bool draining) {
   admitted_ += 1;
   decision.admitted = true;
   return decision;
+}
+
+void AdmissionQueue::StopAdmission() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stopped_ = true;
 }
 
 std::vector<QueuedItem> AdmissionQueue::TakeRoundRobin(uint64_t epoch,
@@ -132,6 +137,13 @@ size_t AdmissionQueue::DropClient(uint64_t client) {
   // if any, is skipped lazily by TakeRoundRobin.
   if (it->second.in_flight == 0) clients_.erase(it);
   return dropped;
+}
+
+bool AdmissionQueue::ClientIdle(uint64_t client) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(client);
+  return it == clients_.end() ||
+         (it->second.queued.empty() && it->second.in_flight == 0);
 }
 
 size_t AdmissionQueue::Depth() const {

@@ -81,9 +81,16 @@ class AdmissionQueue {
       : options_(options) {}
 
   /// Applies the admission rules to `item` and queues it if they pass.
-  /// `draining` sheds unconditionally (reason kDraining) — the server
-  /// sets it once drain starts so admission stops at the door.
+  /// Sheds unconditionally (reason kDraining) once StopAdmission has
+  /// been called or when `draining` is passed (test convenience).
   AdmissionDecision Offer(QueuedItem item, bool draining);
+
+  /// Closes the door: every later Offer sheds with kDraining. Taken
+  /// under the queue mutex, so it strictly orders against concurrent
+  /// Offers — after StopAdmission returns, the queue depth can only
+  /// decrease, which is what lets the drain loop's exit check (drained
+  /// when depth reaches 0) stay stable against racing admissions.
+  void StopAdmission();
 
   /// Removes and returns up to `limit` queued items with epoch <= `epoch`
   /// in round-robin order across clients (one item per client per
@@ -100,6 +107,11 @@ class AdmissionQueue {
   /// Drops every queued item of a disconnected client and forgets its
   /// in-flight accounting. Returns how many queued items died with it.
   size_t DropClient(uint64_t client);
+
+  /// True when the client has nothing queued and nothing in flight —
+  /// every response it will ever get has already been written. Used by
+  /// the server to retire half-closed sessions.
+  bool ClientIdle(uint64_t client) const;
 
   /// Queued items of ANY epoch (drain loop: exit when 0 and no edits
   /// pending).
@@ -142,6 +154,7 @@ class AdmissionQueue {
 
   AdmissionOptions options_;
   mutable std::mutex mu_;
+  bool stopped_ = false;  // StopAdmission called; every Offer sheds
   std::unordered_map<uint64_t, ClientState> clients_;
   // Round-robin pickup order; a client appears once while it has queued
   // items. Rebuilt lazily as clients drain and refill.

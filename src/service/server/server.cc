@@ -132,6 +132,12 @@ ServerStats PlanServer::snapshot_stats() const {
 
 void PlanServer::RequestDrain() {
   draining_.store(true, std::memory_order_release);
+  // Close the door inside the queue's own mutex: an Offer that ran
+  // before this sheds or was admitted with depth > 0 (so the solve loop
+  // cannot see an empty queue and exit past it), and every Offer after
+  // it sheds — no request can slip in unadmitted-and-unanswered between
+  // a stale draining_ read and the queue insert.
+  queue_.StopAdmission();
   work_cv_.notify_all();
   Wake();
 }
@@ -147,6 +153,7 @@ void PlanServer::RequestAbort() {
 
 void PlanServer::Wake() {
 #if TPP_SERVER_POSIX
+  std::lock_guard<std::mutex> lock(wake_mu_);
   if (wake_write_ >= 0) {
     const char byte = 'w';
     ssize_t ignored = ::write(wake_write_, &byte, 1);
@@ -214,13 +221,17 @@ void PlanServer::HandleLine(const std::shared_ptr<Session>& session,
                                    delta.status().ToString().c_str()));
       return;
     }
-    if (draining_.load(std::memory_order_acquire)) {
-      // Drain admits no new work, edits included.
-      WriteLine(session, "edit shed reason=draining");
-      return;
-    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      // Drain admits no new work, edits included. Checked under mu_
+      // because the solve loop's exit check (draining + empty queue +
+      // no pending edits) also runs under mu_: an edit pushed here is
+      // either seen by that check or shed here — never queued after the
+      // loop has already exited.
+      if (draining_.load(std::memory_order_acquire)) {
+        WriteLine(session, "edit shed reason=draining");
+        return;
+      }
       PendingEdit edit;
       // The barrier: the edit applies after every request admitted up to
       // now (epoch E) and before anything admitted from here on (E+1).
@@ -306,7 +317,14 @@ void PlanServer::HandleSessionReadable(
       session->assembler.Feed(std::string_view(buffer, *got));
   if (session->assembler.TakeOverflow()) {
     parse_errors_.fetch_add(1, std::memory_order_relaxed);
-    WriteLine(session, "error line exceeds maximum length");
+    // The discarded line still advances the session's line/request
+    // counters — the client sent it and numbers its own stream by it —
+    // so later default r<N> names stay aligned, and the error reply
+    // carries the label the discarded request would have answered under.
+    ++session->line_number;
+    const size_t index = session->request_index++;
+    WriteLine(session, StrFormat("r%zu error line exceeds maximum length",
+                                 index));
   }
   for (std::string& line : lines) {
     HandleLine(session, std::move(line));
@@ -329,6 +347,39 @@ void PlanServer::CloseSession(const std::shared_ptr<Session>& session) {
 #endif
   session->fd_in = -1;
   session->fd_out = -1;
+  if (session->is_stdio) {
+    // A closed stdio session can never deliver the EOF that would have
+    // requested the drain; its peer is gone either way. (Idempotent on
+    // the normal EOF path, where drain is already requested.)
+    RequestDrain();
+  }
+}
+
+void PlanServer::PruneSessions() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    const std::shared_ptr<Session>& session = it->second;
+    bool retire = session->dead.load(std::memory_order_acquire);
+    if (!retire && session->input_closed && queue_.ClientIdle(session->id)) {
+      // Input done and every admitted request answered (in-flight items
+      // hold their slot until AFTER their response is written, so an
+      // idle client has nothing left to receive) — unless a pending
+      // edit still owes this session its reply.
+      retire = true;
+      for (const PendingEdit& edit : edits_) {
+        if (edit.session == session) {
+          retire = false;
+          break;
+        }
+      }
+    }
+    if (retire) {
+      CloseSession(session);
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 #if TPP_SERVER_POSIX
@@ -356,7 +407,7 @@ void PlanServer::IoLoop(int listener_fd, int wake_fd) {
     const size_t session_base = fds.size();
     {
       std::lock_guard<std::mutex> lock(mu_);
-      for (const std::shared_ptr<Session>& session : sessions_) {
+      for (const auto& [id, session] : sessions_) {
         if (session->fd_in >= 0 && !session->input_closed &&
             !session->dead.load(std::memory_order_acquire)) {
           fds.push_back({session->fd_in, POLLIN, 0});
@@ -398,7 +449,7 @@ void PlanServer::IoLoop(int listener_fd, int wake_fd) {
         connections_.fetch_add(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(mu_);
         session->id = next_session_id_++;
-        sessions_.push_back(std::move(session));
+        sessions_.emplace(session->id, std::move(session));
       }
     }
     for (size_t i = 0; i < polled.size(); ++i) {
@@ -407,6 +458,10 @@ void PlanServer::IoLoop(int listener_fd, int wake_fd) {
         HandleSessionReadable(polled[i]);
       }
     }
+    // Retire dead and fully-answered half-closed sessions every cycle
+    // (<= 100ms): a long-lived server must not accumulate one open fd
+    // and one Session per historical connection.
+    PruneSessions();
   }
 }
 
@@ -443,7 +498,10 @@ Status PlanServer::Serve() {
   // full pipe must never block a drain request.
   ::fcntl(wake_fds[0], F_SETFL, O_NONBLOCK);
   ::fcntl(wake_fds[1], F_SETFL, O_NONBLOCK);
-  wake_write_ = wake_fds[1];
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    wake_write_ = wake_fds[1];
+  }
 
   if (options_.stdio) {
     auto session = std::make_shared<Session>();
@@ -454,7 +512,7 @@ Status PlanServer::Serve() {
     connections_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mu_);
     session->id = next_session_id_++;
-    sessions_.push_back(std::move(session));
+    sessions_.emplace(session->id, std::move(session));
   }
 
   std::thread io_thread([this, listener_fd, wake_read = wake_fds[0]] {
@@ -467,7 +525,7 @@ Status PlanServer::Serve() {
 
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (const std::shared_ptr<Session>& session : sessions_) {
+    for (const auto& [id, session] : sessions_) {
       std::lock_guard<std::mutex> wlock(session->write_mu);
       if (session->owns_fds) {
         if (session->fd_in >= 0) ::close(session->fd_in);
@@ -486,8 +544,11 @@ Status PlanServer::Serve() {
     ::unlink(options_.socket_path.c_str());
   }
   ::close(wake_fds[0]);
-  ::close(wake_fds[1]);
-  wake_write_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    ::close(wake_fds[1]);
+    wake_write_ = -1;
+  }
   return Status::Ok();
 }
 
@@ -569,12 +630,8 @@ void PlanServer::SolveLoop() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       for (size_t i = 0; i < taken.size(); ++i) {
-        for (const std::shared_ptr<Session>& session : sessions_) {
-          if (session->id == taken[i].client) {
-            targets[i] = session;
-            break;
-          }
-        }
+        auto it = sessions_.find(taken[i].client);
+        if (it != sessions_.end()) targets[i] = it->second;
       }
     }
     for (size_t i = 0; i < taken.size(); ++i) {

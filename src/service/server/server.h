@@ -41,6 +41,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/cancellation.h"
@@ -178,6 +179,12 @@ class PlanServer {
   void HandleSessionReadable(const std::shared_ptr<Session>& session);
   void HandleLine(const std::shared_ptr<Session>& session, std::string line);
   void CloseSession(const std::shared_ptr<Session>& session);
+  /// Retires finished sessions: dead ones (write failure, read error)
+  /// and half-closed ones whose every admitted request has answered and
+  /// that no pending edit still owes a reply. Closes their fds and
+  /// erases them from sessions_, so a long-lived server's fd count and
+  /// session table track LIVE connections, not historical ones.
+  void PruneSessions();
 
   // Solve-loop body and helpers.
   void SolveLoop();
@@ -209,7 +216,9 @@ class PlanServer {
   std::mutex mu_;  // guards edits_, sessions_, next_session_id_
   std::condition_variable work_cv_;
   std::deque<PendingEdit> edits_;
-  std::vector<std::shared_ptr<Session>> sessions_;
+  // Live sessions by id; retired entries are erased by PruneSessions, so
+  // response-target lookup stays O(1) in live connections.
+  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
   uint64_t next_session_id_ = 1;
 
   // Counters as individual atomics (not a mutex-guarded struct): both
@@ -225,6 +234,11 @@ class PlanServer {
   std::atomic<uint64_t> drained_in_flight_{0};
   std::atomic<uint64_t> aborted_in_flight_{0};
 
+  // Wake pipe write end. The mutex covers the fd value AND the write(2)
+  // against Serve's teardown close: RequestDrain/RequestAbort are
+  // documented thread-safe, so a caller may race Serve returning — the
+  // wake write must never land on a closed (possibly reused) fd.
+  std::mutex wake_mu_;
   int wake_write_ = -1;  // solve/drain -> IO thread wakeup pipe
 };
 

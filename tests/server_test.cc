@@ -200,6 +200,23 @@ TEST(AdmissionQueue, DrainingShedsAndDropClientReleases) {
   EXPECT_EQ(queue.Depth(), 0u);
 }
 
+TEST(AdmissionQueue, StopAdmissionClosesTheDoorAndClientIdleTracksDrain) {
+  AdmissionQueue queue(AdmissionOptions{});
+  ASSERT_TRUE(queue.Offer(Item(1, "a"), false).admitted);
+  EXPECT_FALSE(queue.ClientIdle(1));
+  EXPECT_TRUE(queue.ClientIdle(2));  // never-seen client is idle
+  queue.StopAdmission();
+  AdmissionDecision shed = queue.Offer(Item(1, "b"), false);
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_EQ(shed.reason, ShedReason::kDraining);
+  // Already-admitted work still drains; the client stays non-idle until
+  // its in-flight slot releases.
+  ASSERT_EQ(queue.TakeRoundRobin(0, 10).size(), 1u);
+  EXPECT_FALSE(queue.ClientIdle(1));
+  queue.Finish(1);
+  EXPECT_TRUE(queue.ClientIdle(1));
+}
+
 // ---------------------------------------------------------------------
 // Server harness
 
@@ -652,6 +669,59 @@ TEST(PlanServer, SocketFairnessTrickleBeatsFirehose) {
     EXPECT_EQ(pickup_clients[i], pickup_clients[0])
         << "pickup " << i << " is not the firehose backlog";
   }
+}
+
+TEST(PlanServer, HalfClosedSessionRetiredAfterLastResponse) {
+  // A client that half-closes (shutdown SHUT_WR) still receives every
+  // response — and then the server RETIRES the session: the client sees
+  // EOF and the server's fd is closed, rather than the session lingering
+  // in the table until process exit (the historical fd leak).
+  const std::string path = TempSocketPath("retire");
+  ServerOptions options;
+  options.socket_path = path;
+  PlanService service(TestBase());
+  PlanServer server(&service, std::move(options));
+  std::thread serve([&] { TPP_CHECK(server.Serve().ok()); });
+  while (!std::filesystem::exists(path)) std::this_thread::yield();
+
+  const int fd = ConnectUnix(path);
+  const std::string line = "algorithm=sgb sample=3 seed=7 budget=4\n";
+  TPP_CHECK(net::WriteAll(fd, line.data(), line.size()).ok());
+  TPP_CHECK(::shutdown(fd, SHUT_WR) == 0);
+  std::vector<std::string> lines = ReadLinesFd(fd, 1);
+  EXPECT_NE(lines[0].find("r0 ok"), std::string::npos) << lines[0];
+  // After the last response the server closes its end: the next read
+  // returns EOF within the poll deadline instead of blocking forever.
+  pollfd pfd{fd, POLLIN, 0};
+  ASSERT_GT(::poll(&pfd, 1, 30000), 0);
+  char buffer[16];
+  Result<size_t> got = net::ReadSome(fd, buffer, sizeof(buffer));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 0u) << "half-closed session was not retired";
+  ::close(fd);
+
+  server.RequestDrain();
+  serve.join();
+  ::unlink(path.c_str());
+  ServerStats stats = server.snapshot_stats();
+  EXPECT_EQ(stats.responses, 1u);
+  EXPECT_EQ(stats.dropped_responses, 0u);
+}
+
+TEST(PlanServer, OversizedLineCountsAsARequestForNaming) {
+  // The discarded oversized line advances request numbering: its error
+  // reply carries its own r<N> label and the NEXT request keeps the
+  // client's numbering instead of desyncing by one.
+  StdioServer server(ServerOptions{});
+  std::string huge((1u << 20) + 64, 'x');
+  huge += '\n';
+  server.Send(huge);
+  server.Send("algorithm=sgb sample=3 seed=7 budget=4\n");
+  std::vector<std::string> lines = server.ReadLines(2);
+  EXPECT_EQ(lines[0], "r0 error line exceeds maximum length");
+  EXPECT_NE(lines[1].find("r1 ok"), std::string::npos) << lines[1];
+  EXPECT_TRUE(server.Join().ok());
+  EXPECT_EQ(server.server().snapshot_stats().parse_errors, 1u);
 }
 
 TEST(PlanServer, KillAndRestartOverStoreIsByteIdentical) {
